@@ -1,0 +1,141 @@
+/// \file baseline_comparison.cc
+/// \brief Quantifies the Section 2.2 comparison against the related-work
+/// baseline [17] (He, Tao & Chang, CIKM 2004): pre-specified-k clustering
+/// with chi-square (multinomial homogeneity) similarity.
+///
+/// The thesis argues, without measuring, that (1) requiring the number of
+/// clusters in advance is untenable at web scale, and (2) anchor
+/// attributes cannot be assumed. This bench measures both claims on the
+/// synthetic corpora:
+///   * on DDH with the oracle k = 5, the baseline matches the thesis's
+///     algorithm — when you know k, knowing k helps;
+///   * on DW+SS, where the true number of domains is unknowable, the
+///     baseline's quality depends sharply on the guessed k, while the
+///     threshold-based algorithm needs no k at all.
+
+#include <iostream>
+
+#include "baseline/mdc_clustering.h"
+#include "bench_util.h"
+#include "eval/partition_metrics.h"
+#include "synth/ddh_generator.h"
+#include "synth/web_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace paygo;
+
+void DdhOracleK() {
+  std::cout << "--- DDH (5 true domains), baseline given the oracle k ---\n";
+  DdhGeneratorOptions gen;
+  gen.num_schemas = 800;  // keep the O(n^2 dim) baseline affordable
+  const bench::PreparedCorpus prep(MakeDdhCorpus(gen));
+
+  TablePrinter table({"Method", "Clusters", "Precision", "Recall",
+                      "Time(s)"});
+  {
+    WallTimer t;
+    const bench::SweepPoint point =
+        bench::RunClusteringPoint(prep, LinkageKind::kAverage, 0.25);
+    table.AddRow({"paygo HAC (tau=0.25, no k)",
+                  std::to_string(point.eval.num_domains),
+                  FormatDouble(point.eval.avg_precision, 3),
+                  FormatDouble(point.eval.avg_recall, 3),
+                  FormatDouble(t.ElapsedSeconds(), 2)});
+  }
+  for (bool anchors : {false, true}) {
+    WallTimer t;
+    MdcOptions opts;
+    opts.num_clusters = 5;
+    opts.use_anchor_seeding = anchors;
+    const auto result = MdcBaseline::Run(prep.lexicon, opts);
+    if (!result.ok()) {
+      std::cerr << "baseline failed: " << result.status() << "\n";
+      return;
+    }
+    const DomainModel model = HardAssignment(*result, prep.corpus.size());
+    const ClusteringEvaluation eval = EvaluateClustering(model, prep.corpus);
+    table.AddRow({std::string("MDC baseline k=5") +
+                      (anchors ? " + anchors" : ""),
+                  std::to_string(eval.num_domains),
+                  FormatDouble(eval.avg_precision, 3),
+                  FormatDouble(eval.avg_recall, 3),
+                  FormatDouble(t.ElapsedSeconds(), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void DwSsUnknownK() {
+  std::cout << "--- DW+SS (true number of domains unknowable), baseline "
+               "k sweep ---\n";
+  const bench::PreparedCorpus prep(MakeDwSsCorpus());
+
+  // Alongside the thesis's metrics, report the standard external indices
+  // (pairwise F1 against the label relation, ARI against the primary-label
+  // partition) so the comparison stands on textbook ground too.
+  const std::vector<int> truth = PartitionFromPrimaryLabels(prep.corpus);
+  TablePrinter table({"Method", "Clusters", "Precision", "Recall",
+                      "Non-homog.", "Pairwise F1", "ARI"});
+  {
+    const bench::SweepPoint point =
+        bench::RunClusteringPoint(prep, LinkageKind::kAverage, 0.25);
+    const PairwiseScores pw = PairwiseLabelScores(point.model, prep.corpus);
+    table.AddRow({"paygo HAC (tau=0.25, no k)",
+                  std::to_string(point.eval.num_domains),
+                  FormatDouble(point.eval.avg_precision, 3),
+                  FormatDouble(point.eval.avg_recall, 3),
+                  FormatDouble(point.eval.frac_non_homogeneous, 3),
+                  FormatDouble(pw.f1, 3),
+                  FormatDouble(AdjustedRandIndex(
+                                   PartitionFromModel(point.model), truth),
+                               3)});
+  }
+  for (std::size_t k : {10u, 25u, 50u, 97u, 150u, 200u}) {
+    MdcOptions opts;
+    opts.num_clusters = k;
+    const auto result = MdcBaseline::Run(prep.lexicon, opts);
+    if (!result.ok()) {
+      std::cerr << "baseline failed: " << result.status() << "\n";
+      return;
+    }
+    const DomainModel model = HardAssignment(*result, prep.corpus.size());
+    const ClusteringEvaluation eval = EvaluateClustering(model, prep.corpus);
+    const PairwiseScores pw = PairwiseLabelScores(model, prep.corpus);
+    table.AddRow({"MDC baseline k=" + std::to_string(k),
+                  std::to_string(eval.num_domains),
+                  FormatDouble(eval.avg_precision, 3),
+                  FormatDouble(eval.avg_recall, 3),
+                  FormatDouble(eval.frac_non_homogeneous, 3),
+                  FormatDouble(pw.f1, 3),
+                  FormatDouble(
+                      AdjustedRandIndex(PartitionFromModel(model), truth),
+                      3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: with the oracle k the baseline is "
+               "competitive; guessing k too small\nmixes domains "
+               "(non-homogeneous mass, precision loss), guessing too large "
+               "fragments them\n(recall loss). The thesis's algorithm "
+               "reaches its quality without knowing k.\n\nNote the metric "
+               "disagreement: the thesis's label-dominance metrics tolerate "
+               "the\nfragmentation its thresholded clustering produces "
+               "(fragments stay pure), while the\nstandard indices (ARI, "
+               "pairwise F1) penalize it — under ARI the baseline with a\n"
+               "well-guessed k looks better. Both views are reported; pick "
+               "the one matching your\ndownstream use (per-domain mediation "
+               "tolerates fragments; global dedup does not).\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Related-work baseline [17]: pre-specified-k chi-square "
+               "clustering ===\n\n";
+  DdhOracleK();
+  DwSsUnknownK();
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// \file ddh_classification.cc
+/// \brief Reproduces the Section 6.4 DDH result: "almost perfect results,
+/// with the top-1 fraction being 1 for all query sizes, except for
+/// single-keyword queries where the top-1 fraction drops slightly to about
+/// 0.95", plus the classifier construction time ("about 5 minutes" on the
+/// authors' 2010 hardware; expect orders of magnitude less here).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "classify/naive_bayes.h"
+#include "classify/query_featurizer.h"
+#include "eval/classification_metrics.h"
+#include "synth/ddh_generator.h"
+#include "synth/query_generator.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace paygo;
+  using bench::PreparedCorpus;
+  using bench::RunClusteringPoint;
+
+  const PreparedCorpus prep(MakeDdhCorpus());
+  const bench::SweepPoint point =
+      RunClusteringPoint(prep, LinkageKind::kAverage, 0.25);
+
+  std::vector<std::vector<std::string>> domain_labels;
+  for (std::uint32_t r = 0; r < point.model.num_domains(); ++r) {
+    domain_labels.push_back(DominantLabels(point.model, r, prep.corpus));
+  }
+
+  WallTimer setup_timer;
+  auto clf = NaiveBayesClassifier::Build(point.model, prep.features,
+                                         prep.corpus.size(), {});
+  if (!clf.ok()) {
+    std::cerr << "classifier build failed: " << clf.status() << "\n";
+    return 1;
+  }
+  const double setup_seconds = setup_timer.ElapsedSeconds();
+
+  FeatureVectorizer vectorizer(prep.lexicon);
+  QueryFeaturizer featurizer(prep.tokenizer, vectorizer);
+  QueryGeneratorOptions gen_opts;
+  gen_opts.min_label_fraction = 0.1;  // the thesis's DDH setting
+  auto gen = QueryGenerator::Build(prep.corpus, prep.lexicon, gen_opts);
+  if (!gen.ok()) {
+    std::cerr << "query generator build failed: " << gen.status() << "\n";
+    return 1;
+  }
+
+  Rng rng(62);
+  TablePrinter table({"Keywords", "Top-1 fraction"});
+  // Average per-query classification time, measured over all sizes.
+  WallTimer classify_timer;
+  std::size_t classified = 0;
+  for (std::size_t size = 1; size <= 10; ++size) {
+    TopKAccumulator acc;
+    for (int q = 0; q < 100; ++q) {
+      const GeneratedQuery query = gen->Generate(size, rng);
+      const auto ranking =
+          clf->Classify(featurizer.FeaturizeTerms(query.keywords));
+      ++classified;
+      acc.Record(ranking, domain_labels, query.target_label);
+    }
+    table.AddRow({std::to_string(size), FormatDouble(acc.Top1Fraction(), 2)});
+  }
+  const double per_query_ms =
+      classify_timer.ElapsedMillis() / static_cast<double>(classified);
+
+  std::cout << "=== Section 6.4: Query classification on DDH (2323 schemas, "
+               "5 domains) ===\n";
+  table.Print(std::cout);
+  std::cout << "\nClassifier setup time: " << FormatDouble(setup_seconds, 3)
+            << "s (thesis: ~5 minutes on 2010 hardware)\n";
+  std::cout << "Avg classification time (incl. featurization): "
+            << FormatDouble(per_query_ms, 3) << " ms/query — O(|D| dim L) "
+            << "worst case, O(|D| |set features|) as implemented\n";
+  std::cout << "\nExpected shape: top-1 = 1 for all sizes except ~0.95 at "
+               "size 1.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file ddh_clustering.cc
+/// \brief Reproduces the Section 6.2 DDH result: "the clustering algorithm
+/// works perfectly on DDH, giving precision and recall values above 0.99
+/// for all tau_c_sim >= 0.2 and for all similarity measures, except
+/// Max. Jaccard which gives low recall for tau_c_sim < 0.5."
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "synth/ddh_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace paygo;
+  using bench::PreparedCorpus;
+  using bench::RunClusteringPoint;
+
+  WallTimer prep_timer;
+  const PreparedCorpus prep(MakeDdhCorpus());
+  std::cout << "DDH corpus: " << prep.corpus.size() << " schemas, dim L = "
+            << prep.lexicon.dim() << " (feature prep "
+            << FormatDouble(prep_timer.ElapsedSeconds(), 2) << "s)\n\n";
+
+  const std::vector<double> taus = {0.2, 0.3, 0.4, 0.5};
+  TablePrinter table(
+      {"Linkage", "tau", "Precision", "Recall", "Unclustered", "Domains",
+       "Time(s)"});
+  for (LinkageKind linkage : AllLinkageKinds()) {
+    for (double tau : taus) {
+      WallTimer t;
+      const bench::SweepPoint point = RunClusteringPoint(prep, linkage, tau);
+      table.AddRow({LinkageKindName(linkage), FormatDouble(tau, 1),
+                    FormatDouble(point.eval.avg_precision, 3),
+                    FormatDouble(point.eval.avg_recall, 3),
+                    FormatDouble(point.eval.frac_unclustered, 3),
+                    std::to_string(point.eval.num_domains -
+                                   point.eval.num_singleton_domains),
+                    FormatDouble(t.ElapsedSeconds(), 2)});
+    }
+  }
+  std::cout << "=== Section 6.2: Schema clustering on DDH (2323 schemas, "
+               "5 domains) ===\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: precision and recall > 0.99 for all "
+               "measures and all tau >= 0.2,\nexcept Max. Jaccard (single-"
+               "link analog), whose recall degrades at low tau because\n"
+               "chaining merges distinct domains.\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+/// \file fig_6_3_recall.cc
+/// \brief Reproduces Figure 6.3: average recall vs tau_c_sim for the four
+/// cluster-similarity measures on DW+SS.
+
+#include "fig_sweep.h"
+
+int main(int argc, char** argv) {
+  return paygo::bench::RunFigureSweep(
+      "Figure 6.3: Average recall",
+      [](const paygo::ClusteringEvaluation& e) { return e.avg_recall; },
+      "recall rises with tau (thesis: ~0.78 at tau 0.2, ~0.86 at 0.3); "
+      "Max. Jaccard lags until high tau.",
+      paygo::bench::WantsCsv(argc, argv));
+}

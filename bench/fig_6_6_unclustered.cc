@@ -1,0 +1,15 @@
+/// \file fig_6_6_unclustered.cc
+/// \brief Reproduces Figure 6.6: fraction of unclustered schemas vs
+/// tau_c_sim on DW+SS.
+
+#include "fig_sweep.h"
+
+int main(int argc, char** argv) {
+  return paygo::bench::RunFigureSweep(
+      "Figure 6.6: Fraction of unclustered schemas",
+      [](const paygo::ClusteringEvaluation& e) { return e.frac_unclustered; },
+      "rises monotonically with tau — ~0.29 at tau 0.2 and ~0.50 at 0.3 in "
+      "the thesis (25% of schemas are unique and should stay unclustered), "
+      "approaching 1 at tau 0.9.",
+      paygo::bench::WantsCsv(argc, argv));
+}

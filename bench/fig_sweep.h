@@ -1,0 +1,67 @@
+#ifndef PAYGO_BENCH_FIG_SWEEP_H_
+#define PAYGO_BENCH_FIG_SWEEP_H_
+
+/// \file fig_sweep.h
+/// \brief The shared tau x linkage sweep behind Figures 6.2-6.6.
+///
+/// All five figures plot one clustering metric on the union of DW and SS
+/// as tau_c_sim varies from 0.1 to 0.9, with one series per
+/// cluster-similarity measure (Avg/Min/Max/Total Jaccard).
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "synth/web_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace paygo {
+namespace bench {
+
+/// Runs the sweep and prints one series per linkage of metric(eval).
+/// Pass csv = true (the binaries' --csv flag) to emit plot-ready CSV
+/// instead of the aligned table.
+inline int RunFigureSweep(
+    const std::string& figure_title,
+    const std::function<double(const ClusteringEvaluation&)>& metric,
+    const std::string& expected_shape, bool csv = false) {
+  const PreparedCorpus prep(MakeDwSsCorpus());
+  const std::vector<double> taus = FigureTauGrid();
+
+  std::vector<std::string> headers = {"Linkage"};
+  for (double tau : taus) headers.push_back("tau=" + FormatDouble(tau, 1));
+  TablePrinter table(std::move(headers));
+
+  for (LinkageKind linkage : AllLinkageKinds()) {
+    std::vector<std::string> cells = {LinkageKindName(linkage)};
+    for (double tau : taus) {
+      const SweepPoint point = RunClusteringPoint(prep, linkage, tau);
+      cells.push_back(FormatDouble(metric(point.eval), 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+
+  if (csv) {
+    table.PrintCsv(std::cout);
+    return 0;
+  }
+  std::cout << "=== " << figure_title << " (DW+SS, theta = 0.02) ===\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: " << expected_shape << "\n";
+  return 0;
+}
+
+/// True when the binary was invoked with --csv.
+inline bool WantsCsv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return true;
+  }
+  return false;
+}
+
+}  // namespace bench
+}  // namespace paygo
+
+#endif  // PAYGO_BENCH_FIG_SWEEP_H_

@@ -1,0 +1,233 @@
+/// \file mediation_effects.cc
+/// \brief Reproduces Section 6.3: the effect of schema clustering on
+/// mediation and mapping.
+///
+/// Three observations from the thesis:
+///  (1) Semantic coherence — without prior clustering, same-named
+///      attributes from different domains ("family name" as a person's
+///      surname vs a biological taxonomic rank) collapse into one mediated
+///      attribute; with clustering they stay in separate domains.
+///  (2) The attribute-frequency threshold — without clustering, a
+///      threshold of 0.1 erases small domains from the mediated schema
+///      (the thesis loses 2 of DDH's 5 domains), 0.01 leaves the smallest
+///      domain ('people') under-represented, and 0 yields a meaningless
+///      union of everything (12060 mediated attributes in the thesis).
+///  (3) Running time — mediating everything as one pseudo-domain is far
+///      slower than clustering first and mediating per domain.
+
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "mediate/mediator.h"
+#include "synth/ddh_generator.h"
+#include "synth/web_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace paygo;
+
+/// Members vector treating the whole corpus as one certain pseudo-domain.
+std::vector<std::pair<std::uint32_t, double>> AllSchemas(
+    const SchemaCorpus& corpus) {
+  std::vector<std::pair<std::uint32_t, double>> members;
+  for (std::uint32_t i = 0; i < corpus.size(); ++i) members.emplace_back(i, 1.0);
+  return members;
+}
+
+/// Counts, per ground-truth label, how many mediated attributes contain at
+/// least one attribute name used by that label's schemas.
+std::map<std::string, std::size_t> RepresentationByLabel(
+    const SchemaCorpus& corpus, const MediatedSchema& mediated) {
+  std::map<std::string, std::set<std::string>> label_attrs;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (const std::string& label : corpus.labels(i)) {
+      for (const std::string& attr : corpus.schema(i).attributes) {
+        label_attrs[label].insert(CanonicalAttributeName(attr));
+      }
+    }
+  }
+  std::map<std::string, std::size_t> out;
+  for (const auto& [label, attrs] : label_attrs) {
+    std::size_t count = 0;
+    for (const MediatedAttribute& ma : mediated.attributes) {
+      for (const std::string& member : ma.members) {
+        if (attrs.count(member)) {
+          ++count;
+          break;
+        }
+      }
+    }
+    out[label] = count;
+  }
+  return out;
+}
+
+void CoherenceExperiment() {
+  std::cout << "--- (1) Semantic coherence: 'family name' in people vs "
+               "biology (DW) ---\n";
+  // The thesis's example: 'family name' is a person's surname in a people
+  // source and a taxonomic rank in a biology source. Append the two
+  // exemplar sources to DW so both senses are guaranteed present.
+  SchemaCorpus dw = MakeDwCorpus();
+  dw.Add(Schema("faculty_directory",
+                {"family name", "office phone", "email", "fax"}),
+         {"people"});
+  dw.Add(Schema("species_catalog",
+                {"family name", "genus", "species", "habitat",
+                 "conservation status"}),
+         {"animals"});
+  Tokenizer tok;
+  MediatorOptions opts;
+  opts.attr_freq_threshold = 0.0;
+
+  // Which labels use the attribute at all?
+  std::set<std::string> using_labels;
+  for (std::size_t i = 0; i < dw.size(); ++i) {
+    for (const std::string& attr : dw.schema(i).attributes) {
+      if (CanonicalAttributeName(attr) == "family name") {
+        for (const std::string& l : dw.labels(i)) using_labels.insert(l);
+      }
+    }
+  }
+  std::cout << "labels whose schemas use 'family name': ";
+  for (const std::string& l : using_labels) std::cout << l << " ";
+  std::cout << "\n";
+
+  // Without clustering: one pseudo-domain over all of DW.
+  const auto flat = Mediator::BuildForDomain(dw, tok, AllSchemas(dw), opts);
+  if (!flat.ok()) {
+    std::cerr << "mediation failed: " << flat.status() << "\n";
+    return;
+  }
+  const int idx = flat->mediated.FindByMember("family name");
+  if (idx >= 0) {
+    std::cout << "WITHOUT clustering: one mediated attribute '"
+              << flat->mediated.attributes[idx].name << "' merges "
+              << using_labels.size()
+              << " semantically different uses -> incoherent answers when "
+                 "queried.\n";
+  }
+
+  // With clustering: mediate each domain separately.
+  const bench::PreparedCorpus prep(dw);
+  const bench::SweepPoint point =
+      bench::RunClusteringPoint(prep, LinkageKind::kAverage, 0.25);
+  std::size_t domains_with_attr = 0;
+  for (std::uint32_t r = 0; r < point.model.num_domains(); ++r) {
+    const auto& members = point.model.SchemasOf(r);
+    if (members.empty()) continue;
+    const auto med = Mediator::BuildForDomain(prep.corpus, tok, members, opts);
+    if (med.ok() && med->mediated.FindByMember("family name") >= 0) {
+      ++domains_with_attr;
+    }
+  }
+  std::cout << "WITH clustering: 'family name' appears in "
+            << domains_with_attr
+            << " separate domain-level mediated schemas (one per sense).\n\n";
+}
+
+void ThresholdExperiment() {
+  std::cout << "--- (2) Attribute-frequency threshold without clustering "
+               "(DDH) ---\n";
+  const SchemaCorpus ddh = MakeDdhCorpus();
+  Tokenizer tok;
+
+  // Domain sizes for context.
+  std::map<std::string, std::size_t> sizes;
+  for (std::size_t i = 0; i < ddh.size(); ++i) ++sizes[ddh.labels(i)[0]];
+  std::cout << "domain sizes: ";
+  for (const auto& [label, n] : sizes) std::cout << label << "=" << n << " ";
+  std::cout << "\n";
+
+  TablePrinter table({"Threshold", "Mediated attrs", "bibliography", "cars",
+                      "courses", "movies", "people", "Absent domains"});
+  for (double threshold : {0.1, 0.05, 0.01, 0.0}) {
+    MediatorOptions opts;
+    opts.attr_freq_threshold = threshold;
+    const auto med =
+        Mediator::BuildForDomain(ddh, tok, AllSchemas(ddh), opts);
+    if (!med.ok()) {
+      std::cerr << "mediation failed: " << med.status() << "\n";
+      return;
+    }
+    const auto rep = RepresentationByLabel(ddh, med->mediated);
+    std::size_t absent = 0;
+    std::vector<std::string> cells = {FormatDouble(threshold, 2),
+                                      std::to_string(med->mediated.size())};
+    for (const char* label :
+         {"bibliography", "cars", "courses", "movies", "people"}) {
+      const std::size_t c = rep.count(label) ? rep.at(label) : 0;
+      cells.push_back(std::to_string(c));
+      if (c == 0) ++absent;
+    }
+    cells.push_back(std::to_string(absent));
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout);
+  std::cout << "Expected shape (thesis): at 0.1 small domains vanish from "
+               "the mediated schema; at 0.01\nthe smallest domain (people) "
+               "is under-represented; at 0 the mediated schema is a\n"
+               "meaningless union of every attribute (12060 in the "
+               "thesis's corpus).\n\n";
+}
+
+void TimingExperiment() {
+  std::cout << "--- (3) End-to-end mediation time: clustered vs "
+               "unclustered (DDH, decorated attribute names) ---\n";
+  // Attribute-name decorations ("title (required)", "make 2") inflate the
+  // distinct-name count the way real web extraction does — the thesis's
+  // unclustered run handled 12060 distinct names.
+  DdhGeneratorOptions gen;
+  gen.decoration_prob = 0.35;
+  const SchemaCorpus ddh = MakeDdhCorpus(gen);
+  Tokenizer tok;
+  MediatorOptions opts;
+  opts.attr_freq_threshold = 0.0;  // the thesis's worst case
+
+  WallTimer flat_timer;
+  const auto flat = Mediator::BuildForDomain(ddh, tok, AllSchemas(ddh), opts);
+  const double flat_seconds = flat_timer.ElapsedSeconds();
+  if (!flat.ok()) {
+    std::cerr << "mediation failed: " << flat.status() << "\n";
+    return;
+  }
+
+  WallTimer clustered_timer;
+  const bench::PreparedCorpus prep(ddh);
+  const bench::SweepPoint point =
+      bench::RunClusteringPoint(prep, LinkageKind::kAverage, 0.25);
+  std::size_t total_attrs = 0;
+  for (std::uint32_t r = 0; r < point.model.num_domains(); ++r) {
+    const auto& members = point.model.SchemasOf(r);
+    if (members.empty()) continue;
+    const auto med = Mediator::BuildForDomain(prep.corpus, tok, members, opts);
+    if (med.ok()) total_attrs += med->mediated.size();
+  }
+  const double clustered_seconds = clustered_timer.ElapsedSeconds();
+
+  std::cout << "WITHOUT clustering: " << FormatDouble(flat_seconds, 2)
+            << "s, one mediated schema with " << flat->mediated.size()
+            << " attributes\n";
+  std::cout << "WITH clustering (incl. feature vectors + HAC + assignment): "
+            << FormatDouble(clustered_seconds, 2) << "s, "
+            << point.model.num_domains() << " domains, " << total_attrs
+            << " mediated attributes total\n";
+  std::cout << "Expected shape (thesis): 5 hours unclustered vs < 25 "
+               "minutes end-to-end with clustering\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Section 6.3: Effect of clustering on mediation and "
+               "mapping ===\n\n";
+  CoherenceExperiment();
+  ThresholdExperiment();
+  TimingExperiment();
+  return 0;
+}

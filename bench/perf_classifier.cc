@@ -1,0 +1,117 @@
+/// \file perf_classifier.cc
+/// \brief google-benchmark microbenchmarks for classifier construction and
+/// query time (Section 5.3).
+///
+/// The headline contrast: the thesis's exhaustive setup is exponential in
+/// the number of uncertain schemas per domain (2^u subsets), while the
+/// factored engine is polynomial — the exact removal of the exponential
+/// factor that Chapter 7 lists as future work.
+
+#include <benchmark/benchmark.h>
+
+#include "classify/approx_classifier.h"
+#include "classify/naive_bayes.h"
+#include "util/bitset.h"
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+/// One domain with `u` uncertain and `c` certain members over `dim`
+/// features.
+struct DomainFixture {
+  std::vector<DynamicBitset> features;
+  DomainModel model;
+  std::size_t total;
+
+  DomainFixture(std::size_t certain, std::size_t uncertain, std::size_t dim) {
+    Rng rng(17);
+    total = certain + uncertain;
+    features.assign(total, DynamicBitset(dim));
+    std::vector<std::vector<std::uint32_t>> clusters(1);
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> sd(total);
+    for (std::uint32_t i = 0; i < total; ++i) {
+      for (std::size_t b = 0; b < dim; ++b) {
+        if (rng.NextBernoulli(0.2)) features[i].Set(b);
+      }
+      clusters[0].push_back(i);
+      const double p =
+          i < certain ? 1.0 : 0.1 + 0.8 * rng.NextDouble();
+      sd[i] = {{0, p}};
+    }
+    model = DomainModel::Build(std::move(clusters), std::move(sd));
+  }
+};
+
+void BM_SetupExhaustive(benchmark::State& state) {
+  const DomainFixture fx(8, state.range(0), 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDomainConditionals(
+        fx.model, 0, fx.features, fx.total, ClassifierEngine::kExhaustive,
+        64));
+  }
+  state.SetLabel("u=" + std::to_string(state.range(0)) + " (2^u subsets)");
+}
+BENCHMARK(BM_SetupExhaustive)->DenseRange(2, 20, 3);
+
+void BM_SetupFactored(benchmark::State& state) {
+  const DomainFixture fx(8, state.range(0), 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDomainConditionals(
+        fx.model, 0, fx.features, fx.total, ClassifierEngine::kFactored, 64));
+  }
+  state.SetLabel("u=" + std::to_string(state.range(0)) + " (poly)");
+}
+// The factored engine keeps going long after the exhaustive one has
+// exploded.
+BENCHMARK(BM_SetupFactored)->DenseRange(2, 20, 3)->Arg(50)->Arg(200);
+
+void BM_SetupExpectedWorld(benchmark::State& state) {
+  const DomainFixture fx(8, state.range(0), 500);
+  ApproxClassifierOptions opts;
+  opts.kind = ApproxKind::kExpectedWorld;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeApproxDomainConditionals(
+        fx.model, 0, fx.features, fx.total, opts));
+  }
+}
+BENCHMARK(BM_SetupExpectedWorld)->Arg(8)->Arg(50)->Arg(200);
+
+void BM_SetupMonteCarlo(benchmark::State& state) {
+  const DomainFixture fx(8, 50, 500);
+  ApproxClassifierOptions opts;
+  opts.kind = ApproxKind::kMonteCarlo;
+  opts.num_samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeApproxDomainConditionals(
+        fx.model, 0, fx.features, fx.total, opts));
+  }
+}
+BENCHMARK(BM_SetupMonteCarlo)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_QueryClassification(benchmark::State& state) {
+  // |D| domains over dim features; measure per-query ranking cost.
+  const std::size_t num_domains = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 2000;
+  Rng rng(23);
+  std::vector<DomainConditionals> conds(num_domains);
+  for (auto& c : conds) {
+    c.prior = 0.01 + rng.NextDouble();
+    c.q1.resize(dim);
+    for (double& q : c.q1) q = 0.001 + 0.9 * rng.NextDouble();
+  }
+  const auto clf = NaiveBayesClassifier::FromConditionals(
+      std::move(conds), std::vector<bool>(num_domains, false), {});
+  DynamicBitset query(dim);
+  for (int k = 0; k < 6; ++k) query.Set(rng.NextBelow(dim));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.Classify(query));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryClassification)->Arg(10)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace paygo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+/// \file perf_clustering.cc
+/// \brief google-benchmark microbenchmarks for the clustering pipeline
+/// (Section 4.2's memoized O(n) merge updates, plus Algorithm 1 costs).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/hac.h"
+#include "cluster/probabilistic_assignment.h"
+#include "schema/feature_vector.h"
+#include "schema/lexicon.h"
+#include "synth/ddh_generator.h"
+#include "synth/many_domains.h"
+#include "text/tokenizer.h"
+
+namespace paygo {
+namespace {
+
+SchemaCorpus CorpusOfSize(std::size_t n) {
+  DdhGeneratorOptions opts;
+  opts.num_schemas = n;
+  return MakeDdhCorpus(opts);
+}
+
+struct Prepared {
+  SchemaCorpus corpus;
+  Tokenizer tokenizer;
+  Lexicon lexicon;
+  std::vector<DynamicBitset> features;
+
+  explicit Prepared(std::size_t n)
+      : corpus(CorpusOfSize(n)),
+        lexicon(Lexicon::Build(corpus, tokenizer)),
+        features(FeatureVectorizer(lexicon).VectorizeCorpus()) {}
+};
+
+void BM_LexiconBuild(benchmark::State& state) {
+  const SchemaCorpus corpus = CorpusOfSize(state.range(0));
+  Tokenizer tok;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lexicon::Build(corpus, tok));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LexiconBuild)->Arg(100)->Arg(500)->Arg(2323);
+
+void BM_FeatureVectors(benchmark::State& state) {
+  const SchemaCorpus corpus = CorpusOfSize(state.range(0));
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  for (auto _ : state) {
+    FeatureVectorizer vec(lexicon);  // includes the similarity index build
+    benchmark::DoNotOptimize(vec.VectorizeCorpus());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FeatureVectors)->Arg(100)->Arg(500)->Arg(2323);
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  const Prepared prep(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimilarityMatrix(prep.features));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimilarityMatrix)->Arg(100)->Arg(500)->Arg(1000)->Arg(2323);
+
+void BM_HacFastEngine(benchmark::State& state) {
+  const Prepared prep(state.range(0));
+  const SimilarityMatrix sims(prep.features);
+  HacOptions opts;
+  opts.tau_c_sim = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hac::Run(prep.features, sims, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HacFastEngine)->Arg(100)->Arg(500)->Arg(1000)->Arg(2323);
+
+void BM_HacNaiveEngine(benchmark::State& state) {
+  const Prepared prep(state.range(0));
+  const SimilarityMatrix sims(prep.features);
+  HacOptions opts;
+  opts.tau_c_sim = 0.25;
+  opts.use_naive_engine = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hac::Run(prep.features, sims, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+// The naive O(n^3) engine is only practical at small n — that contrast is
+// the point.
+BENCHMARK(BM_HacNaiveEngine)->Arg(100)->Arg(200);
+
+void BM_HacByLinkage(benchmark::State& state) {
+  const Prepared prep(500);
+  const SimilarityMatrix sims(prep.features);
+  HacOptions opts;
+  opts.linkage = static_cast<LinkageKind>(state.range(0));
+  opts.tau_c_sim = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hac::Run(prep.features, sims, opts));
+  }
+  state.SetLabel(LinkageKindName(opts.linkage));
+}
+BENCHMARK(BM_HacByLinkage)->DenseRange(0, 3);
+
+void BM_HacSparseWebShape(benchmark::State& state) {
+  // The sparse engine's regime: many small feature-disjoint domains.
+  ManyDomainOptions gen;
+  gen.num_domains = static_cast<std::size_t>(state.range(0));
+  const SchemaCorpus corpus = MakeManyDomainCorpus(gen);
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  FeatureVectorizer vec(lexicon);
+  const auto features = vec.VectorizeCorpus();
+  HacOptions opts;
+  opts.tau_c_sim = 0.25;
+  opts.use_sparse_engine = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hac::Run(features, opts));
+  }
+  state.SetLabel(std::to_string(corpus.size()) + " schemas");
+  state.SetItemsProcessed(state.iterations() * corpus.size());
+}
+BENCHMARK(BM_HacSparseWebShape)->Arg(100)->Arg(300)->Arg(600);
+
+void BM_HacDenseWebShape(benchmark::State& state) {
+  // Dense engine on the same web-shape corpora (includes the dense matrix
+  // build, which the sparse engine never needs).
+  ManyDomainOptions gen;
+  gen.num_domains = static_cast<std::size_t>(state.range(0));
+  const SchemaCorpus corpus = MakeManyDomainCorpus(gen);
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  FeatureVectorizer vec(lexicon);
+  const auto features = vec.VectorizeCorpus();
+  HacOptions opts;
+  opts.tau_c_sim = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hac::Run(features, opts));
+  }
+  state.SetLabel(std::to_string(corpus.size()) + " schemas");
+  state.SetItemsProcessed(state.iterations() * corpus.size());
+}
+BENCHMARK(BM_HacDenseWebShape)->Arg(100)->Arg(300);
+
+void BM_AssignProbabilities(benchmark::State& state) {
+  const Prepared prep(state.range(0));
+  const SimilarityMatrix sims(prep.features);
+  HacOptions hac;
+  hac.tau_c_sim = 0.25;
+  const auto clustering = Hac::Run(prep.features, sims, hac);
+  AssignmentOptions assign;
+  assign.tau_c_sim = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssignProbabilities(sims, *clustering, assign));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AssignProbabilities)->Arg(100)->Arg(500)->Arg(2323);
+
+}  // namespace
+}  // namespace paygo
+
+BENCHMARK_MAIN();

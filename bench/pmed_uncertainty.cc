@@ -1,0 +1,73 @@
+/// \file pmed_uncertainty.cc
+/// \brief Quantifies mediated-schema uncertainty — the full probabilistic
+/// mediated schemas of Das Sarma et al. [8] on top of the thesis's
+/// clustering.
+///
+/// The thesis uses a single mediated schema per domain with probabilistic
+/// mappings; [8]'s general model also makes the mediated schema itself
+/// probabilistic when attribute-name evidence is borderline. This bench
+/// reports, for every multi-schema domain of DW+SS: how many borderline
+/// attribute pairs exist, how many alternative mediated schemas they
+/// induce, the modal alternative's probability mass, and example
+/// co-mediation probabilities — the uncertainty the deterministic mediator
+/// silently resolves.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "mediate/probabilistic_mediated_schema.h"
+#include "synth/web_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace paygo;
+  std::cout << "=== Probabilistic mediated schemas ([8]'s full model) on "
+               "DW+SS domains ===\n\n";
+  const bench::PreparedCorpus prep(MakeDwSsCorpus());
+  const bench::SweepPoint point =
+      bench::RunClusteringPoint(prep, LinkageKind::kAverage, 0.25);
+  Tokenizer tok;
+
+  TablePrinter table({"Domain", "Schemas", "Borderline pairs",
+                      "Alternatives", "Modal prob"});
+  std::size_t domains_with_uncertainty = 0;
+  std::size_t assessed = 0;
+  std::vector<std::pair<std::string, std::string>> example_pairs;
+  for (std::uint32_t r = 0; r < point.model.num_domains(); ++r) {
+    const auto& members = point.model.SchemasOf(r);
+    if (members.size() < 3) continue;
+    PMedSchemaOptions opts;
+    opts.uncertainty_band = 0.08;
+    const auto pmed =
+        BuildProbabilisticMediatedSchema(prep.corpus, tok, members, opts);
+    if (!pmed.ok()) continue;
+    ++assessed;
+    if (pmed->alternatives.size() > 1) {
+      ++domains_with_uncertainty;
+      table.AddRow({std::to_string(r), std::to_string(members.size()),
+                    std::to_string(pmed->borderline_pairs.size()),
+                    std::to_string(pmed->alternatives.size()),
+                    FormatDouble(pmed->alternatives[0].probability, 3)});
+      if (example_pairs.size() < 5 && !pmed->borderline_pairs.empty()) {
+        example_pairs.push_back(pmed->borderline_pairs[0]);
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n" << domains_with_uncertainty << " of " << assessed
+            << " domains (3+ schemas) carry mediated-schema uncertainty.\n";
+  if (!example_pairs.empty()) {
+    std::cout << "Example borderline attribute pairs (merge-or-not is "
+                 "genuinely ambiguous):\n";
+    for (const auto& [a, b] : example_pairs) {
+      std::cout << "  '" << a << "'  ~  '" << b << "'\n";
+    }
+  }
+  std::cout << "\nExpected shape: a minority of domains are affected; the "
+               "modal alternative (which\nequals the thesis's deterministic "
+               "mediated schema) carries most of the mass, so the\nsingle-"
+               "schema simplification the thesis makes is usually safe — "
+               "but not free.\n";
+  return 0;
+}

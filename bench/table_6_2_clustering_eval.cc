@@ -1,0 +1,68 @@
+/// \file table_6_2_clustering_eval.cc
+/// \brief Reproduces Table 6.2: clustering evaluation at tau_c_sim = 0.2
+/// and 0.3 on DW, SS, and their union (Avg. Jaccard linkage, theta = 0.02).
+///
+/// Thesis values for reference:
+///                   tau = 0.2            tau = 0.3
+///                 DW    SS    Both     DW    SS    Both
+///   Precision     0.75  0.84  0.81     0.85  0.87  0.82
+///   Recall        0.93  0.77  0.78     0.98  0.86  0.86
+///   Unclustered   0.25  0.37  0.29     0.48  0.56  0.50
+///   Non-homog.    0     0.11  0.13     0     0.03  0.04
+///   Fragmentation 1     1.77  1.29     1.38  1.67  1.58
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "synth/web_generator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace paygo;
+  using bench::PreparedCorpus;
+  using bench::RunClusteringPoint;
+
+  std::vector<PreparedCorpus> corpora;
+  corpora.emplace_back(MakeDwCorpus());
+  corpora.emplace_back(MakeSsCorpus());
+  corpora.emplace_back(MakeDwSsCorpus());
+
+  TablePrinter table({"Metric", "DW@0.2", "SS@0.2", "Both@0.2", "DW@0.3",
+                      "SS@0.3", "Both@0.3"});
+  std::vector<ClusteringEvaluation> evals;
+  for (double tau : {0.2, 0.3}) {
+    for (const PreparedCorpus& prep : corpora) {
+      evals.push_back(
+          RunClusteringPoint(prep, LinkageKind::kAverage, tau).eval);
+    }
+  }
+  auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells = {name};
+    for (const ClusteringEvaluation& e : evals) {
+      cells.push_back(FormatDouble(getter(e), 2));
+    }
+    table.AddRow(cells);
+  };
+  row("Precision",
+      [](const ClusteringEvaluation& e) { return e.avg_precision; });
+  row("Recall", [](const ClusteringEvaluation& e) { return e.avg_recall; });
+  row("Unclustered",
+      [](const ClusteringEvaluation& e) { return e.frac_unclustered; });
+  row("Non-homog.",
+      [](const ClusteringEvaluation& e) { return e.frac_non_homogeneous; });
+  row("Fragmentation",
+      [](const ClusteringEvaluation& e) { return e.fragmentation; });
+
+  std::cout << "=== Table 6.2: Evaluation of schema clustering "
+               "(Avg. Jaccard, theta = 0.02) ===\n";
+  table.Print(std::cout);
+  std::cout << "\nThesis reference @0.2: P 0.75/0.84/0.81, R 0.93/0.77/0.78, "
+               "Uncl 0.25/0.37/0.29,\nNonH 0/0.11/0.13, Frag 1/1.77/1.29; "
+               "@0.3: P 0.85/0.87/0.82, R 0.98/0.86/0.86,\nUncl "
+               "0.48/0.56/0.50, NonH 0/0.03/0.04, Frag 1.38/1.67/1.58\n";
+  std::cout << "\nExpected shape: precision & recall rise from tau 0.2 to "
+               "0.3; unclustered rises;\nnon-homogeneous falls; DW "
+               "outperforms the noisier SS.\n";
+  return 0;
+}

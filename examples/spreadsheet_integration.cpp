@@ -1,0 +1,115 @@
+/// \file spreadsheet_integration.cpp
+/// \brief Integrating noisy spreadsheet schemas (the SS scenario of
+/// Section 6.1.1), including loading user-provided schemas from a corpus
+/// file.
+///
+/// Spreadsheets are the hard case: generic column headers ({Name, Grade,
+/// School, District, Project}), blurred domain boundaries, and schemas a
+/// human would label with up to four domains. This example clusters the
+/// synthetic SS corpus, reports the uncertainty structure the thesis's
+/// probabilistic model captures (schemas belonging to several domains with
+/// probabilities), and shows the corpus-file workflow for custom data.
+///
+/// Run: ./build/examples/spreadsheet_integration [corpus-file]
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/integration_system.h"
+#include "eval/clustering_metrics.h"
+#include "schema/corpus_io.h"
+#include "synth/web_generator.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace paygo;
+
+  SchemaCorpus corpus;
+  if (argc > 1) {
+    auto loaded = LoadCorpusFile(argv[1]);
+    if (!loaded.ok()) {
+      std::cerr << "failed to load " << argv[1] << ": " << loaded.status()
+                << "\n";
+      return 1;
+    }
+    corpus = std::move(*loaded);
+    std::cout << "Loaded " << corpus.size() << " schemas from " << argv[1]
+              << "\n";
+  } else {
+    corpus = MakeSsCorpus();
+    std::cout << "Using the synthetic SS corpus (" << corpus.size()
+              << " spreadsheet schemas). Pass a corpus file to integrate "
+                 "your own;\nformat: schema <source> :: <labels> :: "
+                 "<attr> ; <attr> ; ...\n";
+  }
+
+  SystemOptions options;
+  options.hac.tau_c_sim = 0.25;
+  options.assignment.tau_c_sim = 0.25;
+  options.assignment.theta = 0.35;  // looser than the thesis's 0.02 so the
+                                    // probabilistic memberships are visible
+  options.build_classifier = false;
+  auto built = IntegrationSystem::Build(std::move(corpus), options);
+  if (!built.ok()) {
+    std::cerr << "build failed: " << built.status() << "\n";
+    return 1;
+  }
+  const IntegrationSystem& sys = **built;
+  const DomainModel& domains = sys.domains();
+
+  std::size_t singletons = 0;
+  for (std::uint32_t r = 0; r < domains.num_domains(); ++r) {
+    if (domains.IsSingletonDomain(r)) ++singletons;
+  }
+  std::cout << "\nClustering: " << domains.num_domains() - singletons
+            << " multi-schema domains + " << singletons
+            << " unclustered schemas\n";
+
+  // The probabilistic model: schemas on domain boundaries.
+  std::cout << "\nSchemas assigned to multiple domains (the uncertainty "
+               "Algorithm 3 models):\n";
+  std::size_t shown = 0;
+  for (std::uint32_t i = 0; i < domains.num_schemas(); ++i) {
+    const auto& memberships = domains.DomainsOf(i);
+    if (memberships.size() < 2) continue;
+    if (shown++ >= 6) {
+      std::cout << "  ...\n";
+      break;
+    }
+    std::cout << "  " << sys.corpus().schema(i).source_name << ":";
+    for (const auto& [domain, prob] : memberships) {
+      std::cout << " D" << domain << "(p=" << FormatDouble(prob, 2) << ")";
+    }
+    std::cout << "\n";
+  }
+  if (shown == 0) {
+    std::cout << "  (none — no boundary schemas in this run)\n";
+  }
+
+  // Largest domains with their mediated interfaces.
+  std::cout << "\nLargest domains:\n";
+  std::vector<std::pair<std::size_t, std::uint32_t>> by_size;
+  for (std::uint32_t r = 0; r < domains.num_domains(); ++r) {
+    by_size.emplace_back(domains.SchemasOf(r).size(), r);
+  }
+  std::sort(by_size.rbegin(), by_size.rend());
+  for (std::size_t k = 0; k < 4 && k < by_size.size(); ++k) {
+    std::cout << sys.DescribeDomain(by_size[k].second, 4) << "\n";
+  }
+
+  // If the corpus carries ground-truth labels, score the clustering.
+  if (!sys.corpus().AllLabels().empty()) {
+    const ClusteringEvaluation eval =
+        EvaluateClustering(domains, sys.corpus());
+    std::cout << "Clustering quality against the corpus labels "
+                 "(Section 6.1.2 metrics):\n"
+              << "  precision " << FormatDouble(eval.avg_precision, 3)
+              << ", recall " << FormatDouble(eval.avg_recall, 3)
+              << ", unclustered " << FormatDouble(eval.frac_unclustered, 3)
+              << ", non-homogeneous "
+              << FormatDouble(eval.frac_non_homogeneous, 3)
+              << ", fragmentation " << FormatDouble(eval.fragmentation, 2)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "classify/naive_bayes.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace paygo {
+namespace {
+
+/// Accumulators shared by the exhaustive and factored engines.
+///
+/// Over the possible worlds S' (always containing all certain schemas, any
+/// subset of the uncertain ones), with per-world unnormalized weight
+/// omega(S') = (|S'| / |S|) * Pr(D_r = S'):
+///   pr_d = sum omega                                    == Pr(D_r)
+///   t0   = sum omega / (2|S'| + 1)
+///   t1   = sum omega * (1 + |S'|) / (2|S'| + 1)
+///   h[i] = sum over worlds containing uncertain schema i of
+///          omega / (2|S'| + 1)
+/// The m-estimate conditional (Eq. 5.9 with p = 1/dim L, m = 1 + |S'|) is
+/// linear in the membership indicators, so
+///   Pr(F_j=1 | D_r) = (base_j * t0 + p * t1 + sum_{i: F_ij=1} h[i]) / pr_d
+/// where base_j counts certain schemas with feature j set. Worlds with
+/// |S'| = 0 carry weight 0 (Eq. 5.5), which also resolves the first
+/// robustness issue of Section 5.2.
+struct WorldAccumulators {
+  double pr_d = 0.0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::vector<double> h;  // one per uncertain schema
+};
+
+WorldAccumulators AccumulateExhaustive(const std::vector<double>& probs,
+                                       std::size_t num_certain,
+                                       std::size_t num_schemas_total) {
+  const std::size_t u = probs.size();
+  WorldAccumulators acc;
+  acc.h.assign(u, 0.0);
+  const double inv_total = 1.0 / static_cast<double>(num_schemas_total);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << u); ++mask) {
+    double w = 1.0;
+    for (std::size_t i = 0; i < u; ++i) {
+      w *= (mask >> i) & 1 ? probs[i] : 1.0 - probs[i];
+    }
+    const std::size_t sz = num_certain + std::popcount(mask);
+    if (sz == 0) continue;  // omega = 0
+    const double omega = static_cast<double>(sz) * inv_total * w;
+    const double denom = static_cast<double>(2 * sz + 1);
+    acc.pr_d += omega;
+    acc.t0 += omega / denom;
+    acc.t1 += omega * static_cast<double>(1 + sz) / denom;
+    for (std::size_t i = 0; i < u; ++i) {
+      if ((mask >> i) & 1) acc.h[i] += omega / denom;
+    }
+  }
+  return acc;
+}
+
+/// Coefficients of prod_i ((1-p_i) + p_i x): coef[c] = Pr(exactly c of the
+/// uncertain schemas are included).
+std::vector<double> SubsetSizePoly(const std::vector<double>& probs) {
+  std::vector<double> coef = {1.0};
+  for (double p : probs) {
+    std::vector<double> next(coef.size() + 1, 0.0);
+    for (std::size_t c = 0; c < coef.size(); ++c) {
+      next[c] += coef[c] * (1.0 - p);
+      next[c + 1] += coef[c] * p;
+    }
+    coef = std::move(next);
+  }
+  return coef;
+}
+
+WorldAccumulators AccumulateFactored(const std::vector<double>& probs,
+                                     std::size_t num_certain,
+                                     std::size_t num_schemas_total) {
+  const std::size_t u = probs.size();
+  WorldAccumulators acc;
+  acc.h.assign(u, 0.0);
+  const double inv_total = 1.0 / static_cast<double>(num_schemas_total);
+
+  const std::vector<double> coef = SubsetSizePoly(probs);
+  for (std::size_t c = 0; c <= u; ++c) {
+    const std::size_t sz = num_certain + c;
+    if (sz == 0) continue;
+    const double omega = static_cast<double>(sz) * inv_total * coef[c];
+    const double denom = static_cast<double>(2 * sz + 1);
+    acc.pr_d += omega;
+    acc.t0 += omega / denom;
+    acc.t1 += omega * static_cast<double>(1 + sz) / denom;
+  }
+
+  // h[i]: worlds containing uncertain schema i, grouped by the count of the
+  // other included uncertain schemas (leave-one-out size polynomial).
+  for (std::size_t i = 0; i < u; ++i) {
+    std::vector<double> rest;
+    rest.reserve(u - 1);
+    for (std::size_t k = 0; k < u; ++k) {
+      if (k != i) rest.push_back(probs[k]);
+    }
+    const std::vector<double> loo = SubsetSizePoly(rest);
+    for (std::size_t c = 0; c < loo.size(); ++c) {
+      const std::size_t sz = num_certain + c + 1;  // +1 for schema i itself
+      const double omega =
+          static_cast<double>(sz) * inv_total * probs[i] * loo[c];
+      acc.h[i] += omega / static_cast<double>(2 * sz + 1);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<DomainConditionals> ComputeDomainConditionals(
+    const DomainModel& model, std::uint32_t domain,
+    const std::vector<DynamicBitset>& features, std::size_t num_schemas_total,
+    ClassifierEngine engine, std::size_t max_uncertain_exhaustive) {
+  const std::size_t dim = features.empty() ? 0 : features[0].size();
+  DomainConditionals out;
+  const double p = dim > 0 ? 1.0 / static_cast<double>(dim) : 0.5;
+
+  const std::vector<std::uint32_t> certain = model.CertainSchemas(domain);
+  const std::vector<std::uint32_t> uncertain = model.UncertainSchemas(domain);
+  std::vector<double> probs;
+  probs.reserve(uncertain.size());
+  for (std::uint32_t i : uncertain) probs.push_back(model.Membership(i, domain));
+
+  WorldAccumulators acc;
+  switch (engine) {
+    case ClassifierEngine::kExhaustive:
+      if (uncertain.size() > max_uncertain_exhaustive) {
+        return Status::ResourceExhausted(
+            "domain " + std::to_string(domain) + " has " +
+            std::to_string(uncertain.size()) +
+            " uncertain schemas; exhaustive enumeration capped at " +
+            std::to_string(max_uncertain_exhaustive) +
+            " (use the factored engine)");
+      }
+      acc = AccumulateExhaustive(probs, certain.size(), num_schemas_total);
+      break;
+    case ClassifierEngine::kFactored:
+      acc = AccumulateFactored(probs, certain.size(), num_schemas_total);
+      break;
+  }
+
+  out.prior = acc.pr_d;
+  out.q1.assign(dim, 0.0);
+  if (acc.pr_d <= 0.0) {
+    // Degenerate domain (no possible world with a member): flat smoothing.
+    std::fill(out.q1.begin(), out.q1.end(), p);
+    out.prior = 0.0;
+    return out;
+  }
+
+  const double inv_pr = 1.0 / acc.pr_d;
+  const double smooth = p * acc.t1 * inv_pr;  // contribution of the p*m term
+  const double slope = acc.t0 * inv_pr;       // per certain-member count
+  for (std::size_t j = 0; j < dim; ++j) out.q1[j] = smooth;
+  for (std::uint32_t s : certain) {
+    for (std::size_t j : features[s].SetBits()) out.q1[j] += slope;
+  }
+  for (std::size_t i = 0; i < uncertain.size(); ++i) {
+    const double hi = acc.h[i] * inv_pr;
+    for (std::size_t j : features[uncertain[i]].SetBits()) out.q1[j] += hi;
+  }
+  return out;
+}
+
+Result<NaiveBayesClassifier> NaiveBayesClassifier::Build(
+    const DomainModel& model, const std::vector<DynamicBitset>& features,
+    std::size_t num_schemas_total, const ClassifierOptions& options) {
+  if (features.size() != model.num_schemas()) {
+    return Status::InvalidArgument(
+        "feature count does not match the domain model's schema count");
+  }
+  if (num_schemas_total == 0) {
+    return Status::InvalidArgument("num_schemas_total must be positive");
+  }
+  NaiveBayesClassifier clf;
+  clf.options_ = options;
+  clf.conditionals_.reserve(model.num_domains());
+  clf.singleton_domain_.reserve(model.num_domains());
+  for (std::uint32_t r = 0; r < model.num_domains(); ++r) {
+    PAYGO_ASSIGN_OR_RETURN(
+        DomainConditionals cond,
+        ComputeDomainConditionals(model, r, features, num_schemas_total,
+                                  options.engine,
+                                  options.max_uncertain_exhaustive));
+    clf.conditionals_.push_back(std::move(cond));
+    clf.singleton_domain_.push_back(model.IsSingletonDomain(r));
+  }
+  clf.Precompute();
+  return clf;
+}
+
+NaiveBayesClassifier NaiveBayesClassifier::FromConditionals(
+    std::vector<DomainConditionals> conditionals,
+    std::vector<bool> singleton_domain, const ClassifierOptions& options) {
+  NaiveBayesClassifier clf;
+  clf.options_ = options;
+  clf.conditionals_ = std::move(conditionals);
+  clf.singleton_domain_ = std::move(singleton_domain);
+  clf.singleton_domain_.resize(clf.conditionals_.size(), false);
+  clf.Precompute();
+  return clf;
+}
+
+void NaiveBayesClassifier::Precompute() {
+  // All remaining query-independent work (Section 5.3): per-domain base
+  // score with every feature absent, plus per-feature log-odds so a query
+  // only pays for its set features.
+  constexpr double kNegInf = -1e300;
+  base_.resize(conditionals_.size());
+  log_odds_.resize(conditionals_.size());
+  for (std::size_t r = 0; r < conditionals_.size(); ++r) {
+    const DomainConditionals& c = conditionals_[r];
+    double base = c.prior > 0.0 ? std::log(c.prior) : kNegInf;
+    log_odds_[r].resize(c.q1.size());
+    for (std::size_t j = 0; j < c.q1.size(); ++j) {
+      const double q = std::min(std::max(c.q1[j], 1e-300), 1.0 - 1e-15);
+      base += std::log1p(-q);
+      log_odds_[r][j] = std::log(q) - std::log1p(-q);
+    }
+    base_[r] = base;
+  }
+}
+
+std::vector<DomainScore> NaiveBayesClassifier::Classify(
+    const DynamicBitset& query) const {
+  const std::vector<std::size_t> set_bits = query.SetBits();
+  std::vector<DomainScore> scores;
+  scores.reserve(conditionals_.size());
+  for (std::uint32_t r = 0; r < conditionals_.size(); ++r) {
+    if (options_.skip_singleton_domains && singleton_domain_[r]) continue;
+    double s = base_[r];
+    for (std::size_t j : set_bits) s += log_odds_[r][j];
+    scores.push_back({r, s});
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const DomainScore& a, const DomainScore& b) {
+              if (a.log_posterior != b.log_posterior) {
+                return a.log_posterior > b.log_posterior;
+              }
+              return a.domain < b.domain;
+            });
+  return scores;
+}
+
+}  // namespace paygo

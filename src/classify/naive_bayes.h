@@ -1,0 +1,144 @@
+#ifndef PAYGO_CLASSIFY_NAIVE_BAYES_H_
+#define PAYGO_CLASSIFY_NAIVE_BAYES_H_
+
+/// \file naive_bayes.h
+/// \brief Chapter 5: the naive Bayesian query classifier over probabilistic
+/// domains.
+///
+/// For each domain D_r the classifier needs the prior Pr(D_r) and the
+/// per-feature conditionals Pr(F_j = 1 | D_r). Both are expectations over
+/// the possible worlds of the probabilistic domain — the subsets S' of
+/// S(D_r) that contain every certain schema and any combination of the
+/// uncertain ones (Equations 5.3-5.9, with the m-estimate p = 1/dim L,
+/// m = 1 + |S'|). Two exact engines are provided:
+///
+///  * kExhaustive — the thesis's literal 2^|S-hat(D_r)| subset enumeration
+///    (Section 5.3), exponential in the number of uncertain schemas;
+///  * kFactored — an algebraically identical polynomial-time evaluation:
+///    because the m-estimate numerator is linear in the subset-membership
+///    indicators and the denominator depends only on |S'|, the expectation
+///    factorizes through the subset-size distribution (a product of
+///    independent Bernoullis), removing the exponential factor exactly —
+///    the thesis's Chapter 7 future-work item, solved without
+///    approximation.
+///
+/// All expensive work happens at Build() time; Classify() costs
+/// O(|D| * |set features of the query|) via precomputed log-odds.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/probabilistic_assignment.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief How to evaluate the possible-world expectations at setup time.
+enum class ClassifierEngine {
+  /// Literal 2^u enumeration (thesis Section 5.3).
+  kExhaustive,
+  /// Exact polynomial-time factorization (default).
+  kFactored,
+};
+
+/// \brief Options of the classifier construction.
+struct ClassifierOptions {
+  ClassifierEngine engine = ClassifierEngine::kFactored;
+  /// The exhaustive engine refuses domains with more uncertain schemas than
+  /// this (2^u subsets); Build() then returns ResourceExhausted. The
+  /// factored engine has no such limit.
+  std::size_t max_uncertain_exhaustive = 24;
+  /// Exclude singleton domains (unclustered schemas) from ranking. The
+  /// thesis keeps them; off by default.
+  bool skip_singleton_domains = false;
+};
+
+/// \brief Per-domain model parameters: the prior and Pr(F_j=1|D_r).
+struct DomainConditionals {
+  /// Pr(D_r) (Equation 5.3). Priors need not sum to 1 across domains; the
+  /// constant Pr(F_Q) is never needed for ranking (Section 5.1).
+  double prior = 0.0;
+  /// Pr(F_j = 1 | D_r) for every lexicon feature j (Equation 5.4 with the
+  /// m-estimate 5.9); strictly inside (0, 1) by construction.
+  std::vector<double> q1;
+};
+
+/// \brief One ranked classification answer.
+struct DomainScore {
+  std::uint32_t domain = 0;
+  /// log Pr(F_Q | D_r) + log Pr(D_r) (unnormalized log posterior).
+  double log_posterior = 0.0;
+};
+
+/// \brief The query classifier. Build once, classify many times.
+class NaiveBayesClassifier {
+ public:
+  /// Builds the classifier from the domain model and the schema feature
+  /// vectors (corpus order). \p num_schemas_total is |S| (Equation 5.5).
+  static Result<NaiveBayesClassifier> Build(
+      const DomainModel& model, const std::vector<DynamicBitset>& features,
+      std::size_t num_schemas_total, const ClassifierOptions& options = {});
+
+  /// Wraps externally computed conditionals (used by the approximate
+  /// engines of approx_classifier.h). \p singleton_domain flags which
+  /// domains are singletons, honored when skip_singleton_domains is set.
+  static NaiveBayesClassifier FromConditionals(
+      std::vector<DomainConditionals> conditionals,
+      std::vector<bool> singleton_domain, const ClassifierOptions& options);
+
+  /// Ranks all domains for the query feature vector, descending by
+  /// posterior. Ties broken by domain id for determinism.
+  std::vector<DomainScore> Classify(const DynamicBitset& query) const;
+
+  /// Number of domains the classifier covers.
+  std::size_t num_domains() const { return conditionals_.size(); }
+  /// Feature-space dimensionality.
+  std::size_t dim() const {
+    return conditionals_.empty() ? 0 : conditionals_[0].q1.size();
+  }
+
+  /// Pr(D_r) — for tests and inspection.
+  double Prior(std::uint32_t domain) const {
+    return conditionals_[domain].prior;
+  }
+  /// Pr(F_j = 1 | D_r) — for tests and inspection.
+  double FeatureProb(std::uint32_t domain, std::size_t j) const {
+    return conditionals_[domain].q1[j];
+  }
+
+  /// All per-domain conditionals (for persistence and the feedback layer).
+  const std::vector<DomainConditionals>& conditionals() const {
+    return conditionals_;
+  }
+  /// Per-domain singleton flags, as passed at construction.
+  const std::vector<bool>& singleton_domains() const {
+    return singleton_domain_;
+  }
+  /// The options the classifier was built with.
+  const ClassifierOptions& options() const { return options_; }
+
+ private:
+  NaiveBayesClassifier() = default;
+  void Precompute();
+
+  ClassifierOptions options_;
+  std::vector<DomainConditionals> conditionals_;
+  std::vector<bool> singleton_domain_;
+  // Precomputed scoring terms: score(Q) = base_[r] + sum over set features
+  // of log_odds_[r][j], where base_ = log prior + sum_j log(1 - q1[j]) and
+  // log_odds_[r][j] = log q1[j] - log(1 - q1[j]).
+  std::vector<double> base_;
+  std::vector<std::vector<double>> log_odds_;
+};
+
+/// Computes the exact per-domain conditionals for one domain. Exposed for
+/// tests (the exhaustive/factored agreement property) and the perf bench.
+Result<DomainConditionals> ComputeDomainConditionals(
+    const DomainModel& model, std::uint32_t domain,
+    const std::vector<DynamicBitset>& features, std::size_t num_schemas_total,
+    ClassifierEngine engine, std::size_t max_uncertain_exhaustive);
+
+}  // namespace paygo
+
+#endif  // PAYGO_CLASSIFY_NAIVE_BAYES_H_

@@ -1,0 +1,4 @@
+#include "classify/query_featurizer.h"
+
+// QueryFeaturizer is header-only glue over Tokenizer and FeatureVectorizer;
+// this translation unit anchors the target's object file.

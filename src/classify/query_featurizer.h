@@ -1,0 +1,53 @@
+#ifndef PAYGO_CLASSIFY_QUERY_FEATURIZER_H_
+#define PAYGO_CLASSIFY_QUERY_FEATURIZER_H_
+
+/// \file query_featurizer.h
+/// \brief Turns a keyword query into a feature vector F_Q (Section 5.1).
+///
+/// The query is canonicalized exactly like schema attribute names (stop
+/// words and very short keywords removed), then F_Q[j] = 1 iff some query
+/// term has t_sim(L_j, term) >= tau_t_sim — query terms need not appear in
+/// the lexicon.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/feature_vector.h"
+#include "text/tokenizer.h"
+#include "util/bitset.h"
+
+namespace paygo {
+
+/// \brief Featurizes keyword queries against a built feature space.
+class QueryFeaturizer {
+ public:
+  /// Both references must outlive the featurizer.
+  QueryFeaturizer(const Tokenizer& tokenizer,
+                  const FeatureVectorizer& vectorizer)
+      : tokenizer_(tokenizer), vectorizer_(vectorizer) {}
+
+  /// The canonical term set T_Q of a raw keyword query string.
+  std::vector<std::string> ExtractTerms(std::string_view keyword_query) const {
+    return tokenizer_.TokenizeAll({std::string(keyword_query)});
+  }
+
+  /// F_Q of a raw keyword query string.
+  DynamicBitset Featurize(std::string_view keyword_query) const {
+    return vectorizer_.VectorizeExternalTerms(ExtractTerms(keyword_query));
+  }
+
+  /// F_Q of a pre-tokenized keyword list (the query generator produces
+  /// canonical terms directly).
+  DynamicBitset FeaturizeTerms(const std::vector<std::string>& terms) const {
+    return vectorizer_.VectorizeExternalTerms(terms);
+  }
+
+ private:
+  const Tokenizer& tokenizer_;
+  const FeatureVectorizer& vectorizer_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_CLASSIFY_QUERY_FEATURIZER_H_

@@ -1,0 +1,77 @@
+#ifndef PAYGO_CLUSTER_DENDROGRAM_H_
+#define PAYGO_CLUSTER_DENDROGRAM_H_
+
+/// \file dendrogram.h
+/// \brief The cluster tree behind Algorithm 2 (Section 2.1.1).
+///
+/// Hierarchical clustering "views the dataset as a tree of clusters";
+/// Algorithm 2 stops partway up that tree at tau_c_sim. HacResult records
+/// the merge history, and this module reconstructs the explicit tree —
+/// useful for inspecting WHY two schemas merged (at what similarity), for
+/// exporting to standard tools (Newick), and for cutting the tree at a
+/// different threshold without re-running the algorithm.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/hac.h"
+#include "schema/corpus.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief One node of the merge forest.
+struct DendrogramNode {
+  /// Child node ids, or -1/-1 for a leaf.
+  int left = -1;
+  int right = -1;
+  /// For leaves: the schema index; -1 for internal nodes.
+  int schema_id = -1;
+  /// For internal nodes: the similarity at which the merge happened.
+  double similarity = 0.0;
+  /// Number of schemas under this node.
+  std::size_t size = 1;
+};
+
+/// \brief The merge forest of one clustering run (one tree per final
+/// cluster; singletons are leaf-only trees).
+class Dendrogram {
+ public:
+  /// Reconstructs the forest by replaying \p result's merge history over
+  /// \p num_schemas leaves.
+  static Result<Dendrogram> Build(std::size_t num_schemas,
+                                  const HacResult& result);
+
+  const std::vector<DendrogramNode>& nodes() const { return nodes_; }
+  /// Root node ids, one per tree, ordered by smallest contained schema.
+  const std::vector<int>& roots() const { return roots_; }
+
+  /// Cuts the forest at \p tau: subtrees whose merge similarity is >= tau
+  /// stay together. Cutting at the clustering's own tau reproduces its
+  /// clusters; any higher tau refines them without re-running Algorithm 2.
+  std::vector<std::vector<std::uint32_t>> CutAt(double tau) const;
+
+  /// Newick serialization of the forest (one tree per line); leaf labels
+  /// are schema source names when \p corpus is given, else indices.
+  /// Branch annotations carry the merge similarity.
+  std::string ToNewick(const SchemaCorpus* corpus = nullptr) const;
+
+  /// Indented ASCII rendering (for CLI/debugging), depth-capped.
+  std::string ToAscii(const SchemaCorpus* corpus = nullptr,
+                      std::size_t max_depth = 6) const;
+
+ private:
+  void CollectLeaves(int node, std::vector<std::uint32_t>* out) const;
+  void AppendNewick(int node, const SchemaCorpus* corpus,
+                    std::string* out) const;
+  void AppendAscii(int node, const SchemaCorpus* corpus, std::size_t depth,
+                   std::size_t max_depth, std::string* out) const;
+
+  std::vector<DendrogramNode> nodes_;
+  std::vector<int> roots_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_CLUSTER_DENDROGRAM_H_

@@ -1,0 +1,46 @@
+#ifndef PAYGO_CLUSTER_FUZZY_ASSIGNMENT_H_
+#define PAYGO_CLUSTER_FUZZY_ASSIGNMENT_H_
+
+/// \file fuzzy_assignment.h
+/// \brief Fuzzy-membership alternative to Algorithm 3 (Section 2.1.1).
+///
+/// The thesis weighs two ways to express uncertain schema-to-domain
+/// membership: fuzzy set theory (fuzzy c-means-style membership degrees)
+/// and probability theory, choosing the latter because it composes with
+/// probabilistic mediation. This module implements the road not taken so
+/// the choice can be ablated: memberships follow the FCM formula
+///
+///   u_ir = 1 / sum_j (d_ir / d_ij)^(2/(m-1))
+///
+/// over distances d_ir = 1 - s_c_sim(S_i, C_r), with fuzzifier m > 1.
+/// Small-membership tails are truncated at a cutoff and the remainder is
+/// renormalized, yielding a DomainModel directly comparable to
+/// AssignProbabilities' output.
+
+#include "cluster/hac.h"
+#include "cluster/linkage.h"
+#include "cluster/probabilistic_assignment.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Options of the fuzzy assignment.
+struct FuzzyAssignmentOptions {
+  /// Fuzzifier m (> 1): larger means softer memberships. The FCM
+  /// literature default is 2.
+  double fuzzifier = 2.0;
+  /// Memberships below this are dropped and the rest renormalized —
+  /// without a cutoff every schema belongs a little to every domain,
+  /// which the probabilistic machinery downstream cannot afford.
+  double membership_cutoff = 0.1;
+};
+
+/// \brief Computes fuzzy memberships of schemas in the clusters of
+/// \p clustering; the clusters themselves are untouched.
+Result<DomainModel> AssignFuzzyMemberships(
+    const SimilarityMatrix& sims, const HacResult& clustering,
+    const FuzzyAssignmentOptions& options = {});
+
+}  // namespace paygo
+
+#endif  // PAYGO_CLUSTER_FUZZY_ASSIGNMENT_H_

@@ -1,0 +1,649 @@
+#include "cluster/hac.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace paygo {
+namespace {
+
+/// A candidate merge in the lazy-deletion heap. Entries become stale when
+/// either endpoint is merged; staleness is detected via per-slot versions.
+struct HeapEntry {
+  double sim;
+  std::uint32_t a, b;          // slot ids, a < b
+  std::uint32_t va, vb;        // slot versions at push time
+
+  bool operator<(const HeapEntry& other) const {
+    // Max-heap on similarity; deterministic tie-break on slot ids.
+    if (sim != other.sim) return sim < other.sim;
+    if (a != other.a) return a > other.a;
+    return b > other.b;
+  }
+};
+
+inline std::uint64_t PairKey(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Cannot-link bookkeeping: the schemas of each slot that participate in
+/// any constraint, plus the forbidden pair set.
+struct ConstraintState {
+  std::unordered_set<std::uint64_t> forbidden;
+  std::vector<std::vector<std::uint32_t>> constrained;  // per slot
+
+  bool Active() const { return !forbidden.empty(); }
+
+  /// True when merging slots a and b would join a forbidden schema pair.
+  bool Violates(std::uint32_t a, std::uint32_t b) const {
+    if (!Active()) return false;
+    const auto& ca = constrained[a];
+    const auto& cb = constrained[b];
+    for (std::uint32_t x : ca) {
+      for (std::uint32_t y : cb) {
+        if (forbidden.count(PairKey(x, y))) return true;
+      }
+    }
+    return false;
+  }
+
+  void MergeInto(std::uint32_t a, std::uint32_t b) {
+    if (!Active()) return;
+    auto& ca = constrained[a];
+    auto& cb = constrained[b];
+    ca.insert(ca.end(), cb.begin(), cb.end());
+    cb.clear();
+  }
+};
+
+/// Shared cluster bookkeeping for both engines.
+struct ClusterState {
+  std::vector<std::vector<std::uint32_t>> members;  // per active slot
+  std::vector<bool> active;
+  std::vector<std::uint32_t> version;
+  // Total-Jaccard summaries: AND / OR of member feature vectors.
+  std::vector<DynamicBitset> and_bits;
+  std::vector<DynamicBitset> or_bits;
+  bool track_bits = false;
+
+  void Init(std::size_t n, const std::vector<DynamicBitset>& features,
+            bool need_bits) {
+    members.resize(n);
+    active.assign(n, true);
+    version.assign(n, 0);
+    track_bits = need_bits;
+    for (std::uint32_t i = 0; i < n; ++i) members[i] = {i};
+    if (need_bits) {
+      and_bits = features;
+      or_bits = features;
+    }
+  }
+
+  /// Merges slot b into slot a.
+  void Merge(std::uint32_t a, std::uint32_t b) {
+    auto& ma = members[a];
+    auto& mb = members[b];
+    ma.insert(ma.end(), mb.begin(), mb.end());
+    mb.clear();
+    mb.shrink_to_fit();
+    active[b] = false;
+    ++version[a];
+    ++version[b];
+    if (track_bits) {
+      and_bits[a] &= and_bits[b];
+      or_bits[a] |= or_bits[b];
+    }
+  }
+
+  HacResult Finish(std::vector<HacMerge> merges) const {
+    HacResult result;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!active[i]) continue;
+      std::vector<std::uint32_t> c = members[i];
+      std::sort(c.begin(), c.end());
+      result.clusters.push_back(std::move(c));
+    }
+    std::sort(result.clusters.begin(), result.clusters.end(),
+              [](const auto& x, const auto& y) { return x[0] < y[0]; });
+    result.merges = std::move(merges);
+    return result;
+  }
+};
+
+/// Cluster-to-cluster similarity recomputed from first principles — the
+/// reference used by the naive engine and, for Total Jaccard, by both.
+double LinkageFromScratch(const ClusterState& st, const SimilarityMatrix& sims,
+                          LinkageKind kind, std::uint32_t a, std::uint32_t b) {
+  switch (kind) {
+    case LinkageKind::kAverage: {
+      double total = 0.0;
+      for (std::uint32_t x : st.members[a]) {
+        for (std::uint32_t y : st.members[b]) total += sims.At(x, y);
+      }
+      return total / (static_cast<double>(st.members[a].size()) *
+                      static_cast<double>(st.members[b].size()));
+    }
+    case LinkageKind::kMin: {
+      double best = 1.0;
+      for (std::uint32_t x : st.members[a]) {
+        for (std::uint32_t y : st.members[b]) {
+          best = std::min(best, sims.At(x, y));
+        }
+      }
+      return best;
+    }
+    case LinkageKind::kMax: {
+      double best = 0.0;
+      for (std::uint32_t x : st.members[a]) {
+        for (std::uint32_t y : st.members[b]) {
+          best = std::max(best, sims.At(x, y));
+        }
+      }
+      return best;
+    }
+    case LinkageKind::kTotal:
+      return DynamicBitset::Jaccard(
+          // Intersection of all features across both clusters ...
+          [&] {
+            DynamicBitset x = st.and_bits[a];
+            x &= st.and_bits[b];
+            return x;
+          }(),
+          // ... over the union of all features across both clusters.
+          [&] {
+            DynamicBitset x = st.or_bits[a];
+            x |= st.or_bits[b];
+            return x;
+          }());
+  }
+  return 0.0;
+}
+
+/// Simple union-find for must-link preprocessing.
+struct UnionFind {
+  std::vector<std::uint32_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::uint32_t Find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(std::uint32_t a, std::uint32_t b) { parent[Find(a)] = Find(b); }
+};
+
+Status ValidateConstraints(std::size_t n, const HacOptions& options) {
+  for (const auto& [a, b] : options.must_link) {
+    if (a >= n || b >= n) {
+      return Status::OutOfRange("must_link schema id out of range");
+    }
+    if (a == b) return Status::InvalidArgument("must_link pair of a schema with itself");
+  }
+  for (const auto& [a, b] : options.cannot_link) {
+    if (a >= n || b >= n) {
+      return Status::OutOfRange("cannot_link schema id out of range");
+    }
+    if (a == b) {
+      return Status::InvalidArgument(
+          "cannot_link pair of a schema with itself");
+    }
+  }
+  // Must-link closure must not contain a cannot-link pair.
+  UnionFind uf(n);
+  for (const auto& [a, b] : options.must_link) uf.Union(a, b);
+  for (const auto& [a, b] : options.cannot_link) {
+    if (uf.Find(a) == uf.Find(b)) {
+      return Status::InvalidArgument(
+          "conflicting feedback: schemas " + std::to_string(a) + " and " +
+          std::to_string(b) + " are both must-linked and cannot-linked");
+    }
+  }
+  return Status::OK();
+}
+
+ConstraintState BuildConstraintState(std::size_t n,
+                                     const HacOptions& options) {
+  ConstraintState cs;
+  if (options.cannot_link.empty()) return cs;
+  cs.constrained.resize(n);
+  for (const auto& [a, b] : options.cannot_link) {
+    cs.forbidden.insert(PairKey(a, b));
+    cs.constrained[a].push_back(a);
+    cs.constrained[b].push_back(b);
+  }
+  for (auto& c : cs.constrained) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+  return cs;
+}
+
+Result<HacResult> RunNaive(const std::vector<DynamicBitset>& features,
+                           const SimilarityMatrix& sims,
+                           const HacOptions& options) {
+  const std::size_t n = features.size();
+  ClusterState st;
+  st.Init(n, features, options.linkage == LinkageKind::kTotal);
+  ConstraintState cs = BuildConstraintState(n, options);
+  std::vector<HacMerge> merges;
+  const bool count_mode = options.max_clusters > 0;
+
+  // Must-link preprocessing: merge each constraint component up front.
+  {
+    std::vector<std::uint32_t> slot_of(n);
+    for (std::uint32_t i = 0; i < n; ++i) slot_of[i] = i;
+    for (const auto& [x, y] : options.must_link) {
+      const std::uint32_t a = slot_of[x];
+      const std::uint32_t b = slot_of[y];
+      if (a == b) continue;
+      st.Merge(a, b);
+      cs.MergeInto(a, b);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (slot_of[i] == b) slot_of[i] = a;
+      }
+      merges.push_back({a, b, 1.0});
+    }
+  }
+
+  for (;;) {
+    const std::size_t active_count = n - merges.size();
+    if (count_mode && active_count <= options.max_clusters) break;
+    double best_sim = -1.0;
+    std::uint32_t best_a = 0, best_b = 0;
+    for (std::uint32_t a = 0; a < n; ++a) {
+      if (!st.active[a]) continue;
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (!st.active[b]) continue;
+        if (cs.Violates(a, b)) continue;
+        const double s = LinkageFromScratch(st, sims, options.linkage, a, b);
+        if (s > best_sim) {
+          best_sim = s;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_sim < 0.0) break;  // no admissible pair left
+    if (!count_mode && best_sim < options.tau_c_sim) break;
+    st.Merge(best_a, best_b);
+    cs.MergeInto(best_a, best_b);
+    merges.push_back({best_a, best_b, best_sim});
+    if (merges.size() + 1 == n) break;  // single cluster left
+  }
+  return st.Finish(std::move(merges));
+}
+
+Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
+                          const SimilarityMatrix& sims,
+                          const HacOptions& options) {
+  const std::size_t n = features.size();
+  ClusterState st;
+  st.Init(n, features, options.linkage == LinkageKind::kTotal);
+  ConstraintState cs = BuildConstraintState(n, options);
+
+  // Memoized cluster-to-cluster similarities, indexed by slot pair. For the
+  // Lance-Williams-updatable linkages this is required for the O(|U|)
+  // per-merge update; for Total Jaccard similarities are recomputed from
+  // the AND/OR summaries (O(dim L / 64) each), so the matrix is unused.
+  const bool memoized = options.linkage != LinkageKind::kTotal;
+  std::vector<float> csim;
+  if (memoized) {
+    csim.resize(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        csim[i * n + j] = static_cast<float>(sims.At(i, j));
+      }
+    }
+  }
+  auto cluster_sim = [&](std::uint32_t a, std::uint32_t b) -> double {
+    if (memoized) return csim[static_cast<std::size_t>(a) * n + b];
+    return LinkageFromScratch(st, sims, options.linkage, a, b);
+  };
+
+  // In count mode (max_clusters set) the similarity threshold is ignored:
+  // every pair is a candidate and merging stops at the target count.
+  const bool count_mode = options.max_clusters > 0;
+  const double push_threshold = count_mode ? -1.0 : options.tau_c_sim;
+
+  std::priority_queue<HeapEntry> heap;
+  std::vector<HacMerge> merges;
+
+  // Performs the merge of slot b into slot a at similarity `sim`,
+  // updating memoized similarities and pushing refreshed heap entries.
+  auto do_merge = [&](std::uint32_t a, std::uint32_t b, double sim) {
+    const double size_a = static_cast<double>(st.members[a].size());
+    const double size_b = static_cast<double>(st.members[b].size());
+    st.Merge(a, b);
+    cs.MergeInto(a, b);
+    merges.push_back({a, b, sim});
+
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (!st.active[c] || c == a) continue;
+      double s;
+      if (memoized) {
+        const double sca = csim[static_cast<std::size_t>(c) * n + a];
+        const double scb = csim[static_cast<std::size_t>(c) * n + b];
+        switch (options.linkage) {
+          case LinkageKind::kAverage:
+            // The thesis's constant-time memoization update:
+            // c_sim(c, ab) = (|a| c_sim(c,a) + |b| c_sim(c,b)) / (|a|+|b|).
+            s = (size_a * sca + size_b * scb) / (size_a + size_b);
+            break;
+          case LinkageKind::kMin:
+            s = std::min(sca, scb);
+            break;
+          case LinkageKind::kMax:
+            s = std::max(sca, scb);
+            break;
+          default:
+            s = 0.0;
+            assert(false);
+        }
+        csim[static_cast<std::size_t>(a) * n + c] = static_cast<float>(s);
+        csim[static_cast<std::size_t>(c) * n + a] = static_cast<float>(s);
+      } else {
+        s = cluster_sim(a, c);
+      }
+      if (s >= push_threshold) {
+        const std::uint32_t lo = std::min(a, c);
+        const std::uint32_t hi = std::max(a, c);
+        heap.push({s, lo, hi, st.version[lo], st.version[hi]});
+      }
+    }
+  };
+
+  // Must-link preprocessing.
+  {
+    std::vector<std::uint32_t> slot_of(n);
+    for (std::uint32_t i = 0; i < n; ++i) slot_of[i] = i;
+    for (const auto& [x, y] : options.must_link) {
+      const std::uint32_t a = slot_of[x];
+      const std::uint32_t b = slot_of[y];
+      if (a == b) continue;
+      do_merge(a, b, 1.0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (slot_of[i] == b) slot_of[i] = a;
+      }
+    }
+  }
+
+  for (std::uint32_t a = 0; a < n; ++a) {
+    if (!st.active[a]) continue;
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      if (!st.active[b]) continue;
+      const double s = cluster_sim(a, b);
+      if (s >= push_threshold) {
+        heap.push({s, a, b, st.version[a], st.version[b]});
+      }
+    }
+  }
+
+  while (!heap.empty()) {
+    if (count_mode && n - merges.size() <= options.max_clusters) break;
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (!st.active[top.a] || !st.active[top.b]) continue;
+    if (st.version[top.a] != top.va || st.version[top.b] != top.vb) continue;
+    if (!count_mode && top.sim < options.tau_c_sim) break;
+    // Cannot-link: skip the violating merge; the pair stays apart (new
+    // constraints only accumulate through merges, so dropping the entry
+    // permanently is sound).
+    if (cs.Violates(top.a, top.b)) continue;
+    do_merge(top.a, top.b, top.sim);
+  }
+  return st.Finish(std::move(merges));
+}
+
+/// Sparse engine: cluster similarities as per-cluster hash rows; candidate
+/// pairs from an inverted feature index. Absent row entries mean
+/// similarity 0 — under kAverage an absent entry contributes 0 to the
+/// Lance-Williams combination, under kMin it forces 0 (some cross pair is
+/// disjoint), under kMax it is simply not a maximum candidate.
+Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
+                            const HacOptions& options) {
+  const std::size_t n = features.size();
+  ClusterState st;
+  st.Init(n, features, /*need_bits=*/false);
+  ConstraintState cs = BuildConstraintState(n, options);
+
+  // Inverted index -> pairwise intersection counts.
+  std::vector<std::size_t> popcount(n);
+  std::vector<std::vector<std::uint32_t>> postings;
+  if (n > 0) postings.resize(features[0].size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    popcount[i] = 0;
+    for (std::size_t j : features[i].SetBits()) {
+      postings[j].push_back(i);
+      ++popcount[i];
+    }
+  }
+  std::unordered_map<std::uint64_t, std::uint32_t> intersections;
+  for (const auto& plist : postings) {
+    for (std::size_t x = 0; x < plist.size(); ++x) {
+      for (std::size_t y = x + 1; y < plist.size(); ++y) {
+        ++intersections[PairKey(plist[x], plist[y])];
+      }
+    }
+  }
+
+  // Sparse symmetric similarity rows (float, matching the dense engine's
+  // rounding so the two engines tie-break identically).
+  std::vector<std::unordered_map<std::uint32_t, float>> row(n);
+  std::priority_queue<HeapEntry> heap;
+  for (const auto& [key, and_count] : intersections) {
+    const std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
+    const std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
+    const std::size_t uni = popcount[a] + popcount[b] - and_count;
+    const float s = uni == 0 ? 0.0f
+                             : static_cast<float>(
+                                   static_cast<double>(and_count) /
+                                   static_cast<double>(uni));
+    row[a].emplace(b, s);
+    row[b].emplace(a, s);
+    if (s >= options.tau_c_sim) heap.push({s, std::min(a, b),
+                                           std::max(a, b), 0, 0});
+  }
+
+  std::vector<HacMerge> merges;
+  auto do_merge = [&](std::uint32_t a, std::uint32_t b, double sim) {
+    const double size_a = static_cast<double>(st.members[a].size());
+    const double size_b = static_cast<double>(st.members[b].size());
+    const double total = size_a + size_b;
+    st.Merge(a, b);
+    cs.MergeInto(a, b);
+    merges.push_back({a, b, sim});
+
+    // Combine rows a and b into a new row for a.
+    std::unordered_map<std::uint32_t, float> combined;
+    combined.reserve(row[a].size() + row[b].size());
+    auto combine_from = [&](const std::unordered_map<std::uint32_t, float>& r,
+                            bool from_a) {
+      for (const auto& [c, s] : r) {
+        if (c == a || c == b || !st.active[c]) continue;
+        const auto it = combined.find(c);
+        double merged_value;
+        const auto other_it = (from_a ? row[b] : row[a]).find(c);
+        const double s_this = s;
+        const double s_other =
+            other_it == (from_a ? row[b] : row[a]).end()
+                ? 0.0
+                : static_cast<double>(other_it->second);
+        switch (options.linkage) {
+          case LinkageKind::kAverage:
+            merged_value = from_a ? (size_a * s_this + size_b * s_other) / total
+                                  : (size_b * s_this + size_a * s_other) / total;
+            break;
+          case LinkageKind::kMin:
+            // Absent partner entry means a fully disjoint cross pair.
+            merged_value =
+                (other_it == (from_a ? row[b] : row[a]).end())
+                    ? 0.0
+                    : std::min(s_this, s_other);
+            break;
+          case LinkageKind::kMax:
+            merged_value = std::max(s_this, s_other);
+            break;
+          default:
+            merged_value = 0.0;
+            assert(false);
+        }
+        if (it == combined.end()) {
+          if (merged_value > 0.0) {
+            combined.emplace(c, static_cast<float>(merged_value));
+            // Push with the unrounded double, matching the dense engine,
+            // which also compares heap keys before the float store.
+            if (merged_value >= options.tau_c_sim) {
+              const std::uint32_t lo = std::min(a, c);
+              const std::uint32_t hi = std::max(a, c);
+              heap.push({merged_value, lo, hi, st.version[lo],
+                         st.version[hi]});
+            }
+          }
+        }
+        // (If already combined via the other row, the value is identical.)
+      }
+    };
+    combine_from(row[a], true);
+    combine_from(row[b], false);
+
+    // Detach old rows from neighbors, attach the combined row.
+    for (const auto& [c, s] : row[a]) row[c].erase(a);
+    for (const auto& [c, s] : row[b]) row[c].erase(b);
+    row[a] = std::move(combined);
+    row[b].clear();
+    for (const auto& [c, s] : row[a]) {
+      row[c][a] = s;  // heap entries were already pushed at combine time
+    }
+  };
+
+  // Must-link preprocessing.
+  {
+    std::vector<std::uint32_t> slot_of(n);
+    for (std::uint32_t i = 0; i < n; ++i) slot_of[i] = i;
+    for (const auto& [x, y] : options.must_link) {
+      const std::uint32_t a = slot_of[x];
+      const std::uint32_t b = slot_of[y];
+      if (a == b) continue;
+      do_merge(a, b, 1.0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (slot_of[i] == b) slot_of[i] = a;
+      }
+    }
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (!st.active[top.a] || !st.active[top.b]) continue;
+    if (st.version[top.a] != top.va || st.version[top.b] != top.vb) continue;
+    if (top.sim < options.tau_c_sim) break;
+    if (cs.Violates(top.a, top.b)) continue;
+    do_merge(top.a, top.b, top.sim);
+  }
+  return st.Finish(std::move(merges));
+}
+
+}  // namespace
+
+std::uint32_t HacResult::ClusterOf(std::uint32_t schema_id) const {
+  for (std::uint32_t r = 0; r < clusters.size(); ++r) {
+    if (std::binary_search(clusters[r].begin(), clusters[r].end(),
+                           schema_id)) {
+      return r;
+    }
+  }
+  assert(false && "schema not in any cluster");
+  return static_cast<std::uint32_t>(clusters.size());
+}
+
+std::size_t HacResult::NumSingletons() const {
+  std::size_t c = 0;
+  for (const auto& cl : clusters) {
+    if (cl.size() == 1) ++c;
+  }
+  return c;
+}
+
+Result<HacResult> Hac::Run(const std::vector<DynamicBitset>& features,
+                           const SimilarityMatrix& sims,
+                           const HacOptions& options) {
+  if (features.size() != sims.size()) {
+    return Status::InvalidArgument(
+        "feature count does not match similarity matrix size");
+  }
+  if (options.tau_c_sim < 0.0 || options.tau_c_sim > 1.0) {
+    return Status::InvalidArgument("tau_c_sim must be in [0, 1]");
+  }
+  if (features.empty()) return HacResult{};
+  for (std::size_t i = 1; i < features.size(); ++i) {
+    if (features[i].size() != features[0].size()) {
+      return Status::InvalidArgument(
+          "feature vectors have inconsistent dimensionality");
+    }
+  }
+  PAYGO_RETURN_NOT_OK(ValidateConstraints(features.size(), options));
+  if (options.use_sparse_engine) {
+    if (options.linkage == LinkageKind::kTotal) {
+      return Status::InvalidArgument(
+          "the sparse engine does not support Total Jaccard (it needs "
+          "cluster feature summaries, not pair similarities)");
+    }
+    if (options.max_clusters > 0) {
+      return Status::InvalidArgument(
+          "the sparse engine cannot merge feature-disjoint clusters and so "
+          "does not support max_clusters count mode");
+    }
+    if (options.tau_c_sim <= 0.0) {
+      return Status::InvalidArgument(
+          "the sparse engine requires tau_c_sim > 0 (zero-similarity pairs "
+          "are not materialized)");
+    }
+    return RunSparse(features, options);
+  }
+  if (options.use_naive_engine) return RunNaive(features, sims, options);
+  return RunFast(features, sims, options);
+}
+
+Result<HacResult> Hac::Run(const std::vector<DynamicBitset>& features,
+                           const HacOptions& options) {
+  if (options.use_sparse_engine) {
+    // The whole point of the sparse engine is skipping the dense O(n^2)
+    // similarity matrix; a 1x1 placeholder satisfies the shared
+    // validation path.
+    if (features.empty()) return HacResult{};
+    for (std::size_t i = 1; i < features.size(); ++i) {
+      if (features[i].size() != features[0].size()) {
+        return Status::InvalidArgument(
+            "feature vectors have inconsistent dimensionality");
+      }
+    }
+    if (options.tau_c_sim < 0.0 || options.tau_c_sim > 1.0) {
+      return Status::InvalidArgument("tau_c_sim must be in [0, 1]");
+    }
+    HacOptions validated = options;
+    PAYGO_RETURN_NOT_OK(ValidateConstraints(features.size(), validated));
+    if (validated.linkage == LinkageKind::kTotal) {
+      return Status::InvalidArgument(
+          "the sparse engine does not support Total Jaccard");
+    }
+    if (validated.max_clusters > 0) {
+      return Status::InvalidArgument(
+          "the sparse engine does not support max_clusters count mode");
+    }
+    if (validated.tau_c_sim <= 0.0) {
+      return Status::InvalidArgument(
+          "the sparse engine requires tau_c_sim > 0");
+    }
+    return RunSparse(features, validated);
+  }
+  SimilarityMatrix sims(features);
+  return Run(features, sims, options);
+}
+
+}  // namespace paygo

@@ -1,0 +1,39 @@
+#include "cluster/linkage.h"
+
+namespace paygo {
+
+std::string LinkageKindName(LinkageKind kind) {
+  switch (kind) {
+    case LinkageKind::kAverage:
+      return "Avg. Jaccard";
+    case LinkageKind::kMin:
+      return "Min. Jaccard";
+    case LinkageKind::kMax:
+      return "Max. Jaccard";
+    case LinkageKind::kTotal:
+      return "Total Jaccard";
+  }
+  return "Unknown";
+}
+
+const std::vector<LinkageKind>& AllLinkageKinds() {
+  static const std::vector<LinkageKind> kAll = {
+      LinkageKind::kAverage, LinkageKind::kMin, LinkageKind::kMax,
+      LinkageKind::kTotal};
+  return kAll;
+}
+
+SimilarityMatrix::SimilarityMatrix(const std::vector<DynamicBitset>& features)
+    : n_(features.size()), values_(n_ * n_, 0.0f) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    values_[i * n_ + i] = features[i].None() ? 0.0f : 1.0f;
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const float s =
+          static_cast<float>(DynamicBitset::Jaccard(features[i], features[j]));
+      values_[i * n_ + j] = s;
+      values_[j * n_ + i] = s;
+    }
+  }
+}
+
+}  // namespace paygo

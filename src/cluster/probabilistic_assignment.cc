@@ -1,0 +1,114 @@
+#include "cluster/probabilistic_assignment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paygo {
+
+double SchemaClusterSimilarity(const SimilarityMatrix& sims,
+                               std::uint32_t schema_id,
+                               const std::vector<std::uint32_t>& cluster) {
+  assert(!cluster.empty());
+  double total = 0.0;
+  for (std::uint32_t j : cluster) total += sims.At(schema_id, j);
+  return total / static_cast<double>(cluster.size());
+}
+
+DomainModel DomainModel::Build(
+    std::vector<std::vector<std::uint32_t>> clusters,
+    std::vector<std::vector<std::pair<std::uint32_t, double>>>
+        schema_domains) {
+  DomainModel model;
+  model.clusters_ = std::move(clusters);
+  model.schema_domains_ = std::move(schema_domains);
+  model.domain_schemas_.assign(model.clusters_.size(), {});
+  for (std::uint32_t i = 0; i < model.schema_domains_.size(); ++i) {
+    for (const auto& [domain, prob] : model.schema_domains_[i]) {
+      model.domain_schemas_[domain].emplace_back(i, prob);
+    }
+  }
+  for (auto& ds : model.domain_schemas_) {
+    std::sort(ds.begin(), ds.end());
+  }
+  return model;
+}
+
+double DomainModel::Membership(std::uint32_t schema_id,
+                               std::uint32_t domain_id) const {
+  for (const auto& [domain, prob] : schema_domains_[schema_id]) {
+    if (domain == domain_id) return prob;
+  }
+  return 0.0;
+}
+
+std::vector<std::uint32_t> DomainModel::UncertainSchemas(
+    std::uint32_t domain_id) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [schema, prob] : domain_schemas_[domain_id]) {
+    if (prob > 0.0 && prob < 1.0) out.push_back(schema);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> DomainModel::CertainSchemas(
+    std::uint32_t domain_id) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [schema, prob] : domain_schemas_[domain_id]) {
+    if (prob >= 1.0) out.push_back(schema);
+  }
+  return out;
+}
+
+double DomainModel::TotalMembership(std::uint32_t schema_id) const {
+  double total = 0.0;
+  for (const auto& [domain, prob] : schema_domains_[schema_id]) {
+    total += prob;
+  }
+  return total;
+}
+
+Result<DomainModel> AssignProbabilities(const SimilarityMatrix& sims,
+                                        const HacResult& clustering,
+                                        const AssignmentOptions& options) {
+  if (options.theta < 0.0 || options.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in [0, 1]");
+  }
+  if (options.tau_c_sim < 0.0 || options.tau_c_sim > 1.0) {
+    return Status::InvalidArgument("tau_c_sim must be in [0, 1]");
+  }
+  const auto& clusters = clustering.clusters;
+  const std::size_t num_schemas = sims.size();
+
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> schema_domains(
+      num_schemas);
+
+  std::vector<double> sc(clusters.size());
+  for (std::uint32_t i = 0; i < num_schemas; ++i) {
+    double max_sim = 0.0;
+    for (std::uint32_t r = 0; r < clusters.size(); ++r) {
+      sc[r] = SchemaClusterSimilarity(sims, i, clusters[r]);
+      max_sim = std::max(max_sim, sc[r]);
+    }
+    // D(S_i): domains passing both the absolute and the relative test.
+    std::vector<std::uint32_t> qualifying;
+    double norm = 0.0;
+    for (std::uint32_t r = 0; r < clusters.size(); ++r) {
+      if (sc[r] < options.tau_c_sim) continue;
+      if (max_sim > 0.0 && sc[r] / max_sim < 1.0 - options.theta) continue;
+      qualifying.push_back(r);
+      norm += sc[r];
+    }
+    if (qualifying.empty()) {
+      if (options.strict_thesis_semantics) continue;  // dropped schema
+      // Fallback: full membership in the home cluster.
+      schema_domains[i].emplace_back(clustering.ClusterOf(i), 1.0);
+      continue;
+    }
+    for (std::uint32_t r : qualifying) {
+      schema_domains[i].emplace_back(r, sc[r] / norm);
+    }
+  }
+  return DomainModel::Build(clusters, std::move(schema_domains));
+}
+
+}  // namespace paygo

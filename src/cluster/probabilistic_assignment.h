@@ -1,0 +1,120 @@
+#ifndef PAYGO_CLUSTER_PROBABILISTIC_ASSIGNMENT_H_
+#define PAYGO_CLUSTER_PROBABILISTIC_ASSIGNMENT_H_
+
+/// \file probabilistic_assignment.h
+/// \brief Algorithm 3: probabilistic schema-to-domain assignment.
+///
+/// Clusters partition the schema set; domains are probabilistic: a schema
+/// may belong to several domains with probabilities that sum to 1. A schema
+/// S_i is assigned to domain D_r (corresponding to cluster C_r) iff
+///   (1) s_c_sim(S_i, C_r) >= tau_c_sim, and
+///   (2) s_c_sim(S_i, C_r) / max_j s_c_sim(S_i, C_j) >= 1 - theta,
+/// with probability proportional to s_c_sim(S_i, C_r) over the qualifying
+/// domains D(S_i). theta quantifies the allowed uncertainty (thesis: 0.02).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/hac.h"
+#include "cluster/linkage.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Options of Algorithm 3.
+struct AssignmentOptions {
+  /// Minimum schema-to-cluster similarity for membership; the thesis uses
+  /// the same threshold as clustering.
+  double tau_c_sim = 0.25;
+  /// Uncertainty threshold theta in [0, 1] (thesis: 0.02). theta = 0 yields
+  /// hard (single-domain) assignments wherever a unique maximum exists.
+  double theta = 0.02;
+  /// Algorithm 3 as written can leave D(S_i) empty when a schema's average
+  /// similarity even to its own cluster is below tau_c_sim. Under strict
+  /// semantics such a schema gets probability 0 everywhere (it contributes
+  /// to no domain); otherwise it falls back to its home cluster with
+  /// probability 1.
+  bool strict_thesis_semantics = true;
+};
+
+/// \brief The probabilistic domain model: clusters plus membership
+/// probabilities Pr(S_i in D_r).
+class DomainModel {
+ public:
+  /// Number of domains (== number of clusters).
+  std::size_t num_domains() const { return domain_schemas_.size(); }
+  /// Number of schemas in the underlying corpus.
+  std::size_t num_schemas() const { return schema_domains_.size(); }
+
+  /// Pr(S_i in D_r); zero when S_i was not assigned to D_r.
+  double Membership(std::uint32_t schema_id, std::uint32_t domain_id) const;
+
+  /// The qualifying domains D(S_i) with their probabilities.
+  const std::vector<std::pair<std::uint32_t, double>>& DomainsOf(
+      std::uint32_t schema_id) const {
+    return schema_domains_[schema_id];
+  }
+
+  /// S(D_r): schemas with non-zero membership in D_r, with probabilities.
+  const std::vector<std::pair<std::uint32_t, double>>& SchemasOf(
+      std::uint32_t domain_id) const {
+    return domain_schemas_[domain_id];
+  }
+
+  /// Uncertain schemas of D_r: members with probability strictly in (0, 1)
+  /// — the set S-hat(D_r) whose size drives classifier setup cost (§5.3).
+  std::vector<std::uint32_t> UncertainSchemas(std::uint32_t domain_id) const;
+
+  /// Certain schemas of D_r: members with probability exactly 1.
+  std::vector<std::uint32_t> CertainSchemas(std::uint32_t domain_id) const;
+
+  /// The hard cluster C_r the domain was derived from.
+  const std::vector<std::uint32_t>& Cluster(std::uint32_t domain_id) const {
+    return clusters_[domain_id];
+  }
+  const std::vector<std::vector<std::uint32_t>>& clusters() const {
+    return clusters_;
+  }
+
+  /// True iff the domain's originating cluster is a singleton (an
+  /// "unclustered" schema in the thesis's terminology).
+  bool IsSingletonDomain(std::uint32_t domain_id) const {
+    return clusters_[domain_id].size() == 1;
+  }
+
+  /// Sum over domains of Pr(S_i in D_r) for schema \p schema_id (1 for
+  /// assigned schemas, 0 for dropped ones under strict semantics).
+  double TotalMembership(std::uint32_t schema_id) const;
+
+  /// Builds the model; exposed via AssignProbabilities().
+  static DomainModel Build(
+      std::vector<std::vector<std::uint32_t>> clusters,
+      std::vector<std::vector<std::pair<std::uint32_t, double>>>
+          schema_domains);
+
+ private:
+  std::vector<std::vector<std::uint32_t>> clusters_;
+  // Per schema: sorted (domain, probability>0) pairs.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> schema_domains_;
+  // Per domain: sorted (schema, probability>0) pairs.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> domain_schemas_;
+};
+
+/// \brief Runs Algorithm 3 on the clustering output.
+///
+/// \p sims must be the schema similarity matrix the clustering ran on.
+Result<DomainModel> AssignProbabilities(const SimilarityMatrix& sims,
+                                        const HacResult& clustering,
+                                        const AssignmentOptions& options);
+
+/// s_c_sim(S_i, C_r): average similarity between schema \p schema_id and all
+/// schemas of \p cluster (including itself when it is a member, per the
+/// thesis's formula).
+double SchemaClusterSimilarity(const SimilarityMatrix& sims,
+                               std::uint32_t schema_id,
+                               const std::vector<std::uint32_t>& cluster);
+
+}  // namespace paygo
+
+#endif  // PAYGO_CLUSTER_PROBABILISTIC_ASSIGNMENT_H_

@@ -1,0 +1,352 @@
+#include "core/integration_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace paygo {
+
+Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
+    SchemaCorpus corpus, SystemOptions options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+  auto sys = std::unique_ptr<IntegrationSystem>(new IntegrationSystem());
+  sys->options_ = options;
+  sys->corpus_ = std::move(corpus);
+
+  // Algorithm 1: terms, lexicon, feature vectors.
+  sys->tokenizer_ = std::make_unique<Tokenizer>(options.tokenizer);
+  sys->lexicon_ = std::make_unique<Lexicon>(
+      Lexicon::Build(sys->corpus_, *sys->tokenizer_));
+  if (sys->lexicon_->dim() == 0) {
+    return Status::InvalidArgument(
+        "no terms survived extraction; check the corpus and tokenizer "
+        "options");
+  }
+  sys->vectorizer_ =
+      std::make_unique<FeatureVectorizer>(*sys->lexicon_, options.features);
+  sys->features_ = sys->vectorizer_->VectorizeCorpus();
+
+  // Algorithm 2: clustering (with the memoized similarity matrix).
+  sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_);
+  PAYGO_ASSIGN_OR_RETURN(
+      sys->clustering_, Hac::Run(sys->features_, *sys->sims_, options.hac));
+
+  // Algorithm 3: probabilistic schema-to-domain assignment.
+  PAYGO_ASSIGN_OR_RETURN(
+      sys->domains_,
+      AssignProbabilities(*sys->sims_, sys->clustering_, options.assignment));
+
+  // Section 4.4 mediation and the Chapter 5 classifier (all heavy
+  // classifier work happens here, at setup time).
+  PAYGO_RETURN_NOT_OK(sys->RebuildDerivedState());
+
+  sys->sources_.resize(sys->corpus_.size());
+  return sys;
+}
+
+Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
+    SchemaCorpus corpus, SystemOptions options, DomainModel model,
+    std::vector<DomainConditionals> conditionals) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+  if (model.num_schemas() != corpus.size()) {
+    return Status::InvalidArgument(
+        "restored model covers " + std::to_string(model.num_schemas()) +
+        " schemas but the corpus has " + std::to_string(corpus.size()));
+  }
+  auto sys = std::unique_ptr<IntegrationSystem>(new IntegrationSystem());
+  sys->options_ = options;
+  sys->corpus_ = std::move(corpus);
+
+  sys->tokenizer_ = std::make_unique<Tokenizer>(options.tokenizer);
+  sys->lexicon_ = std::make_unique<Lexicon>(
+      Lexicon::Build(sys->corpus_, *sys->tokenizer_));
+  sys->vectorizer_ =
+      std::make_unique<FeatureVectorizer>(*sys->lexicon_, options.features);
+  sys->features_ = sys->vectorizer_->VectorizeCorpus();
+  sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_);
+
+  // The clustering result is reconstructed from the model (merge history
+  // is not persisted — it only serves diagnostics).
+  sys->clustering_.clusters = model.clusters();
+  sys->domains_ = std::move(model);
+
+  if (options.build_mediation) {
+    sys->mediations_.reserve(sys->domains_.num_domains());
+    for (std::uint32_t r = 0; r < sys->domains_.num_domains(); ++r) {
+      const auto& members = sys->domains_.SchemasOf(r);
+      if (members.empty()) {
+        sys->mediations_.emplace_back();
+        continue;
+      }
+      PAYGO_ASSIGN_OR_RETURN(
+          DomainMediation med,
+          Mediator::BuildForDomain(sys->corpus_, *sys->tokenizer_, members,
+                                   options.mediator));
+      sys->mediations_.push_back(std::move(med));
+    }
+  }
+
+  if (!conditionals.empty()) {
+    if (conditionals.size() != sys->domains_.num_domains()) {
+      return Status::InvalidArgument(
+          "restored classifier covers a different number of domains than "
+          "the model");
+    }
+    if (conditionals[0].q1.size() != sys->lexicon_->dim()) {
+      return Status::InvalidArgument(
+          "restored classifier feature space (dim " +
+          std::to_string(conditionals[0].q1.size()) +
+          ") does not match the corpus lexicon (dim " +
+          std::to_string(sys->lexicon_->dim()) +
+          "); were different tokenizer options used?");
+    }
+    std::vector<bool> singleton;
+    singleton.reserve(sys->domains_.num_domains());
+    for (std::uint32_t r = 0; r < sys->domains_.num_domains(); ++r) {
+      singleton.push_back(sys->domains_.IsSingletonDomain(r));
+    }
+    sys->classifier_ = std::make_unique<NaiveBayesClassifier>(
+        NaiveBayesClassifier::FromConditionals(std::move(conditionals),
+                                               std::move(singleton),
+                                               options.classifier));
+    sys->query_featurizer_ = std::make_unique<QueryFeaturizer>(
+        *sys->tokenizer_, *sys->vectorizer_);
+  }
+
+  sys->sources_.resize(sys->corpus_.size());
+  return sys;
+}
+
+Status IntegrationSystem::RebuildDerivedState() {
+  if (options_.build_mediation) {
+    std::vector<DomainMediation> mediations;
+    mediations.reserve(domains_.num_domains());
+    for (std::uint32_t r = 0; r < domains_.num_domains(); ++r) {
+      const auto& members = domains_.SchemasOf(r);
+      if (members.empty()) {
+        mediations.emplace_back();  // empty domain: empty mediation
+        continue;
+      }
+      auto med = Mediator::BuildForDomain(corpus_, *tokenizer_, members,
+                                          options_.mediator);
+      if (!med.ok()) return med.status();
+      mediations.push_back(std::move(*med));
+    }
+    mediations_ = std::move(mediations);
+  }
+  if (options_.build_classifier) {
+    auto clf = NaiveBayesClassifier::Build(domains_, features_,
+                                           corpus_.size(),
+                                           options_.classifier);
+    if (!clf.ok()) return clf.status();
+    classifier_ = std::make_unique<NaiveBayesClassifier>(std::move(*clf));
+    if (query_featurizer_ == nullptr) {
+      query_featurizer_ = std::make_unique<QueryFeaturizer>(
+          *tokenizer_, *vectorizer_);
+    }
+  }
+  return Status::OK();
+}
+
+Result<IncrementalAddResult> IntegrationSystem::AddSchema(
+    Schema schema, std::vector<std::string> labels) {
+  // Delegate the Algorithm 3-style assignment to the incremental engine,
+  // seeded with the system's current state.
+  IncrementalOptions inc_opts;
+  inc_opts.tau_c_sim = options_.assignment.tau_c_sim;
+  inc_opts.theta = options_.assignment.theta;
+  IncrementalClusterer inc(*tokenizer_, *vectorizer_, features_, domains_,
+                           inc_opts);
+  PAYGO_ASSIGN_OR_RETURN(IncrementalAddResult result,
+                         inc.AddSchema(schema));
+  // Adopt the updated state.
+  corpus_.Add(std::move(schema), std::move(labels));
+  features_ = inc.features();
+  domains_ = inc.model();
+  clustering_.clusters = domains_.clusters();
+  clustering_.merges.clear();  // merge history no longer describes the model
+  sims_ = std::make_unique<SimilarityMatrix>(features_);
+  sources_.resize(corpus_.size());
+  PAYGO_RETURN_NOT_OK(RebuildDerivedState());
+  return result;
+}
+
+Status IntegrationSystem::RebuildFromScratch() {
+  PAYGO_ASSIGN_OR_RETURN(std::unique_ptr<IntegrationSystem> fresh,
+                         Build(corpus_, options_));
+  // Carry the attached data sources over, then adopt the fresh state.
+  fresh->sources_ = std::move(sources_);
+  *this = std::move(*fresh);
+  return Status::OK();
+}
+
+Status IntegrationSystem::ApplyFeedback(const FeedbackStore& store) {
+  if (store.has_explicit_feedback()) {
+    PAYGO_ASSIGN_OR_RETURN(
+        DomainModel refined,
+        ReclusterWithFeedback(features_, *sims_, options_.hac,
+                              options_.assignment, store));
+    domains_ = std::move(refined);
+    clustering_.clusters = domains_.clusters();
+    clustering_.merges.clear();
+    PAYGO_RETURN_NOT_OK(RebuildDerivedState());
+  }
+  if (store.has_implicit_feedback() && classifier_ != nullptr) {
+    classifier_ = std::make_unique<NaiveBayesClassifier>(
+        AdjustClassifierWithClicks(*classifier_, store));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DomainScore>> IntegrationSystem::ClassifyKeywordQuery(
+    std::string_view keyword_query) const {
+  if (classifier_ == nullptr) {
+    return Status::FailedPrecondition(
+        "system was built without a classifier");
+  }
+  return classifier_->Classify(query_featurizer_->Featurize(keyword_query));
+}
+
+Result<std::vector<DomainSuggestion>> IntegrationSystem::SuggestDomains(
+    std::string_view keyword_query, std::size_t k) const {
+  PAYGO_ASSIGN_OR_RETURN(std::vector<DomainScore> ranking,
+                         ClassifyKeywordQuery(keyword_query));
+  std::vector<DomainSuggestion> out;
+  for (const DomainScore& s : ranking) {
+    if (out.size() >= k) break;
+    DomainSuggestion sug;
+    sug.domain = s.domain;
+    sug.log_posterior = s.log_posterior;
+    if (!mediations_.empty()) {
+      for (const MediatedAttribute& a :
+           mediations_[s.domain].mediated.attributes) {
+        sug.mediated_attributes.push_back(a.name);
+      }
+    }
+    out.push_back(std::move(sug));
+  }
+  return out;
+}
+
+Result<IntegrationSystem::KeywordSearchAnswer>
+IntegrationSystem::AnswerKeywordQuery(
+    std::string_view keyword_query,
+    const KeywordSearchOptions& options) const {
+  if (mediations_.empty()) {
+    return Status::FailedPrecondition("system was built without mediation");
+  }
+  KeywordSearchAnswer answer;
+  PAYGO_ASSIGN_OR_RETURN(
+      answer.consulted,
+      SuggestDomains(keyword_query, options.domains_to_consult));
+  if (answer.consulted.empty()) return answer;
+
+  // Softmax-normalize the consulted domains' log posteriors so tuple
+  // scores from different domains are comparable.
+  double max_lp = answer.consulted[0].log_posterior;
+  for (const DomainSuggestion& d : answer.consulted) {
+    max_lp = std::max(max_lp, d.log_posterior);
+  }
+  std::vector<double> posteriors;
+  double norm = 0.0;
+  for (const DomainSuggestion& d : answer.consulted) {
+    const double p = std::exp(d.log_posterior - max_lp);
+    posteriors.push_back(p);
+    norm += p;
+  }
+  for (double& p : posteriors) p /= norm;
+
+  const std::vector<std::string> keywords =
+      query_featurizer_->ExtractTerms(keyword_query);
+  std::vector<const DataSource*> by_schema(corpus_.size(), nullptr);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    by_schema[i] = sources_[i].get();
+  }
+
+  std::vector<std::vector<KeywordHit>> per_domain;
+  for (std::size_t k = 0; k < answer.consulted.size(); ++k) {
+    PAYGO_ASSIGN_OR_RETURN(
+        std::vector<KeywordHit> hits,
+        SearchDomainTuples(answer.consulted[k].domain, posteriors[k],
+                           mediations_[answer.consulted[k].domain],
+                           by_schema, keywords, options));
+    per_domain.push_back(std::move(hits));
+  }
+  answer.hits = MergeKeywordHits(std::move(per_domain), options.max_hits);
+  return answer;
+}
+
+Status IntegrationSystem::AttachTuples(std::uint32_t schema_id,
+                                       std::vector<Tuple> tuples) {
+  if (schema_id >= corpus_.size()) {
+    return Status::OutOfRange("schema id out of range");
+  }
+  if (sources_[schema_id] == nullptr) {
+    sources_[schema_id] = std::make_unique<DataSource>(
+        schema_id, corpus_.schema(schema_id));
+  }
+  for (Tuple& t : tuples) {
+    PAYGO_RETURN_NOT_OK(sources_[schema_id]->AddTuple(std::move(t)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RankedTuple>> IntegrationSystem::AnswerStructuredQuery(
+    std::uint32_t domain, const StructuredQuery& query) const {
+  if (mediations_.empty()) {
+    return Status::FailedPrecondition("system was built without mediation");
+  }
+  if (domain >= mediations_.size()) {
+    return Status::OutOfRange("domain id out of range");
+  }
+  std::vector<const DataSource*> by_schema(corpus_.size(), nullptr);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    by_schema[i] = sources_[i].get();
+  }
+  QueryEngine engine(mediations_[domain], by_schema);
+  return engine.Answer(query);
+}
+
+std::string IntegrationSystem::DescribeDomain(std::uint32_t domain,
+                                              std::size_t max_members) const {
+  std::ostringstream os;
+  const auto& members = domains_.SchemasOf(domain);
+  os << "Domain " << domain << " (" << members.size() << " schemas";
+  if (domains_.IsSingletonDomain(domain)) os << ", unclustered";
+  os << ")\n";
+  if (!mediations_.empty()) {
+    os << "  mediated schema:";
+    std::size_t shown = 0;
+    for (const MediatedAttribute& a : mediations_[domain].mediated.attributes) {
+      if (shown++ >= 10) {
+        os << " ...";
+        break;
+      }
+      os << " [" << a.name << "]";
+    }
+    os << "\n";
+  }
+  std::size_t shown = 0;
+  for (const auto& [schema, prob] : members) {
+    if (shown++ >= max_members) {
+      os << "  ... (" << members.size() - max_members << " more)\n";
+      break;
+    }
+    os << "  " << corpus_.schema(schema).source_name << " (p=" << prob
+       << "): ";
+    const auto& attrs = corpus_.schema(schema).attributes;
+    for (std::size_t a = 0; a < attrs.size() && a < 6; ++a) {
+      os << (a ? "; " : "") << attrs[a];
+    }
+    if (attrs.size() > 6) os << "; ...";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace paygo

@@ -1,0 +1,191 @@
+#ifndef PAYGO_CORE_INTEGRATION_SYSTEM_H_
+#define PAYGO_CORE_INTEGRATION_SYSTEM_H_
+
+/// \file integration_system.h
+/// \brief The pay-as-you-go integration system facade (Figure 3.1).
+///
+/// IntegrationSystem::Build runs the full offline pipeline on a schema
+/// corpus: term extraction and feature vectors (Algorithm 1), hierarchical
+/// agglomerative clustering (Algorithm 2), probabilistic schema-to-domain
+/// assignment (Algorithm 3), per-domain schema mediation and probabilistic
+/// mapping (Section 4.4), and naive-Bayes classifier construction
+/// (Chapter 5). At runtime it classifies keyword queries into ranked
+/// domains and answers structured queries over a domain's mediated schema
+/// with probability-ranked tuples.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/naive_bayes.h"
+#include "classify/query_featurizer.h"
+#include "cluster/hac.h"
+#include "cluster/incremental.h"
+#include "cluster/probabilistic_assignment.h"
+#include "feedback/feedback.h"
+#include "integrate/data_source.h"
+#include "integrate/keyword_search.h"
+#include "integrate/query_engine.h"
+#include "mediate/mediator.h"
+#include "schema/corpus.h"
+#include "schema/feature_vector.h"
+#include "schema/lexicon.h"
+#include "text/tokenizer.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Options of the full pipeline; each stage's options are the
+/// corresponding module's.
+struct SystemOptions {
+  TokenizerOptions tokenizer;
+  FeatureVectorizerOptions features;
+  HacOptions hac;
+  AssignmentOptions assignment;
+  ClassifierOptions classifier;
+  MediatorOptions mediator;
+  /// Skip mediation (clustering/classification-only deployments).
+  bool build_mediation = true;
+  /// Skip classifier construction.
+  bool build_classifier = true;
+};
+
+/// \brief One entry of a keyword query's answer: a relevant domain, its
+/// mediated schema, and the classifier's score.
+struct DomainSuggestion {
+  std::uint32_t domain = 0;
+  double log_posterior = 0.0;
+  /// The dominant mediated-attribute names (the "structured query
+  /// interface" the thesis presents to the user), empty when mediation was
+  /// not built.
+  std::vector<std::string> mediated_attributes;
+};
+
+/// \brief The built pay-as-you-go data integration system.
+class IntegrationSystem {
+ public:
+  /// Runs the offline pipeline. The corpus is copied into the system.
+  static Result<std::unique_ptr<IntegrationSystem>> Build(
+      SchemaCorpus corpus, SystemOptions options = {});
+
+  /// Reconstructs a system from persisted parts (see persist/model_io.h):
+  /// the cheap derived state (lexicon, feature vectors, mediation) is
+  /// rebuilt from the corpus under \p options; the expensive parts — the
+  /// probabilistic domain model and, when non-empty, the classifier
+  /// conditionals — are restored verbatim instead of recomputed.
+  static Result<std::unique_ptr<IntegrationSystem>> Restore(
+      SchemaCorpus corpus, SystemOptions options, DomainModel model,
+      std::vector<DomainConditionals> conditionals);
+
+  // --- runtime: keyword queries (Chapter 5) ---
+
+  /// Ranks domains for a raw keyword query string (e.g. "departure Toronto
+  /// destination Cairo"). Requires build_classifier.
+  Result<std::vector<DomainScore>> ClassifyKeywordQuery(
+      std::string_view keyword_query) const;
+
+  /// ClassifyKeywordQuery plus each domain's mediated query interface,
+  /// truncated to the top \p k domains — the search-results-page shape of
+  /// Section 1.1.
+  Result<std::vector<DomainSuggestion>> SuggestDomains(
+      std::string_view keyword_query, std::size_t k = 3) const;
+
+  /// \brief End-to-end keyword search (Section 1.1's motivating use case):
+  /// classify the query into domains, retrieve tuples from the top
+  /// domains, and rank them by domain posterior x tuple probability x
+  /// value-match boost, so "departure Toronto destination Cairo" surfaces
+  /// actual Toronto-Cairo rows. Requires classifier, mediation, and
+  /// attached tuples.
+  struct KeywordSearchAnswer {
+    /// The domains consulted, with their interfaces (as SuggestDomains).
+    std::vector<DomainSuggestion> consulted;
+    /// Merged tuple hits, descending by score.
+    std::vector<KeywordHit> hits;
+  };
+  Result<KeywordSearchAnswer> AnswerKeywordQuery(
+      std::string_view keyword_query,
+      const KeywordSearchOptions& options = {}) const;
+
+  // --- pay-as-you-go refinement (Chapter 7) ---
+
+  /// Folds a newly discovered source into the live system without
+  /// re-clustering (the incremental path of cluster/incremental.h): the
+  /// schema joins qualifying domains or opens a new singleton, the
+  /// affected domains' mediation is rebuilt, and the classifier is
+  /// refreshed. The lexicon stays frozen — the returned
+  /// unseen_term_fraction reports the drift; call Build() afresh when it
+  /// accumulates.
+  Result<IncrementalAddResult> AddSchema(
+      Schema schema, std::vector<std::string> labels = {});
+
+  /// Applies accumulated user feedback: explicit corrections recluster the
+  /// corpus under must-link/cannot-link constraints (and pin the corrected
+  /// schemas), implicit clicks reweight the classifier priors. Mediation
+  /// and classifier are rebuilt to match the refined domains.
+  Status ApplyFeedback(const FeedbackStore& store);
+
+  /// The "refine later" escape hatch: re-runs the whole offline pipeline
+  /// (including a fresh lexicon, so terms incremental additions could not
+  /// represent become features) over the current corpus. Attached tuple
+  /// data is preserved. Call when AddSchema's drift accumulates.
+  Status RebuildFromScratch();
+
+  // --- runtime: structured queries (Section 4.4) ---
+
+  /// Attaches tuple data for the schema at corpus index \p schema_id.
+  Status AttachTuples(std::uint32_t schema_id, std::vector<Tuple> tuples);
+
+  /// Answers a structured query over domain \p domain's mediated schema.
+  /// Requires build_mediation and attached tuples.
+  Result<std::vector<RankedTuple>> AnswerStructuredQuery(
+      std::uint32_t domain, const StructuredQuery& query) const;
+
+  // --- introspection ---
+
+  const SchemaCorpus& corpus() const { return corpus_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+  const Lexicon& lexicon() const { return *lexicon_; }
+  const FeatureVectorizer& vectorizer() const { return *vectorizer_; }
+  const std::vector<DynamicBitset>& features() const { return features_; }
+  const SimilarityMatrix& similarities() const { return *sims_; }
+  const HacResult& clustering() const { return clustering_; }
+  const DomainModel& domains() const { return domains_; }
+  /// Requires build_classifier.
+  const NaiveBayesClassifier& classifier() const { return *classifier_; }
+  bool has_classifier() const { return classifier_ != nullptr; }
+  /// Requires build_mediation.
+  const DomainMediation& mediation(std::uint32_t domain) const {
+    return mediations_[domain];
+  }
+  bool has_mediation() const { return !mediations_.empty(); }
+  const SystemOptions& options() const { return options_; }
+
+  /// Human-readable domain summary: size, top attributes, member sources.
+  std::string DescribeDomain(std::uint32_t domain,
+                             std::size_t max_members = 8) const;
+
+ private:
+  IntegrationSystem() = default;
+  /// Rebuilds mediation (when enabled) and the classifier from the current
+  /// corpus/features/domains.
+  Status RebuildDerivedState();
+
+  SystemOptions options_;
+  SchemaCorpus corpus_;
+  std::unique_ptr<Tokenizer> tokenizer_;
+  std::unique_ptr<Lexicon> lexicon_;
+  std::unique_ptr<FeatureVectorizer> vectorizer_;
+  std::vector<DynamicBitset> features_;
+  std::unique_ptr<SimilarityMatrix> sims_;
+  HacResult clustering_;
+  DomainModel domains_;
+  std::unique_ptr<NaiveBayesClassifier> classifier_;
+  std::unique_ptr<QueryFeaturizer> query_featurizer_;
+  std::vector<DomainMediation> mediations_;
+  std::vector<std::unique_ptr<DataSource>> sources_;  // by schema id
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_CORE_INTEGRATION_SYSTEM_H_

@@ -1,0 +1,44 @@
+#include "eval/classification_metrics.h"
+
+#include <algorithm>
+
+namespace paygo {
+
+bool TopKAccumulator::HitAtK(
+    const std::vector<DomainScore>& ranking,
+    const std::vector<std::vector<std::string>>& domain_labels,
+    const std::string& target, std::size_t k) {
+  const std::size_t limit = std::min(k, ranking.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const std::uint32_t d = ranking[i].domain;
+    if (d >= domain_labels.size()) continue;
+    const auto& labels = domain_labels[d];
+    if (std::find(labels.begin(), labels.end(), target) != labels.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TopKAccumulator::Record(
+    const std::vector<DomainScore>& ranking,
+    const std::vector<std::vector<std::string>>& domain_labels,
+    const std::string& target) {
+  ++total_;
+  if (HitAtK(ranking, domain_labels, target, 1)) ++top1_hits_;
+  if (HitAtK(ranking, domain_labels, target, 3)) ++top3_hits_;
+}
+
+double TopKAccumulator::Top1Fraction() const {
+  return total_ > 0 ? static_cast<double>(top1_hits_) /
+                          static_cast<double>(total_)
+                    : 0.0;
+}
+
+double TopKAccumulator::Top3Fraction() const {
+  return total_ > 0 ? static_cast<double>(top3_hits_) /
+                          static_cast<double>(total_)
+                    : 0.0;
+}
+
+}  // namespace paygo

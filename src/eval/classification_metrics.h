@@ -1,0 +1,45 @@
+#ifndef PAYGO_EVAL_CLASSIFICATION_METRICS_H_
+#define PAYGO_EVAL_CLASSIFICATION_METRICS_H_
+
+/// \file classification_metrics.h
+/// \brief Section 6.4: top-k query classification quality.
+///
+/// A query generated with target label B_rand counts as a top-k hit when at
+/// least one of the classifier's top k domains is dominated by B_rand.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classify/naive_bayes.h"
+
+namespace paygo {
+
+/// \brief Accumulates top-1/top-3 hit fractions over a query stream.
+class TopKAccumulator {
+ public:
+  /// Records one classified query. \p ranking is the classifier output;
+  /// \p domain_labels maps domain id -> dominant labels; \p target is the
+  /// query's intended label.
+  void Record(const std::vector<DomainScore>& ranking,
+              const std::vector<std::vector<std::string>>& domain_labels,
+              const std::string& target);
+
+  double Top1Fraction() const;
+  double Top3Fraction() const;
+  std::size_t num_queries() const { return total_; }
+
+  /// True when \p target dominates one of the first \p k ranked domains.
+  static bool HitAtK(const std::vector<DomainScore>& ranking,
+                     const std::vector<std::vector<std::string>>& domain_labels,
+                     const std::string& target, std::size_t k);
+
+ private:
+  std::size_t total_ = 0;
+  std::size_t top1_hits_ = 0;
+  std::size_t top3_hits_ = 0;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_EVAL_CLASSIFICATION_METRICS_H_

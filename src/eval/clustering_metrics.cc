@@ -1,0 +1,162 @@
+#include "eval/clustering_metrics.h"
+
+#include <algorithm>
+
+namespace paygo {
+namespace {
+
+/// Membership-weighted count of each label's schemas inside one domain.
+std::map<std::string, double> LabelWeights(const DomainModel& model,
+                                           std::uint32_t domain,
+                                           const SchemaCorpus& corpus) {
+  std::map<std::string, double> weights;
+  for (const auto& [schema, prob] : model.SchemasOf(domain)) {
+    for (const std::string& label : corpus.labels(schema)) {
+      weights[label] += prob;
+    }
+  }
+  return weights;
+}
+
+double DomainTotalMembership(const DomainModel& model, std::uint32_t domain) {
+  double total = 0.0;
+  for (const auto& [schema, prob] : model.SchemasOf(domain)) total += prob;
+  return total;
+}
+
+}  // namespace
+
+std::vector<std::string> DominantLabels(const DomainModel& model,
+                                        std::uint32_t domain,
+                                        const SchemaCorpus& corpus) {
+  const std::map<std::string, double> weights =
+      LabelWeights(model, domain, corpus);
+  if (weights.empty()) return {};
+  double best = 0.0;
+  for (const auto& [label, w] : weights) best = std::max(best, w);
+  // Non-homogeneous: the dominant label lacks an absolute majority of the
+  // domain's membership-weighted schema count.
+  constexpr double kTieEps = 1e-9;
+  if (best < 0.5 * DomainTotalMembership(model, domain)) return {};
+  std::vector<std::string> dominant;
+  for (const auto& [label, w] : weights) {
+    if (w >= best - kTieEps) dominant.push_back(label);
+  }
+  return dominant;
+}
+
+ClusteringEvaluation EvaluateClustering(const DomainModel& model,
+                                        const SchemaCorpus& corpus) {
+  ClusteringEvaluation eval;
+  const std::size_t num_domains = model.num_domains();
+  eval.num_domains = num_domains;
+  eval.dominant_labels.resize(num_domains);
+
+  std::vector<bool> singleton(num_domains);
+  std::vector<bool> non_homogeneous(num_domains, false);
+  double non_homog_weight = 0.0;
+
+  for (std::uint32_t r = 0; r < num_domains; ++r) {
+    singleton[r] = model.IsSingletonDomain(r);
+    if (singleton[r]) {
+      ++eval.num_singleton_domains;
+      continue;
+    }
+    eval.dominant_labels[r] = DominantLabels(model, r, corpus);
+    if (eval.dominant_labels[r].empty()) {
+      non_homogeneous[r] = true;
+      ++eval.num_non_homogeneous_domains;
+      non_homog_weight += DomainTotalMembership(model, r);
+    }
+  }
+
+  const double num_schemas = static_cast<double>(corpus.size());
+  eval.frac_unclustered =
+      num_schemas > 0
+          ? static_cast<double>(eval.num_singleton_domains) / num_schemas
+          : 0.0;
+  eval.frac_non_homogeneous =
+      num_schemas > 0 ? non_homog_weight / num_schemas : 0.0;
+
+  // --- Precision: averaged over homogeneous, non-singleton domains. ---
+  double precision_sum = 0.0;
+  std::size_t precision_domains = 0;
+  for (std::uint32_t r = 0; r < num_domains; ++r) {
+    if (singleton[r] || non_homogeneous[r]) continue;
+    const auto& dom_labels = eval.dominant_labels[r];
+    if (dom_labels.empty()) continue;  // unlabeled corpus
+    double tp = 0.0, fp = 0.0;
+    for (const auto& [schema, prob] : model.SchemasOf(r)) {
+      const auto& schema_labels = corpus.labels(schema);
+      bool hit = false;
+      for (const std::string& l : schema_labels) {
+        if (std::find(dom_labels.begin(), dom_labels.end(), l) !=
+            dom_labels.end()) {
+          hit = true;
+          break;
+        }
+      }
+      (hit ? tp : fp) += prob;
+    }
+    if (tp + fp > 0.0) {
+      precision_sum += tp / (tp + fp);
+      ++precision_domains;
+    }
+  }
+  eval.avg_precision =
+      precision_domains > 0
+          ? precision_sum / static_cast<double>(precision_domains)
+          : 0.0;
+
+  // --- Recall: averaged over labels. D(B_j) is the set of homogeneous
+  // non-singleton domains dominated by B_j; a label's schemas assigned to
+  // other (incl. non-homogeneous) domains are false negatives; memberships
+  // in singleton domains are excluded entirely (unclustered). ---
+  const std::vector<std::string> all_labels = corpus.AllLabels();
+  std::map<std::string, std::vector<std::uint32_t>> domains_of_label;
+  for (std::uint32_t r = 0; r < num_domains; ++r) {
+    if (singleton[r] || non_homogeneous[r]) continue;
+    for (const std::string& l : eval.dominant_labels[r]) {
+      domains_of_label[l].push_back(r);
+    }
+  }
+
+  double recall_sum = 0.0;
+  std::size_t recall_labels = 0;
+  for (const std::string& label : all_labels) {
+    double tp = 0.0, fn = 0.0;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const auto& ls = corpus.labels(i);
+      if (std::find(ls.begin(), ls.end(), label) == ls.end()) continue;
+      for (const auto& [domain, prob] :
+           model.DomainsOf(static_cast<std::uint32_t>(i))) {
+        if (singleton[domain]) continue;  // unclustered: excluded
+        const auto it = domains_of_label.find(label);
+        const bool dominated =
+            it != domains_of_label.end() &&
+            std::find(it->second.begin(), it->second.end(), domain) !=
+                it->second.end();
+        (dominated ? tp : fn) += prob;
+      }
+    }
+    if (tp + fn > 0.0) {
+      recall_sum += tp / (tp + fn);
+      ++recall_labels;
+    }
+  }
+  eval.avg_recall =
+      recall_labels > 0 ? recall_sum / static_cast<double>(recall_labels)
+                        : 0.0;
+
+  // --- Fragmentation: avg |D(B_j)| over labels dominating >= 1 domain. ---
+  if (!domains_of_label.empty()) {
+    double total = 0.0;
+    for (const auto& [label, domains] : domains_of_label) {
+      total += static_cast<double>(domains.size());
+    }
+    eval.fragmentation = total / static_cast<double>(domains_of_label.size());
+  }
+  return eval;
+}
+
+}  // namespace paygo

@@ -1,0 +1,65 @@
+#ifndef PAYGO_EVAL_CLUSTERING_METRICS_H_
+#define PAYGO_EVAL_CLUSTERING_METRICS_H_
+
+/// \file clustering_metrics.h
+/// \brief Section 6.1.2: evaluating schema clustering against ground-truth
+/// labels.
+///
+/// Each schema carries a label set B(S_i); each domain D_r is labeled with
+/// its dominant labels B(D_r) = argmax over labels of the
+/// membership-weighted count of the label's schemas in the domain (weighted
+/// counting, not a probabilistic statement). Special cases follow the
+/// thesis:
+///  * a domain whose dominant label lacks an absolute majority is
+///    non-homogeneous: B(D_r) = {} and its schemas count as false
+///    negatives;
+///  * singleton domains are "unclustered" schemas, reported as a fraction
+///    and excluded from precision/recall/fragmentation;
+///  * fragmentation is the average number of domains dominated by each
+///    label, over labels that dominate at least one domain (Table 6.2's
+///    values are >= 1, which pins down this reading).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/probabilistic_assignment.h"
+#include "schema/corpus.h"
+
+namespace paygo {
+
+/// \brief The Section 6.1.2 metric suite for one clustering run.
+struct ClusteringEvaluation {
+  /// Average over homogeneous non-singleton domains of TP/(TP+FP).
+  double avg_precision = 0.0;
+  /// Average over labels of TP/(TP+FN).
+  double avg_recall = 0.0;
+  /// Average |D(B_j)| over labels dominating at least one domain.
+  double fragmentation = 0.0;
+  /// Membership-weighted fraction of schemas in non-homogeneous domains.
+  double frac_non_homogeneous = 0.0;
+  /// Fraction of schemas left in singleton clusters.
+  double frac_unclustered = 0.0;
+
+  std::size_t num_domains = 0;
+  std::size_t num_singleton_domains = 0;
+  std::size_t num_non_homogeneous_domains = 0;
+  /// B(D_r) per domain (empty for non-homogeneous or unlabeled domains).
+  std::vector<std::vector<std::string>> dominant_labels;
+};
+
+/// \brief Computes the metric suite. \p corpus supplies the label sets
+/// B(S_i); schemas with empty label sets never contribute true positives.
+ClusteringEvaluation EvaluateClustering(const DomainModel& model,
+                                        const SchemaCorpus& corpus);
+
+/// Dominant labels of one domain (exposed for classification evaluation
+/// and tests). Returns an empty set for non-homogeneous domains.
+std::vector<std::string> DominantLabels(const DomainModel& model,
+                                        std::uint32_t domain,
+                                        const SchemaCorpus& corpus);
+
+}  // namespace paygo
+
+#endif  // PAYGO_EVAL_CLUSTERING_METRICS_H_

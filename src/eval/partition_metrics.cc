@@ -1,0 +1,153 @@
+#include "eval/partition_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace paygo {
+
+std::vector<int> PartitionFromModel(const DomainModel& model) {
+  std::vector<int> out(model.num_schemas(), -1);
+  for (std::uint32_t i = 0; i < model.num_schemas(); ++i) {
+    double best = 0.0;
+    for (const auto& [domain, prob] : model.DomainsOf(i)) {
+      if (prob > best) {
+        best = prob;
+        out[i] = static_cast<int>(domain);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> PartitionFromPrimaryLabels(const SchemaCorpus& corpus) {
+  // Labels are stored sorted, so labels(i)[0] is the lexicographic primary.
+  std::map<std::string, int> ids;
+  std::vector<int> out(corpus.size(), -1);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& labels = corpus.labels(i);
+    if (labels.empty()) continue;
+    const auto [it, inserted] =
+        ids.emplace(labels[0], static_cast<int>(ids.size()));
+    out[i] = it->second;
+  }
+  return out;
+}
+
+PairwiseScores PairwiseLabelScores(const DomainModel& model,
+                                   const SchemaCorpus& corpus) {
+  const std::vector<int> predicted = PartitionFromModel(model);
+  PairwiseScores scores;
+  std::size_t tp = 0, fp = 0, fn = 0;
+  const std::size_t n = corpus.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (predicted[i] < 0 || corpus.labels(i).empty()) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (predicted[j] < 0 || corpus.labels(j).empty()) continue;
+      ++scores.pairs;
+      const bool same_cluster = predicted[i] == predicted[j];
+      // Truth: do the label sets intersect? (both sorted)
+      const auto& a = corpus.labels(i);
+      const auto& b = corpus.labels(j);
+      bool same_class = false;
+      for (std::size_t x = 0, y = 0; x < a.size() && y < b.size();) {
+        if (a[x] == b[y]) {
+          same_class = true;
+          break;
+        }
+        (a[x] < b[y]) ? ++x : ++y;
+      }
+      if (same_cluster && same_class) ++tp;
+      if (same_cluster && !same_class) ++fp;
+      if (!same_cluster && same_class) ++fn;
+    }
+  }
+  scores.precision =
+      tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                  : 0.0;
+  scores.recall =
+      tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                  : 0.0;
+  scores.f1 = scores.precision + scores.recall > 0.0
+                  ? 2.0 * scores.precision * scores.recall /
+                        (scores.precision + scores.recall)
+                  : 0.0;
+  return scores;
+}
+
+namespace {
+
+/// Contingency table of two partitions over their shared valid entries.
+struct Contingency {
+  std::map<std::pair<int, int>, std::size_t> cells;
+  std::map<int, std::size_t> row_sums, col_sums;
+  std::size_t total = 0;
+};
+
+Contingency BuildContingency(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  Contingency c;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < 0 || b[i] < 0) continue;
+    ++c.cells[{a[i], b[i]}];
+    ++c.row_sums[a[i]];
+    ++c.col_sums[b[i]];
+    ++c.total;
+  }
+  return c;
+}
+
+double Choose2(std::size_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  const Contingency c = BuildContingency(a, b);
+  if (c.total < 2) return 0.0;
+  double sum_cells = 0.0;
+  for (const auto& [cell, count] : c.cells) sum_cells += Choose2(count);
+  double sum_rows = 0.0;
+  for (const auto& [row, count] : c.row_sums) sum_rows += Choose2(count);
+  double sum_cols = 0.0;
+  for (const auto& [col, count] : c.col_sums) sum_cols += Choose2(count);
+  const double total_pairs = Choose2(c.total);
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (std::abs(max_index - expected) < 1e-12) {
+    // Degenerate (e.g. both partitions trivial): identical -> 1.
+    return sum_cells == max_index ? 1.0 : 0.0;
+  }
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b) {
+  const Contingency c = BuildContingency(a, b);
+  if (c.total == 0) return 0.0;
+  const double n = static_cast<double>(c.total);
+  double mi = 0.0;
+  for (const auto& [cell, count] : c.cells) {
+    const double pij = static_cast<double>(count) / n;
+    const double pi = static_cast<double>(c.row_sums.at(cell.first)) / n;
+    const double pj = static_cast<double>(c.col_sums.at(cell.second)) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  double ha = 0.0;
+  for (const auto& [row, count] : c.row_sums) {
+    const double p = static_cast<double>(count) / n;
+    ha -= p * std::log(p);
+  }
+  double hb = 0.0;
+  for (const auto& [col, count] : c.col_sums) {
+    const double p = static_cast<double>(count) / n;
+    hb -= p * std::log(p);
+  }
+  if (ha + hb < 1e-12) return 1.0;  // both partitions trivial and equal
+  return std::max(0.0, 2.0 * mi / (ha + hb));
+}
+
+}  // namespace paygo

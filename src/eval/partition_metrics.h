@@ -1,0 +1,62 @@
+#ifndef PAYGO_EVAL_PARTITION_METRICS_H_
+#define PAYGO_EVAL_PARTITION_METRICS_H_
+
+/// \file partition_metrics.h
+/// \brief Standard external clustering indices (pairwise F1, Adjusted Rand
+/// Index, Normalized Mutual Information).
+///
+/// The thesis evaluates with label-dominance metrics (Section 6.1.2,
+/// eval/clustering_metrics.h), which are tailored to probabilistic,
+/// multi-label domains but non-standard. For apples-to-apples comparisons
+/// against the [17]-style baseline — and against any external clustering
+/// literature — this module provides the textbook indices over hard
+/// partitions. Probabilistic models are hardened by arg-max membership;
+/// multi-label ground truth becomes a pair relation ("the two schemas share
+/// at least one label") for pairwise scores and a primary-label partition
+/// for ARI/NMI.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/probabilistic_assignment.h"
+#include "schema/corpus.h"
+
+namespace paygo {
+
+/// \brief Pairwise precision / recall / F1 over schema pairs.
+struct PairwiseScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Pairs counted (both schemas labeled and assigned).
+  std::size_t pairs = 0;
+};
+
+/// Hardened partition from a DomainModel: each schema's arg-max-membership
+/// domain; -1 for schemas with no membership (dropped under strict
+/// Algorithm 3 semantics).
+std::vector<int> PartitionFromModel(const DomainModel& model);
+
+/// Partition from the corpus's primary (lexicographically first) label;
+/// -1 for unlabeled schemas.
+std::vector<int> PartitionFromPrimaryLabels(const SchemaCorpus& corpus);
+
+/// Pairwise scores of \p model against the corpus labels: a pair is
+/// predicted-positive when both schemas share an arg-max domain and
+/// truth-positive when their label sets intersect. Pairs involving an
+/// unassigned or unlabeled schema are skipped.
+PairwiseScores PairwiseLabelScores(const DomainModel& model,
+                                   const SchemaCorpus& corpus);
+
+/// Adjusted Rand Index of two partitions (entries with -1 in either are
+/// skipped). 1 = identical; ~0 = chance level; can be negative.
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Normalized Mutual Information (arithmetic-mean normalization) of two
+/// partitions; entries with -1 in either are skipped. In [0, 1].
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b);
+
+}  // namespace paygo
+
+#endif  // PAYGO_EVAL_PARTITION_METRICS_H_

@@ -1,0 +1,104 @@
+#include "feedback/consistency.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace paygo {
+
+Result<ConsistencyReport> AssessDomainConsistency(
+    const DomainMediation& mediation,
+    const std::vector<const DataSource*>& sources_by_schema,
+    const ConsistencyOptions& options) {
+  if (options.suspect_threshold < 0.0 || options.suspect_threshold > 1.0) {
+    return Status::InvalidArgument("suspect_threshold must be in [0, 1]");
+  }
+  const std::size_t width = mediation.mediated.size();
+  ConsistencyReport report;
+
+  // Per member: value vocabulary per mediated attribute, using the most
+  // probable mapping (alternatives are sorted descending).
+  struct MemberValues {
+    std::uint32_t schema_id = 0;
+    bool has_data = false;
+    std::vector<std::set<std::string>> values;  // per mediated attribute
+  };
+  std::vector<MemberValues> members;
+  members.reserve(mediation.members.size());
+  for (std::size_t m = 0; m < mediation.members.size(); ++m) {
+    MemberValues mv;
+    mv.schema_id = mediation.members[m].first;
+    mv.values.resize(width);
+    const DataSource* src = mv.schema_id < sources_by_schema.size()
+                                ? sources_by_schema[mv.schema_id]
+                                : nullptr;
+    if (src != nullptr && !src->tuples().empty() &&
+        !mediation.mappings[m].alternatives.empty()) {
+      const AttributeMapping& phi = mediation.mappings[m].alternatives[0];
+      for (const Tuple& t : src->tuples()) {
+        for (std::size_t a = 0;
+             a < phi.target.size() && a < t.values.size(); ++a) {
+          if (phi.target[a] >= 0 && !t.values[a].empty()) {
+            mv.values[static_cast<std::size_t>(phi.target[a])].insert(
+                ToLowerAscii(t.values[a]));
+            mv.has_data = true;
+          }
+        }
+      }
+    }
+    members.push_back(std::move(mv));
+  }
+
+  // How many sources populate each mediated attribute.
+  std::vector<std::size_t> populated(width, 0);
+  for (const MemberValues& mv : members) {
+    for (std::size_t a = 0; a < width; ++a) {
+      if (!mv.values[a].empty()) ++populated[a];
+    }
+  }
+
+  double total = 0.0;
+  std::size_t with_evidence = 0;
+  for (const MemberValues& mv : members) {
+    SourceConsistency sc;
+    sc.schema_id = mv.schema_id;
+    if (mv.has_data) {
+      double attr_sum = 0.0;
+      std::size_t attr_count = 0;
+      for (std::size_t a = 0; a < width; ++a) {
+        if (mv.values[a].empty()) continue;
+        if (populated[a] < options.min_sources_per_attribute) continue;
+        // Containment of this source's values in the siblings' union.
+        std::size_t shared = 0;
+        for (const std::string& v : mv.values[a]) {
+          for (const MemberValues& other : members) {
+            if (other.schema_id == mv.schema_id) continue;
+            if (other.values[a].count(v)) {
+              ++shared;
+              break;
+            }
+          }
+        }
+        attr_sum += static_cast<double>(shared) /
+                    static_cast<double>(mv.values[a].size());
+        ++attr_count;
+      }
+      if (attr_count > 0) {
+        sc.has_evidence = true;
+        sc.consistency = attr_sum / static_cast<double>(attr_count);
+        sc.suspect = sc.consistency < options.suspect_threshold;
+        total += sc.consistency;
+        ++with_evidence;
+        if (sc.suspect) ++report.num_suspects;
+      }
+    }
+    report.sources.push_back(sc);
+  }
+  report.domain_consistency =
+      with_evidence > 0 ? total / static_cast<double>(with_evidence) : 0.0;
+  return report;
+}
+
+}  // namespace paygo

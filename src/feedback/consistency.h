@@ -1,0 +1,68 @@
+#ifndef PAYGO_FEEDBACK_CONSISTENCY_H_
+#define PAYGO_FEEDBACK_CONSISTENCY_H_
+
+/// \file consistency.h
+/// \brief Automatic feedback from retrieved data (Chapter 7 future work).
+///
+/// The thesis's third refinement channel: "solicit automatic feedback from
+/// the data retrieved from each data source at query time — determine
+/// whether the tuples retrieved from the data sources in a given cluster
+/// are consistent with each other, according to some measure of
+/// consistency, and use this to assess the correctness of clustering."
+///
+/// The measure implemented here: map every source's tuples into the
+/// domain's mediated schema (via its most probable mapping) and score each
+/// source by how much its per-attribute value vocabulary overlaps the rest
+/// of the domain's. A source whose values never co-occur with its domain
+/// siblings' values is a clustering suspect — a candidate for the explicit
+/// feedback loop (FeedbackStore::RecordCorrection).
+
+#include <cstdint>
+#include <vector>
+
+#include "integrate/data_source.h"
+#include "mediate/mediator.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Options of the consistency assessment.
+struct ConsistencyOptions {
+  /// Sources with consistency below this are flagged as suspects.
+  double suspect_threshold = 0.1;
+  /// Mediated attributes must be populated by at least this many sources
+  /// to contribute (an attribute only one source fills says nothing about
+  /// cross-source consistency).
+  std::size_t min_sources_per_attribute = 2;
+};
+
+/// \brief One member source's consistency verdict.
+struct SourceConsistency {
+  std::uint32_t schema_id = 0;
+  /// Average per-attribute containment of this source's values in the
+  /// union of its domain siblings' values; in [0, 1].
+  double consistency = 0.0;
+  /// True when the source had data and scored below the threshold.
+  bool suspect = false;
+  /// False when the source had no tuples or no comparable attributes.
+  bool has_evidence = false;
+};
+
+/// \brief Consistency assessment of one domain.
+struct ConsistencyReport {
+  /// Mean consistency over sources with evidence (0 when none).
+  double domain_consistency = 0.0;
+  std::vector<SourceConsistency> sources;
+  std::size_t num_suspects = 0;
+};
+
+/// Assesses the tuple-level consistency of a domain's member sources.
+/// \p sources_by_schema is indexed by corpus schema id (nullptr = no data).
+Result<ConsistencyReport> AssessDomainConsistency(
+    const DomainMediation& mediation,
+    const std::vector<const DataSource*>& sources_by_schema,
+    const ConsistencyOptions& options = {});
+
+}  // namespace paygo
+
+#endif  // PAYGO_FEEDBACK_CONSISTENCY_H_

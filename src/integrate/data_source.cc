@@ -1,0 +1,43 @@
+#include "integrate/data_source.h"
+
+#include "util/string_util.h"
+
+namespace paygo {
+
+Status DataSource::AddTuple(Tuple tuple) {
+  if (tuple.values.size() != schema_.attributes.size()) {
+    return Status::InvalidArgument(
+        "tuple width " + std::to_string(tuple.values.size()) +
+        " does not match schema width " +
+        std::to_string(schema_.attributes.size()));
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+std::vector<std::size_t> DataSource::SelectIndices(
+    const std::vector<SourcePredicate>& predicates) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    const Tuple& t = tuples_[i];
+    bool match = true;
+    for (const SourcePredicate& p : predicates) {
+      if (p.attribute >= t.values.size() ||
+          ToLowerAscii(t.values[p.attribute]) != ToLowerAscii(p.value)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Tuple> DataSource::Select(
+    const std::vector<SourcePredicate>& predicates) const {
+  std::vector<Tuple> out;
+  for (std::size_t i : SelectIndices(predicates)) out.push_back(tuples_[i]);
+  return out;
+}
+
+}  // namespace paygo

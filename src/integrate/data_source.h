@@ -1,0 +1,62 @@
+#ifndef PAYGO_INTEGRATE_DATA_SOURCE_H_
+#define PAYGO_INTEGRATE_DATA_SOURCE_H_
+
+/// \file data_source.h
+/// \brief An in-memory structured data source behind a schema.
+///
+/// Stands in for a deep-web form endpoint or a spreadsheet: it holds raw
+/// tuples aligned to its schema and answers simple selection queries. The
+/// thesis never surfaces sources' data for clustering — only the runtime of
+/// Section 4.4 touches tuples.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "integrate/tuple.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief A selection predicate on a source attribute: value equality,
+/// case-insensitive.
+struct SourcePredicate {
+  std::size_t attribute = 0;
+  std::string value;
+};
+
+/// \brief A queryable in-memory data source.
+class DataSource {
+ public:
+  /// Creates a source for \p schema (copied); \p schema_id is the corpus
+  /// index the source's schema occupies.
+  DataSource(std::uint32_t schema_id, Schema schema)
+      : schema_id_(schema_id), schema_(std::move(schema)) {}
+
+  /// Appends a raw tuple; its width must match the schema's attribute
+  /// count.
+  Status AddTuple(Tuple tuple);
+
+  /// All raw tuples satisfying every predicate (conjunctive selection).
+  std::vector<Tuple> Select(
+      const std::vector<SourcePredicate>& predicates) const;
+
+  /// Indices of all raw tuples satisfying every predicate.
+  std::vector<std::size_t> SelectIndices(
+      const std::vector<SourcePredicate>& predicates) const;
+
+  std::uint32_t schema_id() const { return schema_id_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::size_t size() const { return tuples_.size(); }
+
+ private:
+  std::uint32_t schema_id_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_INTEGRATE_DATA_SOURCE_H_

@@ -1,0 +1,88 @@
+#include "integrate/keyword_search.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace paygo {
+namespace {
+
+/// True when \p keyword occurs (case-insensitively) inside any value of
+/// \p tuple.
+bool TupleMatchesKeyword(const Tuple& tuple, const std::string& keyword) {
+  for (const std::string& value : tuple.values) {
+    if (value.empty()) continue;
+    if (ToLowerAscii(value).find(keyword) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<KeywordHit>> SearchDomainTuples(
+    std::uint32_t domain, double domain_posterior,
+    const DomainMediation& mediation,
+    const std::vector<const DataSource*>& sources_by_schema,
+    const std::vector<std::string>& keywords,
+    const KeywordSearchOptions& options) {
+  if (domain_posterior < 0.0 || domain_posterior > 1.0 + 1e-9) {
+    return Status::InvalidArgument("domain_posterior must be in [0, 1]");
+  }
+  if (options.value_match_boost < 0.0) {
+    return Status::InvalidArgument("value_match_boost must be >= 0");
+  }
+  QueryEngine engine(mediation, sources_by_schema);
+  PAYGO_ASSIGN_OR_RETURN(std::vector<RankedTuple> tuples, engine.Answer({}));
+
+  std::vector<std::string> lowered;
+  lowered.reserve(keywords.size());
+  for (const std::string& k : keywords) lowered.push_back(ToLowerAscii(k));
+
+  std::vector<KeywordHit> hits;
+  hits.reserve(tuples.size());
+  for (RankedTuple& t : tuples) {
+    KeywordHit hit;
+    hit.domain = domain;
+    hit.tuple_probability = t.probability;
+    for (const std::string& k : lowered) {
+      if (!k.empty() && TupleMatchesKeyword(t.tuple, k)) ++hit.value_matches;
+    }
+    const double matched_fraction =
+        lowered.empty() ? 0.0
+                        : static_cast<double>(hit.value_matches) /
+                              static_cast<double>(lowered.size());
+    const double boost = (1.0 + options.value_match_boost * matched_fraction) /
+                         (1.0 + options.value_match_boost);
+    hit.score = domain_posterior * t.probability * boost;
+    hit.tuple = std::move(t.tuple);
+    hit.sources = std::move(t.sources);
+    hits.push_back(std::move(hit));
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KeywordHit& a, const KeywordHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.domain != b.domain) return a.domain < b.domain;
+              return a.tuple < b.tuple;
+            });
+  if (hits.size() > options.max_hits) hits.resize(options.max_hits);
+  return hits;
+}
+
+std::vector<KeywordHit> MergeKeywordHits(
+    std::vector<std::vector<KeywordHit>> per_domain, std::size_t max_hits) {
+  std::vector<KeywordHit> all;
+  for (auto& hits : per_domain) {
+    all.insert(all.end(), std::make_move_iterator(hits.begin()),
+               std::make_move_iterator(hits.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const KeywordHit& a, const KeywordHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.domain != b.domain) return a.domain < b.domain;
+              return a.tuple < b.tuple;
+            });
+  if (all.size() > max_hits) all.resize(max_hits);
+  return all;
+}
+
+}  // namespace paygo

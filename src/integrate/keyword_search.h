@@ -1,0 +1,77 @@
+#ifndef PAYGO_INTEGRATE_KEYWORD_SEARCH_H_
+#define PAYGO_INTEGRATE_KEYWORD_SEARCH_H_
+
+/// \file keyword_search.h
+/// \brief End-to-end keyword search over structured data (Section 1.1).
+///
+/// The thesis's motivating query "departure Toronto destination Cairo"
+/// mixes two kinds of keywords: attribute-like terms (departure,
+/// destination) that the classifier uses to find relevant domains, and
+/// value-like terms (Toronto, Cairo) that should match the DATA. The
+/// thesis's architecture stops at presenting the ranked mediated-schema
+/// interfaces and letting the user pose a structured query; this module
+/// closes the loop for the impatient user: it retrieves tuples from the
+/// top domains directly and scores them by
+///
+///   domain posterior (normalized over the consulted domains)
+///   x consolidated tuple probability (Section 4.4)
+///   x value-match boost (fraction of keywords found among the tuple's
+///     values, so "Toronto" actually pulls Toronto rows up).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "integrate/data_source.h"
+#include "integrate/query_engine.h"
+#include "mediate/mediator.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief One keyword-search answer.
+struct KeywordHit {
+  /// Domain the tuple came from.
+  std::uint32_t domain = 0;
+  /// The mediated tuple (aligned to that domain's mediated schema).
+  Tuple tuple;
+  /// Combined score (see file comment); in (0, 1].
+  double score = 0.0;
+  /// Consolidated tuple probability before domain/value weighting.
+  double tuple_probability = 0.0;
+  /// How many query keywords matched the tuple's values.
+  std::size_t value_matches = 0;
+  std::vector<std::string> sources;
+};
+
+/// \brief Options of keyword-over-tuples search.
+struct KeywordSearchOptions {
+  /// How many top-ranked domains to retrieve tuples from.
+  std::size_t domains_to_consult = 3;
+  /// Cap on returned hits.
+  std::size_t max_hits = 20;
+  /// Weight of the value-match boost: score multiplier is
+  /// (1 + boost * matched_fraction) / (1 + boost).
+  double value_match_boost = 4.0;
+};
+
+/// \brief Searches tuples of one domain for the query keywords.
+///
+/// \p domain_posterior is the (normalized) classifier posterior of the
+/// domain for this query; \p keywords are the canonicalized query terms.
+/// Tuples are fetched with an unconstrained structured query and scored.
+Result<std::vector<KeywordHit>> SearchDomainTuples(
+    std::uint32_t domain, double domain_posterior,
+    const DomainMediation& mediation,
+    const std::vector<const DataSource*>& sources_by_schema,
+    const std::vector<std::string>& keywords,
+    const KeywordSearchOptions& options = {});
+
+/// Merges per-domain hit lists into one ranking (descending score, ties by
+/// domain then tuple), truncated to max_hits.
+std::vector<KeywordHit> MergeKeywordHits(
+    std::vector<std::vector<KeywordHit>> per_domain, std::size_t max_hits);
+
+}  // namespace paygo
+
+#endif  // PAYGO_INTEGRATE_KEYWORD_SEARCH_H_

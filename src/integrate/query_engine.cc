@@ -1,0 +1,115 @@
+#include "integrate/query_engine.h"
+
+#include <algorithm>
+
+namespace paygo {
+
+Result<std::vector<RankedTuple>> QueryEngine::Answer(
+    const StructuredQuery& query) const {
+  const std::size_t width = mediation_.mediated.size();
+  for (const auto& p : query.predicates) {
+    if (p.mediated_attribute >= width) {
+      return Status::OutOfRange("predicate references mediated attribute " +
+                                std::to_string(p.mediated_attribute) +
+                                " but the mediated schema has " +
+                                std::to_string(width) + " attributes");
+    }
+  }
+
+  // Final consolidation state per mediated tuple: the running product of
+  // (1 - p) over contributions, plus contributing source names.
+  struct Consolidated {
+    double one_minus_product = 1.0;
+    std::vector<std::string> sources;
+  };
+  std::map<Tuple, Consolidated> result;
+
+  for (std::size_t m = 0; m < mediation_.members.size(); ++m) {
+    const auto& [schema_id, membership] = mediation_.members[m];
+    if (schema_id >= sources_.size() || sources_[schema_id] == nullptr) {
+      continue;  // no data attached for this member
+    }
+    const DataSource& source = *sources_[schema_id];
+    const ProbabilisticMapping& pm = mediation_.mappings[m];
+    const std::size_t src_width = source.schema().attributes.size();
+
+    // Per raw tuple: mapped tuple -> summed Pr(phi) over the alternatives
+    // that produced it (mutually exclusive choices; Section 4.4's first
+    // consolidation rule).
+    std::vector<std::map<Tuple, double>> per_raw;
+
+    for (const AttributeMapping& phi : pm.alternatives) {
+      if (phi.target.size() != src_width) continue;  // defensive
+      // Translate the query through phi: a predicate on mediated attribute
+      // k becomes predicates on every source attribute mapping to k. If no
+      // source attribute maps to k, this phi cannot satisfy the predicate.
+      std::vector<SourcePredicate> translated;
+      bool satisfiable = true;
+      for (const auto& p : query.predicates) {
+        bool covered = false;
+        for (std::size_t a = 0; a < src_width; ++a) {
+          if (phi.target[a] == static_cast<int>(p.mediated_attribute)) {
+            translated.push_back({a, p.value});
+            covered = true;
+          }
+        }
+        if (!covered) {
+          satisfiable = false;
+          break;
+        }
+      }
+      if (!satisfiable) continue;
+
+      if (per_raw.empty()) per_raw.resize(source.size());
+      // Map each matching raw tuple into the mediated schema; raw tuples
+      // are identified by position so the same-raw-tuple consolidation
+      // rule applies even when a source contains duplicate raw tuples.
+      for (const std::size_t raw_idx : source.SelectIndices(translated)) {
+        const Tuple& raw = source.tuples()[raw_idx];
+        Tuple mapped;
+        mapped.values.assign(width, "");
+        for (std::size_t a = 0; a < src_width; ++a) {
+          if (phi.target[a] >= 0 && a < raw.values.size()) {
+            mapped.values[static_cast<std::size_t>(phi.target[a])] =
+                raw.values[a];
+          }
+        }
+        per_raw[raw_idx][mapped] += phi.probability;
+      }
+    }
+
+    // Fold this source's contributions into the global noisy-or state with
+    // overall probability Pr(phi-group) * Pr(S_i in D_r).
+    for (const auto& raw_map : per_raw) {
+      for (const auto& [mapped, phi_prob] : raw_map) {
+        const double p = phi_prob * membership;
+        Consolidated& c = result[mapped];
+        c.one_minus_product *= (1.0 - p);
+        if (std::find(c.sources.begin(), c.sources.end(),
+                      source.schema().source_name) == c.sources.end()) {
+          c.sources.push_back(source.schema().source_name);
+        }
+      }
+    }
+  }
+
+  std::vector<RankedTuple> out;
+  out.reserve(result.size());
+  for (auto& [tuple, c] : result) {
+    RankedTuple rt;
+    rt.tuple = tuple;
+    rt.probability = 1.0 - c.one_minus_product;
+    rt.sources = std::move(c.sources);
+    out.push_back(std::move(rt));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedTuple& a, const RankedTuple& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.tuple < b.tuple;
+            });
+  return out;
+}
+
+}  // namespace paygo

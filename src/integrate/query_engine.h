@@ -1,0 +1,61 @@
+#ifndef PAYGO_INTEGRATE_QUERY_ENGINE_H_
+#define PAYGO_INTEGRATE_QUERY_ENGINE_H_
+
+/// \file query_engine.h
+/// \brief Structured-query answering over one domain (Section 4.4).
+///
+/// A structured query posed over a domain's mediated schema is dispatched
+/// to every member data source: per alternative mapping phi, the query's
+/// predicates are translated to source attributes, matching raw tuples are
+/// retrieved and mapped into mediated tuples with probability
+/// Pr(phi) * Pr(S_i in D_r). Identical mapped tuples from the same raw
+/// tuple are consolidated by summing (they are mutually exclusive mapping
+/// choices); identical tuples from different raw tuples / sources are
+/// consolidated with the noisy-or rule 1 - prod(1 - p).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "integrate/data_source.h"
+#include "integrate/tuple.h"
+#include "mediate/mediator.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief A conjunctive equality query over a mediated schema.
+struct StructuredQuery {
+  struct Predicate {
+    /// Mediated attribute index.
+    std::size_t mediated_attribute = 0;
+    /// Required value (case-insensitive equality).
+    std::string value;
+  };
+  std::vector<Predicate> predicates;
+};
+
+/// \brief Answers structured queries over one domain.
+class QueryEngine {
+ public:
+  /// \p mediation describes the domain; \p sources are the attached data
+  /// sources, indexed by corpus schema id (sources for schemas outside the
+  /// domain are ignored; domain members without a source contribute no
+  /// tuples).
+  QueryEngine(const DomainMediation& mediation,
+              const std::vector<const DataSource*>& sources_by_schema)
+      : mediation_(mediation), sources_(sources_by_schema) {}
+
+  /// Runs \p query; returns mediated tuples sorted descending by
+  /// consolidated probability (ties broken by tuple values).
+  Result<std::vector<RankedTuple>> Answer(const StructuredQuery& query) const;
+
+ private:
+  const DomainMediation& mediation_;
+  std::vector<const DataSource*> sources_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_INTEGRATE_QUERY_ENGINE_H_

@@ -1,0 +1,4 @@
+#include "integrate/tuple.h"
+
+// Tuple and RankedTuple are plain aggregates; behaviour lives in
+// QueryEngine. This translation unit anchors the build target.

@@ -1,0 +1,41 @@
+#ifndef PAYGO_INTEGRATE_TUPLE_H_
+#define PAYGO_INTEGRATE_TUPLE_H_
+
+/// \file tuple.h
+/// \brief Raw and mapped tuples (Section 4.4 terminology).
+///
+/// A raw tuple is aligned to its source schema's attribute order; a mapped
+/// tuple is aligned to a mediated schema, with empty strings for mediated
+/// attributes the mapping left unpopulated.
+
+#include <string>
+#include <vector>
+
+namespace paygo {
+
+/// \brief A tuple: one value per attribute position (empty = null).
+struct Tuple {
+  std::vector<std::string> values;
+
+  Tuple() = default;
+  explicit Tuple(std::vector<std::string> v) : values(std::move(v)) {}
+
+  bool operator==(const Tuple& other) const { return values == other.values; }
+  bool operator<(const Tuple& other) const { return values < other.values; }
+};
+
+/// \brief A mediated-schema tuple in the final result set R_all, carrying
+/// the consolidated probability of Section 4.4.
+struct RankedTuple {
+  /// Values aligned to the mediated schema.
+  Tuple tuple;
+  /// Consolidated probability: per source, Pr(phi) * Pr(S_i in D_r), then
+  /// noisy-or across duplicates.
+  double probability = 0.0;
+  /// Names of the data sources that contributed this tuple.
+  std::vector<std::string> sources;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_INTEGRATE_TUPLE_H_

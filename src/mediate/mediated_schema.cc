@@ -1,0 +1,30 @@
+#include "mediate/mediated_schema.h"
+
+#include "util/string_util.h"
+
+namespace paygo {
+
+int MediatedSchema::FindByMember(const std::string& canonical_attr) const {
+  for (std::size_t i = 0; i < attributes.size(); ++i) {
+    const auto& members = attributes[i].members;
+    for (const std::string& m : members) {
+      if (m == canonical_attr) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int MediatedSchema::FindByName(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string CanonicalAttributeName(const std::string& raw) {
+  const std::vector<std::string> parts =
+      SplitAny(ToLowerAscii(raw), " \t\r\n/_-.,:;()[]{}");
+  return Join(parts, " ");
+}
+
+}  // namespace paygo

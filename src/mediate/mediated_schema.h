@@ -1,0 +1,50 @@
+#ifndef PAYGO_MEDIATE_MEDIATED_SCHEMA_H_
+#define PAYGO_MEDIATE_MEDIATED_SCHEMA_H_
+
+/// \file mediated_schema.h
+/// \brief Mediated schemas (Section 4.4).
+///
+/// A mediated schema M_r = {A_1 .. A_|Mr|} where each mediated attribute is
+/// a cluster of similar source-attribute names drawn from the schemas of a
+/// domain — the structure produced by the probabilistic mediation approach
+/// of Das Sarma et al. [8], which this module reimplements as a substrate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paygo {
+
+/// \brief One mediated attribute: a cluster of similar source attributes.
+struct MediatedAttribute {
+  /// Display name — the most frequent member attribute.
+  std::string name;
+  /// Canonicalized source-attribute names grouped into this mediated
+  /// attribute, sorted.
+  std::vector<std::string> members;
+  /// Sum of membership-weighted schema counts of the members (how well the
+  /// attribute is represented in the domain).
+  double weight = 0.0;
+};
+
+/// \brief A mediated schema for one domain.
+struct MediatedSchema {
+  std::vector<MediatedAttribute> attributes;
+
+  std::size_t size() const { return attributes.size(); }
+
+  /// Index of the mediated attribute containing the canonicalized source
+  /// attribute \p canonical_attr, or -1.
+  int FindByMember(const std::string& canonical_attr) const;
+
+  /// Index of the mediated attribute whose display name is \p name, or -1.
+  int FindByName(const std::string& name) const;
+};
+
+/// Canonical form of a raw attribute name used as the clustering/mapping
+/// key: lower-cased, terms joined by single spaces.
+std::string CanonicalAttributeName(const std::string& raw);
+
+}  // namespace paygo
+
+#endif  // PAYGO_MEDIATE_MEDIATED_SCHEMA_H_

@@ -1,0 +1,16 @@
+#include "mediate/probabilistic_mapping.h"
+
+namespace paygo {
+
+double ProbabilisticMapping::MarginalCorrespondence(std::size_t attr,
+                                                    int mediated) const {
+  double total = 0.0;
+  for (const AttributeMapping& m : alternatives) {
+    if (attr < m.target.size() && m.target[attr] == mediated) {
+      total += m.probability;
+    }
+  }
+  return total;
+}
+
+}  // namespace paygo

@@ -1,0 +1,42 @@
+#ifndef PAYGO_MEDIATE_PROBABILISTIC_MAPPING_H_
+#define PAYGO_MEDIATE_PROBABILISTIC_MAPPING_H_
+
+/// \file probabilistic_mapping.h
+/// \brief Probabilistic schema mappings Phi(S_i, M_r) of Section 4.4.
+///
+/// A probabilistic mapping from a source schema to a mediated schema is a
+/// set of possible mappings, each assigned a probability; the probabilities
+/// sum to 1. One possible mapping assigns each source attribute either a
+/// mediated attribute or "unmapped".
+
+#include <cstdint>
+#include <vector>
+
+namespace paygo {
+
+/// \brief One possible mapping phi: source attribute -> mediated attribute.
+struct AttributeMapping {
+  /// For each source-attribute position: the mediated attribute index it
+  /// maps to, or -1 when unmapped.
+  std::vector<int> target;
+  /// Pr(phi): probability this mapping is the correct one.
+  double probability = 0.0;
+};
+
+/// \brief The probabilistic mapping of one source schema: a distribution
+/// over possible mappings.
+struct ProbabilisticMapping {
+  /// Corpus index of the source schema.
+  std::uint32_t schema_id = 0;
+  /// The possible mappings, descending by probability; probabilities sum
+  /// to 1 (up to rounding).
+  std::vector<AttributeMapping> alternatives;
+
+  /// Marginal probability that source attribute \p attr maps to mediated
+  /// attribute \p mediated (summed over alternatives).
+  double MarginalCorrespondence(std::size_t attr, int mediated) const;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_MEDIATE_PROBABILISTIC_MAPPING_H_

@@ -1,0 +1,87 @@
+#ifndef PAYGO_MEDIATE_PROBABILISTIC_MEDIATED_SCHEMA_H_
+#define PAYGO_MEDIATE_PROBABILISTIC_MEDIATED_SCHEMA_H_
+
+/// \file probabilistic_mediated_schema.h
+/// \brief Probabilistic mediated schemas — the full generality of Das Sarma
+/// et al. [8].
+///
+/// Mediator (mediator.h) builds one deterministic mediated schema per
+/// domain, which is all the thesis's pipeline needs. [8]'s bootstrapping
+/// approach goes further: when it is *uncertain whether two source
+/// attributes mean the same thing*, it emits SEVERAL mediated schemas —
+/// one per way of resolving the borderline attribute pairs — each with a
+/// probability. This module implements that construction on top of the
+/// deterministic mediator:
+///
+///  1. run the frequency filter as usual;
+///  2. compute attribute-pair name similarities; pairs comfortably above
+///     the clustering threshold are certain merges, comfortably below are
+///     certain non-merges, and pairs within an uncertainty band around the
+///     threshold are BORDERLINE;
+///  3. enumerate the 2^b resolutions of the b borderline pairs (capped,
+///     most probable first), single-link-close each resolution into a
+///     mediated schema, and weight it by the product of per-pair
+///     probabilities (sim-calibrated);
+///  4. deduplicate resolutions that close to the same clustering.
+///
+/// The result is a distribution over mediated schemas whose modal element
+/// is exactly the deterministic mediator's output.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mediate/mediator.h"
+#include "schema/corpus.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Options of the probabilistic construction.
+struct PMedSchemaOptions {
+  /// Base mediation options (frequency threshold, name-similarity
+  /// threshold, t_sim settings).
+  MediatorOptions base;
+  /// Pairs with |sim - attr_sim_threshold| <= band are borderline.
+  double uncertainty_band = 0.1;
+  /// Cap on borderline pairs considered (most ambiguous kept); beyond it
+  /// the remaining pairs are resolved deterministically.
+  std::size_t max_borderline_pairs = 10;
+  /// Cap on emitted mediated schemas (most probable kept, probabilities
+  /// renormalized).
+  std::size_t max_alternatives = 16;
+};
+
+/// \brief One alternative mediated schema with its probability.
+struct MediatedSchemaAlternative {
+  MediatedSchema schema;
+  double probability = 0.0;
+};
+
+/// \brief The probabilistic mediated schema of one domain.
+struct ProbabilisticMediatedSchema {
+  /// Alternatives, descending by probability; probabilities sum to 1.
+  std::vector<MediatedSchemaAlternative> alternatives;
+  /// The borderline attribute pairs that generated the uncertainty
+  /// (canonical names), for inspection.
+  std::vector<std::pair<std::string, std::string>> borderline_pairs;
+
+  /// The modal (most probable) mediated schema.
+  const MediatedSchema& Modal() const { return alternatives.front().schema; }
+
+  /// Marginal probability that the two canonical attributes share a
+  /// mediated attribute.
+  double CoMediationProbability(const std::string& canonical_a,
+                                const std::string& canonical_b) const;
+};
+
+/// Builds the probabilistic mediated schema for a domain's members.
+Result<ProbabilisticMediatedSchema> BuildProbabilisticMediatedSchema(
+    const SchemaCorpus& corpus, const Tokenizer& tokenizer,
+    const std::vector<std::pair<std::uint32_t, double>>& members,
+    const PMedSchemaOptions& options = {});
+
+}  // namespace paygo
+
+#endif  // PAYGO_MEDIATE_PROBABILISTIC_MEDIATED_SCHEMA_H_

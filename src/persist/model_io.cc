@@ -1,0 +1,240 @@
+#include "persist/model_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "schema/corpus_io.h"
+#include "util/string_util.h"
+
+namespace paygo {
+namespace {
+
+constexpr std::string_view kModelHeader = "paygo-model v1";
+constexpr std::string_view kConditionalsHeader = "paygo-classifier v1";
+constexpr std::string_view kSnapshotHeader = "paygo-snapshot v1";
+
+/// Round-trip-exact double formatting.
+std::string Fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed number '" + s + "'");
+  }
+  return v;
+}
+
+Result<std::uint64_t> ParseUint(const std::string& s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed integer '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::string SerializeDomainModel(const DomainModel& model) {
+  std::ostringstream os;
+  os << kModelHeader << "\n";
+  os << "counts " << model.num_domains() << " " << model.num_schemas()
+     << "\n";
+  for (std::uint32_t r = 0; r < model.num_domains(); ++r) {
+    os << "cluster " << r;
+    for (std::uint32_t i : model.Cluster(r)) os << " " << i;
+    os << "\n";
+  }
+  for (std::uint32_t i = 0; i < model.num_schemas(); ++i) {
+    const auto& ds = model.DomainsOf(i);
+    if (ds.empty()) continue;
+    os << "membership " << i;
+    for (const auto& [domain, prob] : ds) {
+      os << " " << domain << ":" << Fmt(prob);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<DomainModel> ParseDomainModel(std::string_view text) {
+  const std::vector<std::string> lines = Split(text, '\n');
+  std::size_t ln = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument("model line " + std::to_string(ln + 1) +
+                                   ": " + msg);
+  };
+  if (lines.empty() || Trim(lines[0]) != kModelHeader) {
+    return Status::InvalidArgument("missing paygo-model header");
+  }
+  std::size_t num_domains = 0, num_schemas = 0;
+  std::vector<std::vector<std::uint32_t>> clusters;
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> schema_domains;
+  for (ln = 1; ln < lines.size(); ++ln) {
+    const std::string line = Trim(lines[ln]);
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = SplitAny(line, " ");
+    if (tok[0] == "counts") {
+      if (tok.size() != 3) return fail("counts needs two integers");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t d, ParseUint(tok[1]));
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t s, ParseUint(tok[2]));
+      num_domains = d;
+      num_schemas = s;
+      clusters.assign(num_domains, {});
+      schema_domains.assign(num_schemas, {});
+    } else if (tok[0] == "cluster") {
+      if (tok.size() < 2) return fail("cluster needs an id");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t r, ParseUint(tok[1]));
+      if (r >= clusters.size()) return fail("cluster id out of range");
+      for (std::size_t k = 2; k < tok.size(); ++k) {
+        PAYGO_ASSIGN_OR_RETURN(const std::uint64_t i, ParseUint(tok[k]));
+        if (i >= num_schemas) return fail("schema id out of range");
+        clusters[r].push_back(static_cast<std::uint32_t>(i));
+      }
+    } else if (tok[0] == "membership") {
+      if (tok.size() < 2) return fail("membership needs a schema id");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t i, ParseUint(tok[1]));
+      if (i >= num_schemas) return fail("schema id out of range");
+      for (std::size_t k = 2; k < tok.size(); ++k) {
+        const std::vector<std::string> pair = Split(tok[k], ':');
+        if (pair.size() != 2) return fail("membership entry needs d:p");
+        PAYGO_ASSIGN_OR_RETURN(const std::uint64_t d, ParseUint(pair[0]));
+        PAYGO_ASSIGN_OR_RETURN(const double p, ParseDouble(pair[1]));
+        if (d >= num_domains) return fail("domain id out of range");
+        schema_domains[i].emplace_back(static_cast<std::uint32_t>(d), p);
+      }
+    } else {
+      return fail("unknown directive '" + tok[0] + "'");
+    }
+  }
+  return DomainModel::Build(std::move(clusters), std::move(schema_domains));
+}
+
+std::string SerializeConditionals(
+    const std::vector<DomainConditionals>& conditionals) {
+  std::ostringstream os;
+  os << kConditionalsHeader << "\n";
+  const std::size_t dim =
+      conditionals.empty() ? 0 : conditionals[0].q1.size();
+  os << "counts " << conditionals.size() << " " << dim << "\n";
+  for (std::size_t r = 0; r < conditionals.size(); ++r) {
+    os << "prior " << r << " " << Fmt(conditionals[r].prior) << "\n";
+    os << "q1 " << r;
+    for (double q : conditionals[r].q1) os << " " << Fmt(q);
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<DomainConditionals>> ParseConditionals(
+    std::string_view text) {
+  const std::vector<std::string> lines = Split(text, '\n');
+  std::size_t ln = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument("classifier line " +
+                                   std::to_string(ln + 1) + ": " + msg);
+  };
+  if (lines.empty() || Trim(lines[0]) != kConditionalsHeader) {
+    return Status::InvalidArgument("missing paygo-classifier header");
+  }
+  std::vector<DomainConditionals> out;
+  std::size_t dim = 0;
+  for (ln = 1; ln < lines.size(); ++ln) {
+    const std::string line = Trim(lines[ln]);
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = SplitAny(line, " ");
+    if (tok[0] == "counts") {
+      if (tok.size() != 3) return fail("counts needs two integers");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t d, ParseUint(tok[1]));
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t dd, ParseUint(tok[2]));
+      out.assign(d, DomainConditionals{});
+      dim = dd;
+    } else if (tok[0] == "prior") {
+      if (tok.size() != 3) return fail("prior needs id and value");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t r, ParseUint(tok[1]));
+      if (r >= out.size()) return fail("domain id out of range");
+      PAYGO_ASSIGN_OR_RETURN(out[r].prior, ParseDouble(tok[2]));
+    } else if (tok[0] == "q1") {
+      if (tok.size() < 2) return fail("q1 needs a domain id");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t r, ParseUint(tok[1]));
+      if (r >= out.size()) return fail("domain id out of range");
+      if (tok.size() - 2 != dim) return fail("q1 vector has wrong length");
+      out[r].q1.reserve(dim);
+      for (std::size_t k = 2; k < tok.size(); ++k) {
+        PAYGO_ASSIGN_OR_RETURN(const double q, ParseDouble(tok[k]));
+        out[r].q1.push_back(q);
+      }
+    } else {
+      return fail("unknown directive '" + tok[0] + "'");
+    }
+  }
+  for (const DomainConditionals& c : out) {
+    if (c.q1.size() != dim) {
+      return Status::InvalidArgument("classifier: missing q1 vector");
+    }
+  }
+  return out;
+}
+
+Status SaveSnapshot(const IntegrationSystem& system, const std::string& path) {
+  if (!system.has_classifier()) {
+    return Status::FailedPrecondition(
+        "snapshotting requires a built classifier");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << kSnapshotHeader << "\n";
+  out << "=== corpus ===\n" << SerializeCorpus(system.corpus());
+  out << "=== model ===\n" << SerializeDomainModel(system.domains());
+  out << "=== classifier ===\n"
+      << SerializeConditionals(system.classifier().conditionals());
+  out << "=== end ===\n";
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<IntegrationSystem>> LoadSnapshot(
+    const std::string& path, SystemOptions options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  auto section = [&](std::string_view name) -> Result<std::string> {
+    const std::string marker = "=== " + std::string(name) + " ===\n";
+    const std::size_t begin = text.find(marker);
+    if (begin == std::string::npos) {
+      return Status::InvalidArgument("snapshot missing section '" +
+                                     std::string(name) + "'");
+    }
+    const std::size_t content = begin + marker.size();
+    const std::size_t next = text.find("\n=== ", content - 1);
+    return text.substr(content, next == std::string::npos
+                                    ? std::string::npos
+                                    : next + 1 - content);
+  };
+
+  if (text.rfind(kSnapshotHeader, 0) != 0) {
+    return Status::InvalidArgument("missing paygo-snapshot header");
+  }
+  PAYGO_ASSIGN_OR_RETURN(const std::string corpus_text, section("corpus"));
+  PAYGO_ASSIGN_OR_RETURN(const std::string model_text, section("model"));
+  PAYGO_ASSIGN_OR_RETURN(const std::string clf_text, section("classifier"));
+  PAYGO_ASSIGN_OR_RETURN(SchemaCorpus corpus, ParseCorpus(corpus_text));
+  PAYGO_ASSIGN_OR_RETURN(DomainModel model, ParseDomainModel(model_text));
+  PAYGO_ASSIGN_OR_RETURN(std::vector<DomainConditionals> conditionals,
+                         ParseConditionals(clf_text));
+  return IntegrationSystem::Restore(std::move(corpus), std::move(options),
+                                    std::move(model),
+                                    std::move(conditionals));
+}
+
+}  // namespace paygo

@@ -1,0 +1,55 @@
+#ifndef PAYGO_PERSIST_MODEL_IO_H_
+#define PAYGO_PERSIST_MODEL_IO_H_
+
+/// \file model_io.h
+/// \brief Persistence of built integration systems.
+///
+/// A pay-as-you-go system is built once and then serves queries for a long
+/// time; re-running Algorithms 1-3 and the classifier setup on every
+/// process start is wasted work (the thesis's DDH classifier took minutes
+/// to construct). A snapshot stores the corpus, the probabilistic domain
+/// model, and the classifier conditionals in one plain-text file;
+/// restoring rebuilds the cheap derived state (lexicon, feature vectors,
+/// mediation) and reuses the expensive parts verbatim.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/naive_bayes.h"
+#include "cluster/probabilistic_assignment.h"
+#include "core/integration_system.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// Serializes a domain model (clusters + membership probabilities).
+std::string SerializeDomainModel(const DomainModel& model);
+
+/// Parses a domain model serialized by SerializeDomainModel.
+Result<DomainModel> ParseDomainModel(std::string_view text);
+
+/// Serializes classifier conditionals (priors + per-feature q1 vectors).
+std::string SerializeConditionals(
+    const std::vector<DomainConditionals>& conditionals);
+
+/// Parses conditionals serialized by SerializeConditionals.
+Result<std::vector<DomainConditionals>> ParseConditionals(
+    std::string_view text);
+
+/// Writes a full system snapshot (corpus + model + conditionals) to
+/// \p path. The system must have been built with a classifier.
+Status SaveSnapshot(const IntegrationSystem& system, const std::string& path);
+
+/// Restores a system from \p path. \p options must carry the same
+/// tokenizer/feature/mediator settings the system was built with (they
+/// drive the derived state that is rebuilt); clustering and classifier
+/// settings are not re-applied — the persisted model and conditionals are
+/// used as-is.
+Result<std::unique_ptr<IntegrationSystem>> LoadSnapshot(
+    const std::string& path, SystemOptions options = {});
+
+}  // namespace paygo
+
+#endif  // PAYGO_PERSIST_MODEL_IO_H_

@@ -1,0 +1,101 @@
+#include "schema/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace paygo {
+namespace {
+
+/// Splits on the literal "::" separator.
+std::vector<std::string> SplitOnDoubleColon(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find("::", start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 2;
+  }
+}
+
+}  // namespace
+
+Result<SchemaCorpus> ParseCorpus(std::string_view text) {
+  SchemaCorpus corpus;
+  std::size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw_line);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (StartsWith(line, "corpus ")) {
+      corpus.set_name(Trim(line.substr(7)));
+      continue;
+    }
+    if (!StartsWith(line, "schema ")) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 'corpus' or 'schema'");
+    }
+    const std::vector<std::string> fields =
+        SplitOnDoubleColon(std::string_view(line).substr(7));
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": expected 'schema <source> :: <labels> :: <attributes>'");
+    }
+    Schema schema;
+    schema.source_name = Trim(fields[0]);
+    std::vector<std::string> labels;
+    for (const std::string& l : Split(fields[1], ',')) {
+      std::string t = Trim(l);
+      if (!t.empty()) labels.push_back(std::move(t));
+    }
+    for (const std::string& a : Split(fields[2], ';')) {
+      std::string t = Trim(a);
+      if (!t.empty()) schema.attributes.push_back(std::move(t));
+    }
+    if (schema.attributes.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": schema has no attributes");
+    }
+    corpus.Add(std::move(schema), std::move(labels));
+  }
+  return corpus;
+}
+
+std::string SerializeCorpus(const SchemaCorpus& corpus) {
+  std::ostringstream os;
+  if (!corpus.name().empty()) os << "corpus " << corpus.name() << "\n";
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Schema& s = corpus.schema(i);
+    os << "schema " << s.source_name << " :: "
+       << Join(corpus.labels(i), ", ") << " :: "
+       << Join(s.attributes, " ; ") << "\n";
+  }
+  return os.str();
+}
+
+Result<SchemaCorpus> LoadCorpusFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCorpus(buf.str());
+}
+
+Status SaveCorpusFile(const SchemaCorpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << SerializeCorpus(corpus);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace paygo

@@ -1,0 +1,38 @@
+#ifndef PAYGO_SCHEMA_CORPUS_IO_H_
+#define PAYGO_SCHEMA_CORPUS_IO_H_
+
+/// \file corpus_io.h
+/// \brief Plain-text serialization of schema corpora.
+///
+/// Format (one schema per line; '#' starts a comment; blank lines ignored):
+///
+///     corpus <name>
+///     schema <source> :: <label1>, <label2> :: <attr1> ; <attr2> ; ...
+///
+/// The label field may be empty. This format is what the examples read and
+/// write, so users can bring their own extracted schemas (the thesis's
+/// manual extraction step of Figure 6.1) without writing C++.
+
+#include <string>
+#include <string_view>
+
+#include "schema/corpus.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// Parses a corpus from the text format above.
+Result<SchemaCorpus> ParseCorpus(std::string_view text);
+
+/// Serializes \p corpus into the text format above.
+std::string SerializeCorpus(const SchemaCorpus& corpus);
+
+/// Reads and parses a corpus file from disk.
+Result<SchemaCorpus> LoadCorpusFile(const std::string& path);
+
+/// Writes \p corpus to \p path.
+Status SaveCorpusFile(const SchemaCorpus& corpus, const std::string& path);
+
+}  // namespace paygo
+
+#endif  // PAYGO_SCHEMA_CORPUS_IO_H_

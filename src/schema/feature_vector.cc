@@ -1,0 +1,43 @@
+#include "schema/feature_vector.h"
+
+namespace paygo {
+
+FeatureVectorizer::FeatureVectorizer(const Lexicon& lexicon,
+                                     FeatureVectorizerOptions options)
+    : lexicon_(lexicon), options_(options) {
+  index_ = std::make_unique<SimilarityIndex>(
+      lexicon_.terms(), TermSimilarity(options_.similarity_kind),
+      options_.tau_t_sim);
+}
+
+DynamicBitset FeatureVectorizer::VectorizeSchemaTerms(
+    const std::vector<std::uint32_t>& term_ids) const {
+  DynamicBitset f(lexicon_.dim());
+  // F[j] = 1 iff some t in T_i has t_sim(L_j, t) >= tau. Since t_sim is
+  // symmetric and every t in T_i is itself a lexicon term, this is exactly
+  // the union of the tau-neighborhoods of the schema's terms.
+  for (std::uint32_t k : term_ids) {
+    for (std::uint32_t j : index_->Neighbors(k)) f.Set(j);
+  }
+  return f;
+}
+
+std::vector<DynamicBitset> FeatureVectorizer::VectorizeCorpus() const {
+  std::vector<DynamicBitset> out;
+  out.reserve(lexicon_.num_schemas());
+  for (std::size_t i = 0; i < lexicon_.num_schemas(); ++i) {
+    out.push_back(VectorizeSchemaTerms(lexicon_.schema_terms(i)));
+  }
+  return out;
+}
+
+DynamicBitset FeatureVectorizer::VectorizeExternalTerms(
+    const std::vector<std::string>& terms) const {
+  DynamicBitset f(lexicon_.dim());
+  for (const std::string& t : terms) {
+    for (std::uint32_t j : index_->Match(t)) f.Set(j);
+  }
+  return f;
+}
+
+}  // namespace paygo

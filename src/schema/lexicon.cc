@@ -1,0 +1,48 @@
+#include "schema/lexicon.h"
+
+#include <algorithm>
+
+namespace paygo {
+
+Lexicon Lexicon::Build(const SchemaCorpus& corpus, const Tokenizer& tokenizer) {
+  Lexicon lex;
+  // First pass: tokenize each schema into its distinct sorted term strings.
+  std::vector<std::vector<std::string>> per_schema;
+  per_schema.reserve(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    per_schema.push_back(tokenizer.TokenizeAll(corpus.schema(i).attributes));
+  }
+  // Global sorted distinct-term vector L.
+  std::vector<std::string> all;
+  for (const auto& ts : per_schema) all.insert(all.end(), ts.begin(), ts.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  lex.terms_ = std::move(all);
+  lex.term_index_.reserve(lex.terms_.size());
+  for (std::uint32_t j = 0; j < lex.terms_.size(); ++j) {
+    lex.term_index_.emplace(lex.terms_[j], j);
+  }
+  // Per-schema index sets T_i and document frequencies.
+  lex.term_freq_.assign(lex.terms_.size(), 0);
+  lex.schema_terms_.reserve(per_schema.size());
+  for (const auto& ts : per_schema) {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(ts.size());
+    for (const std::string& t : ts) {
+      const std::uint32_t j = lex.term_index_.at(t);
+      ids.push_back(j);
+      ++lex.term_freq_[j];
+    }
+    std::sort(ids.begin(), ids.end());
+    lex.schema_terms_.push_back(std::move(ids));
+  }
+  return lex;
+}
+
+std::optional<std::uint32_t> Lexicon::IndexOf(std::string_view term) const {
+  const auto it = term_index_.find(std::string(term));
+  if (it == term_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace paygo

@@ -1,0 +1,58 @@
+#ifndef PAYGO_SCHEMA_LEXICON_H_
+#define PAYGO_SCHEMA_LEXICON_H_
+
+/// \file lexicon.h
+/// \brief The global sorted term vector L of Algorithm 1.
+///
+/// Building the lexicon tokenizes every schema exactly once and records both
+/// the sorted distinct-term vector L (the feature space) and, per schema,
+/// the set T_i of its term indices into L.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/corpus.h"
+#include "text/tokenizer.h"
+
+namespace paygo {
+
+/// \brief Sorted distinct terms over a corpus plus per-schema term sets.
+class Lexicon {
+ public:
+  /// Tokenizes every schema of \p corpus with \p tokenizer and builds L.
+  static Lexicon Build(const SchemaCorpus& corpus, const Tokenizer& tokenizer);
+
+  /// The sorted distinct terms L_1..L_dimL.
+  const std::vector<std::string>& terms() const { return terms_; }
+  /// dim L.
+  std::size_t dim() const { return terms_.size(); }
+  /// Term at index \p j.
+  const std::string& term(std::size_t j) const { return terms_[j]; }
+
+  /// Index of \p term in L, if present.
+  std::optional<std::uint32_t> IndexOf(std::string_view term) const;
+
+  /// T_i: sorted lexicon indices of the terms of schema \p i.
+  const std::vector<std::uint32_t>& schema_terms(std::size_t i) const {
+    return schema_terms_[i];
+  }
+  /// Number of schemas the lexicon was built over.
+  std::size_t num_schemas() const { return schema_terms_.size(); }
+
+  /// Number of schemas whose T_i contains term \p j (document frequency).
+  std::size_t TermFrequency(std::size_t j) const { return term_freq_[j]; }
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, std::uint32_t> term_index_;
+  std::vector<std::vector<std::uint32_t>> schema_terms_;
+  std::vector<std::size_t> term_freq_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SCHEMA_LEXICON_H_

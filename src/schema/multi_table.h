@@ -1,0 +1,73 @@
+#ifndef PAYGO_SCHEMA_MULTI_TABLE_H_
+#define PAYGO_SCHEMA_MULTI_TABLE_H_
+
+/// \file multi_table.h
+/// \brief Multi-table data sources (Chapter 7 future work).
+///
+/// The thesis restricts itself to single-table schemas ("most data sources
+/// on the web belong to this category") and lists "considering data
+/// sources more general than single-table sources" as future work. This
+/// module bridges the gap the pay-as-you-go way: a multi-table source is
+/// decomposed into single-table schemas the pipeline already handles.
+/// Two decompositions are offered:
+///
+///  * per-table — each table becomes its own schema (a source can then
+///    legitimately span several domains, e.g. a university database with
+///    both a courses and a people table);
+///  * joined — tables that share (t_sim-similar) attributes are merged
+///    into one wide schema, approximating the universal relation of the
+///    source.
+
+#include <string>
+#include <vector>
+
+#include "schema/corpus.h"
+#include "schema/schema.h"
+#include "text/term_similarity.h"
+#include "text/tokenizer.h"
+
+namespace paygo {
+
+/// \brief A structured source exposing several named tables.
+struct MultiTableSource {
+  std::string source_name;
+  struct Table {
+    std::string table_name;
+    std::vector<std::string> attributes;
+  };
+  std::vector<Table> tables;
+};
+
+/// \brief How to decompose a multi-table source.
+enum class MultiTableDecomposition {
+  /// One schema per table, named "<source>.<table>".
+  kPerTable,
+  /// Connected components of tables sharing a (t_sim-similar) attribute
+  /// are merged into one wide schema (duplicate attributes deduplicated).
+  kJoined,
+};
+
+/// \brief Options of the decomposition.
+struct MultiTableOptions {
+  MultiTableDecomposition decomposition = MultiTableDecomposition::kPerTable;
+  /// Attribute-name similarity threshold for the kJoined grouping.
+  double join_attr_sim = 0.8;
+  TermSimilarityKind similarity_kind = TermSimilarityKind::kLcs;
+};
+
+/// Decomposes \p source into single-table schemas ready for a
+/// SchemaCorpus. Tables without attributes are skipped.
+std::vector<Schema> DecomposeMultiTableSource(
+    const MultiTableSource& source, const Tokenizer& tokenizer,
+    const MultiTableOptions& options = {});
+
+/// Convenience: decomposes several sources straight into a corpus,
+/// attaching \p labels_per_source (parallel to \p sources; may be empty).
+SchemaCorpus CorpusFromMultiTableSources(
+    const std::vector<MultiTableSource>& sources,
+    const std::vector<std::vector<std::string>>& labels_per_source,
+    const Tokenizer& tokenizer, const MultiTableOptions& options = {});
+
+}  // namespace paygo
+
+#endif  // PAYGO_SCHEMA_MULTI_TABLE_H_

@@ -1,0 +1,5 @@
+#include "schema/schema.h"
+
+// Schema is a plain aggregate; all behaviour lives in SchemaCorpus and the
+// text pipeline. This translation unit exists so the header stays a cheap
+// include and future non-inline members have a home.

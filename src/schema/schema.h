@@ -1,0 +1,38 @@
+#ifndef PAYGO_SCHEMA_SCHEMA_H_
+#define PAYGO_SCHEMA_SCHEMA_H_
+
+/// \file schema.h
+/// \brief The schema model of Section 3.1.
+///
+/// A schema is a set of attribute names extracted from a structured data
+/// source (a web form, an HTML table, a spreadsheet); an attribute name is a
+/// set of terms. Nothing else — not even attribute types — is assumed to be
+/// known about a source, exactly as in the thesis's problem definition.
+
+#include <string>
+#include <vector>
+
+namespace paygo {
+
+/// \brief A single-table schema: a named set of attribute names.
+struct Schema {
+  /// Identifier of the data source the schema was extracted from (e.g. a
+  /// URL or file name). Purely informational.
+  std::string source_name;
+  /// The raw attribute names, as extracted (e.g. "departure airport",
+  /// "Day/Time", "MaxNumberOfStudents").
+  std::vector<std::string> attributes;
+
+  Schema() = default;
+  Schema(std::string name, std::vector<std::string> attrs)
+      : source_name(std::move(name)), attributes(std::move(attrs)) {}
+
+  bool operator==(const Schema& other) const {
+    return source_name == other.source_name &&
+           attributes == other.attributes;
+  }
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SCHEMA_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "synth/ddh_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/vocabulary.h"
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+const char* const kDecorations[] = {
+    "(required)", "(optional)", "info",  "details", "code", "2",
+    "new",        "old",        "main",  "alt",     "full", "short",
+};
+
+/// Samples \p n distinct indices in [0, weights.size()) with probability
+/// proportional to weights, without replacement.
+std::vector<std::size_t> WeightedSampleWithoutReplacement(
+    std::vector<double> weights, std::size_t n, Rng& rng) {
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n && k < weights.size(); ++k) {
+    const std::size_t pick = rng.NextWeighted(weights);
+    out.push_back(pick);
+    weights[pick] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+SchemaCorpus MakeDdhCorpus(const DdhGeneratorOptions& options) {
+  SchemaCorpus corpus("DDH");
+  Rng rng(options.seed);
+  const std::vector<DomainTemplate>& templates = DdhDomainTemplates();
+  // Domain sizes are skewed by template weight; 'people' is the smallest
+  // domain, mirroring Section 6.3's under-representation experiment.
+  std::vector<double> domain_weights;
+  for (const DomainTemplate& t : templates) {
+    domain_weights.push_back(t.weight);
+  }
+  // Per-template Zipf-like attribute popularity.
+  std::vector<std::vector<double>> attr_weights(templates.size());
+  for (std::size_t t = 0; t < templates.size(); ++t) {
+    for (std::size_t k = 0; k < templates[t].core.size(); ++k) {
+      attr_weights[t].push_back(
+          1.0 / std::pow(static_cast<double>(k + 1), options.attribute_skew));
+    }
+  }
+
+  const std::size_t num_decorations =
+      std::min<std::size_t>(options.num_decorations,
+                            sizeof(kDecorations) / sizeof(kDecorations[0]));
+
+  for (std::size_t i = 0; i < options.num_schemas; ++i) {
+    const std::size_t ti = rng.NextWeighted(domain_weights);
+    const DomainTemplate& t = templates[ti];
+    const std::size_t lo = options.min_attributes;
+    const std::size_t hi = std::min(options.max_attributes, t.core.size());
+    const std::size_t n = static_cast<std::size_t>(rng.NextInRange(
+        static_cast<std::int64_t>(std::min(lo, hi)),
+        static_cast<std::int64_t>(hi)));
+
+    std::vector<std::size_t> idx =
+        WeightedSampleWithoutReplacement(attr_weights[ti], n, rng);
+    std::sort(idx.begin(), idx.end());  // stable attribute order
+
+    Schema schema;
+    schema.source_name =
+        "ddh_" + t.label + "_" + std::to_string(corpus.size());
+    for (std::size_t k : idx) {
+      const auto& forms = t.core[k].forms;
+      std::string attr = forms[rng.NextBelow(forms.size())];
+      if (num_decorations > 0 && rng.NextBernoulli(options.decoration_prob)) {
+        attr += " ";
+        attr += kDecorations[rng.NextBelow(num_decorations)];
+      }
+      schema.attributes.push_back(std::move(attr));
+    }
+    corpus.Add(std::move(schema), {t.label});
+  }
+  return corpus;
+}
+
+}  // namespace paygo

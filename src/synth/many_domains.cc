@@ -1,0 +1,64 @@
+#include "synth/many_domains.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+/// A pronounceable-ish random word: alternating consonants and vowels, so
+/// accidental cross-domain LCS matches stay rare even at tau_t_sim 0.8.
+std::string RandomWord(Rng& rng, std::size_t len) {
+  static const char* kConsonants = "bcdfghjklmnpqrstvwz";
+  static const char* kVowels = "aeiou";
+  std::string w;
+  for (std::size_t i = 0; i < len; ++i) {
+    w.push_back(i % 2 == 0 ? kConsonants[rng.NextBelow(19)]
+                           : kVowels[rng.NextBelow(5)]);
+  }
+  return w;
+}
+
+}  // namespace
+
+SchemaCorpus MakeManyDomainCorpus(const ManyDomainOptions& options) {
+  SchemaCorpus corpus("many-domains");
+  Rng rng(options.seed);
+  for (std::size_t d = 0; d < options.num_domains; ++d) {
+    // Private vocabulary: word stems suffixed with the domain index so no
+    // two domains can collide even if the random letters repeat.
+    std::vector<std::string> words(options.words_per_domain);
+    for (auto& w : words) {
+      w = RandomWord(rng, 7) + std::to_string(d);
+    }
+    const std::string label = "domain" + std::to_string(d);
+    const std::size_t schemas = static_cast<std::size_t>(rng.NextInRange(
+        static_cast<std::int64_t>(options.min_schemas_per_domain),
+        static_cast<std::int64_t>(options.max_schemas_per_domain)));
+    for (std::size_t s = 0; s < schemas; ++s) {
+      const std::size_t attrs = static_cast<std::size_t>(rng.NextInRange(
+          static_cast<std::int64_t>(options.min_attributes),
+          static_cast<std::int64_t>(
+              std::min(options.max_attributes, words.size()))));
+      // Attributes are 1- or 2-word combinations of the domain vocabulary.
+      std::vector<std::size_t> idx(words.size());
+      for (std::size_t k = 0; k < idx.size(); ++k) idx[k] = k;
+      rng.Shuffle(idx);
+      Schema schema;
+      schema.source_name =
+          label + "_src" + std::to_string(corpus.size());
+      for (std::size_t a = 0; a < attrs; ++a) {
+        std::string attr = words[idx[a]];
+        if (rng.NextBernoulli(0.4)) {
+          attr += " " + words[idx[(a + 1) % idx.size()]];
+        }
+        schema.attributes.push_back(std::move(attr));
+      }
+      corpus.Add(std::move(schema), {label});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace paygo

@@ -1,0 +1,76 @@
+#ifndef PAYGO_SYNTH_QUERY_GENERATOR_H_
+#define PAYGO_SYNTH_QUERY_GENERATOR_H_
+
+/// \file query_generator.h
+/// \brief Section 6.1.3: random keyword-query generation.
+///
+/// Simulates a user entering a keyword query with a particular domain in
+/// mind:
+///  1. pick a target label B_rand with probability proportional to
+///     |S(B_rand)|;
+///  2. filter the corpus terms to those appearing in at least
+///     min_label_fraction of S(B_rand)'s schemas (0.25 for DW/SS, 0.1 for
+///     DDH);
+///  3. weight each surviving term by its discriminativeness
+///     lambda(t, B) = rel. frequency in B / average rel. frequency across
+///     all labels, normalized into a distribution;
+///  4. draw the query's keywords i.i.d. from that distribution.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/corpus.h"
+#include "schema/lexicon.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Options of the query generator.
+struct QueryGeneratorOptions {
+  /// A term must appear in at least this fraction of the target label's
+  /// schemas to be a candidate keyword (thesis: 0.25 for DW/SS, 0.1 for
+  /// DDH whose labels have hundreds of schemas).
+  double min_label_fraction = 0.25;
+};
+
+/// \brief One generated query with its intended label.
+struct GeneratedQuery {
+  std::vector<std::string> keywords;
+  std::string target_label;
+};
+
+/// \brief Generates label-targeted keyword queries from a labeled corpus.
+class QueryGenerator {
+ public:
+  /// Precomputes per-label candidate terms and sampling distributions.
+  /// Labels with no labeled schemas or no surviving candidate terms are
+  /// excluded from targeting.
+  static Result<QueryGenerator> Build(const SchemaCorpus& corpus,
+                                      const Lexicon& lexicon,
+                                      const QueryGeneratorOptions& options = {});
+
+  /// Generates one query with \p num_keywords keywords (drawn i.i.d., so
+  /// duplicates are possible, as in the thesis's model).
+  GeneratedQuery Generate(std::size_t num_keywords, Rng& rng) const;
+
+  /// Labels that can be targeted (non-empty candidate term lists).
+  const std::vector<std::string>& targetable_labels() const {
+    return labels_;
+  }
+
+  /// The candidate terms and their probabilities for one label (tests).
+  const std::vector<std::pair<std::string, double>>& TermDistribution(
+      const std::string& label) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<double> label_weights_;  // |S(B_j)|
+  // Per label: (term, probability) with probabilities summing to 1.
+  std::vector<std::vector<std::pair<std::string, double>>> term_dists_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SYNTH_QUERY_GENERATOR_H_

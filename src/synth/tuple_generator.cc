@@ -1,0 +1,41 @@
+#include "synth/tuple_generator.h"
+
+#include "mediate/mediated_schema.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace paygo {
+
+std::string SyntheticValue(const std::string& attribute, std::size_t k) {
+  // Key the vocabulary on the canonical attribute name so that surface
+  // variants ("email" / "email address") still share values across sources.
+  const std::string canon = CanonicalAttributeName(attribute);
+  const std::vector<std::string> parts = Split(canon, ' ');
+  const std::string head = parts.empty() ? "value" : parts[0];
+  return head + "_" + std::to_string(k);
+}
+
+void FillWithSyntheticTuples(DataSource* source,
+                             const TupleGeneratorOptions& options) {
+  // Seed per source so different sources draw different (but overlapping)
+  // value combinations.
+  std::uint64_t h = options.seed;
+  for (char c : source->schema().source_name) {
+    h = h * 1099511628211ULL + static_cast<unsigned char>(c);
+  }
+  Rng rng(h);
+  const std::size_t width = source->schema().attributes.size();
+  for (std::size_t t = 0; t < options.tuples_per_source; ++t) {
+    Tuple tuple;
+    tuple.values.reserve(width);
+    for (std::size_t a = 0; a < width; ++a) {
+      tuple.values.push_back(
+          SyntheticValue(source->schema().attributes[a],
+                         rng.NextBelow(options.values_per_attribute)));
+    }
+    // Width always matches by construction.
+    (void)source->AddTuple(std::move(tuple));
+  }
+}
+
+}  // namespace paygo

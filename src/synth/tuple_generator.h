@@ -1,0 +1,44 @@
+#ifndef PAYGO_SYNTH_TUPLE_GENERATOR_H_
+#define PAYGO_SYNTH_TUPLE_GENERATOR_H_
+
+/// \file tuple_generator.h
+/// \brief Synthetic tuples for data sources (the runtime of Section 4.4).
+///
+/// The thesis never needed source data for clustering, but its architecture
+/// (Figure 3.1) retrieves and ranks tuples at query time. Real deep-web
+/// sources are unavailable, so this generator fills DataSources with
+/// deterministic synthetic values. Values for an attribute are drawn from a
+/// small per-attribute vocabulary ("<first term><id>") with a bounded id
+/// space, so the same value recurs across sources that share attribute
+/// vocabulary — which is exactly what exercises the duplicate-tuple
+/// noisy-or consolidation rule.
+
+#include <cstdint>
+
+#include "integrate/data_source.h"
+#include "schema/schema.h"
+
+namespace paygo {
+
+/// \brief Options of tuple generation.
+struct TupleGeneratorOptions {
+  /// Tuples per source.
+  std::size_t tuples_per_source = 20;
+  /// Distinct values per attribute; smaller values create more cross-source
+  /// duplicates.
+  std::size_t values_per_attribute = 8;
+  std::uint64_t seed = 11;
+};
+
+/// Fills \p source with synthetic tuples (deterministic given the options
+/// and the source's schema).
+void FillWithSyntheticTuples(DataSource* source,
+                             const TupleGeneratorOptions& options = {});
+
+/// The value vocabulary entry \p k for attribute name \p attribute
+/// (deterministic; shared across sources using the same attribute name).
+std::string SyntheticValue(const std::string& attribute, std::size_t k);
+
+}  // namespace paygo
+
+#endif  // PAYGO_SYNTH_TUPLE_GENERATOR_H_

@@ -1,0 +1,1156 @@
+#include "synth/vocabulary.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace paygo {
+namespace {
+
+/// Builds a core attribute list from pipe-separated variant strings.
+std::vector<AttributeVariants> Core(
+    std::initializer_list<std::string_view> attrs) {
+  std::vector<AttributeVariants> out;
+  out.reserve(attrs.size());
+  for (std::string_view a : attrs) out.push_back(Variants(a));
+  return out;
+}
+
+DomainTemplate T(std::string label,
+                 std::initializer_list<std::string_view> core,
+                 std::vector<std::string> pools, double weight,
+                 std::vector<std::string> related = {}) {
+  DomainTemplate t;
+  t.label = std::move(label);
+  t.core = Core(core);
+  t.shared_pools = std::move(pools);
+  t.weight = weight;
+  t.related_labels = std::move(related);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Shared cross-domain attribute pools. These create the generic-term bleed
+// ("name", "date", "location", ...) that makes real web and spreadsheet
+// schemas overlap across domains.
+// ---------------------------------------------------------------------------
+std::vector<AttributePool> MakeSharedPools() {
+  std::vector<AttributePool> pools;
+  pools.push_back({"person",
+                   Core({
+                       "name|full name",
+                       "first name|given name",
+                       "last name|surname|family name",
+                       "age",
+                       "date of birth|birth date",
+                       "gender|sex",
+                       "occupation",
+                       "nationality",
+                   })});
+  pools.push_back({"location",
+                   Core({
+                       "city|town",
+                       "state|province",
+                       "country",
+                       "address|street address",
+                       "zip code|postal code",
+                       "region",
+                       "location",
+                       "latitude",
+                       "longitude",
+                   })});
+  pools.push_back({"datetime",
+                   Core({
+                       "date",
+                       "start date|date started",
+                       "end date|date ended",
+                       "year",
+                       "time",
+                       "start time",
+                       "end time",
+                       "month",
+                       "duration",
+                       "deadline|due date",
+                   })});
+  pools.push_back({"money",
+                   Core({
+                       "price",
+                       "cost|total cost",
+                       "amount",
+                       "total|total amount",
+                       "currency",
+                       "fee|fees",
+                       "budget",
+                       "payment method|payment",
+                       "discount",
+                   })});
+  pools.push_back({"contact",
+                   Core({
+                       "email|email address",
+                       "phone|phone number|telephone",
+                       "fax|fax number",
+                       "website|web site",
+                       "contact|contact person",
+                       "mobile|cell phone",
+                   })});
+  pools.push_back({"descriptor",
+                   Core({
+                       "name",
+                       "title",
+                       "description",
+                       "type",
+                       "category",
+                       "status",
+                       "notes|comments|remarks",
+                       "identifier|reference number",
+                       "code",
+                       "rank|ranking",
+                       "rating",
+                       "count",
+                       "quantity",
+                       "size",
+                       "source",
+                   })});
+  pools.push_back({"education",
+                   Core({
+                       "school|school name",
+                       "grade|grade level",
+                       "student|student name",
+                       "subject",
+                       "level",
+                       "score|total score",
+                       "district|school district",
+                       "gpa",
+                   })});
+  pools.push_back({"media",
+                   Core({
+                       "title",
+                       "genre",
+                       "release date|date of release",
+                       "rating",
+                       "language",
+                       "format",
+                       "publisher",
+                       "review|reviews",
+                       "length",
+                   })});
+  pools.push_back({"web",
+                   Core({
+                       "url|link",
+                       "username|user name",
+                       "password",
+                       "last updated|date updated",
+                       "page views|visits",
+                       "tags|keywords",
+                   })});
+  pools.push_back({"measurement",
+                   Core({
+                       "weight",
+                       "height",
+                       "width",
+                       "depth",
+                       "temperature",
+                       "volume",
+                       "area",
+                       "percentage|percent",
+                   })});
+  return pools;
+}
+
+// ---------------------------------------------------------------------------
+// DDH: five sharply separated domains with large attribute pools, mirroring
+// the corpus of Das Sarma et al. [8] (bibliography, cars, courses, movies,
+// people). Example schemas in the thesis: {title, authors, year of publish,
+// conference name} and {year, type, make, model}.
+// ---------------------------------------------------------------------------
+std::vector<DomainTemplate> MakeDdhTemplates() {
+  std::vector<DomainTemplate> t;
+  t.push_back(T("bibliography",
+                {
+                    "title|paper title",
+                    "authors|author|author names",
+                    "year of publish|publication year|year published",
+                    "conference name|conference",
+                    "journal|journal name",
+                    "volume",
+                    "issue|issue number",
+                    "pages|page numbers|num pages",
+                    "publisher",
+                    "abstract",
+                    "keywords",
+                    "isbn",
+                    "doi",
+                    "edition",
+                    "editor|editors",
+                    "citations|cited by|citation count",
+                    "booktitle|book title",
+                    "month published",
+                    "institution|affiliation",
+                    "venue",
+                    "series|series title",
+                    "words|word count",
+                    "language of publication",
+                    "copyright holder",
+                    "appears in|appeared in",
+                    "supplementary material",
+                },
+                {}, 1.4));
+  t.push_back(T("cars",
+                {
+                    "make|car make",
+                    "model|car model",
+                    "year|model year",
+                    "type|vehicle type",
+                    "price|asking price|list price",
+                    "mileage|odometer|odometer reading",
+                    "color|exterior color",
+                    "interior color",
+                    "transmission|transmission type",
+                    "engine|engine size|engine type",
+                    "fuel type|fuel economy",
+                    "doors|number of doors",
+                    "body style|body type",
+                    "vin|vin number",
+                    "condition",
+                    "drivetrain|drive type",
+                    "cylinders",
+                    "horsepower",
+                    "trim|trim level",
+                    "seller|dealer name|dealer",
+                    "warranty",
+                    "stock number",
+                    "accident history",
+                    "previous owners|number of owners",
+                    "inspection report",
+                    "towing capacity",
+                },
+                {}, 1.4));
+  t.push_back(T("courses",
+                {
+                    "course name|course title|course",
+                    "course number|course code",
+                    "instructor|instructor name|professor name|professor",
+                    "credits|credit hours|units",
+                    "department",
+                    "semester|term",
+                    "section|section number",
+                    "room|room number|classroom",
+                    "bldg|building",
+                    "days|meeting days|class days",
+                    "class time|meeting time|hours",
+                    "prerequisites|prereqs",
+                    "enrollment|max enrollment|enrollment limit",
+                    "syllabus",
+                    "textbook|required textbook",
+                    "campus",
+                    "location",
+                    "seats available|open seats",
+                    "waitlist",
+                    "final exam date",
+                    "lab hours",
+                    "schedule number",
+                    "grading basis",
+                    "teaching assistant",
+                    "office hours",
+                    "course description",
+                },
+                {}, 1.0));
+  t.push_back(T("movies",
+                {
+                    "title|movie title|film title",
+                    "director|directed by",
+                    "cast|actors|starring",
+                    "genre",
+                    "release year|year released",
+                    "mpaa rating|rating",
+                    "runtime|running time",
+                    "studio",
+                    "plot|plot summary|synopsis",
+                    "language",
+                    "country of origin",
+                    "box office|gross",
+                    "dvd release date",
+                    "format",
+                    "user rating|viewer rating",
+                    "producer",
+                    "screenwriter|writer",
+                    "composer|music by",
+                    "distributor",
+                    "subtitles",
+                    "awards won",
+                    "reviews",
+                    "filming locations",
+                    "sequel to",
+                    "soundtrack",
+                },
+                {}, 0.9));
+  t.push_back(T("people",
+                {
+                    "first name|given name",
+                    "last name|surname|family name",
+                    "middle name|middle initial",
+                    "email|email address",
+                    "phone|phone number|home phone",
+                    "address|home address|street address",
+                    "city",
+                    "state",
+                    "zip|zip code",
+                    "country",
+                    "date of birth|birthdate",
+                    "gender|sex",
+                    "occupation|job title",
+                    "company|employer",
+                    "fax",
+                    "website|homepage",
+                    "marital status",
+                    "nationality",
+                    "interests|hobbies",
+                    "mobile|cell phone|mobile phone",
+                    "salutation",
+                    "education",
+                    "spouse name",
+                    "emergency contact",
+                    "preferred language",
+                },
+                {}, 0.3));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// DW: deep-web form domains — attribute names are well phrased and strongly
+// domain-indicative (Section 6.1.1). 19 templated labels; the remaining 5
+// DW labels ride on unique schemas (see UniqueSchemaSpecs).
+// ---------------------------------------------------------------------------
+std::vector<DomainTemplate> MakeDwTemplates() {
+  std::vector<DomainTemplate> t;
+  t.push_back(T("tourism",
+                {
+                    "departure airport|airport of departure",
+                    "destination airport|arrival airport",
+                    "departing|departure date",
+                    "returning|return date",
+                    "airline|carrier",
+                    "class|cabin class",
+                    "passengers|number of passengers",
+                    "stops|number of stops",
+                    "flight number",
+                    "departure city",
+                    "destination city|destination",
+                    "trip type",
+                    "layover duration",
+                    "baggage allowance",
+                },
+                {"datetime"}, 3.0, {"hotels", "events"}));
+  t.push_back(T("hotels",
+                {
+                    "hotel name|property name",
+                    "check in|check in date",
+                    "check out|check out date",
+                    "rooms|number of rooms",
+                    "guests|number of guests|adults",
+                    "star rating|hotel class",
+                    "amenities",
+                    "room type",
+                    "nightly rate|rate per night|room rate",
+                    "smoking preference",
+                    "cancellation policy",
+                    "breakfast included",
+                    "parking availability",
+                },
+                {"location", "money"}, 2.5, {"tourism"}));
+  t.push_back(T("jobs",
+                {
+                    "job title|position title|position",
+                    "company|company name|employer",
+                    "salary|salary range|compensation",
+                    "job type|employment type",
+                    "experience|years of experience|experience required",
+                    "industry",
+                    "job description",
+                    "posted date|date posted",
+                    "qualifications|requirements",
+                    "benefits",
+                    "career level",
+                    "remote eligible",
+                    "visa sponsorship",
+                },
+                {"location", "contact"}, 2.5, {"business", "people"}));
+  t.push_back(T("bibliography",
+                {
+                    "title|publication title",
+                    "authors|author",
+                    "year of publish|publication year",
+                    "conference name|conference",
+                    "journal|journal name",
+                    "volume",
+                    "pages",
+                    "publisher",
+                    "abstract",
+                    "isbn",
+                    "keywords",
+                    "editor",
+                },
+                {}, 2.0, {"research"}));
+  t.push_back(T("movies",
+                {
+                    "movie title|film title",
+                    "director",
+                    "cast|actors|starring",
+                    "genre",
+                    "release year|year released",
+                    "mpaa rating",
+                    "runtime|running time",
+                    "studio",
+                    "plot summary|synopsis",
+                    "box office",
+                },
+                {"media"}, 2.0, {"events", "music"}));
+  t.push_back(T("music",
+                {
+                    "song|song title|track",
+                    "artist|artist name|composer",
+                    "album|album title",
+                    "genre",
+                    "label|record label",
+                    "track number",
+                    "duration|track length",
+                    "year released|release year",
+                    "lyrics",
+                    "producer",
+                    "tempo",
+                    "featured artists",
+                },
+                {"media"}, 2.0, {"movies", "concerts", "events"}));
+  t.push_back(T("courses",
+                {
+                    "course name|course title",
+                    "course number|course code",
+                    "instructor|professor name",
+                    "credits|credit hours",
+                    "department",
+                    "semester|term",
+                    "room number|classroom",
+                    "meeting days",
+                    "class time|meeting time",
+                    "prerequisites",
+                    "enrollment limit",
+                },
+                {"education"}, 2.0, {"schools", "people"}));
+  t.push_back(T("people",
+                {
+                    "first name",
+                    "last name|family name",
+                    "function|role",
+                    "description",
+                    "date of birth|place of birth",
+                    "date of death|place of death",
+                    "occupation",
+                    "affiliation",
+                    "research interests",
+                    "office phone",
+                    "biography",
+                },
+                {"contact", "person"}, 7.0, {"organizations", "schools"}));
+  t.push_back(T("sports",
+                {
+                    "team|team name",
+                    "player|player name",
+                    "league",
+                    "season",
+                    "wins",
+                    "losses",
+                    "draws",
+                    "standings",
+                    "points|points scored",
+                    "position played",
+                    "coach|head coach",
+                    "stadium|home stadium",
+                    "games played",
+                },
+                {"datetime"}, 2.0, {"events", "competitions"}));
+  t.push_back(T("events",
+                {
+                    "event name|event title",
+                    "venue",
+                    "event date",
+                    "organizer|host",
+                    "tickets|ticket price",
+                    "capacity",
+                    "speakers|performers",
+                    "registration deadline",
+                    "agenda|program",
+                    "sponsor|sponsors",
+                },
+                {"location", "datetime"}, 2.0, {"concerts", "festivals"}));
+  t.push_back(T("food",
+                {
+                    "recipe name|dish name|recipe",
+                    "ingredients",
+                    "cuisine|cuisine type",
+                    "oven temperature",
+                    "allergens",
+                    "cooking time|prep time",
+                    "servings|serving size",
+                    "calories",
+                    "difficulty",
+                    "instructions|directions",
+                    "course type|meal type",
+                    "dietary restrictions",
+                },
+                {"descriptor"}, 1.5, {"drink"}));
+  t.push_back(T("insurance",
+                {
+                    "policy number|policy id",
+                    "policy type|coverage type",
+                    "premium|monthly premium|annual premium",
+                    "deductible",
+                    "coverage amount|coverage limit",
+                    "insurer|insurance company|provider",
+                    "policy holder|insured name",
+                    "effective date",
+                    "expiration date|expiry date",
+                    "claim number",
+                    "beneficiary",
+                    "underwriter",
+                    "rider options",
+                },
+                {"person"}, 1.5, {"healthplans", "money"}));
+  t.push_back(T("banks",
+                {
+                    "account number",
+                    "account type",
+                    "balance|account balance",
+                    "interest rate|apr",
+                    "branch|branch name",
+                    "routing number",
+                    "account holder",
+                    "minimum balance",
+                    "monthly fee",
+                    "overdraft limit",
+                    "opened date|date opened",
+                },
+                {"money"}, 1.5, {"accounts", "money"}));
+  t.push_back(T("medications",
+                {
+                    "drug name|medication name|medication",
+                    "dosage|dose",
+                    "manufacturer",
+                    "side effects",
+                    "active ingredient|active ingredients",
+                    "prescription required",
+                    "indications|uses",
+                    "interactions|drug interactions",
+                    "strength",
+                    "form|dosage form",
+                    "warnings",
+                    "storage conditions",
+                    "generic equivalent",
+                },
+                {}, 1.5, {"healthplans"}));
+  t.push_back(T("plants",
+                {
+                    "plant name|common name",
+                    "scientific name|botanical name|family name",
+                    "bloom time|flowering season",
+                    "sunlight|light requirements|sun exposure",
+                    "watering|water needs",
+                    "hardiness zone|usda zone",
+                    "soil type|soil requirements",
+                    "mature height",
+                    "growth rate",
+                    "native region|native to",
+                    "propagation method",
+                    "pest resistance",
+                },
+                {}, 1.5, {"environment", "nurseries"}));
+  t.push_back(T("schools",
+                {
+                    "school name",
+                    "principal|principal name",
+                    "enrollment|total enrollment",
+                    "grades offered|grade levels",
+                    "student teacher ratio",
+                    "tuition|annual tuition",
+                    "accreditation",
+                    "founded|year founded",
+                    "mascot",
+                    "school type",
+                },
+                {"location", "education"}, 2.0, {"people", "courses"}));
+  t.push_back(T("organizations",
+                {
+                    "organization name|organisation",
+                    "mission|mission statement",
+                    "founded|year founded|established",
+                    "headquarters",
+                    "members|membership|number of members",
+                    "chairman|president|director",
+                    "annual revenue",
+                    "sector|industry sector",
+                    "employees|number of employees",
+                    "tax id",
+                },
+                {"contact", "location"}, 1.5, {"business", "people"}));
+  t.push_back(T("research",
+                {
+                    "project title|research title",
+                    "principal investigator|lead researcher",
+                    "funding agency|sponsor agency",
+                    "grant amount|funding amount",
+                    "research area|field of study",
+                    "start date",
+                    "end date|completion date",
+                    "publications",
+                    "lab|laboratory",
+                    "collaborators",
+                },
+                {"person"}, 1.5, {"grants", "bibliography", "fellowships"}));
+  t.push_back(T("awards",
+                {
+                    "award name|award title|award",
+                    "recipient|recipient name|winner",
+                    "year awarded|award year",
+                    "awarding body|presented by",
+                    "award category",
+                    "prize money|prize amount",
+                    "selection committee",
+                    "acceptance speech",
+                    "citation|award citation",
+                    "nominees",
+                    "ceremony date",
+                },
+                {"person"}, 1.5, {"competitions", "people"}));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// SS: spreadsheet domains — smaller cores, heavier shared pools (column
+// headers like {Name, Grade, School, District, Project}), much more label
+// blending. 28 SS-only templates; 12 DW templates are reused (see
+// SsReusedDwLabels), and 45 more labels ride on unique schemas.
+// ---------------------------------------------------------------------------
+std::vector<DomainTemplate> MakeSsTemplates() {
+  std::vector<DomainTemplate> t;
+  t.push_back(T("accounts",
+                {
+                    "account|account name",
+                    "account number",
+                    "balance",
+                    "debit",
+                    "credit",
+                    "statement date",
+                    "reconciliation status",
+                },
+                {"money", "datetime"}, 1.5, {"banks", "invoices", "taxes"}));
+  t.push_back(T("activities",
+                {
+                    "activity|activity name",
+                    "participants",
+                    "supervisor",
+                    "equipment needed",
+                    "age group",
+                },
+                {"datetime", "location", "descriptor"}, 1.5,
+                {"events", "schedule", "sports"}));
+  t.push_back(T("art",
+                {
+                    "artwork title|work title",
+                    "artist|artist name",
+                    "medium",
+                    "dimensions",
+                    "gallery|museum",
+                    "provenance",
+                    "acquisition number",
+                    "period|art period",
+                    "style",
+                },
+                {"datetime", "money"}, 1.5, {"media", "events"}));
+  t.push_back(T("articles",
+                {
+                    "headline|article title",
+                    "byline|reporter",
+                    "publication|newspaper",
+                    "section",
+                    "word count",
+                    "published date|publish date",
+                    "syndication rights",
+                },
+                {"web", "descriptor"}, 1.5, {"blogs", "media"}));
+  t.push_back(T("blogs",
+                {
+                    "blog name|blog title",
+                    "post title",
+                    "blogger|blog author",
+                    "posted on|post date",
+                    "comments count",
+                    "subscribers",
+                    "rss feed",
+                },
+                {"web"}, 1.2, {"articles", "media"}));
+  t.push_back(T("buildings",
+                {
+                    "building name",
+                    "floors|number of floors",
+                    "year built|construction year",
+                    "architect",
+                    "square footage|floor area",
+                    "occupancy",
+                    "building use",
+                },
+                {"location"}, 1.5, {"architecture", "housing"}));
+  t.push_back(T("chemistry",
+                {
+                    "compound|compound name",
+                    "chemical formula|formula",
+                    "molecular weight|molar mass",
+                    "melting point",
+                    "boiling point",
+                    "cas number",
+                    "density",
+                    "solubility",
+                    "hazard class",
+                },
+                {"measurement"}, 1.2, {"research", "genes"}));
+  t.push_back(T("competitions",
+                {
+                    "competition name|contest name",
+                    "entrant|competitor",
+                    "placing|final placing",
+                    "score",
+                    "judges",
+                    "entry fee",
+                    "division",
+                },
+                {"datetime", "person"}, 1.5, {"awards", "sports", "games"}));
+  t.push_back(T("concerts",
+                {
+                    "performer|band|headliner",
+                    "venue|concert hall",
+                    "concert date|show date",
+                    "ticket price",
+                    "opening act",
+                    "setlist",
+                    "tour name",
+                    "sound engineer",
+                },
+                {"location", "datetime"}, 1.5, {"music", "events"}));
+  t.push_back(T("databases",
+                {
+                    "database name",
+                    "table name",
+                    "records|row count|number of records",
+                    "dbms|database system",
+                    "replication mode",
+                    "index count",
+                    "schema version",
+                    "last backup",
+                    "storage size",
+                },
+                {"web"}, 1.2, {"schemas", "applications"}));
+  t.push_back(T("degrees",
+                {
+                    "degree|degree name",
+                    "major|field of study",
+                    "university|institution",
+                    "graduation year|year of graduation",
+                    "honors",
+                    "thesis title",
+                    "advisor name",
+                },
+                {"person", "education"}, 1.5, {"schools", "people", "exams"}));
+  t.push_back(T("departments",
+                {
+                    "department|department name",
+                    "department head|chair",
+                    "staff count|number of staff",
+                    "office|office location",
+                    "budget allocation",
+                    "division",
+                },
+                {"contact", "money"}, 1.5, {"organizations", "people"}));
+  t.push_back(T("drink",
+                {
+                    "beverage|drink name",
+                    "brand",
+                    "alcohol content|abv",
+                    "bottle size",
+                    "serving temperature",
+                    "origin|country of origin",
+                    "vintage",
+                    "tasting notes",
+                },
+                {"money"}, 1.2, {"food", "alcohol"}));
+  t.push_back(T("environment",
+                {
+                    "site name|monitoring site",
+                    "pollutant",
+                    "emission level|emissions",
+                    "air quality index",
+                    "water quality",
+                    "habitat type",
+                    "species count",
+                },
+                {"location", "measurement", "datetime"}, 1.5,
+                {"plants", "research", "animals"}));
+  t.push_back(T("exams",
+                {
+                    "exam|exam name|test name",
+                    "exam date|test date",
+                    "passing score|pass mark",
+                    "max score|maximum marks",
+                    "retake policy",
+                    "candidates|examinees",
+                    "proctor|invigilator",
+                    "exam room",
+                },
+                {"education"}, 1.5, {"courses", "schools", "degrees"}));
+  t.push_back(T("festivals",
+                {
+                    "festival name",
+                    "festival dates",
+                    "lineup|headliners",
+                    "attendance|expected attendance",
+                    "shuttle service",
+                    "pass price|festival pass",
+                    "stages",
+                    "camping",
+                },
+                {"location"}, 1.2, {"events", "concerts", "music"}));
+  t.push_back(T("grants",
+                {
+                    "grant title|grant name",
+                    "grantee|grant recipient",
+                    "funding agency|funder",
+                    "award amount|grant amount",
+                    "grant period",
+                    "grant number",
+                    "proposal deadline",
+                    "indirect cost rate",
+                },
+                {"money", "datetime"}, 1.5,
+                {"research", "fellowships", "projects"}));
+  t.push_back(T("healthplans",
+                {
+                    "plan name|health plan",
+                    "monthly premium",
+                    "copay|co payment",
+                    "deductible",
+                    "network|provider network",
+                    "out of pocket maximum",
+                    "coverage tier",
+                    "formulary"
+                },
+                {"person"}, 1.2, {"insurance", "medications"}));
+  t.push_back(T("industry",
+                {
+                    "sector|industry sector",
+                    "output|annual output",
+                    "workforce|labor force",
+                    "exports",
+                    "imports",
+                    "growth rate|annual growth",
+                    "market share",
+                },
+                {"money", "location"}, 1.2, {"business", "factories"}));
+  t.push_back(T("internships",
+                {
+                    "internship title|intern position",
+                    "host company|host organization",
+                    "stipend|monthly stipend",
+                    "duration|internship length",
+                    "mentor|supervisor name",
+                    "application deadline",
+                    "eligibility",
+                },
+                {"location", "contact"}, 1.2, {"jobs", "fellowships"}));
+  t.push_back(T("invoices",
+                {
+                    "invoice number|invoice id",
+                    "invoice date",
+                    "bill to|billed to",
+                    "line items",
+                    "subtotal",
+                    "tax",
+                    "amount due|balance due",
+                    "payment terms",
+                },
+                {"money"}, 1.5, {"accounts", "suppliers", "taxes"}));
+  t.push_back(T("items",
+                {
+                    "item|item name",
+                    "sku|item number",
+                    "unit price",
+                    "barcode",
+                    "in stock|stock level|quantity on hand",
+                    "supplier",
+                    "reorder point",
+                    "warehouse|bin location",
+                },
+                {"descriptor", "money"}, 1.5, {"suppliers", "invoices"}));
+  t.push_back(T("locations",
+                {
+                    "place name|location name",
+                    "elevation|altitude",
+                    "population",
+                    "timezone|time zone",
+                    "county",
+                    "area code",
+                },
+                {"location"}, 1.5, {"roads", "tourism"}));
+  t.push_back(T("media",
+                {
+                    "outlet|media outlet",
+                    "circulation",
+                    "audience|audience size",
+                    "frequency|broadcast frequency",
+                    "owner|parent company",
+                    "market|media market",
+                },
+                {"media", "web"}, 1.2, {"articles", "videos", "channels"}));
+  t.push_back(T("money",
+                {
+                    "transaction id",
+                    "transaction date",
+                    "payee",
+                    "payer",
+                    "exchange rate",
+                    "account",
+                },
+                {"money"}, 1.5, {"banks", "accounts", "taxes"}));
+  t.push_back(T("projects",
+                {
+                    "project|project name|project title",
+                    "project manager|project lead",
+                    "milestone|milestones",
+                    "completion|percent complete",
+                    "risk register",
+                    "deliverables",
+                    "stakeholders",
+                    "phase|project phase",
+                },
+                {"datetime", "money", "descriptor"}, 2.0,
+                {"grants", "research", "schools"}));
+  t.push_back(T("suppliers",
+                {
+                    "supplier|supplier name|vendor",
+                    "lead time",
+                    "minimum order|minimum order quantity",
+                    "payment terms",
+                    "supplier rating",
+                    "catalog number",
+                },
+                {"contact", "location"}, 1.2, {"items", "invoices"}));
+  t.push_back(T("taxes",
+                {
+                    "tax year",
+                    "taxable income",
+                    "tax rate",
+                    "tax bracket",
+                    "itemized deductions",
+                    "withholding|tax withheld",
+                    "refund|refund amount",
+                    "filing status",
+                },
+                {"money", "person"}, 1.2, {"accounts", "money"}));
+  return t;
+}
+
+std::vector<UniqueSchemaSpec> MakeUniqueSpecs() {
+  // Entries 0-15 feed the DW corpus (5 distinct DW-only labels); the rest
+  // feed SS (45 distinct SS-only labels, then repeats). Attribute term
+  // vocabularies are pairwise disjoint so none of these should ever merge
+  // with anything.
+  return {
+      // ---- DW unique schemas (labels: animals, games, housing, contacts,
+      // business) ----
+      {"animals", {"breed registry", "coat pattern", "litter size",
+                   "vaccination record", "microchip"}},
+      {"animals", {"wingspan", "migratory route", "nesting habits",
+                   "plumage"}},
+      {"games", {"polygon budget", "frame pacing", "shader preset",
+                 "texture pack"}},
+      {"games", {"speedrun split", "glitchless rules", "leaderboard seed"}},
+      {"housing", {"escrow holdback", "easement clause", "lien position",
+                   "appraisal contingency"}},
+      {"housing", {"radon mitigation", "sump pump", "crawlspace"}},
+      {"contacts", {"ham radio callsign", "qsl card", "repeater offset"}},
+      {"contacts", {"emergency beacon", "satellite messenger",
+                    "checkin cadence"}},
+      {"business", {"pallet turnover", "dock door", "cross docking",
+                    "wave picking"}},
+      {"business", {"franchise royalty", "territory exclusivity",
+                    "buildout allowance"}},
+      {"animals", {"antler spread", "rutting season", "bag limit"}},
+      {"games", {"deck archetype", "mana curve", "sideboard"}},
+      {"housing", {"strata levy", "sinking fund", "bylaw infraction"}},
+      {"contacts", {"pager code", "switchboard extension", "intercom zone"}},
+      {"business", {"mystery shopper", "planogram compliance",
+                    "shrinkage rate"}},
+      {"games", {"dice pool", "initiative modifier", "saving throw"}},
+      // ---- SS unique schemas: 45 distinct labels ----
+      {"TOC", {"chapter heading", "leaf number", "folio",
+               "indentation level"}},
+      {"access", {"badge swipe", "turnstile lane", "tailgating alarm"}},
+      {"airdisasters", {"crash site", "fatalities aboard",
+                        "aircraft registration", "flight phase",
+                        "probable cause"}},
+      {"alcohol", {"proof gallon", "distillery bond", "cask strength",
+                   "mash bill"}},
+      {"applications", {"applicant pool", "shortlist round",
+                        "reviewer assignment", "decision letter"}},
+      {"architecture", {"cantilever span", "facade cladding", "load bearing",
+                        "blueprint revision"}},
+      {"attributes", {"cardinality estimate", "null fraction",
+                      "distinct values", "column width"}},
+      {"boardgames", {"meeple color", "victory point track",
+                      "worker placement", "tile bag"}},
+      {"cartoons", {"animation cel", "inbetweener", "storyboard panel",
+                    "voice actor"}},
+      {"categories", {"taxonomy depth", "parent node", "leaf label",
+                      "sibling order"}},
+      {"channels", {"transponder", "uplink band", "broadcast license",
+                    "signal polarization"}},
+      {"chess", {"elo delta", "opening repertoire", "zugzwang",
+                 "endgame tablebase"}},
+      {"codeofconduct", {"infraction tier", "remediation step",
+                         "ombudsperson", "appeal window"}},
+      {"comics", {"panel layout", "inker", "letterer", "variant cover",
+                  "print run"}},
+      {"exposures", {"dosimeter reading", "radiation badge", "half life",
+                     "shielding factor"}},
+      {"factories", {"assembly line speed", "defect rate per shift",
+                     "tooling changeover", "kanban bin"}},
+      {"fellowships", {"fellowship cohort", "residency requirement",
+                       "nomination packet"}},
+      {"gender", {"respondent identity", "pronoun preference",
+                  "survey wave"}},
+      {"genes", {"locus", "allele frequency", "codon", "expression profile",
+                 "knockout strain"}},
+      {"inflation", {"cpi basket", "price index", "base period",
+                     "deflator"}},
+      {"interments", {"plot row", "headstone inscription", "burial permit",
+                      "cemetery section"}},
+      {"librarians", {"dewey range", "circulation desk", "interlibrary loan",
+                      "cataloging backlog"}},
+      {"licenses", {"endorsement class", "renewal cycle", "points accrued",
+                    "issuing authority"}},
+      {"licensing", {"royalty tier", "sublicense right", "field of use",
+                     "milestone payment"}},
+      {"math", {"theorem number", "proof technique", "lemma dependency",
+                "conjecture status"}},
+      {"names", {"etymology", "diminutive form", "popularity percentile",
+                 "name origin"}},
+      {"nurseries", {"seedling tray", "germination rate", "potting mix",
+                     "transplant week"}},
+      {"plans", {"floorplan variant", "elevation drawing", "lot coverage",
+                 "setback requirement"}},
+      {"producers", {"output quota", "cooperative share", "harvest grade",
+                     "certification body"}},
+      {"race", {"census block", "enumeration district", "self reported origin",
+                "sampling weight"}},
+      {"religious", {"parish", "diocese", "congregation size", "liturgy",
+                     "clergy roster"}},
+      {"roads", {"pavement condition index", "traffic volume", "lane miles",
+                 "resurfacing year"}},
+      {"robots", {"actuator torque", "gripper payload", "servo count",
+                  "degrees of freedom"}},
+      {"schedule", {"shift rotation", "coverage gap", "swap request",
+                    "on call roster"}},
+      {"schemas", {"mediated attribute", "mapping confidence",
+                   "source overlap"}},
+      {"series", {"episode arc", "season order", "showrunner",
+                  "renewal status"}},
+      {"sessions", {"breakout track", "keynote slot", "abstract id",
+                    "poster board"}},
+      {"shows", {"matinee", "curtain call", "understudy", "box seat"}},
+      {"subjects", {"consent form version", "cohort arm", "washout period",
+                    "adverse event grade"}},
+      {"teachers", {"tenure status", "certification area", "pedagogy rating",
+                    "classroom roster"}},
+      {"theatres", {"proscenium width", "orchestra pit", "rigging capacity",
+                    "house seats"}},
+      {"tracking", {"waybill", "last scan", "custody transfer",
+                    "geofence event"}},
+      {"videos", {"bitrate ladder", "codec profile", "watch completion",
+                  "thumbnail variant"}},
+      {"vulnerabilities", {"cve id", "cvss score", "exploit maturity",
+                           "patch availability"}},
+      {"windows", {"glazing layers", "u factor", "sash material",
+                   "solar heat gain"}},
+      // ---- extra SS unique schemas (labels repeat) ----
+      {"chess", {"fide title", "time control", "simultaneous exhibition"}},
+      {"robots", {"lidar range", "odometry drift", "docking station"}},
+      {"genes", {"promoter region", "methylation site", "transcript variant"}},
+      {"roads", {"culvert inventory", "guardrail segment", "skid resistance"}},
+      {"videos", {"render farm", "proxy resolution", "color grade"}},
+      {"math", {"integral table", "series convergence", "numeric stability"}},
+      {"tracking", {"rfid tag", "pallet license plate", "dwell time"}},
+      {"religious", {"pilgrimage route", "feast day", "relic inventory"}},
+      {"schedule", {"bell schedule", "period length", "passing time"}},
+      {"licenses", {"provisional permit", "road test score",
+                    "vision screening"}},
+      {"theatres", {"fly tower", "thrust stage", "lighting plot"}},
+      {"comics", {"splash page", "gutter width", "omnibus edition"}},
+      {"alcohol", {"fermentation tank", "yeast strain", "gravity reading"}},
+      {"names", {"surname distribution", "patronymic", "transliteration"}},
+      {"exposures", {"biomarker panel", "cumulative dose", "exposure window"}},
+      {"plans", {"zoning overlay", "variance request", "plat map"}},
+      {"producers", {"yield per hectare", "irrigation quota",
+                     "storage silo"}},
+      {"sessions", {"plenary hall", "badge pickup", "speaker ready room"}},
+  };
+}
+
+}  // namespace
+
+AttributeVariants Variants(std::string_view pipe_separated) {
+  AttributeVariants v;
+  v.forms = SplitAny(pipe_separated, "|");
+  assert(!v.forms.empty());
+  return v;
+}
+
+const std::vector<AttributePool>& SharedAttributePools() {
+  static const std::vector<AttributePool> kPools = MakeSharedPools();
+  return kPools;
+}
+
+const AttributePool& SharedPool(std::string_view name) {
+  for (const AttributePool& p : SharedAttributePools()) {
+    if (p.name == name) return p;
+  }
+  assert(false && "unknown shared pool");
+  std::abort();
+}
+
+const std::vector<DomainTemplate>& DdhDomainTemplates() {
+  static const std::vector<DomainTemplate> kTemplates = MakeDdhTemplates();
+  return kTemplates;
+}
+
+const std::vector<DomainTemplate>& DwDomainTemplates() {
+  static const std::vector<DomainTemplate> kTemplates = MakeDwTemplates();
+  return kTemplates;
+}
+
+const std::vector<DomainTemplate>& SsDomainTemplates() {
+  static const std::vector<DomainTemplate> kTemplates = MakeSsTemplates();
+  return kTemplates;
+}
+
+const std::vector<std::string>& SsReusedDwLabels() {
+  static const std::vector<std::string> kReused = {
+      "people", "schools", "awards",        "events",
+      "courses", "sports", "music",         "movies",
+      "jobs",    "food",   "organizations", "research",
+  };
+  return kReused;
+}
+
+const std::vector<UniqueSchemaSpec>& UniqueSchemaSpecs() {
+  static const std::vector<UniqueSchemaSpec> kSpecs = MakeUniqueSpecs();
+  return kSpecs;
+}
+
+}  // namespace paygo

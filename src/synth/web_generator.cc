@@ -1,0 +1,312 @@
+#include "synth/web_generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "synth/vocabulary.h"
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+/// Picks one surface form of a template attribute.
+std::string PickForm(const AttributeVariants& v, Rng& rng) {
+  return v.forms[rng.NextBelow(v.forms.size())];
+}
+
+/// Appends \p count distinct attributes sampled from \p source (without
+/// replacement), skipping any whose chosen form is already present.
+void SampleAttributes(const std::vector<AttributeVariants>& source,
+                      std::size_t count, Rng& rng,
+                      std::vector<std::string>* out) {
+  std::vector<std::size_t> idx(source.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.Shuffle(idx);
+  std::size_t taken = 0;
+  for (std::size_t i : idx) {
+    if (taken >= count) break;
+    std::string form = PickForm(source[i], rng);
+    if (std::find(out->begin(), out->end(), form) != out->end()) continue;
+    out->push_back(std::move(form));
+    ++taken;
+  }
+}
+
+const DomainTemplate* FindTemplate(
+    const std::vector<const DomainTemplate*>& pool, const std::string& label) {
+  for (const DomainTemplate* t : pool) {
+    if (t->label == label) return t;
+  }
+  return nullptr;
+}
+
+/// Picks a template index weighted by DomainTemplate::weight.
+std::size_t PickTemplate(const std::vector<const DomainTemplate*>& pool,
+                         Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(pool.size());
+  for (const DomainTemplate* t : pool) weights.push_back(t->weight);
+  return rng.NextWeighted(weights);
+}
+
+struct BlendConfig {
+  /// Probability of blending in the k-th extra related label (cumulative
+  /// coin flips; size bounds the extra labels).
+  std::vector<double> extra_label_probs;
+  /// Attributes contributed by each blended template.
+  std::size_t blend_attrs_min = 1;
+  std::size_t blend_attrs_max = 3;
+  /// Probability a schema gains a "people" column block (spreadsheets).
+  double people_block_prob = 0.0;
+  /// Probability a schema absorbs 1-2 attributes from a random unrelated
+  /// template WITHOUT acquiring its label — the stray columns real forms
+  /// and spreadsheets carry.
+  double cross_noise_prob = 0.0;
+  /// Probability that a blended related topic contributes its attributes
+  /// but the annotator does NOT record its label (the thesis's labels are
+  /// "what I perceive as potential domains" — inherently incomplete).
+  double blend_label_dropout = 0.0;
+  /// Probability that, when a blend happened, the annotator records ONLY
+  /// the blended label and not the primary one (judgment differences on
+  /// multi-topic schemas). Together with blend_label_dropout this is the
+  /// source of measured clustering impurity: the schema's vocabulary says
+  /// one domain while its label says another.
+  double primary_label_swap = 0.0;
+  /// Probability an attribute name is rendered as a CamelCase form-field
+  /// identifier ("departure airport" -> "DepartureAirport"), as HTML form
+  /// internals often are — what Algorithm 1's CamelCase splitting exists
+  /// for.
+  double camel_case_prob = 0.0;
+  /// Shared-pool attributes mixed in, uniform in [min, max].
+  std::size_t pool_attrs_min = 0;
+  std::size_t pool_attrs_max = 2;
+  /// Core attributes, uniform in [min, max] (clamped to core size).
+  std::size_t core_attrs_min = 4;
+  std::size_t core_attrs_max = 9;
+};
+
+/// Generates one multi-label schema from a primary template plus blending.
+/// When \p forced_template is non-negative it selects the primary template
+/// directly (used to guarantee every label receives at least one schema).
+void GenerateTemplatedSchema(const std::vector<const DomainTemplate*>& pool,
+                             const BlendConfig& cfg, const std::string& prefix,
+                             Rng& rng, SchemaCorpus* corpus,
+                             int forced_template = -1) {
+  const DomainTemplate& primary =
+      *pool[forced_template >= 0 ? static_cast<std::size_t>(forced_template)
+                                 : PickTemplate(pool, rng)];
+  std::vector<std::string> labels = {primary.label};
+  std::vector<std::string> attrs;
+
+  // Core attributes.
+  const std::size_t core_hi =
+      std::min(cfg.core_attrs_max, primary.core.size());
+  const std::size_t core_lo = std::min(cfg.core_attrs_min, core_hi);
+  const std::size_t n_core = static_cast<std::size_t>(
+      rng.NextInRange(static_cast<std::int64_t>(core_lo),
+                      static_cast<std::int64_t>(core_hi)));
+  SampleAttributes(primary.core, n_core, rng, &attrs);
+
+  // Shared-pool attributes.
+  if (!primary.shared_pools.empty() && cfg.pool_attrs_max > 0) {
+    const std::size_t n_pool = static_cast<std::size_t>(
+        rng.NextInRange(static_cast<std::int64_t>(cfg.pool_attrs_min),
+                        static_cast<std::int64_t>(cfg.pool_attrs_max)));
+    for (std::size_t k = 0; k < n_pool; ++k) {
+      const std::string& pool_name =
+          primary.shared_pools[rng.NextBelow(primary.shared_pools.size())];
+      SampleAttributes(SharedPool(pool_name).attributes, 1, rng, &attrs);
+    }
+  }
+
+  // Related-label blending (multi-topic schemas).
+  for (double p : cfg.extra_label_probs) {
+    if (!rng.NextBernoulli(p) || primary.related_labels.empty()) continue;
+    const std::string& related = primary.related_labels[rng.NextBelow(
+        primary.related_labels.size())];
+    const DomainTemplate* rt = FindTemplate(pool, related);
+    if (rt == nullptr) continue;
+    if (std::find(labels.begin(), labels.end(), related) != labels.end()) {
+      continue;
+    }
+    if (!rng.NextBernoulli(cfg.blend_label_dropout)) {
+      labels.push_back(related);
+    }
+    const std::size_t n_blend = static_cast<std::size_t>(
+        rng.NextInRange(static_cast<std::int64_t>(cfg.blend_attrs_min),
+                        static_cast<std::int64_t>(cfg.blend_attrs_max)));
+    SampleAttributes(rt->core, n_blend, rng, &attrs);
+  }
+
+  if (labels.size() >= 2 && rng.NextBernoulli(cfg.primary_label_swap)) {
+    labels.erase(labels.begin());  // annotator saw only the blended topic
+  }
+
+  // Stray cross-topic attributes (no label attached).
+  if (rng.NextBernoulli(cfg.cross_noise_prob)) {
+    const DomainTemplate& other = *pool[rng.NextBelow(pool.size())];
+    if (other.label != primary.label) {
+      SampleAttributes(other.core, 1 + rng.NextBelow(2), rng, &attrs);
+    }
+  }
+
+  // Ubiquitous person columns (spreadsheets frequently have a name block).
+  if (rng.NextBernoulli(cfg.people_block_prob) &&
+      std::find(labels.begin(), labels.end(), "people") == labels.end()) {
+    labels.push_back("people");
+    SampleAttributes(SharedPool("person").attributes,
+                     1 + rng.NextBelow(3), rng, &attrs);
+  }
+
+  // Render some attributes as CamelCase form-field identifiers.
+  for (std::string& attr : attrs) {
+    if (!rng.NextBernoulli(cfg.camel_case_prob)) continue;
+    std::string camel;
+    bool upper_next = true;
+    for (char c : attr) {
+      if (c == ' ') {
+        upper_next = true;
+      } else {
+        camel.push_back(upper_next ? static_cast<char>(std::toupper(
+                                         static_cast<unsigned char>(c)))
+                                   : c);
+        upper_next = false;
+      }
+    }
+    attr = std::move(camel);
+  }
+
+  Schema schema;
+  schema.source_name = prefix + "_" + primary.label + "_" +
+                       std::to_string(corpus->size());
+  schema.attributes = std::move(attrs);
+  corpus->Add(std::move(schema), std::move(labels));
+}
+
+/// Adds unique schemas from UniqueSchemaSpecs()[begin, begin+count).
+void AddUniqueSchemas(std::size_t begin, std::size_t count,
+                      const std::string& prefix, SchemaCorpus* corpus) {
+  const auto& specs = UniqueSchemaSpecs();
+  for (std::size_t i = begin; i < begin + count && i < specs.size(); ++i) {
+    Schema schema;
+    schema.source_name =
+        prefix + "_unique_" + specs[i].label + "_" + std::to_string(i);
+    schema.attributes = specs[i].attributes;
+    corpus->Add(std::move(schema), {specs[i].label});
+  }
+}
+
+/// Adds one very wide schema (the thesis's max-terms outliers: 72 in DW,
+/// 119 in SS): a jumbo spreadsheet/form pulling from several templates and
+/// every shared pool.
+void AddJumboSchema(const std::vector<const DomainTemplate*>& pool,
+                    std::size_t num_templates, std::size_t attrs_per_template,
+                    const std::string& prefix, Rng& rng,
+                    SchemaCorpus* corpus) {
+  std::vector<std::string> labels;
+  std::vector<std::string> attrs;
+  for (std::size_t k = 0; k < num_templates && k < pool.size(); ++k) {
+    const DomainTemplate& t = *pool[PickTemplate(pool, rng)];
+    if (std::find(labels.begin(), labels.end(), t.label) == labels.end() &&
+        labels.size() < 4) {
+      labels.push_back(t.label);
+    }
+    SampleAttributes(t.core, attrs_per_template, rng, &attrs);
+  }
+  for (const AttributePool& p : SharedAttributePools()) {
+    SampleAttributes(p.attributes, 3, rng, &attrs);
+  }
+  Schema schema;
+  schema.source_name = prefix + "_jumbo_" + std::to_string(corpus->size());
+  schema.attributes = std::move(attrs);
+  corpus->Add(std::move(schema), std::move(labels));
+}
+
+}  // namespace
+
+SchemaCorpus MakeDwCorpus(const WebGeneratorOptions& options) {
+  SchemaCorpus corpus("DW");
+  Rng rng(options.seed);
+
+  std::vector<const DomainTemplate*> pool;
+  for (const DomainTemplate& t : DwDomainTemplates()) pool.push_back(&t);
+
+  // 46 templated schemas + 1 jumbo + 16 unique = 63 (Table 6.1).
+  BlendConfig cfg;
+  cfg.extra_label_probs = {0.15};  // at most 2 labels per schema
+  cfg.core_attrs_min = 4;
+  cfg.core_attrs_max = 9;
+  cfg.pool_attrs_min = 1;
+  cfg.pool_attrs_max = 3;
+  cfg.cross_noise_prob = 0.4;
+  cfg.camel_case_prob = 0.2;  // web form field identifiers
+  cfg.blend_label_dropout = 0.35;
+  cfg.primary_label_swap = 0.5;
+  cfg.extra_label_probs = {0.45};  // blends happen; labels often partial
+  // Coverage first: one schema per template so every DW label appears
+  // (Table 6.1's 24 labels), then weighted draws fill the rest.
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    GenerateTemplatedSchema(pool, cfg, "dw", rng, &corpus,
+                            static_cast<int>(t));
+  }
+  for (std::size_t i = pool.size(); i < 46; ++i) {
+    GenerateTemplatedSchema(pool, cfg, "dw", rng, &corpus);
+  }
+  AddJumboSchema(pool, 2, 10, "dw", rng, &corpus);
+  AddUniqueSchemas(0, 16, "dw", &corpus);
+  return corpus;
+}
+
+SchemaCorpus MakeSsCorpus(const WebGeneratorOptions& options) {
+  SchemaCorpus corpus("SS");
+  Rng rng(options.seed + 1);
+
+  // SS draws from its own templates plus the DW templates it shares labels
+  // with (Table 6.1: 24 + 85 labels but 97 distinct overall).
+  std::vector<const DomainTemplate*> pool;
+  for (const DomainTemplate& t : SsDomainTemplates()) pool.push_back(&t);
+  for (const DomainTemplate& t : DwDomainTemplates()) {
+    const auto& reused = SsReusedDwLabels();
+    if (std::find(reused.begin(), reused.end(), t.label) != reused.end()) {
+      pool.push_back(&t);
+    }
+  }
+
+  // 186 templated + 3 jumbo + 63 unique = 252 (Table 6.1).
+  BlendConfig cfg;
+  cfg.extra_label_probs = {0.50, 0.18, 0.06};  // up to 4 labels per schema
+  cfg.core_attrs_min = 2;
+  cfg.core_attrs_max = 5;
+  cfg.blend_attrs_min = 2;
+  cfg.blend_attrs_max = 4;
+  cfg.pool_attrs_min = 2;
+  cfg.pool_attrs_max = 4;
+  cfg.people_block_prob = 0.22;
+  cfg.cross_noise_prob = 0.55;
+  cfg.camel_case_prob = 0.08;  // occasional exported-database headers
+  cfg.blend_label_dropout = 0.3;
+  cfg.primary_label_swap = 0.2;
+  // Coverage first (every templated SS label appears), then weighted fill:
+  // 40 templates + 45 unique-only labels = the thesis's 85 SS labels.
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    GenerateTemplatedSchema(pool, cfg, "ss", rng, &corpus,
+                            static_cast<int>(t));
+  }
+  for (std::size_t i = pool.size(); i < 186; ++i) {
+    GenerateTemplatedSchema(pool, cfg, "ss", rng, &corpus);
+  }
+  AddJumboSchema(pool, 6, 7, "ss", rng, &corpus);
+  AddJumboSchema(pool, 4, 6, "ss", rng, &corpus);
+  AddJumboSchema(pool, 3, 5, "ss", rng, &corpus);
+  AddUniqueSchemas(16, 63, "ss", &corpus);
+  return corpus;
+}
+
+SchemaCorpus MakeDwSsCorpus(const WebGeneratorOptions& options) {
+  return SchemaCorpus::Union(MakeDwCorpus(options), MakeSsCorpus(options),
+                             "DW+SS");
+}
+
+}  // namespace paygo

@@ -1,0 +1,42 @@
+#ifndef PAYGO_SYNTH_WEB_GENERATOR_H_
+#define PAYGO_SYNTH_WEB_GENERATOR_H_
+
+/// \file web_generator.h
+/// \brief Synthetic stand-ins for the DW (deep web) and SS (spreadsheet)
+/// schema sets of Section 6.1.1.
+///
+/// Both generators reproduce the properties Table 6.1 reports and the
+/// qualitative contrasts the thesis draws:
+///
+///  * DW — 63 schemas over 24 labels, at most 2 labels per schema, cleanly
+///    phrased domain-indicative attribute names, ~25% unique schemas.
+///  * SS — 252 schemas over 85 labels, up to 4 labels per schema, noisier:
+///    generic spreadsheet column headers from shared pools, frequent
+///    label blending (e.g. {Name, Grade, School, District, Project} ->
+///    schools+people+awards+projects), ~25% unique schemas, plus a few
+///    very wide spreadsheets (max terms per schema ~119 in the thesis).
+
+#include <cstdint>
+
+#include "schema/corpus.h"
+
+namespace paygo {
+
+/// \brief Options shared by the DW and SS generators.
+struct WebGeneratorOptions {
+  std::uint64_t seed = 29;
+};
+
+/// Generates the DW-like corpus (63 schemas, 24 labels).
+SchemaCorpus MakeDwCorpus(const WebGeneratorOptions& options = {});
+
+/// Generates the SS-like corpus (252 schemas, 85 labels).
+SchemaCorpus MakeSsCorpus(const WebGeneratorOptions& options = {});
+
+/// Convenience: union of DW and SS (the "Both" column of Table 6.1/6.2),
+/// generated with the same seeds the individual corpora use.
+SchemaCorpus MakeDwSsCorpus(const WebGeneratorOptions& options = {});
+
+}  // namespace paygo
+
+#endif  // PAYGO_SYNTH_WEB_GENERATOR_H_

@@ -1,0 +1,214 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace paygo {
+namespace {
+
+// Implementation of the classic Porter (1980) algorithm, steps 1a-5b,
+// operating on lower-case ASCII words.
+
+bool IsVowelAt(const std::string& w, std::size_t i) {
+  const char c = w[i];
+  if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return true;
+  // 'y' is a vowel when preceded by a consonant.
+  if (c == 'y') {
+    if (i == 0) return false;
+    return !IsVowelAt(w, i - 1);
+  }
+  return false;
+}
+
+/// Measure m of the word prefix w[0..end): number of VC sequences.
+int Measure(const std::string& w, std::size_t end) {
+  int m = 0;
+  std::size_t i = 0;
+  // Skip initial consonants.
+  while (i < end && !IsVowelAt(w, i)) ++i;
+  while (i < end) {
+    // In a vowel run.
+    while (i < end && IsVowelAt(w, i)) ++i;
+    if (i >= end) break;
+    // Consonant run -> one VC.
+    ++m;
+    while (i < end && !IsVowelAt(w, i)) ++i;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, std::size_t end) {
+  for (std::size_t i = 0; i < end; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  const std::size_t n = w.size();
+  if (n < 2) return false;
+  if (w[n - 1] != w[n - 2]) return false;
+  return !IsVowelAt(w, n - 1);
+}
+
+/// *o condition: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w, std::size_t end) {
+  if (end < 3) return false;
+  if (IsVowelAt(w, end - 1) || !IsVowelAt(w, end - 2) ||
+      IsVowelAt(w, end - 3)) {
+    return false;
+  }
+  const char c = w[end - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// If w ends with `suffix` and the measure of the remaining stem is > m_min,
+/// replaces the suffix with `repl` and returns true.
+bool ReplaceIfMeasure(std::string& w, std::string_view suffix,
+                      std::string_view repl, int m_min) {
+  if (!EndsWith(w, suffix)) return false;
+  const std::size_t stem_len = w.size() - suffix.size();
+  if (Measure(w, stem_len) <= m_min) return true;  // matched but unchanged
+  w.resize(stem_len);
+  w.append(repl);
+  return true;
+}
+
+void Step1a(std::string& w) {
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ies")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ss")) {
+    // unchanged
+  } else if (EndsWith(w, "s") && w.size() > 1) {
+    w.resize(w.size() - 1);
+  }
+}
+
+void Step1bTail(std::string& w) {
+  // Called after removing -ed / -ing.
+  if (EndsWith(w, "at") || EndsWith(w, "bl") || EndsWith(w, "iz")) {
+    w.push_back('e');
+  } else if (EndsWithDoubleConsonant(w)) {
+    const char c = w.back();
+    if (c != 'l' && c != 's' && c != 'z') w.resize(w.size() - 1);
+  } else if (Measure(w, w.size()) == 1 && EndsCvc(w, w.size())) {
+    w.push_back('e');
+  }
+}
+
+void Step1b(std::string& w) {
+  if (EndsWith(w, "eed")) {
+    if (Measure(w, w.size() - 3) > 0) w.resize(w.size() - 1);
+    return;
+  }
+  if (EndsWith(w, "ed") && ContainsVowel(w, w.size() - 2)) {
+    w.resize(w.size() - 2);
+    Step1bTail(w);
+    return;
+  }
+  if (EndsWith(w, "ing") && ContainsVowel(w, w.size() - 3)) {
+    w.resize(w.size() - 3);
+    Step1bTail(w);
+  }
+}
+
+void Step1c(std::string& w) {
+  if (EndsWith(w, "y") && ContainsVowel(w, w.size() - 1)) {
+    w.back() = 'i';
+  }
+}
+
+void Step2(std::string& w) {
+  struct Rule {
+    std::string_view suffix, repl;
+  };
+  static const Rule kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const Rule& r : kRules) {
+    if (ReplaceIfMeasure(w, r.suffix, r.repl, 0)) return;
+  }
+}
+
+void Step3(std::string& w) {
+  struct Rule {
+    std::string_view suffix, repl;
+  };
+  static const Rule kRules[] = {
+      {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+  };
+  for (const Rule& r : kRules) {
+    if (ReplaceIfMeasure(w, r.suffix, r.repl, 0)) return;
+  }
+}
+
+void Step4(std::string& w) {
+  static const std::string_view kSuffixes[] = {
+      "al",  "ance", "ence", "er",  "ic",   "able", "ible", "ant",
+      "ement", "ment", "ent", "ou", "ism",  "ate",  "iti",  "ous",
+      "ive", "ize",
+  };
+  for (std::string_view s : kSuffixes) {
+    if (!EndsWith(w, s)) continue;
+    const std::size_t stem_len = w.size() - s.size();
+    if (Measure(w, stem_len) > 1) w.resize(stem_len);
+    return;
+  }
+  // Special case: -(s|t)ion
+  if (EndsWith(w, "ion")) {
+    const std::size_t stem_len = w.size() - 3;
+    if (stem_len > 0 && (w[stem_len - 1] == 's' || w[stem_len - 1] == 't') &&
+        Measure(w, stem_len) > 1) {
+      w.resize(stem_len);
+    }
+  }
+}
+
+void Step5a(std::string& w) {
+  if (!EndsWith(w, "e")) return;
+  const std::size_t stem_len = w.size() - 1;
+  const int m = Measure(w, stem_len);
+  if (m > 1 || (m == 1 && !EndsCvc(w, stem_len))) w.resize(stem_len);
+}
+
+void Step5b(std::string& w) {
+  if (EndsWith(w, "ll") && Measure(w, w.size() - 1) > 1) {
+    w.resize(w.size() - 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) {
+      return std::string(word);
+    }
+  }
+  std::string w(word);
+  Step1a(w);
+  Step1b(w);
+  Step1c(w);
+  Step2(w);
+  Step3(w);
+  Step4(w);
+  Step5a(w);
+  Step5b(w);
+  return w;
+}
+
+}  // namespace paygo

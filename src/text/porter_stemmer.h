@@ -1,0 +1,23 @@
+#ifndef PAYGO_TEXT_PORTER_STEMMER_H_
+#define PAYGO_TEXT_PORTER_STEMMER_H_
+
+/// \file porter_stemmer.h
+/// \brief Porter stemming algorithm (Porter, 1980).
+///
+/// Section 4.1 of the thesis notes that an alternative to the LCS-based term
+/// similarity is "a function that recognizes two terms to be similar if and
+/// only if they have the same stem". This is that alternative; see
+/// TermSimilarityKind::kStem in term_similarity.h.
+
+#include <string>
+#include <string_view>
+
+namespace paygo {
+
+/// Returns the Porter stem of \p word (expects lower-case ASCII input;
+/// non-alphabetic input is returned unchanged).
+std::string PorterStem(std::string_view word);
+
+}  // namespace paygo
+
+#endif  // PAYGO_TEXT_PORTER_STEMMER_H_

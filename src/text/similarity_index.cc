@@ -1,0 +1,172 @@
+#include "text/similarity_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "text/porter_stemmer.h"
+
+namespace paygo {
+namespace {
+
+constexpr std::size_t kBigramSpace = 256 * 256;
+
+inline std::size_t BigramKey(unsigned char a, unsigned char b) {
+  return static_cast<std::size_t>(a) * 256 + b;
+}
+
+}  // namespace
+
+SimilarityIndex::SimilarityIndex(std::vector<std::string> terms,
+                                 TermSimilarity sim, double threshold)
+    : terms_(std::move(terms)), sim_(sim), threshold_(threshold) {
+  min_term_len_ = terms_.empty() ? 0 : terms_[0].size();
+  for (const auto& t : terms_) min_term_len_ = std::min(min_term_len_, t.size());
+  if (sim_.kind() == TermSimilarityKind::kLcs) BuildBigramIndex();
+  BuildNeighborhoods();
+}
+
+bool SimilarityIndex::BigramPruneSound(std::size_t min_len) const {
+  // t_sim >= threshold forces LCS >= threshold*(l1+l2)/2 >= threshold*min_len
+  // (taking l1 = l2 = min_len as the worst case is wrong: the smallest forced
+  // LCS over all admissible pairs is threshold * (min_len + min_len) / 2 =
+  // threshold * min_len). The prune is sound when that forced length is >= 2.
+  return threshold_ * static_cast<double>(min_len) >= 2.0 - 1e-12;
+}
+
+void SimilarityIndex::BuildBigramIndex() {
+  bigram_postings_.assign(kBigramSpace, {});
+  for (std::uint32_t i = 0; i < terms_.size(); ++i) {
+    const std::string& t = terms_[i];
+    for (std::size_t k = 0; k + 1 < t.size(); ++k) {
+      auto& postings = bigram_postings_[BigramKey(
+          static_cast<unsigned char>(t[k]),
+          static_cast<unsigned char>(t[k + 1]))];
+      if (postings.empty() || postings.back() != i) postings.push_back(i);
+    }
+  }
+}
+
+std::vector<std::uint32_t> SimilarityIndex::BigramCandidates(
+    std::string_view term) const {
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t k = 0; k + 1 < term.size(); ++k) {
+    const auto& postings = bigram_postings_[BigramKey(
+        static_cast<unsigned char>(term[k]),
+        static_cast<unsigned char>(term[k + 1]))];
+    candidates.insert(candidates.end(), postings.begin(), postings.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+void SimilarityIndex::BuildNeighborhoods() {
+  const std::size_t n = terms_.size();
+  neighbors_.assign(n, {});
+  for (std::uint32_t i = 0; i < n; ++i) neighbors_[i].push_back(i);
+
+  switch (sim_.kind()) {
+    case TermSimilarityKind::kExact:
+      // Identity only (terms_ is deduplicated).
+      return;
+    case TermSimilarityKind::kStem: {
+      // Bucket terms by Porter stem; all terms in a bucket are mutually
+      // similar with similarity 1 (>= any threshold in (0,1]).
+      if (threshold_ > 1.0) return;
+      std::unordered_map<std::string, std::vector<std::uint32_t>> buckets;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        buckets[PorterStem(terms_[i])].push_back(i);
+      }
+      for (const auto& [stem, members] : buckets) {
+        if (members.size() < 2) continue;
+        for (std::uint32_t a : members) {
+          for (std::uint32_t b : members) {
+            if (a != b) neighbors_[a].push_back(b);
+          }
+        }
+      }
+      for (auto& nb : neighbors_) std::sort(nb.begin(), nb.end());
+      return;
+    }
+    case TermSimilarityKind::kLcs:
+    case TermSimilarityKind::kLevenshtein:
+    case TermSimilarityKind::kJaroWinkler:
+      break;
+  }
+
+  // The bigram prune is only sound for the LCS kind (a qualifying pair is
+  // forced to share a substring); the edit-distance-style kinds fall back
+  // to the exhaustive scan with the length upper bound.
+  const bool use_bigrams =
+      sim_.kind() == TermSimilarityKind::kLcs && BigramPruneSound(min_term_len_);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string& ti = terms_[i];
+    std::vector<std::uint32_t> candidates;
+    if (use_bigrams) {
+      candidates = BigramCandidates(ti);
+    } else {
+      candidates.resize(n);
+      for (std::uint32_t j = 0; j < n; ++j) candidates[j] = j;
+    }
+    for (std::uint32_t j : candidates) {
+      if (j <= i) continue;  // each unordered pair evaluated once
+      const std::string& tj = terms_[j];
+      if (sim_.UpperBound(ti.size(), tj.size()) < threshold_) continue;
+      if (sim_.Compute(ti, tj) >= threshold_) {
+        neighbors_[i].push_back(j);
+        neighbors_[j].push_back(i);
+      }
+    }
+  }
+  for (auto& nb : neighbors_) std::sort(nb.begin(), nb.end());
+}
+
+std::vector<std::uint32_t> SimilarityIndex::Match(std::string_view term) const {
+  std::vector<std::uint32_t> out;
+  if (term.empty() || terms_.empty()) return out;
+
+  switch (sim_.kind()) {
+    case TermSimilarityKind::kExact: {
+      for (std::uint32_t i = 0; i < terms_.size(); ++i) {
+        if (terms_[i] == term) {
+          out.push_back(i);
+          break;
+        }
+      }
+      return out;
+    }
+    case TermSimilarityKind::kStem: {
+      const std::string stem = PorterStem(term);
+      for (std::uint32_t i = 0; i < terms_.size(); ++i) {
+        if (PorterStem(terms_[i]) == stem) out.push_back(i);
+      }
+      return out;
+    }
+    case TermSimilarityKind::kLcs:
+    case TermSimilarityKind::kLevenshtein:
+    case TermSimilarityKind::kJaroWinkler:
+      break;
+  }
+
+  // Soundness of the bigram prune for an external term also requires the
+  // LCS kind and the external term's forced LCS length to be >= 2.
+  const std::size_t effective_min = std::min(min_term_len_, term.size());
+  if (sim_.kind() == TermSimilarityKind::kLcs &&
+      BigramPruneSound(effective_min)) {
+    for (std::uint32_t j : BigramCandidates(term)) {
+      if (sim_.UpperBound(term.size(), terms_[j].size()) < threshold_) continue;
+      if (sim_.Compute(term, terms_[j]) >= threshold_) out.push_back(j);
+    }
+  } else {
+    for (std::uint32_t j = 0; j < terms_.size(); ++j) {
+      if (sim_.UpperBound(term.size(), terms_[j].size()) < threshold_) continue;
+      if (sim_.Compute(term, terms_[j]) >= threshold_) out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace paygo

@@ -1,0 +1,78 @@
+#ifndef PAYGO_TEXT_SIMILARITY_INDEX_H_
+#define PAYGO_TEXT_SIMILARITY_INDEX_H_
+
+/// \file similarity_index.h
+/// \brief Term-similarity neighborhoods over a term lexicon.
+///
+/// Algorithm 1 needs, for every lexicon term L_j and every schema term t,
+/// whether t_sim(L_j, t) >= tau_t_sim. Computing this naively is
+/// O(|L| * total terms) LCS evaluations, which is infeasible at DDH scale
+/// (2323 schemas). SimilarityIndex precomputes, for each lexicon term, the
+/// set of lexicon terms similar to it, using two sound prunes for the LCS
+/// similarity:
+///
+///  * a length bound — t_sim <= 2*min(l1,l2)/(l1+l2), so pairs whose length
+///    ratio is too skewed can never reach the threshold; and
+///  * a character-bigram inverted index — whenever the threshold forces the
+///    common substring to have length >= 2, similar terms must share a
+///    bigram, so only posting-list collisions are evaluated.
+///
+/// Both prunes are exact (no false negatives) under the documented
+/// conditions; when the threshold is too low for the bigram prune to be
+/// sound, the index transparently falls back to the exhaustive scan.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/term_similarity.h"
+
+namespace paygo {
+
+/// \brief Precomputed tau-neighborhoods of a term lexicon.
+class SimilarityIndex {
+ public:
+  /// Builds neighborhoods for \p terms under \p sim with threshold
+  /// \p threshold. \p terms must be deduplicated; neighborhoods always
+  /// include the term itself.
+  SimilarityIndex(std::vector<std::string> terms, TermSimilarity sim,
+                  double threshold);
+
+  /// Lexicon terms similar to term \p i (sorted indices, includes i).
+  const std::vector<std::uint32_t>& Neighbors(std::size_t i) const {
+    return neighbors_[i];
+  }
+
+  /// Lexicon indices of all terms with t_sim(term, L_j) >= threshold, for an
+  /// arbitrary (possibly out-of-lexicon) \p term — used to featurize keyword
+  /// queries. Sorted ascending.
+  std::vector<std::uint32_t> Match(std::string_view term) const;
+
+  /// The lexicon the index was built over.
+  const std::vector<std::string>& terms() const { return terms_; }
+  double threshold() const { return threshold_; }
+  const TermSimilarity& similarity() const { return sim_; }
+
+ private:
+  void BuildBigramIndex();
+  void BuildNeighborhoods();
+  /// True when the bigram prune is sound for the current threshold and the
+  /// shortest term in play (any common substring must have length >= 2).
+  bool BigramPruneSound(std::size_t min_len) const;
+  /// Candidate lexicon indices sharing a bigram with \p term.
+  std::vector<std::uint32_t> BigramCandidates(std::string_view term) const;
+
+  std::vector<std::string> terms_;
+  TermSimilarity sim_;
+  double threshold_;
+  std::size_t min_term_len_ = 0;
+
+  // bigram (c1*256+c2) -> sorted list of term indices containing it.
+  std::vector<std::vector<std::uint32_t>> bigram_postings_;
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_TEXT_SIMILARITY_INDEX_H_

@@ -1,0 +1,45 @@
+#include "text/stopwords.h"
+
+#include <unordered_set>
+
+namespace paygo {
+namespace {
+
+// A compact English stop-word list tuned for attribute-name text. Terms
+// shorter than three characters are already removed by the tokenizer's
+// minimum-length filter, so words like "of", "by", "to" need not appear.
+const std::vector<std::string_view>* MakeList() {
+  static const std::vector<std::string_view> kList = {
+      "the", "and", "for", "are", "was", "were", "been", "being",
+      "has", "had", "have", "does", "did", "doing", "will", "would",
+      "shall", "should", "can", "could", "may", "might", "must",
+      "this", "that", "these", "those", "there", "here", "where",
+      "when", "which", "while", "with", "within", "without",
+      "from", "into", "onto", "upon", "about", "above", "below",
+      "between", "among", "through", "during", "before", "after",
+      "under", "over", "per", "via", "than", "then", "them", "they",
+      "their", "theirs", "its", "his", "her", "hers", "him", "she",
+      "our", "ours", "your", "yours", "who", "whom", "whose", "what",
+      "why", "how", "all", "any", "both", "each", "few", "more",
+      "most", "other", "some", "such", "only", "own", "same", "not",
+      "nor", "too", "very", "just", "but", "etc", "e.g", "i.e",
+      "also", "please", "enter", "choose",
+  };
+  return &kList;
+}
+
+const std::unordered_set<std::string_view>* MakeSet() {
+  static const std::unordered_set<std::string_view> kSet(MakeList()->begin(),
+                                                         MakeList()->end());
+  return &kSet;
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view term) {
+  return MakeSet()->count(term) != 0;
+}
+
+const std::vector<std::string_view>& StopWordList() { return *MakeList(); }
+
+}  // namespace paygo

@@ -1,0 +1,20 @@
+#ifndef PAYGO_TEXT_STOPWORDS_H_
+#define PAYGO_TEXT_STOPWORDS_H_
+
+/// \file stopwords.h
+/// \brief English stop-word list used by term extraction (Section 4.1).
+
+#include <string_view>
+#include <vector>
+
+namespace paygo {
+
+/// True iff \p term (already lower-cased) is a stop word.
+bool IsStopWord(std::string_view term);
+
+/// The full stop-word list (for tests and documentation).
+const std::vector<std::string_view>& StopWordList();
+
+}  // namespace paygo
+
+#endif  // PAYGO_TEXT_STOPWORDS_H_

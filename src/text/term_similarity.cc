@@ -1,0 +1,130 @@
+#include "text/term_similarity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "text/lcs.h"
+#include "text/porter_stemmer.h"
+
+namespace paygo {
+
+double LcsTermSimilarity(std::string_view t1, std::string_view t2) {
+  if (t1.empty() || t2.empty()) return 0.0;
+  const std::size_t lcs = LcsLengthDp(t1, t2);
+  return 2.0 * static_cast<double>(lcs) /
+         static_cast<double>(t1.size() + t2.size());
+}
+
+std::size_t LevenshteinDistance(std::string_view t1, std::string_view t2) {
+  if (t1.empty()) return t2.size();
+  if (t2.empty()) return t1.size();
+  std::vector<std::size_t> row(t2.size() + 1);
+  for (std::size_t j = 0; j <= t2.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= t1.size(); ++i) {
+    std::size_t diag = row[0];  // dp[i-1][j-1]
+    row[0] = i;
+    for (std::size_t j = 1; j <= t2.size(); ++j) {
+      const std::size_t up = row[j];  // dp[i-1][j]
+      const std::size_t subst = diag + (t1[i - 1] == t2[j - 1] ? 0 : 1);
+      row[j] = std::min({subst, up + 1, row[j - 1] + 1});
+      diag = up;
+    }
+  }
+  return row[t2.size()];
+}
+
+double LevenshteinSimilarity(std::string_view t1, std::string_view t2) {
+  const std::size_t longer = std::max(t1.size(), t2.size());
+  if (longer == 0) return 0.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(t1, t2)) /
+                   static_cast<double>(longer);
+}
+
+double JaroSimilarity(std::string_view t1, std::string_view t2) {
+  if (t1.empty() || t2.empty()) return 0.0;
+  if (t1 == t2) return 1.0;
+  const std::size_t len1 = t1.size(), len2 = t2.size();
+  const std::size_t window =
+      std::max<std::size_t>(1, std::max(len1, len2) / 2) - 1;
+
+  std::vector<bool> matched1(len1, false), matched2(len2, false);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < len1; ++i) {
+    const std::size_t lo = i > window ? i - window : 0;
+    const std::size_t hi = std::min(len2, i + window + 1);
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (matched2[j] || t1[i] != t2[j]) continue;
+      matched1[i] = true;
+      matched2[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order.
+  std::size_t transpositions = 0;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < len1; ++i) {
+    if (!matched1[i]) continue;
+    while (!matched2[k]) ++k;
+    if (t1[i] != t2[k]) ++transpositions;
+    ++k;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(len1) + m / static_cast<double>(len2) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view t1, std::string_view t2,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(t1, t2);
+  std::size_t prefix = 0;
+  const std::size_t limit = std::min({t1.size(), t2.size(),
+                                      static_cast<std::size_t>(4)});
+  while (prefix < limit && t1[prefix] == t2[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double TermSimilarity::Compute(std::string_view t1, std::string_view t2) const {
+  switch (kind_) {
+    case TermSimilarityKind::kLcs:
+      return LcsTermSimilarity(t1, t2);
+    case TermSimilarityKind::kStem:
+      if (t1.empty() || t2.empty()) return 0.0;
+      return PorterStem(t1) == PorterStem(t2) ? 1.0 : 0.0;
+    case TermSimilarityKind::kExact:
+      if (t1.empty()) return 0.0;
+      return t1 == t2 ? 1.0 : 0.0;
+    case TermSimilarityKind::kLevenshtein:
+      return LevenshteinSimilarity(t1, t2);
+    case TermSimilarityKind::kJaroWinkler:
+      return JaroWinklerSimilarity(t1, t2);
+  }
+  return 0.0;
+}
+
+double TermSimilarity::UpperBound(std::size_t len1, std::size_t len2) const {
+  if (len1 == 0 || len2 == 0) return 0.0;
+  switch (kind_) {
+    case TermSimilarityKind::kLcs: {
+      const std::size_t shorter = len1 < len2 ? len1 : len2;
+      return 2.0 * static_cast<double>(shorter) /
+             static_cast<double>(len1 + len2);
+    }
+    case TermSimilarityKind::kLevenshtein: {
+      // At least |len1 - len2| edits are required.
+      const std::size_t longer = std::max(len1, len2);
+      const std::size_t diff = longer - std::min(len1, len2);
+      return 1.0 - static_cast<double>(diff) / static_cast<double>(longer);
+    }
+    case TermSimilarityKind::kStem:
+    case TermSimilarityKind::kExact:
+    case TermSimilarityKind::kJaroWinkler:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace paygo

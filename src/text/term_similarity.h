@@ -1,0 +1,75 @@
+#ifndef PAYGO_TEXT_TERM_SIMILARITY_H_
+#define PAYGO_TEXT_TERM_SIMILARITY_H_
+
+/// \file term_similarity.h
+/// \brief The t_sim term-similarity function of Section 4.1.
+///
+/// t_sim(t1, t2) = 2 * len(LCS(t1, t2)) / (len(t1) + len(t2)), i.e. the
+/// length of the longest common substring divided by the average of the two
+/// term lengths; values are in [0, 1]. The thesis also mentions a stem-based
+/// alternative (two terms are similar iff they share a Porter stem), exposed
+/// here as TermSimilarityKind::kStem. kExact is provided for ablation.
+
+#include <string_view>
+
+namespace paygo {
+
+/// \brief Which t_sim definition to use.
+///
+/// The thesis uses kLcs and proposes kStem as an alternative; kLevenshtein
+/// and kJaroWinkler come from the string-metric survey it cites ([7],
+/// Cohen et al.) and are provided for ablation; kExact is the trivial
+/// baseline.
+enum class TermSimilarityKind {
+  /// 2*LCS / (len1+len2) — the thesis default.
+  kLcs,
+  /// 1.0 when PorterStem(t1) == PorterStem(t2), else 0.0.
+  kStem,
+  /// 1.0 when t1 == t2, else 0.0 (ablation baseline).
+  kExact,
+  /// 1 - EditDistance / max(len1, len2).
+  kLevenshtein,
+  /// Jaro-Winkler similarity (prefix-boosted Jaro).
+  kJaroWinkler,
+};
+
+/// \brief Computes t_sim between term pairs.
+class TermSimilarity {
+ public:
+  explicit TermSimilarity(TermSimilarityKind kind = TermSimilarityKind::kLcs)
+      : kind_(kind) {}
+
+  /// Similarity in [0, 1]; symmetric; 1.0 for identical non-empty terms.
+  double Compute(std::string_view t1, std::string_view t2) const;
+
+  /// Cheap upper bound on Compute(t1, t2) from lengths alone: for the LCS
+  /// kind this is 2*min(l1,l2)/(l1+l2) (LCS length is at most the shorter
+  /// term), letting callers skip pairs that can never reach a threshold.
+  double UpperBound(std::size_t len1, std::size_t len2) const;
+
+  TermSimilarityKind kind() const { return kind_; }
+
+ private:
+  TermSimilarityKind kind_;
+};
+
+/// Standalone LCS-based t_sim (the formula from Section 4.1).
+double LcsTermSimilarity(std::string_view t1, std::string_view t2);
+
+/// Levenshtein edit distance (unit costs).
+std::size_t LevenshteinDistance(std::string_view t1, std::string_view t2);
+
+/// 1 - LevenshteinDistance / max(len1, len2); 0 when both empty.
+double LevenshteinSimilarity(std::string_view t1, std::string_view t2);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view t1, std::string_view t2);
+
+/// Jaro-Winkler: Jaro boosted by up to 4 characters of common prefix with
+/// scaling factor \p prefix_scale (standard 0.1).
+double JaroWinklerSimilarity(std::string_view t1, std::string_view t2,
+                             double prefix_scale = 0.1);
+
+}  // namespace paygo
+
+#endif  // PAYGO_TEXT_TERM_SIMILARITY_H_

@@ -1,0 +1,90 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace paygo {
+namespace {
+
+bool HasLetter(std::string_view s) {
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(std::move(options)) {}
+
+void Tokenizer::SplitCamel(std::string_view chunk,
+                           std::vector<std::string>* out) const {
+  if (!options_.split_camel_case) {
+    out->emplace_back(chunk);
+    return;
+  }
+  std::string current;
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(chunk[i]);
+    const bool upper = std::isupper(c) != 0;
+    const bool prev_lower =
+        i > 0 && std::islower(static_cast<unsigned char>(chunk[i - 1])) != 0;
+    const bool prev_digit =
+        i > 0 && std::isdigit(static_cast<unsigned char>(chunk[i - 1])) != 0;
+    // Boundary at lower->Upper ("maxNumber") and digit->Upper ("2Day"), and
+    // at Upper followed by lower when preceded by Upper ("HTMLPage" ->
+    // "HTML", "Page").
+    bool boundary = upper && (prev_lower || prev_digit);
+    if (!boundary && upper && i + 1 < chunk.size() && i > 0) {
+      const bool prev_upper =
+          std::isupper(static_cast<unsigned char>(chunk[i - 1])) != 0;
+      const bool next_lower =
+          std::islower(static_cast<unsigned char>(chunk[i + 1])) != 0;
+      boundary = prev_upper && next_lower;
+    }
+    if (boundary && !current.empty()) {
+      out->push_back(std::move(current));
+      current.clear();
+    }
+    current.push_back(static_cast<char>(c));
+  }
+  if (!current.empty()) out->push_back(std::move(current));
+}
+
+std::vector<std::string> Tokenizer::Tokenize(
+    std::string_view attribute_name) const {
+  std::vector<std::string> chunks =
+      SplitAny(attribute_name, options_.delimiters);
+  std::vector<std::string> raw;
+  raw.reserve(chunks.size());
+  for (const std::string& chunk : chunks) SplitCamel(chunk, &raw);
+
+  std::vector<std::string> terms;
+  terms.reserve(raw.size());
+  for (const std::string& t : raw) {
+    std::string canon = ToLowerAscii(t);
+    if (canon.size() < options_.min_term_length) continue;
+    if (options_.drop_non_alphabetic && !HasLetter(canon)) continue;
+    if (options_.remove_stop_words && IsStopWord(canon)) continue;
+    terms.push_back(std::move(canon));
+  }
+  return terms;
+}
+
+std::vector<std::string> Tokenizer::TokenizeAll(
+    const std::vector<std::string>& attribute_names) const {
+  std::vector<std::string> all;
+  for (const std::string& name : attribute_names) {
+    std::vector<std::string> terms = Tokenize(name);
+    all.insert(all.end(), std::make_move_iterator(terms.begin()),
+               std::make_move_iterator(terms.end()));
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace paygo

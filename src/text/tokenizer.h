@@ -1,0 +1,62 @@
+#ifndef PAYGO_TEXT_TOKENIZER_H_
+#define PAYGO_TEXT_TOKENIZER_H_
+
+/// \file tokenizer.h
+/// \brief Attribute-name term extraction (Section 4.1, Algorithm 1 steps 4-7).
+///
+/// An attribute name such as "Day/Time" or "MaxNumberOfStudents" is split
+/// into terms over a set of delimiters and at lower-to-upper CamelCase
+/// boundaries, canonicalized to lower case, and filtered against stop words
+/// and a minimum term length.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paygo {
+
+/// \brief Options controlling term extraction.
+struct TokenizerOptions {
+  /// Characters treated as term delimiters (thesis: "white spaces, slashes,
+  /// and underscores"; we include the common punctuation found in web-form
+  /// labels as well).
+  std::string delimiters = " \t\r\n/_-.,:;()[]{}'\"?!&*#+=|\\<>";
+  /// Split "MaxNumberOfStudents" into {max, number, of, students}.
+  bool split_camel_case = true;
+  /// Terms shorter than this many characters are dropped ("terms with less
+  /// than three letters").
+  std::size_t min_term_length = 3;
+  /// Drop stop words ("of", "the", ...).
+  bool remove_stop_words = true;
+  /// Drop terms that contain no ASCII letter at all (pure numbers such as a
+  /// year column header carry no lexical signal for t_sim).
+  bool drop_non_alphabetic = true;
+};
+
+/// \brief Splits attribute names into canonicalized terms.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Extracts the canonical terms of one attribute name, in order of
+  /// appearance (duplicates preserved; callers needing a set deduplicate).
+  std::vector<std::string> Tokenize(std::string_view attribute_name) const;
+
+  /// Extracts the union of terms over several attribute names, deduplicated
+  /// and sorted — this is the set T_i of Algorithm 1 for a schema.
+  std::vector<std::string> TokenizeAll(
+      const std::vector<std::string>& attribute_names) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  /// Splits one delimiter-free chunk at CamelCase boundaries.
+  void SplitCamel(std::string_view chunk,
+                  std::vector<std::string>* out) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_TEXT_TOKENIZER_H_

@@ -1,0 +1,58 @@
+#include "util/bitset.h"
+
+#include <cassert>
+
+namespace paygo {
+
+std::size_t DynamicBitset::AndCount(const DynamicBitset& a,
+                                    const DynamicBitset& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    c += static_cast<std::size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  }
+  return c;
+}
+
+std::size_t DynamicBitset::OrCount(const DynamicBitset& a,
+                                   const DynamicBitset& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    c += static_cast<std::size_t>(std::popcount(a.words_[i] | b.words_[i]));
+  }
+  return c;
+}
+
+double DynamicBitset::Jaccard(const DynamicBitset& a, const DynamicBitset& b) {
+  const std::size_t uni = OrCount(a, b);
+  if (uni == 0) return 0.0;
+  return static_cast<double>(AndCount(a, b)) / static_cast<double>(uni);
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+std::vector<std::size_t> DynamicBitset::SetBits() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back((w << 6) + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace paygo

@@ -1,0 +1,107 @@
+#ifndef PAYGO_UTIL_BITSET_H_
+#define PAYGO_UTIL_BITSET_H_
+
+/// \file bitset.h
+/// \brief Fixed-size-at-construction dynamic bitset with fast set operations.
+///
+/// Binary schema feature vectors (Section 4.1 of the thesis) are stored as
+/// DynamicBitsets so that the Jaccard coefficient over high-dimensional
+/// binary vectors reduces to word-wise AND/OR popcounts.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paygo {
+
+/// \brief A bit vector whose size is fixed at construction.
+///
+/// Supports the operations the clustering pipeline needs: bit get/set,
+/// popcount, AND/OR popcounts of two vectors (for Jaccard), and in-place
+/// AND/OR merges (for Total-Jaccard cluster summaries).
+class DynamicBitset {
+ public:
+  /// Creates an all-zero bitset with \p num_bits bits.
+  explicit DynamicBitset(std::size_t num_bits = 0)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Number of bits (the dimensionality of the vector).
+  std::size_t size() const { return num_bits_; }
+
+  /// True iff bit \p i is set. \p i must be < size().
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit \p i to \p value. \p i must be < size().
+  void Set(std::size_t i, bool value = true) {
+    if (value) {
+      words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+    } else {
+      words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+  }
+
+  /// Sets all bits to zero without changing the size.
+  void Reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Sets all bits to one.
+  void SetAll() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    TrimTail();
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  /// True iff no bit is set.
+  bool None() const {
+    for (auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of positions set in both `a` and `b`. Sizes must match.
+  static std::size_t AndCount(const DynamicBitset& a, const DynamicBitset& b);
+  /// Number of positions set in either `a` or `b`. Sizes must match.
+  static std::size_t OrCount(const DynamicBitset& a, const DynamicBitset& b);
+
+  /// Jaccard coefficient |a AND b| / |a OR b|; returns 0 when both are empty.
+  static double Jaccard(const DynamicBitset& a, const DynamicBitset& b);
+
+  /// In-place AND with \p other. Sizes must match.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  /// In-place OR with \p other. Sizes must match.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> SetBits() const;
+
+ private:
+  /// Clears any bits in the final word beyond num_bits_.
+  void TrimTail() {
+    const std::size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t num_bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_UTIL_BITSET_H_

@@ -1,0 +1,190 @@
+#ifndef PAYGO_UTIL_STATUS_H_
+#define PAYGO_UTIL_STATUS_H_
+
+/// \file status.h
+/// \brief Status / Result<T> error-handling primitives.
+///
+/// The library follows the Arrow/RocksDB convention of returning a Status (or
+/// a Result<T>, which is a Status plus a value) from any operation that can
+/// fail, instead of throwing exceptions across library boundaries.
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace paygo {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+  kIoError = 9,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (OK carries
+/// no allocation in the common case of an empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factory helpers, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const { return code_; }
+  /// The (possibly empty) human-readable message.
+  const std::string& message() const { return message_; }
+
+  /// \name Category predicates.
+  /// @{
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  /// @}
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief A Status plus a value: either holds a T or a non-OK Status.
+///
+/// Mirrors arrow::Result. Accessing the value of a failed Result is a
+/// programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  /// Constructs a failed result from a non-OK \p status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or \p fallback when the result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PAYGO_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::paygo::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define PAYGO_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto PAYGO_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!PAYGO_CONCAT_(_res_, __LINE__).ok())        \
+    return PAYGO_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PAYGO_CONCAT_(_res_, __LINE__)).value()
+
+#define PAYGO_CONCAT_INNER_(a, b) a##b
+#define PAYGO_CONCAT_(a, b) PAYGO_CONCAT_INNER_(a, b)
+
+}  // namespace paygo
+
+#endif  // PAYGO_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef PAYGO_UTIL_STRING_UTIL_H_
+#define PAYGO_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// \brief Small string helpers shared across the library.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paygo {
+
+/// Returns \p s with ASCII letters lowered.
+std::string ToLowerAscii(std::string_view s);
+
+/// Returns \p s without leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits \p s on any character in \p delims; empty pieces are dropped.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+/// Splits \p s on the single character \p delim, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff \p s starts with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff every character of \p s is an ASCII letter.
+bool IsAlphaAscii(std::string_view s);
+
+/// Formats a double with \p precision digits after the decimal point.
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace paygo
+
+#endif  // PAYGO_UTIL_STRING_UTIL_H_

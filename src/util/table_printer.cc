@@ -1,0 +1,73 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace paygo {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      os << (c + 1 == headers_.size() ? " |" : " | ");
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto csv_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ",";
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << "\"\"";
+          else os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << "\n";
+  };
+  csv_row(headers_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+}  // namespace paygo

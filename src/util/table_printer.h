@@ -1,0 +1,47 @@
+#ifndef PAYGO_UTIL_TABLE_PRINTER_H_
+#define PAYGO_UTIL_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// \brief ASCII-table and CSV rendering for experiment output.
+///
+/// The bench harness prints the same rows/series the paper's tables and
+/// figures report; TablePrinter renders them legibly on a terminal and can
+/// also emit CSV for plotting.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paygo {
+
+/// \brief Accumulates rows of string cells and renders them aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: appends a row where numeric cells are pre-formatted.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders an aligned ASCII table (pipe-separated, with a rule).
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as CSV.
+  void PrintCsv(std::ostream& os) const;
+
+  /// Number of data rows.
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_UTIL_TABLE_PRINTER_H_

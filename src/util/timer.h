@@ -1,0 +1,34 @@
+#ifndef PAYGO_UTIL_TIMER_H_
+#define PAYGO_UTIL_TIMER_H_
+
+/// \file timer.h
+/// \brief Wall-clock timing for experiment harnesses.
+
+#include <chrono>
+
+namespace paygo {
+
+/// \brief Measures elapsed wall time from construction or the last Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_UTIL_TIMER_H_

@@ -1,0 +1,133 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+TEST(BitsetTest, StartsAllZero) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitsetTest, SetAndClearAcrossWordBoundaries) {
+  DynamicBitset b(200);
+  for (std::size_t i : {0u, 63u, 64u, 127u, 128u, 199u}) {
+    b.Set(i);
+    EXPECT_TRUE(b.Test(i));
+  }
+  EXPECT_EQ(b.Count(), 6u);
+  b.Set(64, false);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 5u);
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  DynamicBitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(BitsetTest, ResetClearsEverything) {
+  DynamicBitset b(65);
+  b.SetAll();
+  b.Reset();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, AndOrCounts) {
+  DynamicBitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(3);
+  EXPECT_EQ(DynamicBitset::AndCount(a, b), 2u);
+  EXPECT_EQ(DynamicBitset::OrCount(a, b), 4u);
+}
+
+TEST(BitsetTest, JaccardMatchesDefinition) {
+  DynamicBitset a(10), b(10);
+  a.Set(0);
+  a.Set(1);
+  b.Set(1);
+  b.Set(2);
+  b.Set(3);
+  // intersection 1, union 4.
+  EXPECT_DOUBLE_EQ(DynamicBitset::Jaccard(a, b), 0.25);
+}
+
+TEST(BitsetTest, JaccardOfEmptyVectorsIsZero) {
+  DynamicBitset a(10), b(10);
+  EXPECT_DOUBLE_EQ(DynamicBitset::Jaccard(a, b), 0.0);
+}
+
+TEST(BitsetTest, JaccardIdenticalIsOne) {
+  DynamicBitset a(10);
+  a.Set(4);
+  a.Set(7);
+  EXPECT_DOUBLE_EQ(DynamicBitset::Jaccard(a, a), 1.0);
+}
+
+TEST(BitsetTest, InPlaceAndOr) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  DynamicBitset and_copy = a;
+  and_copy &= b;
+  EXPECT_EQ(and_copy.SetBits(), (std::vector<std::size_t>{2}));
+  DynamicBitset or_copy = a;
+  or_copy |= b;
+  EXPECT_EQ(or_copy.SetBits(), (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(BitsetTest, SetBitsEnumeratesAscending) {
+  DynamicBitset b(300);
+  b.Set(299);
+  b.Set(0);
+  b.Set(64);
+  EXPECT_EQ(b.SetBits(), (std::vector<std::size_t>{0, 64, 299}));
+}
+
+TEST(BitsetTest, EqualityIsStructural) {
+  DynamicBitset a(64), b(64), c(65);
+  a.Set(5);
+  b.Set(5);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+/// Property: Count() agrees with SetBits().size() on random vectors, and
+/// And/Or counts agree with naive bit loops.
+TEST(BitsetPropertyTest, CountsAgreeWithNaiveOnRandomVectors) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.NextBelow(500);
+    DynamicBitset a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.3)) a.Set(i);
+      if (rng.NextBernoulli(0.3)) b.Set(i);
+    }
+    std::size_t and_naive = 0, or_naive = 0, count_naive = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.Test(i)) ++count_naive;
+      if (a.Test(i) && b.Test(i)) ++and_naive;
+      if (a.Test(i) || b.Test(i)) ++or_naive;
+    }
+    EXPECT_EQ(a.Count(), count_naive);
+    EXPECT_EQ(a.SetBits().size(), count_naive);
+    EXPECT_EQ(DynamicBitset::AndCount(a, b), and_naive);
+    EXPECT_EQ(DynamicBitset::OrCount(a, b), or_naive);
+  }
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,67 @@
+#include "eval/classification_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+std::vector<DomainScore> Ranking(std::initializer_list<std::uint32_t> order) {
+  std::vector<DomainScore> r;
+  double score = 0.0;
+  for (std::uint32_t d : order) r.push_back({d, score -= 1.0});
+  return r;
+}
+
+const std::vector<std::vector<std::string>> kDomainLabels = {
+    {"cars"}, {"movies"}, {"hotels"}, {}, {"cars", "movies"}};
+
+TEST(TopKTest, HitAtKFindsTargetWithinPrefix) {
+  const auto r = Ranking({1, 0, 2});
+  EXPECT_TRUE(TopKAccumulator::HitAtK(r, kDomainLabels, "movies", 1));
+  EXPECT_FALSE(TopKAccumulator::HitAtK(r, kDomainLabels, "cars", 1));
+  EXPECT_TRUE(TopKAccumulator::HitAtK(r, kDomainLabels, "cars", 2));
+  EXPECT_TRUE(TopKAccumulator::HitAtK(r, kDomainLabels, "hotels", 3));
+  EXPECT_FALSE(TopKAccumulator::HitAtK(r, kDomainLabels, "plants", 3));
+}
+
+TEST(TopKTest, KLargerThanRankingIsSafe) {
+  const auto r = Ranking({0});
+  EXPECT_TRUE(TopKAccumulator::HitAtK(r, kDomainLabels, "cars", 10));
+  EXPECT_FALSE(TopKAccumulator::HitAtK({}, kDomainLabels, "cars", 3));
+}
+
+TEST(TopKTest, DomainsWithMultipleLabelsMatchAny) {
+  const auto r = Ranking({4});
+  EXPECT_TRUE(TopKAccumulator::HitAtK(r, kDomainLabels, "cars", 1));
+  EXPECT_TRUE(TopKAccumulator::HitAtK(r, kDomainLabels, "movies", 1));
+}
+
+TEST(TopKTest, NonHomogeneousDomainNeverMatches) {
+  const auto r = Ranking({3});
+  EXPECT_FALSE(TopKAccumulator::HitAtK(r, kDomainLabels, "cars", 1));
+}
+
+TEST(TopKTest, AccumulatorFractions) {
+  TopKAccumulator acc;
+  acc.Record(Ranking({0, 1, 2}), kDomainLabels, "cars");    // top-1 hit
+  acc.Record(Ranking({1, 0, 2}), kDomainLabels, "cars");    // top-3 hit only
+  acc.Record(Ranking({1, 2, 3}), kDomainLabels, "cars");    // miss
+  acc.Record(Ranking({2, 3, 0}), kDomainLabels, "cars");    // top-3 hit only
+  EXPECT_EQ(acc.num_queries(), 4u);
+  EXPECT_DOUBLE_EQ(acc.Top1Fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(acc.Top3Fraction(), 0.75);
+}
+
+TEST(TopKTest, EmptyAccumulatorIsZero) {
+  TopKAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Top1Fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Top3Fraction(), 0.0);
+}
+
+TEST(TopKTest, OutOfRangeDomainIdIgnored) {
+  std::vector<DomainScore> r = {{99, -1.0}};
+  EXPECT_FALSE(TopKAccumulator::HitAtK(r, kDomainLabels, "cars", 1));
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,116 @@
+#include "feedback/consistency.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+/// Three sources over one mediated attribute; sources 0 and 1 share
+/// values, source 2 is from another world.
+struct Fixture {
+  SchemaCorpus corpus;
+  DomainMediation mediation;
+  std::vector<std::unique_ptr<DataSource>> sources;
+
+  Fixture() {
+    corpus.Add(Schema("s0", {"make"}), {});
+    corpus.Add(Schema("s1", {"car make"}), {});
+    corpus.Add(Schema("s2", {"genus"}), {});
+    mediation.mediated.attributes.push_back(
+        {"make", {"car make", "genus", "make"}, 3.0});
+    mediation.members = {{0, 1.0}, {1, 1.0}, {2, 1.0}};
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      ProbabilisticMapping pm;
+      pm.schema_id = i;
+      pm.alternatives = {{{0}, 1.0}};
+      mediation.mappings.push_back(pm);
+      sources.push_back(
+          std::make_unique<DataSource>(i, corpus.schema(i)));
+    }
+    for (const char* v : {"honda", "toyota", "ford"}) {
+      (void)sources[0]->AddTuple(Tuple({v}));
+    }
+    for (const char* v : {"honda", "Toyota", "nissan"}) {
+      (void)sources[1]->AddTuple(Tuple({v}));
+    }
+    for (const char* v : {"quercus", "acer", "pinus"}) {
+      (void)sources[2]->AddTuple(Tuple({v}));
+    }
+  }
+
+  std::vector<const DataSource*> Ptrs() const {
+    std::vector<const DataSource*> out;
+    for (const auto& s : sources) out.push_back(s.get());
+    return out;
+  }
+};
+
+TEST(ConsistencyTest, OutlierSourceFlaggedAsSuspect) {
+  Fixture fx;
+  const auto report = AssessDomainConsistency(fx.mediation, fx.Ptrs());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->sources.size(), 3u);
+  // Sources 0 and 1 share "honda"/"toyota" (case-insensitive): consistent.
+  EXPECT_TRUE(report->sources[0].has_evidence);
+  EXPECT_GT(report->sources[0].consistency, 0.5);
+  EXPECT_FALSE(report->sources[0].suspect);
+  EXPECT_GT(report->sources[1].consistency, 0.5);
+  // Source 2 shares nothing: suspect.
+  EXPECT_TRUE(report->sources[2].has_evidence);
+  EXPECT_DOUBLE_EQ(report->sources[2].consistency, 0.0);
+  EXPECT_TRUE(report->sources[2].suspect);
+  EXPECT_EQ(report->num_suspects, 1u);
+}
+
+TEST(ConsistencyTest, ExactValues) {
+  Fixture fx;
+  const auto report = AssessDomainConsistency(fx.mediation, fx.Ptrs());
+  ASSERT_TRUE(report.ok());
+  // Source 0: 2 of 3 values appear elsewhere -> 2/3.
+  EXPECT_NEAR(report->sources[0].consistency, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(report->sources[1].consistency, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(report->domain_consistency, (2.0 / 3 + 2.0 / 3 + 0.0) / 3,
+              1e-9);
+}
+
+TEST(ConsistencyTest, SourcesWithoutDataHaveNoEvidence) {
+  Fixture fx;
+  auto ptrs = fx.Ptrs();
+  ptrs[1] = nullptr;
+  const auto report = AssessDomainConsistency(fx.mediation, ptrs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->sources[1].has_evidence);
+  EXPECT_FALSE(report->sources[1].suspect);
+}
+
+TEST(ConsistencyTest, SingleSourceAttributeContributesNothing) {
+  // Only one source populates the attribute: no cross-source evidence.
+  SchemaCorpus corpus;
+  corpus.Add(Schema("solo", {"make"}), {});
+  DomainMediation mediation;
+  mediation.mediated.attributes.push_back({"make", {"make"}, 1.0});
+  mediation.members = {{0, 1.0}};
+  ProbabilisticMapping pm;
+  pm.schema_id = 0;
+  pm.alternatives = {{{0}, 1.0}};
+  mediation.mappings.push_back(pm);
+  DataSource src(0, corpus.schema(0));
+  ASSERT_TRUE(src.AddTuple(Tuple({"honda"})).ok());
+  const auto report =
+      AssessDomainConsistency(mediation, {&src});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->sources[0].has_evidence);
+  EXPECT_EQ(report->num_suspects, 0u);
+}
+
+TEST(ConsistencyTest, InvalidThresholdRejected) {
+  Fixture fx;
+  ConsistencyOptions opts;
+  opts.suspect_threshold = 1.5;
+  EXPECT_TRUE(AssessDomainConsistency(fx.mediation, fx.Ptrs(), opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paygo

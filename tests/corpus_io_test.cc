@@ -1,0 +1,89 @@
+#include "schema/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace paygo {
+namespace {
+
+TEST(CorpusIoTest, ParseBasic) {
+  const std::string text =
+      "# a comment\n"
+      "corpus demo\n"
+      "schema expedia :: tourism :: departure airport ; destination airport\n"
+      "schema sheet1 :: schools, people :: Name ; Grade ; School\n"
+      "\n";
+  const auto result = ParseCorpus(text);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SchemaCorpus& c = *result;
+  EXPECT_EQ(c.name(), "demo");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.schema(0).source_name, "expedia");
+  EXPECT_EQ(c.schema(0).attributes,
+            (std::vector<std::string>{"departure airport",
+                                      "destination airport"}));
+  EXPECT_EQ(c.labels(1), (std::vector<std::string>{"people", "schools"}));
+}
+
+TEST(CorpusIoTest, ParseEmptyLabels) {
+  const auto result = ParseCorpus("schema s ::  :: a ; b\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->labels(0).empty());
+}
+
+TEST(CorpusIoTest, ParseRejectsMalformedLine) {
+  EXPECT_TRUE(ParseCorpus("garbage line\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseCorpus("schema missing fields\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseCorpus("schema s :: l :: \n").status().IsInvalidArgument());
+}
+
+TEST(CorpusIoTest, InlineCommentsStripped) {
+  const auto result =
+      ParseCorpus("schema s :: l :: a ; b # trailing comment\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema(0).attributes,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CorpusIoTest, RoundTrip) {
+  SchemaCorpus corpus("roundtrip");
+  corpus.Add(Schema("s1", {"title", "authors"}), {"bibliography"});
+  corpus.Add(Schema("s2", {"make", "model", "year"}), {"cars", "items"});
+  const std::string text = SerializeCorpus(corpus);
+  const auto result = ParseCorpus(text);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->name(), "roundtrip");
+  ASSERT_EQ(result->size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(result->schema(i).source_name, corpus.schema(i).source_name);
+    EXPECT_EQ(result->schema(i).attributes, corpus.schema(i).attributes);
+    EXPECT_EQ(result->labels(i), corpus.labels(i));
+  }
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  SchemaCorpus corpus("filetest");
+  corpus.Add(Schema("s1", {"x", "y"}), {"l"});
+  const std::string path = ::testing::TempDir() + "/paygo_corpus_test.txt";
+  ASSERT_TRUE(SaveCorpusFile(corpus, path).ok());
+  const auto loaded = LoadCorpusFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->schema(0).attributes,
+            (std::vector<std::string>{"x", "y"}));
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadCorpusFile("/nonexistent/path/corpus.txt")
+                  .status()
+                  .IsIoError());
+}
+
+}  // namespace
+}  // namespace paygo

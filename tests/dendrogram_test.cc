@@ -1,0 +1,127 @@
+#include "cluster/dendrogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace paygo {
+namespace {
+
+/// Two tight pairs plus an outlier (similarities engineered for clear merge
+/// levels).
+std::vector<DynamicBitset> Features() {
+  std::vector<DynamicBitset> f(5, DynamicBitset(16));
+  for (std::size_t b : {0u, 1u, 2u, 3u}) f[0].Set(b);
+  for (std::size_t b : {0u, 1u, 2u, 4u}) f[1].Set(b);
+  for (std::size_t b : {8u, 9u, 10u, 11u}) f[2].Set(b);
+  for (std::size_t b : {8u, 9u, 10u, 12u}) f[3].Set(b);
+  f[4].Set(15);
+  return f;
+}
+
+TEST(DendrogramTest, ReplaysMergeHistory) {
+  const auto features = Features();
+  HacOptions opts;
+  opts.tau_c_sim = 0.3;
+  const auto result = Hac::Run(features, opts);
+  ASSERT_TRUE(result.ok());
+  const auto dendro = Dendrogram::Build(features.size(), *result);
+  ASSERT_TRUE(dendro.ok()) << dendro.status();
+  // 5 leaves + 2 merges = 7 nodes; 3 roots ({0,1}, {2,3}, {4}).
+  EXPECT_EQ(dendro->nodes().size(), 7u);
+  EXPECT_EQ(dendro->roots().size(), 3u);
+}
+
+TEST(DendrogramTest, CutAtClusteringTauReproducesClusters) {
+  const auto features = Features();
+  for (double tau : {0.2, 0.4, 0.6}) {
+    HacOptions opts;
+    opts.tau_c_sim = tau;
+    const auto result = Hac::Run(features, opts);
+    ASSERT_TRUE(result.ok());
+    const auto dendro = Dendrogram::Build(features.size(), *result);
+    ASSERT_TRUE(dendro.ok());
+    auto cut = dendro->CutAt(tau);
+    auto expected = result->clusters;
+    std::sort(cut.begin(), cut.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(cut, expected) << "tau=" << tau;
+  }
+}
+
+TEST(DendrogramTest, HigherCutRefinesWithoutRerunning) {
+  const auto features = Features();
+  HacOptions opts;
+  opts.tau_c_sim = 0.0;  // full tree
+  const auto result = Hac::Run(features, opts);
+  ASSERT_TRUE(result.ok());
+  const auto dendro = Dendrogram::Build(features.size(), *result);
+  ASSERT_TRUE(dendro.ok());
+  // Cutting the full tree at 0.3 must match running HAC at 0.3.
+  HacOptions at3;
+  at3.tau_c_sim = 0.3;
+  const auto direct = Hac::Run(features, at3);
+  ASSERT_TRUE(direct.ok());
+  auto cut = dendro->CutAt(0.3);
+  auto expected = direct->clusters;
+  std::sort(cut.begin(), cut.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(cut, expected);
+  // Cutting above every similarity yields all singletons.
+  EXPECT_EQ(dendro->CutAt(1.01).size(), features.size());
+}
+
+TEST(DendrogramTest, NodeSizesAndLeafCollection) {
+  const auto features = Features();
+  HacOptions opts;
+  opts.tau_c_sim = 0.0;
+  const auto result = Hac::Run(features, opts);
+  const auto dendro = Dendrogram::Build(features.size(), *result);
+  ASSERT_TRUE(dendro.ok());
+  ASSERT_EQ(dendro->roots().size(), 1u);
+  const DendrogramNode& root =
+      dendro->nodes()[static_cast<std::size_t>(dendro->roots()[0])];
+  EXPECT_EQ(root.size, features.size());
+}
+
+TEST(DendrogramTest, NewickIsWellFormed) {
+  const auto features = Features();
+  SchemaCorpus corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.Add(Schema("src (" + std::to_string(i) + ")", {"a"}));
+  }
+  HacOptions opts;
+  opts.tau_c_sim = 0.3;
+  const auto result = Hac::Run(features, opts);
+  const auto dendro = Dendrogram::Build(features.size(), *result);
+  ASSERT_TRUE(dendro.ok());
+  const std::string newick = dendro->ToNewick(&corpus);
+  // One line per root, each ';'-terminated, parentheses balanced, and no
+  // raw structural characters leaked from the source names.
+  EXPECT_EQ(std::count(newick.begin(), newick.end(), ';'), 3);
+  EXPECT_EQ(std::count(newick.begin(), newick.end(), '('),
+            std::count(newick.begin(), newick.end(), ')'));
+  EXPECT_NE(newick.find("src__0_"), std::string::npos);
+}
+
+TEST(DendrogramTest, AsciiRenderingMentionsSimilarities) {
+  const auto features = Features();
+  HacOptions opts;
+  opts.tau_c_sim = 0.3;
+  const auto result = Hac::Run(features, opts);
+  const auto dendro = Dendrogram::Build(features.size(), *result);
+  ASSERT_TRUE(dendro.ok());
+  const std::string ascii = dendro->ToAscii();
+  EXPECT_NE(ascii.find("sim="), std::string::npos);
+  EXPECT_NE(ascii.find("s4"), std::string::npos);
+}
+
+TEST(DendrogramTest, RejectsCorruptMergeHistory) {
+  HacResult bogus;
+  bogus.clusters = {{0}, {1}};
+  bogus.merges = {{7, 9, 0.5}};
+  EXPECT_TRUE(Dendrogram::Build(2, bogus).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "persist/model_io.h"
+#include "schema/corpus_io.h"
+#include "text/porter_stemmer.h"
+#include "text/term_similarity.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+/// Deterministic fuzzing of every parser and text routine: arbitrary byte
+/// strings must never crash, and outputs must satisfy their documented
+/// invariants. (No sanitizer needed to make these valuable — out-of-range
+/// indexing and unvalidated parses fail loudly under the assertions.)
+
+std::string RandomBytes(Rng& rng, std::size_t max_len) {
+  std::string s;
+  const std::size_t len = rng.NextBelow(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  return s;
+}
+
+std::string RandomPrintable(Rng& rng, std::size_t max_len) {
+  std::string s;
+  const std::size_t len = rng.NextBelow(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(32 + rng.NextBelow(95)));
+  }
+  return s;
+}
+
+TEST(FuzzTest, TokenizerNeverCrashesAndCanonicalizes) {
+  Rng rng(9001);
+  Tokenizer tok;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string input = RandomBytes(rng, 64);
+    const auto terms = tok.Tokenize(input);
+    for (const std::string& t : terms) {
+      EXPECT_GE(t.size(), tok.options().min_term_length);
+      for (char c : t) {
+        // Canonical form: no upper-case ASCII survives.
+        EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, TermSimilaritiesStayInUnitInterval) {
+  Rng rng(9002);
+  for (auto kind :
+       {TermSimilarityKind::kLcs, TermSimilarityKind::kStem,
+        TermSimilarityKind::kExact, TermSimilarityKind::kLevenshtein,
+        TermSimilarityKind::kJaroWinkler}) {
+    TermSimilarity sim(kind);
+    for (int trial = 0; trial < 500; ++trial) {
+      const std::string a = RandomBytes(rng, 24);
+      const std::string b = RandomBytes(rng, 24);
+      const double s = sim.Compute(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+      EXPECT_NEAR(s, sim.Compute(b, a), 1e-12);  // symmetry
+      if (!a.empty()) {
+        EXPECT_NEAR(sim.Compute(a, a), 1.0, 1e-12);  // reflexivity
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, PorterStemmerNeverGrowsWordsOrCrashes) {
+  Rng rng(9003);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string word;
+    const std::size_t len = rng.NextBelow(20);
+    for (std::size_t i = 0; i < len; ++i) {
+      word.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+    }
+    const std::string stem = PorterStem(word);
+    EXPECT_LE(stem.size(), word.size() + 1);  // step 1b may append 'e'
+    // (Porter is not idempotent on arbitrary letter soup — only the
+    // no-crash and bounded-growth invariants hold universally.)
+    EXPECT_FALSE(PorterStem(stem).size() > stem.size() + 1);
+  }
+}
+
+TEST(FuzzTest, CorpusParserNeverCrashesAndErrorsAreStatuses) {
+  Rng rng(9004);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::string text = RandomPrintable(rng, 200);
+    const auto result = ParseCorpus(text);
+    if (result.ok()) {
+      // Whatever parsed must serialize and re-parse to the same size.
+      const auto round = ParseCorpus(SerializeCorpus(*result));
+      ASSERT_TRUE(round.ok());
+      EXPECT_EQ(round->size(), result->size());
+    }
+  }
+}
+
+TEST(FuzzTest, ModelParsersNeverCrash) {
+  Rng rng(9005);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::string text = RandomPrintable(rng, 200);
+    (void)ParseDomainModel(text);
+    (void)ParseConditionals(text);
+    (void)ParseDomainModel("paygo-model v1\n" + text);
+    (void)ParseConditionals("paygo-classifier v1\n" + text);
+  }
+}
+
+TEST(FuzzTest, MutatedSnapshotsFailGracefully) {
+  // Take a valid snapshot and flip bytes: loading must either succeed or
+  // return a Status, never crash, and never mis-size the corpus.
+  SystemOptions options;
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"make", "model"}));
+  corpus.Add(Schema("b", {"title", "authors"}));
+  auto sys = IntegrationSystem::Build(corpus, options);
+  ASSERT_TRUE(sys.ok());
+  const std::string path = ::testing::TempDir() + "/paygo_fuzz_snapshot.txt";
+  ASSERT_TRUE(SaveSnapshot(**sys, path).ok());
+  std::string original;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    original = buf.str();
+  }
+  Rng rng(9006);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = original;
+    const std::size_t flips = 1 + rng.NextBelow(5);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] =
+          static_cast<char>(32 + rng.NextBelow(95));
+    }
+    std::ofstream out(path);
+    out << mutated;
+    out.close();
+    const auto loaded = LoadSnapshot(path, options);
+    if (loaded.ok()) {
+      EXPECT_EQ((*loaded)->corpus().size(),
+                (*loaded)->domains().num_schemas());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,127 @@
+#include "cluster/fuzzy_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace paygo {
+namespace {
+
+/// Two clusters with a schema (index 4) half way between them.
+struct Fixture {
+  std::vector<DynamicBitset> features;
+  SimilarityMatrix sims;
+  HacResult clustering;
+
+  Fixture() : features(Make()), sims(features) {
+    clustering.clusters = {{0, 1}, {2, 3}, {4}};
+  }
+
+  static std::vector<DynamicBitset> Make() {
+    std::vector<DynamicBitset> f(5, DynamicBitset(12));
+    // Clusters are tight but not degenerate (no identical vectors), so
+    // schema-to-own-cluster distances stay strictly positive.
+    for (std::size_t b : {0u, 1u, 2u, 3u}) f[0].Set(b);
+    for (std::size_t b : {0u, 1u, 2u, 4u}) f[1].Set(b);
+    for (std::size_t b : {6u, 7u, 8u, 9u}) f[2].Set(b);
+    for (std::size_t b : {6u, 7u, 8u, 10u}) f[3].Set(b);
+    for (std::size_t b : {0u, 1u, 6u, 7u}) f[4].Set(b);
+    return f;
+  }
+};
+
+TEST(FuzzyAssignmentTest, MembershipsSumToOne) {
+  Fixture fx;
+  const auto model = AssignFuzzyMemberships(fx.sims, fx.clustering, {});
+  ASSERT_TRUE(model.ok()) << model.status();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(model->TotalMembership(i), 1.0, 1e-9) << "schema " << i;
+  }
+}
+
+TEST(FuzzyAssignmentTest, TightMembersFavorTheirOwnCluster) {
+  Fixture fx;
+  const auto model = AssignFuzzyMemberships(fx.sims, fx.clustering, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->Membership(0, 0), 0.5);
+  EXPECT_GT(model->Membership(2, 1), 0.5);
+}
+
+TEST(FuzzyAssignmentTest, ZeroDistanceShortCircuitsToCertainty) {
+  // Schema 4's own singleton cluster has distance 0 (self-similarity 1),
+  // so the standard FCM short-circuit gives it full membership there.
+  Fixture fx;
+  const auto model = AssignFuzzyMemberships(fx.sims, fx.clustering, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Membership(4, 2), 1.0);
+}
+
+TEST(FuzzyAssignmentTest, BoundarySchemaSplitsWithoutOwnCluster) {
+  // Drop the singleton cluster: schema 4 must split between the two
+  // remaining clusters with equal membership (it is equidistant).
+  Fixture fx;
+  fx.clustering.clusters = {{0, 1}, {2, 3}};
+  const auto model = AssignFuzzyMemberships(fx.sims, fx.clustering, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Membership(4, 0), 0.5, 1e-9);
+  EXPECT_NEAR(model->Membership(4, 1), 0.5, 1e-9);
+}
+
+TEST(FuzzyAssignmentTest, LargerFuzzifierSoftensMemberships) {
+  Fixture fx;
+  fx.clustering.clusters = {{0, 1}, {2, 3}};
+  FuzzyAssignmentOptions crisp;
+  crisp.fuzzifier = 1.2;
+  crisp.membership_cutoff = 0.0;
+  FuzzyAssignmentOptions soft;
+  soft.fuzzifier = 4.0;
+  soft.membership_cutoff = 0.0;
+  const auto mc = AssignFuzzyMemberships(fx.sims, fx.clustering, crisp);
+  const auto ms = AssignFuzzyMemberships(fx.sims, fx.clustering, soft);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE(ms.ok());
+  // Schema 0 is far from cluster 1; crisp fuzzifier concentrates its
+  // membership at home more than the soft one.
+  EXPECT_GT(mc->Membership(0, 0), ms->Membership(0, 0));
+}
+
+TEST(FuzzyAssignmentTest, CutoffTruncatesTails) {
+  Fixture fx;
+  fx.clustering.clusters = {{0, 1}, {2, 3}};
+  FuzzyAssignmentOptions opts;
+  opts.membership_cutoff = 0.4;
+  const auto model = AssignFuzzyMemberships(fx.sims, fx.clustering, opts);
+  ASSERT_TRUE(model.ok());
+  // Schema 0's weak membership in cluster 1 vanishes; home renormalizes
+  // to 1.
+  EXPECT_DOUBLE_EQ(model->Membership(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(model->Membership(0, 0), 1.0);
+}
+
+TEST(FuzzyAssignmentTest, AllBelowCutoffKeepsBestSingleMembership) {
+  Fixture fx;
+  fx.clustering.clusters = {{0, 1}, {2, 3}};
+  FuzzyAssignmentOptions opts;
+  opts.membership_cutoff = 0.9;  // nothing for the boundary schema passes
+  const auto model = AssignFuzzyMemberships(fx.sims, fx.clustering, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->TotalMembership(4), 1.0, 1e-9);
+  EXPECT_EQ(model->DomainsOf(4).size(), 1u);
+}
+
+TEST(FuzzyAssignmentTest, InvalidOptionsRejected) {
+  Fixture fx;
+  FuzzyAssignmentOptions opts;
+  opts.fuzzifier = 1.0;
+  EXPECT_TRUE(AssignFuzzyMemberships(fx.sims, fx.clustering, opts)
+                  .status()
+                  .IsInvalidArgument());
+  opts.fuzzifier = 2.0;
+  opts.membership_cutoff = 1.0;
+  EXPECT_TRUE(AssignFuzzyMemberships(fx.sims, fx.clustering, opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,145 @@
+#include "synth/ddh_generator.h"
+#include "synth/web_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schema/corpus_io.h"
+
+namespace paygo {
+namespace {
+
+TEST(DdhGeneratorTest, MatchesThesisScale) {
+  DdhGeneratorOptions opts;
+  opts.num_schemas = 200;  // scaled down for test speed
+  const SchemaCorpus corpus = MakeDdhCorpus(opts);
+  EXPECT_EQ(corpus.size(), 200u);
+  EXPECT_EQ(corpus.name(), "DDH");
+  const auto labels = corpus.AllLabels();
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST(DdhGeneratorTest, EverySchemaSingleLabelWithBoundedAttributes) {
+  DdhGeneratorOptions opts;
+  opts.num_schemas = 300;
+  const SchemaCorpus corpus = MakeDdhCorpus(opts);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus.labels(i).size(), 1u);
+    EXPECT_GE(corpus.schema(i).attributes.size(), opts.min_attributes);
+    EXPECT_LE(corpus.schema(i).attributes.size(), opts.max_attributes);
+  }
+}
+
+TEST(DdhGeneratorTest, DeterministicGivenSeed) {
+  DdhGeneratorOptions opts;
+  opts.num_schemas = 50;
+  const SchemaCorpus a = MakeDdhCorpus(opts);
+  const SchemaCorpus b = MakeDdhCorpus(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.schema(i).attributes, b.schema(i).attributes);
+    EXPECT_EQ(a.labels(i), b.labels(i));
+  }
+  opts.seed = 999;
+  const SchemaCorpus c = MakeDdhCorpus(opts);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a.schema(i).attributes != c.schema(i).attributes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WebGeneratorTest, DwMatchesTable61Shape) {
+  const SchemaCorpus dw = MakeDwCorpus();
+  Tokenizer tok;
+  const CorpusStats stats = dw.ComputeStats(tok);
+  EXPECT_EQ(stats.num_schemas, 63u);  // Table 6.1
+  EXPECT_EQ(stats.num_labels, 24u);   // Table 6.1
+  EXPECT_LE(stats.max_labels_per_schema, 2u);
+  // Avg terms per schema ~14 in the thesis; allow a generous band.
+  EXPECT_GT(stats.avg_terms_per_schema, 8.0);
+  EXPECT_LT(stats.avg_terms_per_schema, 22.0);
+  // ~25% unique schemas.
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < dw.size(); ++i) {
+    if (dw.schema(i).source_name.find("unique") != std::string::npos) {
+      ++unique;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(unique) / 63.0, 0.25, 0.05);
+}
+
+TEST(WebGeneratorTest, SsMatchesTable61Shape) {
+  const SchemaCorpus ss = MakeSsCorpus();
+  Tokenizer tok;
+  const CorpusStats stats = ss.ComputeStats(tok);
+  EXPECT_EQ(stats.num_schemas, 252u);  // Table 6.1
+  // 85 labels in the thesis; the generator must land close.
+  EXPECT_GE(stats.num_labels, 78u);
+  EXPECT_LE(stats.num_labels, 92u);
+  EXPECT_LE(stats.max_labels_per_schema, 4u);
+  EXPECT_GT(stats.avg_labels_per_schema, 1.2);
+  EXPECT_LT(stats.avg_labels_per_schema, 1.8);
+}
+
+TEST(WebGeneratorTest, UnionHasNinetySevenishLabels) {
+  const SchemaCorpus both = MakeDwSsCorpus();
+  EXPECT_EQ(both.size(), 63u + 252u);
+  const auto labels = both.AllLabels();
+  // Thesis: 97 labels over DW+SS.
+  EXPECT_GE(labels.size(), 90u);
+  EXPECT_LE(labels.size(), 104u);
+}
+
+TEST(WebGeneratorTest, SsIsNoisierThanDw) {
+  Tokenizer tok;
+  const CorpusStats dw = MakeDwCorpus().ComputeStats(tok);
+  const CorpusStats ss = MakeSsCorpus().ComputeStats(tok);
+  // More labels per schema and more schemas per label in SS (Table 6.1).
+  EXPECT_GT(ss.avg_labels_per_schema, dw.avg_labels_per_schema);
+  EXPECT_GT(ss.max_schemas_per_label, dw.max_schemas_per_label);
+}
+
+TEST(WebGeneratorTest, DeterministicAndSeedSensitive) {
+  const SchemaCorpus a = MakeDwCorpus();
+  const SchemaCorpus b = MakeDwCorpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.schema(i).attributes, b.schema(i).attributes);
+  }
+  WebGeneratorOptions opts;
+  opts.seed = 12345;
+  const SchemaCorpus c = MakeDwCorpus(opts);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a.schema(i).attributes != c.schema(i).attributes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WebGeneratorTest, AllSchemasHaveAttributesAndLabels) {
+  for (const SchemaCorpus& corpus : {MakeDwCorpus(), MakeSsCorpus()}) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_FALSE(corpus.schema(i).attributes.empty())
+          << corpus.schema(i).source_name;
+      EXPECT_FALSE(corpus.labels(i).empty())
+          << corpus.schema(i).source_name;
+      EXPECT_FALSE(corpus.schema(i).source_name.empty());
+    }
+  }
+}
+
+TEST(WebGeneratorTest, CorporaSerializeAndParseBack) {
+  const SchemaCorpus dw = MakeDwCorpus();
+  const auto parsed = ParseCorpus(SerializeCorpus(dw));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), dw.size());
+  for (std::size_t i = 0; i < dw.size(); ++i) {
+    EXPECT_EQ(parsed->schema(i).attributes, dw.schema(i).attributes);
+    EXPECT_EQ(parsed->labels(i), dw.labels(i));
+  }
+}
+
+}  // namespace
+}  // namespace paygo

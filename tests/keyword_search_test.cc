@@ -1,0 +1,147 @@
+#include "integrate/keyword_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/integration_system.h"
+
+namespace paygo {
+namespace {
+
+/// Travel + bibliography system with tuples, for the thesis's motivating
+/// query "departure Toronto destination Cairo".
+struct Fixture {
+  std::unique_ptr<IntegrationSystem> sys;
+  std::uint32_t travel = 0;
+  std::uint32_t biblio = 0;
+
+  Fixture() {
+    SchemaCorpus corpus;
+    corpus.Add(Schema("expedia", {"departure airport", "destination airport",
+                                  "airline"}));
+    corpus.Add(Schema("orbitz", {"departure airport", "destination",
+                                 "airline"}));
+    corpus.Add(Schema("dblp", {"title", "authors", "journal"}));
+    corpus.Add(Schema("citeseer", {"title", "authors", "publisher"}));
+    SystemOptions opts;
+    opts.hac.tau_c_sim = 0.25;
+    opts.assignment.tau_c_sim = 0.25;
+    auto built = IntegrationSystem::Build(std::move(corpus), opts);
+    sys = std::move(built).value();
+    travel = sys->domains().DomainsOf(0)[0].first;
+    biblio = sys->domains().DomainsOf(2)[0].first;
+    (void)sys->AttachTuples(0, {Tuple({"Toronto", "Cairo", "EgyptAir"}),
+                                Tuple({"Munich", "Oslo", "Lufthansa"})});
+    (void)sys->AttachTuples(1, {Tuple({"Toronto", "Cairo", "EgyptAir"}),
+                                Tuple({"Paris", "Rome", "AirFrance"})});
+    (void)sys->AttachTuples(2, {Tuple({"Data Integration", "Halevy",
+                                       "VLDBJ"})});
+    (void)sys->AttachTuples(3, {Tuple({"Query Answering", "Lenzerini",
+                                       "PODS"})});
+  }
+};
+
+TEST(KeywordSearchTest, MotivatingQuerySurfacesTheRightTuple) {
+  Fixture fx;
+  const auto answer =
+      fx.sys->AnswerKeywordQuery("departure Toronto destination Cairo");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_FALSE(answer->hits.empty());
+  // Top hit: the Toronto-Cairo flight, consolidated across both sources.
+  const KeywordHit& top = answer->hits[0];
+  EXPECT_EQ(top.domain, fx.travel);
+  bool has_toronto = false, has_cairo = false;
+  for (const std::string& v : top.tuple.values) {
+    if (v == "Toronto") has_toronto = true;
+    if (v == "Cairo") has_cairo = true;
+  }
+  EXPECT_TRUE(has_toronto);
+  EXPECT_TRUE(has_cairo);
+  EXPECT_EQ(top.value_matches, 2u);
+  EXPECT_EQ(top.sources.size(), 2u);  // expedia + orbitz
+  // The Munich-Oslo flight matches no value keyword and ranks below.
+  for (std::size_t k = 1; k < answer->hits.size(); ++k) {
+    EXPECT_LE(answer->hits[k].score, top.score + 1e-12);
+  }
+}
+
+TEST(KeywordSearchTest, ValueKeywordsBeatNonMatchingTuples) {
+  Fixture fx;
+  const auto answer = fx.sys->AnswerKeywordQuery("departure Munich");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->hits.empty());
+  bool munich_in_top = false;
+  for (const std::string& v : answer->hits[0].tuple.values) {
+    if (v == "Munich") munich_in_top = true;
+  }
+  EXPECT_TRUE(munich_in_top);
+}
+
+TEST(KeywordSearchTest, ScoresBoundedAndSorted) {
+  Fixture fx;
+  const auto answer = fx.sys->AnswerKeywordQuery("title authors journal");
+  ASSERT_TRUE(answer.ok());
+  double prev = 2.0;
+  for (const KeywordHit& h : answer->hits) {
+    EXPECT_GT(h.score, 0.0);
+    EXPECT_LE(h.score, 1.0 + 1e-12);
+    EXPECT_LE(h.score, prev + 1e-12);
+    prev = h.score;
+  }
+  // The bibliography domain leads for this query.
+  EXPECT_EQ(answer->hits[0].domain, fx.biblio);
+}
+
+TEST(KeywordSearchTest, MaxHitsRespected) {
+  Fixture fx;
+  KeywordSearchOptions opts;
+  opts.max_hits = 2;
+  const auto answer = fx.sys->AnswerKeywordQuery("departure", opts);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_LE(answer->hits.size(), 2u);
+}
+
+TEST(KeywordSearchTest, RequiresMediation) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"alpha", "beta"}));
+  SystemOptions opts;
+  opts.build_mediation = false;
+  auto sys = IntegrationSystem::Build(corpus, opts);
+  ASSERT_TRUE(sys.ok());
+  EXPECT_TRUE(
+      (*sys)->AnswerKeywordQuery("alpha").status().IsFailedPrecondition());
+}
+
+TEST(MergeKeywordHitsTest, GlobalOrderAndTruncation) {
+  std::vector<std::vector<KeywordHit>> per_domain(2);
+  for (double s : {0.3, 0.9}) {
+    KeywordHit h;
+    h.domain = 0;
+    h.score = s;
+    per_domain[0].push_back(h);
+  }
+  KeywordHit mid;
+  mid.domain = 1;
+  mid.score = 0.5;
+  per_domain[1].push_back(mid);
+  const auto merged = MergeKeywordHits(std::move(per_domain), 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(merged[1].score, 0.5);
+}
+
+TEST(SearchDomainTuplesTest, ValidatesInputs) {
+  DomainMediation med;
+  EXPECT_TRUE(SearchDomainTuples(0, 1.5, med, {}, {"k"})
+                  .status()
+                  .IsInvalidArgument());
+  KeywordSearchOptions opts;
+  opts.value_match_boost = -1.0;
+  EXPECT_TRUE(SearchDomainTuples(0, 0.5, med, {}, {"k"}, opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,104 @@
+#include "text/lcs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+TEST(LcsDpTest, BasicCases) {
+  EXPECT_EQ(LcsLengthDp("hello", "hello"), 5u);
+  EXPECT_EQ(LcsLengthDp("abcdef", "zabcy"), 3u);  // "abc"
+  EXPECT_EQ(LcsLengthDp("abc", "xyz"), 0u);
+  EXPECT_EQ(LcsLengthDp("", "abc"), 0u);
+  EXPECT_EQ(LcsLengthDp("abc", ""), 0u);
+}
+
+TEST(LcsDpTest, SubstringNotSubsequence) {
+  // Common subsequence "abc" exists but longest common SUBSTRING is 1.
+  EXPECT_EQ(LcsLengthDp("axbxc", "abc"), 1u);
+}
+
+TEST(LcsDpTest, SchemaTermExamples) {
+  // departure vs departures: "departure" (9 chars) is a substring.
+  EXPECT_EQ(LcsLengthDp("departure", "departures"), 9u);
+  // departure vs departing share "depart".
+  EXPECT_EQ(LcsLengthDp("departure", "departing"), 6u);
+}
+
+TEST(LcsDpTest, Symmetric) {
+  EXPECT_EQ(LcsLengthDp("professor", "professional"),
+            LcsLengthDp("professional", "professor"));
+}
+
+TEST(SuffixAutomatonTest, MatchesDpOnBasicCases) {
+  EXPECT_EQ(LcsLengthAutomaton("hello", "hello"), 5u);
+  EXPECT_EQ(LcsLengthAutomaton("abcdef", "zabcy"), 3u);
+  EXPECT_EQ(LcsLengthAutomaton("abc", "xyz"), 0u);
+  EXPECT_EQ(LcsLengthAutomaton("", "abc"), 0u);
+  EXPECT_EQ(LcsLengthAutomaton("abc", ""), 0u);
+}
+
+TEST(SuffixAutomatonTest, ReusableAcrossQueries) {
+  SuffixAutomaton sam("bibliography");
+  EXPECT_EQ(sam.LcsLengthWith("biography"), 8u);  // "iography"
+  EXPECT_EQ(sam.LcsLengthWith("bibliography"), 12u);
+  EXPECT_EQ(sam.LcsLengthWith("zzz"), 0u);
+}
+
+TEST(SuffixAutomatonTest, StateCountLinear) {
+  SuffixAutomaton sam("abcabcabc");
+  // A suffix automaton has at most 2n-1 states (n >= 2), plus the initial.
+  EXPECT_LE(sam.num_states(), 2u * 9u);
+}
+
+TEST(SuffixAutomatonTest, HandlesNonLetterBytes) {
+  EXPECT_EQ(LcsLengthAutomaton("a-b-c", "b-c"), 3u);
+  EXPECT_EQ(LcsLengthAutomaton("12345", "234"), 3u);
+}
+
+/// Property: the automaton agrees with the DP on random strings.
+TEST(LcsPropertyTest, AutomatonAgreesWithDp) {
+  Rng rng(77);
+  const std::string alphabet = "abcde";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a, b;
+    const std::size_t la = rng.NextBelow(20);
+    const std::size_t lb = rng.NextBelow(20);
+    for (std::size_t i = 0; i < la; ++i) {
+      a.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+    }
+    for (std::size_t i = 0; i < lb; ++i) {
+      b.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+    }
+    EXPECT_EQ(LcsLengthDp(a, b), LcsLengthAutomaton(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+/// Property: LCS length is bounded by both string lengths and is exactly
+/// the length for identical strings.
+TEST(LcsPropertyTest, Bounds) {
+  Rng rng(88);
+  const std::string alphabet = "abc";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a, b;
+    const std::size_t la = 1 + rng.NextBelow(15);
+    const std::size_t lb = 1 + rng.NextBelow(15);
+    for (std::size_t i = 0; i < la; ++i) {
+      a.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+    }
+    for (std::size_t i = 0; i < lb; ++i) {
+      b.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+    }
+    const std::size_t lcs = LcsLengthDp(a, b);
+    EXPECT_LE(lcs, std::min(a.size(), b.size()));
+    EXPECT_EQ(LcsLengthDp(a, a), a.size());
+  }
+}
+
+}  // namespace
+}  // namespace paygo

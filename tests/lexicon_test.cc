@@ -1,0 +1,80 @@
+#include "schema/lexicon.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+SchemaCorpus MakeCorpus() {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s1", {"title", "authors", "year of publish"}), {});
+  corpus.Add(Schema("s2", {"make", "model", "year"}), {});
+  corpus.Add(Schema("s3", {"title", "director"}), {});
+  return corpus;
+}
+
+TEST(LexiconTest, TermsSortedAndDistinct) {
+  const SchemaCorpus corpus = MakeCorpus();
+  Tokenizer tok;
+  const Lexicon lex = Lexicon::Build(corpus, tok);
+  // {authors, director, make, model, publish, title, year}
+  EXPECT_EQ(lex.dim(), 7u);
+  EXPECT_TRUE(std::is_sorted(lex.terms().begin(), lex.terms().end()));
+  EXPECT_EQ(lex.term(0), "authors");
+}
+
+TEST(LexiconTest, IndexOfRoundTrips) {
+  const SchemaCorpus corpus = MakeCorpus();
+  Tokenizer tok;
+  const Lexicon lex = Lexicon::Build(corpus, tok);
+  for (std::size_t j = 0; j < lex.dim(); ++j) {
+    const auto idx = lex.IndexOf(lex.term(j));
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, j);
+  }
+  EXPECT_FALSE(lex.IndexOf("nonexistent").has_value());
+}
+
+TEST(LexiconTest, SchemaTermsAreSortedIndices) {
+  const SchemaCorpus corpus = MakeCorpus();
+  Tokenizer tok;
+  const Lexicon lex = Lexicon::Build(corpus, tok);
+  EXPECT_EQ(lex.num_schemas(), 3u);
+  // s2 = {make, model, year}.
+  const auto& t2 = lex.schema_terms(1);
+  ASSERT_EQ(t2.size(), 3u);
+  EXPECT_EQ(lex.term(t2[0]), "make");
+  EXPECT_EQ(lex.term(t2[1]), "model");
+  EXPECT_EQ(lex.term(t2[2]), "year");
+}
+
+TEST(LexiconTest, TermFrequencyCountsSchemas) {
+  const SchemaCorpus corpus = MakeCorpus();
+  Tokenizer tok;
+  const Lexicon lex = Lexicon::Build(corpus, tok);
+  EXPECT_EQ(lex.TermFrequency(*lex.IndexOf("title")), 2u);
+  EXPECT_EQ(lex.TermFrequency(*lex.IndexOf("year")), 2u);
+  EXPECT_EQ(lex.TermFrequency(*lex.IndexOf("director")), 1u);
+}
+
+TEST(LexiconTest, DuplicateTermsWithinSchemaCountOnce) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s", {"first name", "last name", "middle name"}), {});
+  Tokenizer tok;
+  const Lexicon lex = Lexicon::Build(corpus, tok);
+  // {first, last, middle, name}.
+  EXPECT_EQ(lex.dim(), 4u);
+  EXPECT_EQ(lex.TermFrequency(*lex.IndexOf("name")), 1u);
+  EXPECT_EQ(lex.schema_terms(0).size(), 4u);
+}
+
+TEST(LexiconTest, EmptyCorpus) {
+  SchemaCorpus corpus;
+  Tokenizer tok;
+  const Lexicon lex = Lexicon::Build(corpus, tok);
+  EXPECT_EQ(lex.dim(), 0u);
+  EXPECT_EQ(lex.num_schemas(), 0u);
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,186 @@
+#include "baseline/mdc_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eval/clustering_metrics.h"
+#include "synth/ddh_generator.h"
+
+namespace paygo {
+namespace {
+
+SchemaCorpus ThreeDomainCorpus() {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("t1", {"departure airport", "destination", "airline"}),
+             {"travel"});
+  corpus.Add(Schema("t2", {"departure airport", "airline", "passengers"}),
+             {"travel"});
+  corpus.Add(Schema("t3", {"destination", "airline", "departure"}),
+             {"travel"});
+  corpus.Add(Schema("b1", {"title", "authors", "journal"}), {"bib"});
+  corpus.Add(Schema("b2", {"title", "authors", "publisher"}), {"bib"});
+  corpus.Add(Schema("c1", {"make", "model", "mileage"}), {"cars"});
+  corpus.Add(Schema("c2", {"make", "model", "price"}), {"cars"});
+  return corpus;
+}
+
+TEST(ChiSquareSimilarityTest, IdenticalDistributionsScoreHighest) {
+  const std::vector<std::uint32_t> a = {3, 2, 0, 1};
+  const std::vector<std::uint32_t> b = {3, 2, 0, 1};
+  const std::vector<std::uint32_t> c = {0, 0, 4, 2};
+  const double same = MdcBaseline::ChiSquareSimilarity(a, 6, b, 6);
+  const double diff = MdcBaseline::ChiSquareSimilarity(a, 6, c, 6);
+  EXPECT_GT(same, diff);
+  EXPECT_NEAR(same, 1.0, 1e-9);  // zero chi-square
+  EXPECT_GT(same, 0.0);
+  EXPECT_LE(same, 1.0);
+}
+
+TEST(ChiSquareSimilarityTest, EmptyClusterScoresZero) {
+  const std::vector<std::uint32_t> a = {1, 1};
+  const std::vector<std::uint32_t> empty = {0, 0};
+  EXPECT_DOUBLE_EQ(MdcBaseline::ChiSquareSimilarity(a, 2, empty, 0), 0.0);
+}
+
+TEST(ChiSquareSimilarityTest, Symmetric) {
+  const std::vector<std::uint32_t> a = {3, 1, 0};
+  const std::vector<std::uint32_t> b = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(MdcBaseline::ChiSquareSimilarity(a, 4, b, 5),
+                   MdcBaseline::ChiSquareSimilarity(b, 5, a, 4));
+}
+
+TEST(MdcBaselineTest, RecoversDomainsWithCorrectK) {
+  const SchemaCorpus corpus = ThreeDomainCorpus();
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  MdcOptions opts;
+  opts.num_clusters = 3;
+  const auto result = MdcBaseline::Run(lexicon, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->clusters.size(), 3u);
+  // Evaluate purity via the shared metric suite.
+  const DomainModel model = HardAssignment(*result, corpus.size());
+  const ClusteringEvaluation eval = EvaluateClustering(model, corpus);
+  EXPECT_DOUBLE_EQ(eval.avg_precision, 1.0);
+  EXPECT_DOUBLE_EQ(eval.avg_recall, 1.0);
+}
+
+TEST(MdcBaselineTest, TooSmallKMixesTrueDomains) {
+  const SchemaCorpus corpus = ThreeDomainCorpus();
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  MdcOptions opts;
+  opts.num_clusters = 2;  // forces two true domains to merge
+  const auto result = MdcBaseline::Run(lexicon, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 2u);
+  // Some cluster necessarily spans two distinct ground-truth labels.
+  bool mixed = false;
+  for (const auto& cluster : result->clusters) {
+    std::set<std::string> labels;
+    for (std::uint32_t i : cluster) {
+      labels.insert(corpus.labels(i).begin(), corpus.labels(i).end());
+    }
+    if (labels.size() > 1) mixed = true;
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(MdcBaselineTest, TooLargeKFragmentsTrueDomains) {
+  const SchemaCorpus corpus = ThreeDomainCorpus();
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  MdcOptions opts;
+  opts.num_clusters = 5;  // more clusters than true domains
+  const auto result = MdcBaseline::Run(lexicon, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 5u);
+  const DomainModel model = HardAssignment(*result, corpus.size());
+  const ClusteringEvaluation eval = EvaluateClustering(model, corpus);
+  // Some label is split across several clusters.
+  EXPECT_GT(eval.fragmentation + eval.frac_unclustered, 1.0);
+}
+
+TEST(MdcBaselineTest, ProducesExactlyKClustersOnDdh) {
+  DdhGeneratorOptions gen;
+  gen.num_schemas = 150;
+  const SchemaCorpus corpus = MakeDdhCorpus(gen);
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  MdcOptions opts;
+  opts.num_clusters = 5;
+  const auto result = MdcBaseline::Run(lexicon, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 5u);
+  const DomainModel model = HardAssignment(*result, corpus.size());
+  const ClusteringEvaluation eval = EvaluateClustering(model, corpus);
+  // With the right k on sharply separated domains the baseline does well.
+  EXPECT_GT(eval.avg_precision, 0.9);
+}
+
+TEST(MdcBaselineTest, AnchorSeedingWorks) {
+  const SchemaCorpus corpus = ThreeDomainCorpus();
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  MdcOptions opts;
+  opts.num_clusters = 3;
+  opts.use_anchor_seeding = true;
+  const auto result = MdcBaseline::Run(lexicon, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 3u);
+}
+
+TEST(MdcBaselineTest, ClustersPartitionTheSchemas) {
+  const SchemaCorpus corpus = ThreeDomainCorpus();
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  for (std::size_t k : {1u, 2u, 4u, 7u}) {
+    MdcOptions opts;
+    opts.num_clusters = k;
+    const auto result = MdcBaseline::Run(lexicon, opts);
+    ASSERT_TRUE(result.ok());
+    std::vector<std::uint32_t> all;
+    for (const auto& c : result->clusters) {
+      all.insert(all.end(), c.begin(), c.end());
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), corpus.size());
+    for (std::uint32_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+  }
+}
+
+TEST(MdcBaselineTest, KLargerThanNKeepsSingletons) {
+  const SchemaCorpus corpus = ThreeDomainCorpus();
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  MdcOptions opts;
+  opts.num_clusters = 100;
+  const auto result = MdcBaseline::Run(lexicon, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), corpus.size());
+}
+
+TEST(MdcBaselineTest, ZeroKRejected) {
+  const SchemaCorpus corpus = ThreeDomainCorpus();
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  MdcOptions opts;
+  opts.num_clusters = 0;
+  EXPECT_TRUE(MdcBaseline::Run(lexicon, opts).status().IsInvalidArgument());
+}
+
+TEST(HardAssignmentTest, EverySchemaHasProbabilityOne) {
+  HacResult clustering;
+  clustering.clusters = {{0, 2}, {1}};
+  const DomainModel model = HardAssignment(clustering, 3);
+  EXPECT_DOUBLE_EQ(model.Membership(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.Membership(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.Membership(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.Membership(1, 0), 0.0);
+  EXPECT_TRUE(model.UncertainSchemas(0).empty());
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,118 @@
+#include "schema/multi_table.h"
+
+#include "mediate/mediated_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/hac.h"
+#include "schema/feature_vector.h"
+#include "schema/lexicon.h"
+
+namespace paygo {
+namespace {
+
+MultiTableSource UniversityDb() {
+  MultiTableSource src;
+  src.source_name = "universitydb";
+  src.tables = {
+      {"courses", {"course name", "course number", "instructor", "credits"}},
+      {"enrollment", {"course number", "student name", "grade"}},
+      {"faculty", {"first name", "last name", "office phone", "email"}},
+  };
+  return src;
+}
+
+TEST(MultiTableTest, PerTableDecomposition) {
+  Tokenizer tok;
+  const auto schemas = DecomposeMultiTableSource(UniversityDb(), tok, {});
+  ASSERT_EQ(schemas.size(), 3u);
+  EXPECT_EQ(schemas[0].source_name, "universitydb.courses");
+  EXPECT_EQ(schemas[1].source_name, "universitydb.enrollment");
+  EXPECT_EQ(schemas[2].source_name, "universitydb.faculty");
+  EXPECT_EQ(schemas[0].attributes.size(), 4u);
+}
+
+TEST(MultiTableTest, JoinedDecompositionMergesSharedKeyTables) {
+  Tokenizer tok;
+  MultiTableOptions opts;
+  opts.decomposition = MultiTableDecomposition::kJoined;
+  const auto schemas = DecomposeMultiTableSource(UniversityDb(), tok, opts);
+  // courses and enrollment share "course number" -> merged; faculty shares
+  // nothing (no attribute reaches 0.8 name similarity) -> separate.
+  ASSERT_EQ(schemas.size(), 2u);
+  // The joined schema deduplicates "course number".
+  const Schema* joined = nullptr;
+  for (const Schema& s : schemas) {
+    if (s.source_name.find('+') != std::string::npos) joined = &s;
+  }
+  ASSERT_NE(joined, nullptr);
+  EXPECT_EQ(joined->attributes.size(), 4u + 3u - 1u);
+  std::size_t count = 0;
+  for (const std::string& a : joined->attributes) {
+    if (CanonicalAttributeName(a) == "course number") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(MultiTableTest, EmptyTablesSkipped) {
+  Tokenizer tok;
+  MultiTableSource src;
+  src.source_name = "s";
+  src.tables = {{"empty", {}}, {"real", {"alpha", "beta"}}};
+  const auto schemas = DecomposeMultiTableSource(src, tok, {});
+  ASSERT_EQ(schemas.size(), 1u);
+  EXPECT_EQ(schemas[0].source_name, "s.real");
+}
+
+TEST(MultiTableTest, AllTablesDisjointStaySeparateUnderJoin) {
+  Tokenizer tok;
+  MultiTableSource src;
+  src.source_name = "s";
+  src.tables = {{"a", {"alpha", "beta"}}, {"b", {"gamma", "delta"}}};
+  MultiTableOptions opts;
+  opts.decomposition = MultiTableDecomposition::kJoined;
+  const auto schemas = DecomposeMultiTableSource(src, tok, opts);
+  EXPECT_EQ(schemas.size(), 2u);
+}
+
+TEST(MultiTableTest, CorpusFromSourcesCarriesLabels) {
+  Tokenizer tok;
+  const SchemaCorpus corpus = CorpusFromMultiTableSources(
+      {UniversityDb()}, {{"education"}}, tok, {});
+  ASSERT_EQ(corpus.size(), 3u);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus.labels(i), (std::vector<std::string>{"education"}));
+  }
+}
+
+TEST(MultiTableTest, DecomposedTablesClusterIntoDifferentDomains) {
+  // The point of per-table decomposition: one physical source can span
+  // several conceptual domains. Combine the university DB with standalone
+  // course/people sources and verify its tables separate.
+  Tokenizer tok;
+  SchemaCorpus corpus = CorpusFromMultiTableSources({UniversityDb()}, {}, tok,
+                                                    {});
+  corpus.Add(Schema("coursesite",
+                    {"course name", "course number", "instructor",
+                     "semester"}),
+             {});
+  corpus.Add(Schema("directory",
+                    {"first name", "last name", "email", "phone"}),
+             {});
+  // Jaccard clustering over the mixed corpus.
+  Lexicon lexicon = Lexicon::Build(corpus, tok);
+  FeatureVectorizer vec(lexicon);
+  const auto features = vec.VectorizeCorpus();
+  HacOptions hac;
+  hac.tau_c_sim = 0.25;
+  const auto clustering = Hac::Run(features, hac);
+  ASSERT_TRUE(clustering.ok());
+  // universitydb.courses (0) clusters with coursesite (3);
+  // universitydb.faculty (2) clusters with directory (4).
+  EXPECT_EQ(clustering->ClusterOf(0), clustering->ClusterOf(3));
+  EXPECT_EQ(clustering->ClusterOf(2), clustering->ClusterOf(4));
+  EXPECT_NE(clustering->ClusterOf(0), clustering->ClusterOf(2));
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,132 @@
+#include "eval/partition_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+TEST(PartitionFromModelTest, ArgMaxAndDropped) {
+  DomainModel model = DomainModel::Build(
+      {{0, 1}, {2}},
+      {{{0, 1.0}}, {{0, 0.3}, {1, 0.7}}, {}});
+  const auto p = PartitionFromModel(model);
+  EXPECT_EQ(p, (std::vector<int>{0, 1, -1}));
+}
+
+TEST(PartitionFromPrimaryLabelsTest, FirstLabelWins) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"x"}), {"cars"});
+  corpus.Add(Schema("b", {"x"}), {"movies", "cars"});  // sorted -> cars first
+  corpus.Add(Schema("c", {"x"}), {"movies"});
+  corpus.Add(Schema("d", {"x"}), {});
+  const auto p = PartitionFromPrimaryLabels(corpus);
+  EXPECT_EQ(p[0], p[1]);  // both primary 'cars'
+  EXPECT_NE(p[0], p[2]);
+  EXPECT_EQ(p[3], -1);
+}
+
+TEST(AdjustedRandIndexTest, IdenticalPartitionsScoreOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(a, a), 1.0, 1e-12);
+  // Relabeling does not matter.
+  const std::vector<int> b = {5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 1.0, 1e-12);
+}
+
+TEST(AdjustedRandIndexTest, IndependentPartitionsNearZero) {
+  Rng rng(3);
+  std::vector<int> a(2000), b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.NextBelow(5));
+    b[i] = static_cast<int>(rng.NextBelow(5));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 0.03);
+}
+
+TEST(AdjustedRandIndexTest, KnownSmallExample) {
+  // a = {0,0,1,1}, b = {0,1,0,1}: every same-cluster pair of a is split by
+  // b and vice versa -> below chance.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 1, 0, 1};
+  EXPECT_LT(AdjustedRandIndex(a, b), 0.0);
+}
+
+TEST(AdjustedRandIndexTest, SkipsInvalidEntries) {
+  const std::vector<int> a = {0, 0, 1, 1, -1};
+  const std::vector<int> b = {0, 0, 1, 1, 0};
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(a, a), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  Rng rng(4);
+  std::vector<int> a(4000), b(4000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.NextBelow(4));
+    b[i] = static_cast<int>(rng.NextBelow(4));
+  }
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 0.0, 0.02);
+}
+
+TEST(NmiTest, SymmetricAndBounded) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> a(200), b(200);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<int>(rng.NextBelow(6));
+      b[i] = (rng.NextBernoulli(0.7)) ? a[i]
+                                      : static_cast<int>(rng.NextBelow(6));
+    }
+    const double ab = NormalizedMutualInformation(a, b);
+    EXPECT_NEAR(ab, NormalizedMutualInformation(b, a), 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0 + 1e-12);
+  }
+}
+
+TEST(PairwiseLabelScoresTest, PerfectClusteringScoresOne) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"x"}), {"cars"});
+  corpus.Add(Schema("b", {"x"}), {"cars"});
+  corpus.Add(Schema("c", {"x"}), {"movies"});
+  DomainModel model = DomainModel::Build(
+      {{0, 1}, {2}}, {{{0, 1.0}}, {{0, 1.0}}, {{1, 1.0}}});
+  const PairwiseScores s = PairwiseLabelScores(model, corpus);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+  EXPECT_EQ(s.pairs, 3u);
+}
+
+TEST(PairwiseLabelScoresTest, MixedClusterCosts) {
+  // {a(cars), b(cars), c(movies)} all in one cluster: tp = a-b; fp = a-c,
+  // b-c -> precision 1/3, recall 1.
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"x"}), {"cars"});
+  corpus.Add(Schema("b", {"x"}), {"cars"});
+  corpus.Add(Schema("c", {"x"}), {"movies"});
+  DomainModel model = DomainModel::Build(
+      {{0, 1, 2}}, {{{0, 1.0}}, {{0, 1.0}}, {{0, 1.0}}});
+  const PairwiseScores s = PairwiseLabelScores(model, corpus);
+  EXPECT_NEAR(s.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(PairwiseLabelScoresTest, SharedLabelCountsAsSameClass) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"x"}), {"schools", "people"});
+  corpus.Add(Schema("b", {"x"}), {"people"});
+  DomainModel model =
+      DomainModel::Build({{0, 1}}, {{{0, 1.0}}, {{0, 1.0}}});
+  const PairwiseScores s = PairwiseLabelScores(model, corpus);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+}
+
+}  // namespace
+}  // namespace paygo

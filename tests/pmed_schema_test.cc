@@ -1,0 +1,168 @@
+#include "mediate/probabilistic_mediated_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+/// Members helper: every schema certain.
+std::vector<std::pair<std::uint32_t, double>> All(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, double>> out;
+  for (std::uint32_t i = 0; i < n; ++i) out.emplace_back(i, 1.0);
+  return out;
+}
+
+TEST(PMedSchemaTest, NoBorderlinePairsYieldsSingleAlternative) {
+  // Clearly identical and clearly different attributes only.
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s0", {"title", "authors"}), {});
+  corpus.Add(Schema("s1", {"title", "authors"}), {});
+  Tokenizer tok;
+  PMedSchemaOptions opts;
+  opts.base.attr_freq_threshold = 0.0;
+  const auto pmed =
+      BuildProbabilisticMediatedSchema(corpus, tok, All(2), opts);
+  ASSERT_TRUE(pmed.ok()) << pmed.status();
+  EXPECT_TRUE(pmed->borderline_pairs.empty());
+  ASSERT_EQ(pmed->alternatives.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmed->alternatives[0].probability, 1.0);
+  EXPECT_EQ(pmed->Modal().size(), 2u);  // title, authors
+}
+
+/// Fixture with one genuinely borderline pair: "name" vs "first name" has
+/// soft-Dice similarity 2/3 ~ 0.667, right at the default 0.65 threshold.
+SchemaCorpus BorderlineCorpus() {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s0", {"first name", "name"}), {});
+  corpus.Add(Schema("s1", {"first name", "name"}), {});
+  return corpus;
+}
+
+TEST(PMedSchemaTest, BorderlinePairGeneratesTwoAlternatives) {
+  Tokenizer tok;
+  PMedSchemaOptions opts;
+  opts.base.attr_freq_threshold = 0.0;
+  opts.uncertainty_band = 0.1;
+  const auto pmed =
+      BuildProbabilisticMediatedSchema(BorderlineCorpus(), tok, All(2), opts);
+  ASSERT_TRUE(pmed.ok()) << pmed.status();
+  ASSERT_EQ(pmed->borderline_pairs.size(), 1u);
+  ASSERT_EQ(pmed->alternatives.size(), 2u);
+  // Probabilities sum to 1, descending order.
+  EXPECT_NEAR(pmed->alternatives[0].probability +
+                  pmed->alternatives[1].probability,
+              1.0, 1e-9);
+  EXPECT_GE(pmed->alternatives[0].probability,
+            pmed->alternatives[1].probability);
+  // One alternative merges the pair (1 mediated attribute), the other
+  // keeps them apart (2).
+  const std::size_t s0 = pmed->alternatives[0].schema.size();
+  const std::size_t s1 = pmed->alternatives[1].schema.size();
+  EXPECT_EQ(std::min(s0, s1), 1u);
+  EXPECT_EQ(std::max(s0, s1), 2u);
+}
+
+TEST(PMedSchemaTest, CoMediationProbabilityMatchesAlternatives) {
+  Tokenizer tok;
+  PMedSchemaOptions opts;
+  opts.base.attr_freq_threshold = 0.0;
+  const auto pmed =
+      BuildProbabilisticMediatedSchema(BorderlineCorpus(), tok, All(2), opts);
+  ASSERT_TRUE(pmed.ok());
+  const double p = pmed->CoMediationProbability("first name", "name");
+  // Equals the probability mass of the merged alternative.
+  double merged_mass = 0.0;
+  for (const auto& alt : pmed->alternatives) {
+    if (alt.schema.size() == 1) merged_mass += alt.probability;
+  }
+  EXPECT_NEAR(p, merged_mass, 1e-9);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  // An attribute always co-mediates with itself.
+  EXPECT_NEAR(pmed->CoMediationProbability("name", "name"), 1.0, 1e-9);
+}
+
+TEST(PMedSchemaTest, ModalMatchesDeterministicMediator) {
+  // The most probable alternative must coincide with Mediator's output on
+  // a corpus where every borderline pair leans one way.
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s0", {"title", "paper title", "year"}), {});
+  corpus.Add(Schema("s1", {"title", "year"}), {});
+  Tokenizer tok;
+  PMedSchemaOptions opts;
+  opts.base.attr_freq_threshold = 0.0;
+  const auto pmed =
+      BuildProbabilisticMediatedSchema(corpus, tok, All(2), opts);
+  const auto det = Mediator::BuildForDomain(corpus, tok, All(2), opts.base);
+  ASSERT_TRUE(pmed.ok());
+  ASSERT_TRUE(det.ok());
+  // Compare as member-set sets.
+  auto key = [](const MediatedSchema& s) {
+    std::vector<std::vector<std::string>> k;
+    for (const auto& a : s.attributes) k.push_back(a.members);
+    std::sort(k.begin(), k.end());
+    return k;
+  };
+  EXPECT_EQ(key(pmed->Modal()), key(det->mediated));
+}
+
+TEST(PMedSchemaTest, AlternativeCapRenormalizes) {
+  // Several borderline pairs -> many alternatives; the cap must keep
+  // probabilities normalized.
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s0", {"name", "first name", "last name", "nick name"}),
+             {});
+  corpus.Add(Schema("s1", {"name", "first name", "last name", "nick name"}),
+             {});
+  Tokenizer tok;
+  PMedSchemaOptions opts;
+  opts.base.attr_freq_threshold = 0.0;
+  opts.max_alternatives = 3;
+  const auto pmed =
+      BuildProbabilisticMediatedSchema(corpus, tok, All(2), opts);
+  ASSERT_TRUE(pmed.ok()) << pmed.status();
+  EXPECT_LE(pmed->alternatives.size(), 3u);
+  double total = 0.0;
+  for (const auto& alt : pmed->alternatives) total += alt.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PMedSchemaTest, InvalidOptionsRejected) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s0", {"alpha"}), {});
+  Tokenizer tok;
+  PMedSchemaOptions opts;
+  opts.uncertainty_band = 0.6;
+  EXPECT_TRUE(BuildProbabilisticMediatedSchema(corpus, tok, All(1), opts)
+                  .status()
+                  .IsInvalidArgument());
+  opts.uncertainty_band = 0.1;
+  opts.max_borderline_pairs = 50;
+  EXPECT_TRUE(BuildProbabilisticMediatedSchema(corpus, tok, All(1), opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CollectFrequentAttributesTest, WeightsAndFilter) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s0", {"alpha", "beta"}), {});
+  corpus.Add(Schema("s1", {"alpha"}), {});
+  Tokenizer tok;
+  const auto all =
+      CollectFrequentAttributes(corpus, tok, {{0, 1.0}, {1, 0.5}}, 0.0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].canonical, "alpha");
+  EXPECT_DOUBLE_EQ((*all)[0].weight, 1.5);
+  EXPECT_DOUBLE_EQ((*all)[1].weight, 1.0);
+  // Threshold 0.8 of total weight 1.5 -> only alpha (1.5/1.5) survives;
+  // beta (1.0/1.5 = 0.67) is dropped.
+  const auto filtered =
+      CollectFrequentAttributes(corpus, tok, {{0, 1.0}, {1, 0.5}}, 0.8);
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered->size(), 1u);
+  EXPECT_EQ((*filtered)[0].canonical, "alpha");
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,76 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+TEST(PorterStemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("caress"), "caress");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("sing"), "sing");
+}
+
+TEST(PorterStemmerTest, Step1bRepairs) {
+  EXPECT_EQ(PorterStem("conflated"), "conflat");
+  EXPECT_EQ(PorterStem("troubled"), "troubl");
+  EXPECT_EQ(PorterStem("sized"), "size");
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("falling"), "fall");
+  EXPECT_EQ(PorterStem("hissing"), "hiss");
+  EXPECT_EQ(PorterStem("failing"), "fail");
+  EXPECT_EQ(PorterStem("filing"), "file");
+}
+
+TEST(PorterStemmerTest, Step2Suffixes) {
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("digitizer"), "digit");
+  EXPECT_EQ(PorterStem("operator"), "oper");
+}
+
+TEST(PorterStemmerTest, Step3And4Suffixes) {
+  EXPECT_EQ(PorterStem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStem("hopeful"), "hope");
+  EXPECT_EQ(PorterStem("goodness"), "good");
+  EXPECT_EQ(PorterStem("adjustment"), "adjust");
+  EXPECT_EQ(PorterStem("dependent"), "depend");
+  EXPECT_EQ(PorterStem("effective"), "effect");
+}
+
+TEST(PorterStemmerTest, SchemaVocabularyVariantsShareStems) {
+  // The property the kStem similarity mode relies on: morphological
+  // variants of attribute terms map to one stem.
+  EXPECT_EQ(PorterStem("departure"), PorterStem("departures"));
+  EXPECT_EQ(PorterStem("author"), PorterStem("authors"));
+  EXPECT_EQ(PorterStem("rating"), PorterStem("ratings"));
+  EXPECT_EQ(PorterStem("publication"), PorterStem("publications"));
+}
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("at"), "at");
+  EXPECT_EQ(PorterStem("by"), "by");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, NonLowercaseInputPassedThrough) {
+  EXPECT_EQ(PorterStem("Running"), "Running");
+  EXPECT_EQ(PorterStem("abc123"), "abc123");
+}
+
+TEST(PorterStemmerTest, Idempotent) {
+  for (const char* w :
+       {"departure", "destination", "authors", "publications", "relational",
+        "generalization", "hopping"}) {
+    const std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+}  // namespace
+}  // namespace paygo

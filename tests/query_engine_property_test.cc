@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/integration_system.h"
+#include "integrate/query_engine.h"
+#include "synth/tuple_generator.h"
+#include "synth/web_generator.h"
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+/// Properties of the Section 4.4 runtime that must hold for ANY corpus,
+/// mediation and data: probabilities in (0, 1], descending order, and
+/// monotonicity of the noisy-or consolidation.
+
+class QueryEnginePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryEnginePropertyTest, ProbabilitiesBoundedAndSorted) {
+  Rng rng(500 + GetParam());
+  // A random slice of the DW corpus with synthetic tuples.
+  SchemaCorpus dw = MakeDwCorpus();
+  SystemOptions opts;
+  opts.hac.tau_c_sim = 0.2;
+  opts.assignment.tau_c_sim = 0.2;
+  opts.assignment.theta = 0.3;  // some fractional memberships
+  opts.build_classifier = false;
+  auto built = IntegrationSystem::Build(dw, opts);
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  for (std::uint32_t i = 0; i < sys.corpus().size(); ++i) {
+    DataSource staging(i, sys.corpus().schema(i));
+    TupleGeneratorOptions tg;
+    tg.tuples_per_source = 6;
+    tg.values_per_attribute = 3;  // force duplicates -> noisy-or paths
+    tg.seed = 100 + GetParam();
+    FillWithSyntheticTuples(&staging, tg);
+    ASSERT_TRUE(sys.AttachTuples(i, staging.tuples()).ok());
+  }
+
+  // Query several random domains with empty and single-predicate queries.
+  for (int probe = 0; probe < 10; ++probe) {
+    const std::uint32_t domain = static_cast<std::uint32_t>(
+        rng.NextBelow(sys.domains().num_domains()));
+    const DomainMediation& med = sys.mediation(domain);
+    StructuredQuery q;
+    if (med.mediated.size() > 0 && rng.NextBernoulli(0.5)) {
+      const std::size_t attr = rng.NextBelow(med.mediated.size());
+      q.predicates.push_back(
+          {attr, SyntheticValue(med.mediated.attributes[attr].members[0],
+                                rng.NextBelow(3))});
+    }
+    const auto result = sys.AnswerStructuredQuery(domain, q);
+    ASSERT_TRUE(result.ok()) << result.status();
+    double prev = 2.0;
+    for (const RankedTuple& t : *result) {
+      EXPECT_GT(t.probability, 0.0);
+      EXPECT_LE(t.probability, 1.0 + 1e-12);
+      EXPECT_LE(t.probability, prev + 1e-12);  // descending
+      EXPECT_FALSE(t.sources.empty());
+      EXPECT_EQ(t.tuple.values.size(), med.mediated.size());
+      prev = t.probability;
+    }
+    // Predicates only filter: the filtered result set is a subset of the
+    // unfiltered one (by tuple values).
+    if (!q.predicates.empty()) {
+      const auto all = sys.AnswerStructuredQuery(domain, {});
+      ASSERT_TRUE(all.ok());
+      for (const RankedTuple& t : *result) {
+        bool found = false;
+        for (const RankedTuple& u : *all) {
+          if (u.tuple == t.tuple) {
+            found = true;
+            // Consolidated probability must agree regardless of the
+            // predicate (same contributing mappings).
+            EXPECT_NEAR(u.probability, t.probability, 1e-9);
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryEnginePropertyTest,
+                         ::testing::Range(0, 5));
+
+TEST(MediatorDeterminismTest, SameInputsSameMediation) {
+  const SchemaCorpus dw = MakeDwCorpus();
+  Tokenizer tok;
+  std::vector<std::pair<std::uint32_t, double>> members;
+  for (std::uint32_t i = 0; i < 12; ++i) members.emplace_back(i, 1.0);
+  const auto a = Mediator::BuildForDomain(dw, tok, members, {});
+  const auto b = Mediator::BuildForDomain(dw, tok, members, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->mediated.size(), b->mediated.size());
+  for (std::size_t m = 0; m < a->mediated.size(); ++m) {
+    EXPECT_EQ(a->mediated.attributes[m].name, b->mediated.attributes[m].name);
+    EXPECT_EQ(a->mediated.attributes[m].members,
+              b->mediated.attributes[m].members);
+  }
+  ASSERT_EQ(a->mappings.size(), b->mappings.size());
+  for (std::size_t m = 0; m < a->mappings.size(); ++m) {
+    ASSERT_EQ(a->mappings[m].alternatives.size(),
+              b->mappings[m].alternatives.size());
+    for (std::size_t k = 0; k < a->mappings[m].alternatives.size(); ++k) {
+      EXPECT_EQ(a->mappings[m].alternatives[k].target,
+                b->mappings[m].alternatives[k].target);
+      EXPECT_DOUBLE_EQ(a->mappings[m].alternatives[k].probability,
+                       b->mappings[m].alternatives[k].probability);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,182 @@
+#include "integrate/query_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+/// A hand-built mediation over two single-attribute sources so the
+/// consolidation arithmetic of Section 4.4 can be verified exactly.
+struct Fixture {
+  SchemaCorpus corpus;
+  DomainMediation mediation;
+  std::vector<std::unique_ptr<DataSource>> sources;
+
+  std::vector<const DataSource*> SourcePtrs() const {
+    std::vector<const DataSource*> out;
+    for (const auto& s : sources) out.push_back(s.get());
+    return out;
+  }
+};
+
+Fixture MakeTwoSourceFixture(double membership0, double membership1) {
+  Fixture fx;
+  fx.corpus.Add(Schema("src0", {"title"}), {});
+  fx.corpus.Add(Schema("src1", {"movie title"}), {});
+
+  fx.mediation.mediated.attributes.push_back(
+      {"title", {"movie title", "title"}, 2.0});
+  fx.mediation.members = {{0, membership0}, {1, membership1}};
+
+  ProbabilisticMapping pm0;
+  pm0.schema_id = 0;
+  pm0.alternatives = {{{0}, 1.0}};
+  ProbabilisticMapping pm1;
+  pm1.schema_id = 1;
+  pm1.alternatives = {{{0}, 1.0}};
+  fx.mediation.mappings = {pm0, pm1};
+
+  fx.sources.push_back(
+      std::make_unique<DataSource>(0, fx.corpus.schema(0)));
+  fx.sources.push_back(
+      std::make_unique<DataSource>(1, fx.corpus.schema(1)));
+  return fx;
+}
+
+TEST(DataSourceTest, SelectFiltersCaseInsensitively) {
+  DataSource src(0, Schema("s", {"title", "year"}));
+  ASSERT_TRUE(src.AddTuple(Tuple({"Casablanca", "1942"})).ok());
+  ASSERT_TRUE(src.AddTuple(Tuple({"Vertigo", "1958"})).ok());
+  const auto hits = src.Select({{0, "casablanca"}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].values[0], "Casablanca");
+  EXPECT_TRUE(src.Select({{0, "casablanca"}, {1, "1958"}}).empty());
+}
+
+TEST(DataSourceTest, RejectsWrongWidthTuple) {
+  DataSource src(0, Schema("s", {"a", "b"}));
+  EXPECT_TRUE(src.AddTuple(Tuple({"only one"})).IsInvalidArgument());
+}
+
+TEST(QueryEngineTest, TupleProbabilityIsMappingTimesMembership) {
+  Fixture fx = MakeTwoSourceFixture(0.8, 1.0);
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Vertigo"})).ok());
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  const auto result = engine.Answer({});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  // Pr = Pr(phi) * Pr(S0 in D) = 1.0 * 0.8.
+  EXPECT_NEAR((*result)[0].probability, 0.8, 1e-12);
+  EXPECT_EQ((*result)[0].tuple.values[0], "Vertigo");
+}
+
+TEST(QueryEngineTest, CrossSourceDuplicatesUseNoisyOr) {
+  Fixture fx = MakeTwoSourceFixture(0.8, 0.5);
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Vertigo"})).ok());
+  ASSERT_TRUE(fx.sources[1]->AddTuple(Tuple({"Vertigo"})).ok());
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  const auto result = engine.Answer({});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  // 1 - (1-0.8)(1-0.5) = 0.9 (the thesis's final consolidation rule).
+  EXPECT_NEAR((*result)[0].probability, 0.9, 1e-12);
+  EXPECT_EQ((*result)[0].sources.size(), 2u);
+}
+
+TEST(QueryEngineTest, SameRawTupleAlternativesSumBeforeNoisyOr) {
+  // One source whose two mapping alternatives send the same raw tuple to
+  // the same mediated tuple: probabilities sum (mutually exclusive
+  // mappings), they do not noisy-or.
+  Fixture fx = MakeTwoSourceFixture(1.0, 1.0);
+  fx.mediation.mappings[0].alternatives = {{{0}, 0.6}, {{0}, 0.4}};
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Vertigo"})).ok());
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  const auto result = engine.Answer({});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  // Sum: 0.6 + 0.4 = 1.0; noisy-or would give 1-(0.4)(0.6) = 0.76.
+  EXPECT_NEAR((*result)[0].probability, 1.0, 1e-12);
+}
+
+TEST(QueryEngineTest, PredicateTranslatedThroughMapping) {
+  Fixture fx = MakeTwoSourceFixture(1.0, 1.0);
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Vertigo"})).ok());
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Psycho"})).ok());
+  ASSERT_TRUE(fx.sources[1]->AddTuple(Tuple({"Psycho"})).ok());
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  StructuredQuery q;
+  q.predicates.push_back({0, "psycho"});
+  const auto result = engine.Answer(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].tuple.values[0], "Psycho");
+  EXPECT_EQ((*result)[0].sources.size(), 2u);
+}
+
+TEST(QueryEngineTest, UnmappedMediatedAttributeMakesPhiUnsatisfiable) {
+  // Source 0's only mapping leaves the queried mediated attribute
+  // uncovered -> it cannot contribute.
+  Fixture fx = MakeTwoSourceFixture(1.0, 1.0);
+  fx.mediation.mediated.attributes.push_back({"year", {"year"}, 1.0});
+  fx.mediation.mappings[0].alternatives = {{{0}, 1.0}};  // title only
+  fx.mediation.mappings[1].alternatives = {{{1}, 1.0}};  // maps to year
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Vertigo"})).ok());
+  ASSERT_TRUE(fx.sources[1]->AddTuple(Tuple({"1958"})).ok());
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  StructuredQuery q;
+  q.predicates.push_back({1, "1958"});
+  const auto result = engine.Answer(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].tuple.values[1], "1958");
+  EXPECT_EQ((*result)[0].tuple.values[0], "");  // null for unmapped slot
+}
+
+TEST(QueryEngineTest, MembersWithoutSourcesAreSkipped) {
+  Fixture fx = MakeTwoSourceFixture(1.0, 1.0);
+  ASSERT_TRUE(fx.sources[1]->AddTuple(Tuple({"Vertigo"})).ok());
+  auto ptrs = fx.SourcePtrs();
+  ptrs[0] = nullptr;  // member 0 has no attached data
+  QueryEngine engine(fx.mediation, ptrs);
+  const auto result = engine.Answer({});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].sources,
+            (std::vector<std::string>{"src1"}));
+}
+
+TEST(QueryEngineTest, ResultsSortedByProbabilityDescending) {
+  Fixture fx = MakeTwoSourceFixture(0.9, 0.3);
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"HighProb"})).ok());
+  ASSERT_TRUE(fx.sources[1]->AddTuple(Tuple({"LowProb"})).ok());
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  const auto result = engine.Answer({});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].tuple.values[0], "HighProb");
+  EXPECT_GE((*result)[0].probability, (*result)[1].probability);
+}
+
+TEST(QueryEngineTest, OutOfRangePredicateRejected) {
+  Fixture fx = MakeTwoSourceFixture(1.0, 1.0);
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  StructuredQuery q;
+  q.predicates.push_back({5, "x"});
+  EXPECT_TRUE(engine.Answer(q).status().IsOutOfRange());
+}
+
+TEST(QueryEngineTest, DuplicateRawTuplesWithinSourceNoisyOr) {
+  Fixture fx = MakeTwoSourceFixture(0.5, 1.0);
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Dup"})).ok());
+  ASSERT_TRUE(fx.sources[0]->AddTuple(Tuple({"Dup"})).ok());
+  QueryEngine engine(fx.mediation, fx.SourcePtrs());
+  const auto result = engine.Answer({});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  // Two distinct raw tuples mapping to the same mediated tuple:
+  // 1 - (1-0.5)^2 = 0.75.
+  EXPECT_NEAR((*result)[0].probability, 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,78 @@
+#include "schema/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+SchemaCorpus SmallCorpus() {
+  SchemaCorpus corpus("test");
+  corpus.Add(Schema("s1", {"title", "authors", "year of publish"}),
+             {"bibliography"});
+  corpus.Add(Schema("s2", {"make", "model", "year"}), {"cars"});
+  corpus.Add(Schema("s3", {"Name", "Grade", "School", "District", "Project"}),
+             {"schools", "people", "awards", "projects"});
+  return corpus;
+}
+
+TEST(SchemaCorpusTest, AddAndAccess) {
+  SchemaCorpus corpus = SmallCorpus();
+  EXPECT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.name(), "test");
+  EXPECT_EQ(corpus.schema(0).source_name, "s1");
+  EXPECT_EQ(corpus.schema(1).attributes.size(), 3u);
+  EXPECT_EQ(corpus.labels(2).size(), 4u);
+}
+
+TEST(SchemaCorpusTest, LabelsDeduplicatedAndSorted) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("s", {"a"}), {"zeta", "alpha", "zeta"});
+  EXPECT_EQ(corpus.labels(0), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(SchemaCorpusTest, AllLabelsIsSortedUnion) {
+  SchemaCorpus corpus = SmallCorpus();
+  const auto labels = corpus.AllLabels();
+  EXPECT_EQ(labels.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+  EXPECT_EQ(labels.front(), "awards");
+}
+
+TEST(SchemaCorpusTest, StatsMatchHandComputation) {
+  SchemaCorpus corpus = SmallCorpus();
+  Tokenizer tok;
+  const CorpusStats stats = corpus.ComputeStats(tok);
+  EXPECT_EQ(stats.num_schemas, 3u);
+  // s1: {title, authors, year, publish} = 4 terms; s2: {make, model, year}
+  // = 3; s3: {name, grade, school, district, project} = 5.
+  EXPECT_EQ(stats.max_terms_per_schema, 5u);
+  EXPECT_NEAR(stats.avg_terms_per_schema, (4.0 + 3.0 + 5.0) / 3.0, 1e-9);
+  EXPECT_EQ(stats.num_labels, 6u);
+  EXPECT_EQ(stats.max_labels_per_schema, 4u);
+  EXPECT_NEAR(stats.avg_labels_per_schema, 6.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.max_schemas_per_label, 1u);
+  EXPECT_NEAR(stats.avg_schemas_per_label, 1.0, 1e-9);
+}
+
+TEST(SchemaCorpusTest, StatsOnEmptyCorpus) {
+  SchemaCorpus corpus;
+  Tokenizer tok;
+  const CorpusStats stats = corpus.ComputeStats(tok);
+  EXPECT_EQ(stats.num_schemas, 0u);
+  EXPECT_EQ(stats.num_labels, 0u);
+}
+
+TEST(SchemaCorpusTest, UnionConcatenatesWithLabels) {
+  SchemaCorpus a("A"), b("B");
+  a.Add(Schema("s1", {"x"}), {"la"});
+  b.Add(Schema("s2", {"y"}), {"lb"});
+  const SchemaCorpus u = SchemaCorpus::Union(a, b, "A+B");
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.name(), "A+B");
+  EXPECT_EQ(u.schema(0).source_name, "s1");
+  EXPECT_EQ(u.schema(1).source_name, "s2");
+  EXPECT_EQ(u.labels(1), (std::vector<std::string>{"lb"}));
+}
+
+}  // namespace
+}  // namespace paygo

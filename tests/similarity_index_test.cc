@@ -1,0 +1,132 @@
+#include "text/similarity_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+std::vector<std::string> Lexicon1() {
+  return {"author",  "authors",   "departure", "departures", "departing",
+          "title",   "professor", "name",      "make",       "model"};
+}
+
+TEST(SimilarityIndexTest, NeighborhoodsIncludeSelf) {
+  SimilarityIndex idx(Lexicon1(), TermSimilarity(TermSimilarityKind::kLcs),
+                      0.8);
+  for (std::size_t i = 0; i < idx.terms().size(); ++i) {
+    const auto& nb = idx.Neighbors(i);
+    EXPECT_TRUE(std::find(nb.begin(), nb.end(), i) != nb.end());
+  }
+}
+
+TEST(SimilarityIndexTest, PluralsAreNeighbors) {
+  const auto terms = Lexicon1();
+  SimilarityIndex idx(terms, TermSimilarity(TermSimilarityKind::kLcs), 0.8);
+  const auto author_it = std::find(terms.begin(), terms.end(), "author");
+  const auto authors_it = std::find(terms.begin(), terms.end(), "authors");
+  const std::uint32_t a =
+      static_cast<std::uint32_t>(author_it - terms.begin());
+  const std::uint32_t as =
+      static_cast<std::uint32_t>(authors_it - terms.begin());
+  const auto& nb = idx.Neighbors(a);
+  EXPECT_TRUE(std::find(nb.begin(), nb.end(), as) != nb.end());
+}
+
+TEST(SimilarityIndexTest, NeighborhoodsAreSymmetric) {
+  SimilarityIndex idx(Lexicon1(), TermSimilarity(TermSimilarityKind::kLcs),
+                      0.8);
+  for (std::uint32_t i = 0; i < idx.terms().size(); ++i) {
+    for (std::uint32_t j : idx.Neighbors(i)) {
+      const auto& nb = idx.Neighbors(j);
+      EXPECT_TRUE(std::find(nb.begin(), nb.end(), i) != nb.end());
+    }
+  }
+}
+
+TEST(SimilarityIndexTest, MatchFindsInLexiconTerm) {
+  SimilarityIndex idx(Lexicon1(), TermSimilarity(TermSimilarityKind::kLcs),
+                      0.8);
+  const auto hits = idx.Match("departure");
+  // departure matches itself and "departures".
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(idx.terms()[hits[0]], "departure");
+  EXPECT_EQ(idx.terms()[hits[1]], "departures");
+}
+
+TEST(SimilarityIndexTest, MatchFindsOutOfLexiconVariant) {
+  SimilarityIndex idx(Lexicon1(), TermSimilarity(TermSimilarityKind::kLcs),
+                      0.8);
+  // "titles" is not in the lexicon but matches "title".
+  const auto hits = idx.Match("titles");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(idx.terms()[hits[0]], "title");
+}
+
+TEST(SimilarityIndexTest, MatchUnrelatedTermIsEmpty) {
+  SimilarityIndex idx(Lexicon1(), TermSimilarity(TermSimilarityKind::kLcs),
+                      0.8);
+  EXPECT_TRUE(idx.Match("zzzzzz").empty());
+  EXPECT_TRUE(idx.Match("").empty());
+}
+
+TEST(SimilarityIndexTest, StemKindGroupsByStem) {
+  std::vector<std::string> terms = {"rating", "ratings", "rated", "price"};
+  SimilarityIndex idx(terms, TermSimilarity(TermSimilarityKind::kStem), 0.5);
+  // rating & ratings share the stem "rate"... verify via Match.
+  const auto hits = idx.Match("rating");
+  EXPECT_GE(hits.size(), 2u);
+}
+
+TEST(SimilarityIndexTest, ExactKindIsIdentityOnly) {
+  SimilarityIndex idx(Lexicon1(), TermSimilarity(TermSimilarityKind::kExact),
+                      0.5);
+  for (std::size_t i = 0; i < idx.terms().size(); ++i) {
+    EXPECT_EQ(idx.Neighbors(i).size(), 1u);
+  }
+}
+
+/// Property: the prefiltered neighborhoods match an exhaustive O(V^2)
+/// reference at both a high threshold (bigram prune active) and a low one
+/// (exhaustive fallback).
+class SimilarityIndexPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimilarityIndexPropertyTest, AgreesWithExhaustiveReference) {
+  const double tau = GetParam();
+  Rng rng(1234);
+  const std::string alphabet = "abcdefgh";
+  std::vector<std::string> terms;
+  for (int i = 0; i < 60; ++i) {
+    std::string t;
+    const std::size_t len = 3 + rng.NextBelow(8);
+    for (std::size_t k = 0; k < len; ++k) {
+      t.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+    }
+    terms.push_back(std::move(t));
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  TermSimilarity sim(TermSimilarityKind::kLcs);
+  SimilarityIndex idx(terms, sim, tau);
+  for (std::uint32_t i = 0; i < terms.size(); ++i) {
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t j = 0; j < terms.size(); ++j) {
+      if (i == j || sim.Compute(terms[i], terms[j]) >= tau) {
+        expected.push_back(j);
+      }
+    }
+    EXPECT_EQ(idx.Neighbors(i), expected) << "term " << terms[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SimilarityIndexPropertyTest,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace paygo

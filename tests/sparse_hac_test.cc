@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/hac.h"
+#include "schema/feature_vector.h"
+#include "schema/lexicon.h"
+#include "synth/ddh_generator.h"
+#include "synth/web_generator.h"
+#include "util/random.h"
+
+namespace paygo {
+namespace {
+
+std::vector<std::vector<std::uint32_t>> Sorted(const HacResult& r) {
+  auto c = r.clusters;
+  std::sort(c.begin(), c.end());
+  return c;
+}
+
+/// Property: the sparse engine matches the dense engine exactly on random
+/// sparse data, for every supported linkage and threshold.
+struct SparseParam {
+  LinkageKind linkage;
+  double tau;
+  int seed;
+};
+
+class SparseDenseAgreementTest
+    : public ::testing::TestWithParam<SparseParam> {};
+
+TEST_P(SparseDenseAgreementTest, SparseMatchesDense) {
+  const SparseParam p = GetParam();
+  Rng rng(7000 + p.seed);
+  const std::size_t n = 60, dim = 80;
+  std::vector<DynamicBitset> features(n, DynamicBitset(dim));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t group = i % 5;
+    for (std::size_t b = group * 14; b < group * 14 + 14; ++b) {
+      if (rng.NextBernoulli(0.5)) features[i].Set(b);
+    }
+    if (rng.NextBernoulli(0.2)) features[i].Set(70 + rng.NextBelow(10));
+  }
+  HacOptions dense;
+  dense.linkage = p.linkage;
+  dense.tau_c_sim = p.tau;
+  HacOptions sparse = dense;
+  sparse.use_sparse_engine = true;
+
+  const auto rd = Hac::Run(features, dense);
+  const auto rs = Hac::Run(features, sparse);
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(Sorted(*rd), Sorted(*rs))
+      << LinkageKindName(p.linkage) << " tau=" << p.tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkagesTausSeeds, SparseDenseAgreementTest,
+    ::testing::Values(SparseParam{LinkageKind::kAverage, 0.2, 0},
+                      SparseParam{LinkageKind::kAverage, 0.35, 1},
+                      SparseParam{LinkageKind::kAverage, 0.5, 2},
+                      SparseParam{LinkageKind::kMin, 0.25, 3},
+                      SparseParam{LinkageKind::kMin, 0.4, 4},
+                      SparseParam{LinkageKind::kMax, 0.3, 5},
+                      SparseParam{LinkageKind::kMax, 0.5, 6}));
+
+TEST(SparseHacTest, MatchesDenseOnRealCorpora) {
+  for (const SchemaCorpus& corpus :
+       {MakeDwCorpus(), [] {
+          DdhGeneratorOptions gen;
+          gen.num_schemas = 300;
+          return MakeDdhCorpus(gen);
+        }()}) {
+    Tokenizer tok;
+    const Lexicon lexicon = Lexicon::Build(corpus, tok);
+    FeatureVectorizer vec(lexicon);
+    const auto features = vec.VectorizeCorpus();
+    HacOptions dense;
+    dense.tau_c_sim = 0.25;
+    HacOptions sparse = dense;
+    sparse.use_sparse_engine = true;
+    const auto rd = Hac::Run(features, dense);
+    const auto rs = Hac::Run(features, sparse);
+    ASSERT_TRUE(rd.ok());
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    EXPECT_EQ(Sorted(*rd), Sorted(*rs)) << corpus.name();
+  }
+}
+
+TEST(SparseHacTest, HonorsConstraints) {
+  std::vector<DynamicBitset> f(4, DynamicBitset(8));
+  for (std::size_t b : {0u, 1u, 2u}) {
+    f[0].Set(b);
+    f[1].Set(b);
+  }
+  for (std::size_t b : {5u, 6u, 7u}) {
+    f[2].Set(b);
+    f[3].Set(b);
+  }
+  HacOptions opts;
+  opts.use_sparse_engine = true;
+  opts.tau_c_sim = 0.5;
+  opts.cannot_link = {{0, 1}};
+  opts.must_link = {{0, 2}};  // feature-disjoint: only must-link can join
+  const auto r = Hac::Run(f, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->ClusterOf(0), r->ClusterOf(1));
+  EXPECT_EQ(r->ClusterOf(0), r->ClusterOf(2));
+}
+
+TEST(SparseHacTest, RejectsUnsupportedModes) {
+  std::vector<DynamicBitset> f(2, DynamicBitset(4));
+  f[0].Set(0);
+  f[1].Set(0);
+  HacOptions opts;
+  opts.use_sparse_engine = true;
+  opts.linkage = LinkageKind::kTotal;
+  EXPECT_TRUE(Hac::Run(f, opts).status().IsInvalidArgument());
+  opts.linkage = LinkageKind::kAverage;
+  opts.max_clusters = 1;
+  EXPECT_TRUE(Hac::Run(f, opts).status().IsInvalidArgument());
+  opts.max_clusters = 0;
+  opts.tau_c_sim = 0.0;
+  EXPECT_TRUE(Hac::Run(f, opts).status().IsInvalidArgument());
+}
+
+TEST(SparseHacTest, DisjointSchemasNeverMerge) {
+  std::vector<DynamicBitset> f(3, DynamicBitset(9));
+  f[0].Set(0);
+  f[1].Set(3);
+  f[2].Set(6);
+  HacOptions opts;
+  opts.use_sparse_engine = true;
+  opts.tau_c_sim = 0.1;
+  const auto r = Hac::Run(f, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->clusters.size(), 3u);
+}
+
+}  // namespace
+}  // namespace paygo

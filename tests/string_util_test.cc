@@ -1,0 +1,64 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace paygo {
+namespace {
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo 123!"), "hello 123!");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t x \n"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("nospace"), "nospace");
+}
+
+TEST(StringUtilTest, SplitAnyDropsEmptyPieces) {
+  EXPECT_EQ(SplitAny("a/b__c", "/_"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAny("///", "/"), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitAny("plain", "/"), (std::vector<std::string>{"plain"}));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x,", ','), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::string s = "alpha;beta;gamma";
+  EXPECT_EQ(Join(Split(s, ';'), ";"), s);
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("schema foo", "schema "));
+  EXPECT_FALSE(StartsWith("sch", "schema"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringUtilTest, IsAlphaAscii) {
+  EXPECT_TRUE(IsAlphaAscii("hello"));
+  EXPECT_FALSE(IsAlphaAscii("hello1"));
+  EXPECT_FALSE(IsAlphaAscii(""));
+  EXPECT_FALSE(IsAlphaAscii("a b"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace paygo

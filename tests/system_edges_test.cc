@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/integration_system.h"
+#include "synth/ddh_generator.h"
+
+namespace paygo {
+namespace {
+
+/// Adversarial and boundary corpora through the full pipeline.
+
+TEST(SystemEdgesTest, StopwordOnlyCorpusRejected) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("junk", {"the", "of", "and"}));
+  const auto sys = IntegrationSystem::Build(corpus, {});
+  ASSERT_FALSE(sys.ok());
+  EXPECT_TRUE(sys.status().IsInvalidArgument());
+}
+
+TEST(SystemEdgesTest, SingleSchemaCorpusWorks) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("solo", {"title", "authors"}));
+  const auto sys = IntegrationSystem::Build(corpus, {});
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  EXPECT_EQ((*sys)->domains().num_domains(), 1u);
+  EXPECT_TRUE((*sys)->domains().IsSingletonDomain(0));
+  const auto ranking = (*sys)->ClassifyKeywordQuery("title");
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(ranking->size(), 1u);
+}
+
+TEST(SystemEdgesTest, DuplicateSchemasShareADomain) {
+  SchemaCorpus corpus;
+  for (int i = 0; i < 3; ++i) {
+    corpus.Add(Schema("copy" + std::to_string(i),
+                      {"make", "model", "year"}));
+  }
+  const auto sys = IntegrationSystem::Build(corpus, {});
+  ASSERT_TRUE(sys.ok());
+  EXPECT_EQ((*sys)->domains().num_domains(), 1u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((*sys)->domains().Membership(i, 0), 1.0);
+  }
+}
+
+TEST(SystemEdgesTest, QueryWithOnlyUnknownTermsStillRanks) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"make", "model"}));
+  corpus.Add(Schema("b", {"title", "authors"}));
+  const auto sys = IntegrationSystem::Build(corpus, {});
+  ASSERT_TRUE(sys.ok());
+  // No query term matches the lexicon -> empty feature vector -> ranking
+  // by priors and absent-feature likelihoods; must not crash or return
+  // garbage scores.
+  const auto ranking = (*sys)->ClassifyKeywordQuery("zzz qqq www");
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking->size(), 2u);
+  for (const DomainScore& s : *ranking) {
+    EXPECT_TRUE(std::isfinite(s.log_posterior));
+  }
+}
+
+TEST(SystemEdgesTest, EmptyKeywordQueryRanksByPrior) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"make", "model"}));
+  corpus.Add(Schema("b", {"make", "mileage"}));
+  corpus.Add(Schema("c", {"title", "authors"}));
+  SystemOptions opts;
+  opts.hac.tau_c_sim = 0.2;
+  const auto sys = IntegrationSystem::Build(corpus, opts);
+  ASSERT_TRUE(sys.ok());
+  const auto ranking = (*sys)->ClassifyKeywordQuery("");
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_FALSE(ranking->empty());
+  // The larger (cars) domain has the higher prior.
+  const std::uint32_t cars = (*sys)->domains().DomainsOf(0)[0].first;
+  EXPECT_EQ((*ranking)[0].domain, cars);
+}
+
+TEST(SystemEdgesTest, SuggestDomainsTruncatesToK) {
+  DdhGeneratorOptions gen;
+  gen.num_schemas = 60;
+  const auto sys = IntegrationSystem::Build(MakeDdhCorpus(gen), {});
+  ASSERT_TRUE(sys.ok());
+  const auto s1 = (*sys)->SuggestDomains("make model", 1);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->size(), 1u);
+  const auto s100 = (*sys)->SuggestDomains("make model", 100);
+  ASSERT_TRUE(s100.ok());
+  EXPECT_EQ(s100->size(), (*sys)->domains().num_domains());
+}
+
+TEST(SystemEdgesTest, WideSchemaAndTinySchemaCoexist) {
+  SchemaCorpus corpus;
+  std::vector<std::string> wide;
+  for (int i = 0; i < 60; ++i) wide.push_back("column" + std::to_string(i));
+  corpus.Add(Schema("wide", wide));
+  corpus.Add(Schema("tiny", {"price"}));
+  const auto sys = IntegrationSystem::Build(corpus, {});
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  EXPECT_EQ(sys.value()->domains().num_domains(), 2u);
+}
+
+TEST(SystemEdgesTest, UnicodeAndPunctuationAttributesSurvive) {
+  SchemaCorpus corpus;
+  corpus.Add(Schema("messy", {"  price ($US)  ", "d\xC3\xA9part", "-->title<--"}));
+  corpus.Add(Schema("clean", {"price", "title"}));
+  const auto sys = IntegrationSystem::Build(corpus, {});
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  // The shared terms still cluster the two schemas together at low tau.
+  SystemOptions loose;
+  loose.hac.tau_c_sim = 0.2;
+  loose.assignment.tau_c_sim = 0.2;
+  const auto sys2 = IntegrationSystem::Build(corpus, loose);
+  ASSERT_TRUE(sys2.ok());
+  EXPECT_EQ((*sys2)->domains().DomainsOf(0)[0].first,
+            (*sys2)->domains().DomainsOf(1)[0].first);
+}
+
+TEST(SystemEdgesTest, FullDdhPipelineEndToEnd) {
+  // The thesis's largest configuration, end to end with classifier and
+  // mediation — a smoke test that the whole system holds together at
+  // scale (a few hundred ms in RelWithDebInfo).
+  DdhGeneratorOptions gen;
+  gen.num_schemas = 600;
+  SystemOptions opts;
+  opts.hac.tau_c_sim = 0.25;
+  opts.assignment.tau_c_sim = 0.25;
+  const auto sys = IntegrationSystem::Build(MakeDdhCorpus(gen), opts);
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  const IntegrationSystem& s = **sys;
+  EXPECT_TRUE(s.has_classifier());
+  EXPECT_TRUE(s.has_mediation());
+  const auto r = s.ClassifyKeywordQuery("make model mileage");
+  ASSERT_TRUE(r.ok());
+  // The top domain must be a cars-dominated one.
+  const auto& members = s.domains().SchemasOf((*r)[0].domain);
+  ASSERT_FALSE(members.empty());
+  EXPECT_EQ(s.corpus().labels(members[0].first)[0], "cars");
+}
+
+}  // namespace
+}  // namespace paygo

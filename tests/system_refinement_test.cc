@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "core/integration_system.h"
+
+namespace paygo {
+namespace {
+
+/// Facade-level refinement: AddSchema and ApplyFeedback on a live system.
+
+SchemaCorpus BaseCorpus() {
+  SchemaCorpus corpus("base");
+  corpus.Add(Schema("t1", {"departure airport", "destination airport",
+                           "airline"}),
+             {"travel"});
+  corpus.Add(Schema("t2", {"departure airport", "airline", "passengers"}),
+             {"travel"});
+  corpus.Add(Schema("b1", {"title", "authors", "journal"}), {"bib"});
+  corpus.Add(Schema("b2", {"title", "authors", "publisher"}), {"bib"});
+  return corpus;
+}
+
+SystemOptions Options() {
+  SystemOptions opts;
+  opts.hac.tau_c_sim = 0.25;
+  opts.assignment.tau_c_sim = 0.25;
+  return opts;
+}
+
+TEST(SystemRefinementTest, AddSchemaJoinsDomainAndServesQueries) {
+  auto built = IntegrationSystem::Build(BaseCorpus(), Options());
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  const std::uint32_t travel = sys.domains().DomainsOf(0)[0].first;
+  const std::size_t domains_before = sys.domains().num_domains();
+
+  const auto added = sys.AddSchema(
+      Schema("t3", {"departure airport", "destination airport", "class"}),
+      {"travel"});
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_FALSE(added->created_new_domain);
+  EXPECT_EQ(added->memberships[0].first, travel);
+  EXPECT_EQ(sys.corpus().size(), 5u);
+  EXPECT_EQ(sys.domains().num_domains(), domains_before);
+  EXPECT_EQ(sys.corpus().labels(4), (std::vector<std::string>{"travel"}));
+
+  // Derived state refreshed: the classifier covers the grown domain and
+  // the mediated schema includes the newcomer's attributes.
+  const auto ranking = sys.ClassifyKeywordQuery("departure airline class");
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ((*ranking)[0].domain, travel);
+  EXPECT_GE(sys.mediation(travel).members.size(), 3u);
+  // The new source can answer structured queries immediately.
+  ASSERT_TRUE(sys.AttachTuples(4, {Tuple({"YYZ", "CAI", "economy"})}).ok());
+  const auto answers = sys.AnswerStructuredQuery(travel, {});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_GE(answers->size(), 1u);
+}
+
+TEST(SystemRefinementTest, AddSchemaOpensNewDomain) {
+  auto built = IntegrationSystem::Build(BaseCorpus(), Options());
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  const std::size_t before = sys.domains().num_domains();
+  const auto added = sys.AddSchema(
+      Schema("weather", {"barometric pressure", "wind gust",
+                         "dew point"}));
+  ASSERT_TRUE(added.ok());
+  EXPECT_TRUE(added->created_new_domain);
+  EXPECT_EQ(sys.domains().num_domains(), before + 1);
+}
+
+TEST(SystemRefinementTest, ApplyExplicitFeedbackMovesSchema) {
+  auto built = IntegrationSystem::Build(BaseCorpus(), Options());
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  const std::uint32_t travel_before = sys.domains().DomainsOf(0)[0].first;
+  ASSERT_EQ(sys.domains().DomainsOf(1)[0].first, travel_before);
+
+  // User insists t2 belongs with the bibliography sources.
+  FeedbackStore store;
+  ASSERT_TRUE(store.RecordCorrection(/*schema=*/1, /*wrong=*/0,
+                                     /*right=*/2)
+                  .ok());
+  ASSERT_TRUE(sys.ApplyFeedback(store).ok());
+  EXPECT_EQ(sys.domains().DomainsOf(1)[0].first,
+            sys.domains().DomainsOf(2)[0].first);
+  EXPECT_NE(sys.domains().DomainsOf(1)[0].first,
+            sys.domains().DomainsOf(0)[0].first);
+  // Mediation and classifier still functional after the refinement.
+  EXPECT_TRUE(sys.ClassifyKeywordQuery("title authors").ok());
+}
+
+TEST(SystemRefinementTest, ApplyImplicitFeedbackReranks) {
+  // Two identical schemas -> two tied domains; clicks break the tie.
+  SchemaCorpus corpus;
+  corpus.Add(Schema("a", {"alpha", "beta"}));
+  corpus.Add(Schema("b", {"gamma", "delta"}));
+  SystemOptions opts;
+  opts.hac.tau_c_sim = 0.9;
+  auto built = IntegrationSystem::Build(corpus, opts);
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  const auto before = sys.ClassifyKeywordQuery("");
+  ASSERT_TRUE(before.ok());
+  const std::uint32_t loser = (*before)[1].domain;
+
+  FeedbackStore store;
+  for (int i = 0; i < 20; ++i) {
+    store.RecordImpression((*before)[0].domain);
+    store.RecordImpression(loser);
+    store.RecordClick(loser);
+  }
+  ASSERT_TRUE(sys.ApplyFeedback(store).ok());
+  const auto after = sys.ClassifyKeywordQuery("");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)[0].domain, loser);
+}
+
+TEST(SystemRefinementTest, ConflictingFeedbackSurfacesAsStatus) {
+  auto built = IntegrationSystem::Build(BaseCorpus(), Options());
+  ASSERT_TRUE(built.ok());
+  FeedbackStore store;
+  ASSERT_TRUE(store.RecordMustLink(0, 1).ok());
+  ASSERT_TRUE(store.RecordCannotLink(0, 1).ok());
+  EXPECT_TRUE((*built)->ApplyFeedback(store).IsInvalidArgument());
+}
+
+TEST(SystemRefinementTest, RebuildFromScratchRecoversUnseenTerms) {
+  auto built = IntegrationSystem::Build(BaseCorpus(), Options());
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  const std::size_t dim_before = sys.lexicon().dim();
+
+  // Two weather sources arrive; their vocabulary is outside the frozen
+  // lexicon, so incrementally they land in separate singleton domains.
+  const auto r1 = sys.AddSchema(
+      Schema("w1", {"barometric pressure", "wind gust", "dew point"}));
+  const auto r2 = sys.AddSchema(
+      Schema("w2", {"barometric pressure", "wind gust", "humidity"}));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r1->unseen_term_fraction, 0.9);
+  EXPECT_NE(sys.domains().DomainsOf(4)[0].first,
+            sys.domains().DomainsOf(5)[0].first);
+
+  // A full rebuild grows the lexicon and clusters them together.
+  ASSERT_TRUE(sys.RebuildFromScratch().ok());
+  EXPECT_GT(sys.lexicon().dim(), dim_before);
+  EXPECT_EQ(sys.domains().DomainsOf(4)[0].first,
+            sys.domains().DomainsOf(5)[0].first);
+  // Classifier works over the new feature space.
+  const auto ranking = sys.ClassifyKeywordQuery("wind gust pressure");
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ((*ranking)[0].domain, sys.domains().DomainsOf(4)[0].first);
+}
+
+TEST(SystemRefinementTest, RebuildPreservesAttachedTuples) {
+  auto built = IntegrationSystem::Build(BaseCorpus(), Options());
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  ASSERT_TRUE(
+      sys.AttachTuples(0, {Tuple({"YYZ", "CAI", "EgyptAir"})}).ok());
+  ASSERT_TRUE(sys.RebuildFromScratch().ok());
+  const std::uint32_t travel = sys.domains().DomainsOf(0)[0].first;
+  const auto answers = sys.AnswerStructuredQuery(travel, {});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST(SystemRefinementTest, AddThenFeedbackComposes) {
+  auto built = IntegrationSystem::Build(BaseCorpus(), Options());
+  ASSERT_TRUE(built.ok());
+  IntegrationSystem& sys = **built;
+  ASSERT_TRUE(sys.AddSchema(Schema("t3", {"departure airport", "airline"}),
+                            {"travel"})
+                  .ok());
+  FeedbackStore store;
+  ASSERT_TRUE(store.RecordCorrection(/*schema=*/4, /*wrong=*/0,
+                                     /*right=*/2)
+                  .ok());
+  ASSERT_TRUE(sys.ApplyFeedback(store).ok());
+  EXPECT_EQ(sys.domains().DomainsOf(4)[0].first,
+            sys.domains().DomainsOf(2)[0].first);
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,57 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paygo {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowHelper) {
+  TablePrinter t({"tau", "precision", "recall"});
+  t.AddRow("0.2", {0.81234, 0.7777}, 2);
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("0.81"), std::string::npos);
+  EXPECT_NE(os.str().find("0.78"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCharacters) {
+  TablePrinter t({"label", "note"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "label,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, CsvPlainValuesUnquoted) {
+  TablePrinter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,117 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/stopwords.h"
+
+namespace paygo {
+namespace {
+
+TEST(TokenizerTest, SplitsOnDelimiters) {
+  Tokenizer tok;
+  // The thesis's example: {Class ID, Day/Time, Professor Name, Subject} ->
+  // {class, day, time, professor, name, subject} ("ID" is dropped: < 3
+  // characters).
+  EXPECT_EQ(tok.Tokenize("Class ID"), (std::vector<std::string>{"class"}));
+  EXPECT_EQ(tok.Tokenize("Day/Time"),
+            (std::vector<std::string>{"day", "time"}));
+  EXPECT_EQ(tok.Tokenize("Professor Name"),
+            (std::vector<std::string>{"professor", "name"}));
+}
+
+TEST(TokenizerTest, SplitsCamelCase) {
+  Tokenizer tok;
+  // The thesis's example: MaxNumberOfStudents -> Max, Number, Of, Students
+  // ("of" is then removed as too short).
+  EXPECT_EQ(tok.Tokenize("MaxNumberOfStudents"),
+            (std::vector<std::string>{"max", "number", "students"}));
+}
+
+TEST(TokenizerTest, CamelCaseWithAcronym) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("HTMLPageTitle"),
+            (std::vector<std::string>{"html", "page", "title"}));
+}
+
+TEST(TokenizerTest, CamelCaseDisabled) {
+  TokenizerOptions opts;
+  opts.split_camel_case = false;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("MaxStudents"),
+            (std::vector<std::string>{"maxstudents"}));
+}
+
+TEST(TokenizerTest, RemovesStopWordsAndShortTerms) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Name of the Professor"),
+            (std::vector<std::string>{"name", "professor"}));
+  EXPECT_EQ(tok.Tokenize("ID NO XY"), (std::vector<std::string>{}));
+}
+
+TEST(TokenizerTest, DropsPureNumbers) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("2024 revenue"),
+            (std::vector<std::string>{"revenue"}));
+}
+
+TEST(TokenizerTest, KeepsNumbersWhenConfigured) {
+  TokenizerOptions opts;
+  opts.drop_non_alphabetic = false;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("2024 revenue"),
+            (std::vector<std::string>{"2024", "revenue"}));
+}
+
+TEST(TokenizerTest, MinTermLengthConfigurable) {
+  TokenizerOptions opts;
+  opts.min_term_length = 2;
+  opts.remove_stop_words = false;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("ID of"), (std::vector<std::string>{"id", "of"}));
+}
+
+TEST(TokenizerTest, HandlesFormPunctuation) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("departing (mm/dd/yy)"),
+            (std::vector<std::string>{"departing"}));
+  EXPECT_EQ(tok.Tokenize("artist/composer"),
+            (std::vector<std::string>{"artist", "composer"}));
+}
+
+TEST(TokenizerTest, TokenizeAllDeduplicatesAndSorts) {
+  Tokenizer tok;
+  const std::vector<std::string> terms =
+      tok.TokenizeAll({"First Name", "Last Name", "Name"});
+  EXPECT_EQ(terms, (std::vector<std::string>{"first", "last", "name"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.TokenizeAll({}).empty());
+  EXPECT_TRUE(tok.TokenizeAll({"", "  "}).empty());
+}
+
+TEST(StopWordsTest, CommonWordsAreStopWords) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("with"));
+  EXPECT_TRUE(IsStopWord("from"));
+  EXPECT_FALSE(IsStopWord("departure"));
+  EXPECT_FALSE(IsStopWord("type"));  // a real schema attribute in DDH cars
+}
+
+TEST(StopWordsTest, ListIsLowerCaseAndNonEmpty) {
+  const auto& list = StopWordList();
+  EXPECT_GT(list.size(), 50u);
+  for (std::string_view w : list) {
+    std::string lower(w);
+    std::transform(lower.begin(), lower.end(), lower.begin(), ::tolower);
+    EXPECT_EQ(std::string(w), lower);
+    EXPECT_TRUE(IsStopWord(w));
+  }
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,153 @@
+#include "synth/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace paygo {
+namespace {
+
+TEST(VariantsTest, ParsesPipeSeparatedForms) {
+  const AttributeVariants v = Variants("a|b|c");
+  EXPECT_EQ(v.forms, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Variants("single").forms.size(), 1u);
+}
+
+TEST(SharedPoolsTest, AllPoolsNonEmptyWithNonEmptyForms) {
+  for (const AttributePool& pool : SharedAttributePools()) {
+    EXPECT_FALSE(pool.name.empty());
+    EXPECT_FALSE(pool.attributes.empty());
+    for (const AttributeVariants& v : pool.attributes) {
+      EXPECT_FALSE(v.forms.empty());
+      for (const std::string& f : v.forms) EXPECT_FALSE(f.empty());
+    }
+  }
+}
+
+TEST(SharedPoolsTest, LookupByNameWorks) {
+  EXPECT_EQ(SharedPool("person").name, "person");
+  EXPECT_EQ(SharedPool("datetime").name, "datetime");
+}
+
+TEST(TemplatesTest, DdhHasTheFiveThesisDomains) {
+  const auto& templates = DdhDomainTemplates();
+  ASSERT_EQ(templates.size(), 5u);
+  std::set<std::string> labels;
+  for (const auto& t : templates) labels.insert(t.label);
+  EXPECT_EQ(labels, (std::set<std::string>{"bibliography", "cars", "courses",
+                                           "movies", "people"}));
+}
+
+TEST(TemplatesTest, DdhCoresAreLargeAndWellSeparated) {
+  Tokenizer tok;
+  const auto& templates = DdhDomainTemplates();
+  std::vector<std::set<std::string>> term_sets;
+  for (const auto& t : templates) {
+    EXPECT_GE(t.core.size(), 15u) << t.label;
+    std::set<std::string> terms;
+    for (const auto& v : t.core) {
+      for (const auto& f : v.forms) {
+        for (const auto& term : tok.Tokenize(f)) terms.insert(term);
+      }
+    }
+    term_sets.push_back(std::move(terms));
+  }
+  // Pairwise overlap must be small relative to core vocabulary (the
+  // "sharply separated domains" property of Section 6.1.1).
+  for (std::size_t i = 0; i < term_sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < term_sets.size(); ++j) {
+      std::vector<std::string> common;
+      std::set_intersection(term_sets[i].begin(), term_sets[i].end(),
+                            term_sets[j].begin(), term_sets[j].end(),
+                            std::back_inserter(common));
+      const std::size_t smaller =
+          std::min(term_sets[i].size(), term_sets[j].size());
+      EXPECT_LT(static_cast<double>(common.size()),
+                0.25 * static_cast<double>(smaller))
+          << templates[i].label << " vs " << templates[j].label;
+    }
+  }
+}
+
+TEST(TemplatesTest, TemplateReferencesResolveToSharedPools) {
+  for (const auto* templates : {&DwDomainTemplates(), &SsDomainTemplates()}) {
+    for (const DomainTemplate& t : *templates) {
+      for (const std::string& pool : t.shared_pools) {
+        // SharedPool aborts on unknown names; reaching here means OK.
+        EXPECT_FALSE(SharedPool(pool).name.empty()) << t.label;
+      }
+      EXPECT_GT(t.weight, 0.0) << t.label;
+      EXPECT_FALSE(t.core.empty()) << t.label;
+    }
+  }
+}
+
+TEST(TemplatesTest, LabelsAreUniqueWithinEachTemplateSet) {
+  for (const auto* templates : {&DdhDomainTemplates(), &DwDomainTemplates(),
+                                &SsDomainTemplates()}) {
+    std::set<std::string> labels;
+    for (const DomainTemplate& t : *templates) {
+      EXPECT_TRUE(labels.insert(t.label).second)
+          << "duplicate label " << t.label;
+    }
+  }
+}
+
+TEST(TemplatesTest, SsReusedLabelsExistInDw) {
+  std::set<std::string> dw_labels;
+  for (const auto& t : DwDomainTemplates()) dw_labels.insert(t.label);
+  for (const std::string& label : SsReusedDwLabels()) {
+    EXPECT_TRUE(dw_labels.count(label)) << label;
+  }
+}
+
+TEST(UniqueSpecsTest, EnoughEntriesForBothCorpora) {
+  // DW consumes entries [0, 16); SS consumes [16, 79).
+  EXPECT_GE(UniqueSchemaSpecs().size(), 79u);
+}
+
+TEST(UniqueSpecsTest, AttributeSetsArePairwiseTermDisjoint) {
+  Tokenizer tok;
+  const auto& specs = UniqueSchemaSpecs();
+  std::vector<std::set<std::string>> term_sets;
+  for (const auto& spec : specs) {
+    std::set<std::string> terms;
+    for (const std::string& attr : spec.attributes) {
+      for (const std::string& t : tok.Tokenize(attr)) terms.insert(t);
+    }
+    EXPECT_FALSE(terms.empty()) << spec.label;
+    term_sets.push_back(std::move(terms));
+  }
+  // A unique schema must not share more than one term with any other
+  // unique schema, else they could cluster together.
+  for (std::size_t i = 0; i < term_sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < term_sets.size(); ++j) {
+      std::vector<std::string> common;
+      std::set_intersection(term_sets[i].begin(), term_sets[i].end(),
+                            term_sets[j].begin(), term_sets[j].end(),
+                            std::back_inserter(common));
+      EXPECT_LE(common.size(), 1u)
+          << specs[i].label << "[" << i << "] vs " << specs[j].label << "["
+          << j << "]: shared terms include "
+          << (common.empty() ? "" : common[0]);
+    }
+  }
+}
+
+TEST(UniqueSpecsTest, AppendixLabelsCovered) {
+  // A sample of the thesis's Appendix A labels that only unique schemas
+  // carry.
+  std::set<std::string> labels;
+  for (const auto& spec : UniqueSchemaSpecs()) labels.insert(spec.label);
+  for (const char* expected :
+       {"airdisasters", "chess", "interments", "vulnerabilities", "windows",
+        "robots", "genes", "codeofconduct"}) {
+    EXPECT_TRUE(labels.count(expected)) << expected;
+  }
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,362 @@
+/// \file paygo_cli.cc
+/// \brief Command-line front end to the paygo library.
+///
+/// Subcommands:
+///   generate <dw|ss|both|ddh> <out-file>     emit a synthetic corpus
+///   stats <corpus-file>                      Table 6.1-style statistics
+///   cluster <corpus-file> [opts]             cluster into domains, print them
+///   classify <corpus-file> <keywords...>     rank domains for a query
+///   snapshot <corpus-file> <snapshot-file>   build and persist a system
+///   query <snapshot-file> <keywords...>      classify against a snapshot
+///   dendrogram <corpus-file>                 print the merge tree
+///   bench-queries <corpus-file>              top-k quality on generated
+///                                            queries (labels required)
+///
+/// Common options: --tau <v> (tau_c_sim, default 0.25), --theta <v>
+/// (default 0.02), --linkage <avg|min|max|total>, --eval (score clustering
+/// against the corpus labels, when present), --newick (dendrogram format),
+/// --queries <n> (per size, default 50).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "classify/query_featurizer.h"
+#include "cluster/dendrogram.h"
+#include "core/integration_system.h"
+#include "eval/classification_metrics.h"
+#include "eval/clustering_metrics.h"
+#include "persist/model_io.h"
+#include "schema/corpus_io.h"
+#include "synth/ddh_generator.h"
+#include "synth/query_generator.h"
+#include "synth/web_generator.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace paygo;
+
+int Usage() {
+  std::cerr <<
+      R"(usage: paygo_cli <command> [args]
+
+commands:
+  generate <dw|ss|both|ddh> <out-file>   write a synthetic corpus file
+  stats <corpus-file>                    corpus statistics (Table 6.1 style)
+  cluster <corpus-file> [opts]           discover domains and print them
+  classify <corpus-file> <keywords...>   rank domains for a keyword query
+  snapshot <corpus-file> <snapshot-file> build a system and persist it
+  query <snapshot-file> <keywords...>    classify against a saved snapshot
+
+options (cluster/classify/snapshot):
+  --tau <v>       clustering threshold tau_c_sim (default 0.25)
+  --theta <v>     uncertainty threshold theta (default 0.02)
+  --linkage <k>   avg | min | max | total (default avg)
+  --eval          also score clustering against corpus labels
+)";
+  return 2;
+}
+
+struct CliOptions {
+  SystemOptions system;
+  bool eval = false;
+  bool newick = false;
+  std::size_t queries_per_size = 50;
+  std::vector<std::string> positional;
+};
+
+bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tau") {
+      const char* v = next();
+      if (!v) return false;
+      out->system.hac.tau_c_sim = std::atof(v);
+      out->system.assignment.tau_c_sim = out->system.hac.tau_c_sim;
+    } else if (arg == "--theta") {
+      const char* v = next();
+      if (!v) return false;
+      out->system.assignment.theta = std::atof(v);
+    } else if (arg == "--linkage") {
+      const char* v = next();
+      if (!v) return false;
+      const std::string k = v;
+      if (k == "avg") {
+        out->system.hac.linkage = LinkageKind::kAverage;
+      } else if (k == "min") {
+        out->system.hac.linkage = LinkageKind::kMin;
+      } else if (k == "max") {
+        out->system.hac.linkage = LinkageKind::kMax;
+      } else if (k == "total") {
+        out->system.hac.linkage = LinkageKind::kTotal;
+      } else {
+        std::cerr << "unknown linkage '" << k << "'\n";
+        return false;
+      }
+    } else if (arg == "--eval") {
+      out->eval = true;
+    } else if (arg == "--newick") {
+      out->newick = true;
+    } else if (arg == "--queries") {
+      const char* v = next();
+      if (!v) return false;
+      out->queries_per_size = static_cast<std::size_t>(std::atoi(v));
+      if (out->queries_per_size == 0) return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      out->positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  SchemaCorpus corpus;
+  if (args[0] == "dw") {
+    corpus = MakeDwCorpus();
+  } else if (args[0] == "ss") {
+    corpus = MakeSsCorpus();
+  } else if (args[0] == "both") {
+    corpus = MakeDwSsCorpus();
+  } else if (args[0] == "ddh") {
+    corpus = MakeDdhCorpus();
+  } else {
+    std::cerr << "unknown corpus '" << args[0] << "'\n";
+    return 2;
+  }
+  if (Status s = SaveCorpusFile(corpus, args[1]); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << corpus.size() << " schemas to " << args[1] << "\n";
+  return 0;
+}
+
+Result<SchemaCorpus> LoadOrFail(const std::string& path) {
+  auto corpus = LoadCorpusFile(path);
+  if (!corpus.ok()) std::cerr << corpus.status() << "\n";
+  return corpus;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  const auto corpus = LoadOrFail(args[0]);
+  if (!corpus.ok()) return 1;
+  Tokenizer tok;
+  const CorpusStats s = corpus->ComputeStats(tok);
+  TablePrinter table({"Statistic", "Value"});
+  table.AddRow({"Number of schemas", std::to_string(s.num_schemas)});
+  table.AddRow({"Max terms per schema",
+                std::to_string(s.max_terms_per_schema)});
+  table.AddRow({"Avg terms per schema",
+                FormatDouble(s.avg_terms_per_schema, 1)});
+  table.AddRow({"Number of labels", std::to_string(s.num_labels)});
+  table.AddRow({"Max labels per schema",
+                std::to_string(s.max_labels_per_schema)});
+  table.AddRow({"Avg labels per schema",
+                FormatDouble(s.avg_labels_per_schema, 2)});
+  table.AddRow({"Max schemas per label",
+                std::to_string(s.max_schemas_per_label)});
+  table.AddRow({"Avg schemas per label",
+                FormatDouble(s.avg_schemas_per_label, 2)});
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdCluster(const CliOptions& cli) {
+  if (cli.positional.size() != 1) return Usage();
+  auto corpus = LoadOrFail(cli.positional[0]);
+  if (!corpus.ok()) return 1;
+  SystemOptions options = cli.system;
+  options.build_classifier = false;
+  auto sys = IntegrationSystem::Build(std::move(*corpus), options);
+  if (!sys.ok()) {
+    std::cerr << sys.status() << "\n";
+    return 1;
+  }
+  const IntegrationSystem& s = **sys;
+  std::size_t singletons = 0;
+  for (std::uint32_t r = 0; r < s.domains().num_domains(); ++r) {
+    if (s.domains().IsSingletonDomain(r)) {
+      ++singletons;
+      continue;
+    }
+    std::cout << s.DescribeDomain(r) << "\n";
+  }
+  std::cout << singletons << " schemas left unclustered.\n";
+  if (cli.eval) {
+    const ClusteringEvaluation eval =
+        EvaluateClustering(s.domains(), s.corpus());
+    std::cout << "\nprecision " << FormatDouble(eval.avg_precision, 3)
+              << "  recall " << FormatDouble(eval.avg_recall, 3)
+              << "  unclustered " << FormatDouble(eval.frac_unclustered, 3)
+              << "  non-homogeneous "
+              << FormatDouble(eval.frac_non_homogeneous, 3)
+              << "  fragmentation " << FormatDouble(eval.fragmentation, 2)
+              << "\n";
+  }
+  return 0;
+}
+
+int PrintRanking(const IntegrationSystem& sys, const std::string& query) {
+  auto suggestions = sys.SuggestDomains(query, 5);
+  if (!suggestions.ok()) {
+    std::cerr << suggestions.status() << "\n";
+    return 1;
+  }
+  std::cout << "query: \"" << query << "\"\n";
+  for (std::size_t k = 0; k < suggestions->size(); ++k) {
+    const DomainSuggestion& d = (*suggestions)[k];
+    std::cout << k + 1 << ". domain " << d.domain << " (score "
+              << FormatDouble(d.log_posterior, 2) << ")";
+    std::size_t shown = 0;
+    for (const std::string& a : d.mediated_attributes) {
+      std::cout << (shown == 0 ? " :" : "") << " [" << a << "]";
+      if (++shown >= 8) {
+        std::cout << " ...";
+        break;
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int CmdClassify(const CliOptions& cli) {
+  if (cli.positional.size() < 2) return Usage();
+  auto corpus = LoadOrFail(cli.positional[0]);
+  if (!corpus.ok()) return 1;
+  auto sys = IntegrationSystem::Build(std::move(*corpus), cli.system);
+  if (!sys.ok()) {
+    std::cerr << sys.status() << "\n";
+    return 1;
+  }
+  std::vector<std::string> keywords(cli.positional.begin() + 1,
+                                    cli.positional.end());
+  return PrintRanking(**sys, Join(keywords, " "));
+}
+
+int CmdSnapshot(const CliOptions& cli) {
+  if (cli.positional.size() != 2) return Usage();
+  auto corpus = LoadOrFail(cli.positional[0]);
+  if (!corpus.ok()) return 1;
+  auto sys = IntegrationSystem::Build(std::move(*corpus), cli.system);
+  if (!sys.ok()) {
+    std::cerr << sys.status() << "\n";
+    return 1;
+  }
+  if (Status s = SaveSnapshot(**sys, cli.positional[1]); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "snapshot with " << (*sys)->domains().num_domains()
+            << " domains written to " << cli.positional[1] << "\n";
+  return 0;
+}
+
+int CmdQuery(const CliOptions& cli) {
+  if (cli.positional.size() < 2) return Usage();
+  auto sys = LoadSnapshot(cli.positional[0], cli.system);
+  if (!sys.ok()) {
+    std::cerr << sys.status() << "\n";
+    return 1;
+  }
+  std::vector<std::string> keywords(cli.positional.begin() + 1,
+                                    cli.positional.end());
+  return PrintRanking(**sys, Join(keywords, " "));
+}
+
+int CmdDendrogram(const CliOptions& cli) {
+  if (cli.positional.size() != 1) return Usage();
+  auto corpus = LoadOrFail(cli.positional[0]);
+  if (!corpus.ok()) return 1;
+  SystemOptions options = cli.system;
+  options.build_classifier = false;
+  options.build_mediation = false;
+  auto sys = IntegrationSystem::Build(std::move(*corpus), options);
+  if (!sys.ok()) {
+    std::cerr << sys.status() << "\n";
+    return 1;
+  }
+  const auto dendro = Dendrogram::Build((*sys)->corpus().size(),
+                                        (*sys)->clustering());
+  if (!dendro.ok()) {
+    std::cerr << dendro.status() << "\n";
+    return 1;
+  }
+  std::cout << (cli.newick ? dendro->ToNewick(&(*sys)->corpus())
+                           : dendro->ToAscii(&(*sys)->corpus()));
+  return 0;
+}
+
+int CmdBenchQueries(const CliOptions& cli) {
+  if (cli.positional.size() != 1) return Usage();
+  auto corpus = LoadOrFail(cli.positional[0]);
+  if (!corpus.ok()) return 1;
+  if (corpus->AllLabels().empty()) {
+    std::cerr << "bench-queries needs ground-truth labels in the corpus\n";
+    return 1;
+  }
+  SystemOptions options = cli.system;
+  options.build_mediation = false;
+  auto sys = IntegrationSystem::Build(std::move(*corpus), options);
+  if (!sys.ok()) {
+    std::cerr << sys.status() << "\n";
+    return 1;
+  }
+  const IntegrationSystem& s = **sys;
+  std::vector<std::vector<std::string>> domain_labels;
+  for (std::uint32_t r = 0; r < s.domains().num_domains(); ++r) {
+    domain_labels.push_back(DominantLabels(s.domains(), r, s.corpus()));
+  }
+  auto gen = QueryGenerator::Build(s.corpus(), s.lexicon(), {});
+  if (!gen.ok()) {
+    std::cerr << gen.status() << "\n";
+    return 1;
+  }
+  QueryFeaturizer featurizer(s.tokenizer(), s.vectorizer());
+  Rng rng(61);
+  TablePrinter table({"Keywords", "Top-1", "Top-3"});
+  for (std::size_t size = 1; size <= 10; ++size) {
+    TopKAccumulator acc;
+    for (std::size_t q = 0; q < cli.queries_per_size; ++q) {
+      const GeneratedQuery query = gen->Generate(size, rng);
+      acc.Record(
+          s.classifier().Classify(featurizer.FeaturizeTerms(query.keywords)),
+          domain_labels, query.target_label);
+    }
+    table.AddRow({std::to_string(size), FormatDouble(acc.Top1Fraction(), 2),
+                  FormatDouble(acc.Top3Fraction(), 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  CliOptions cli;
+  if (!ParseCommon(argc, argv, 2, &cli)) return Usage();
+  if (command == "generate") return CmdGenerate(cli.positional);
+  if (command == "stats") return CmdStats(cli.positional);
+  if (command == "cluster") return CmdCluster(cli);
+  if (command == "classify") return CmdClassify(cli);
+  if (command == "snapshot") return CmdSnapshot(cli);
+  if (command == "query") return CmdQuery(cli);
+  if (command == "dendrogram") return CmdDendrogram(cli);
+  if (command == "bench-queries") return CmdBenchQueries(cli);
+  std::cerr << "unknown command '" << command << "'\n";
+  return Usage();
+}
