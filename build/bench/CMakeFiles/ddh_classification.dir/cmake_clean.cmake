@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddh_classification.dir/ddh_classification.cc.o"
+  "CMakeFiles/ddh_classification.dir/ddh_classification.cc.o.d"
+  "ddh_classification"
+  "ddh_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddh_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

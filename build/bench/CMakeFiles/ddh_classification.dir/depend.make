@@ -1,0 +1,2 @@
+# Empty dependencies file for ddh_classification.
+# This may be replaced when dependencies are built.

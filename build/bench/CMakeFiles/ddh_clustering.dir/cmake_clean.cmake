@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddh_clustering.dir/ddh_clustering.cc.o"
+  "CMakeFiles/ddh_clustering.dir/ddh_clustering.cc.o.d"
+  "ddh_clustering"
+  "ddh_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddh_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

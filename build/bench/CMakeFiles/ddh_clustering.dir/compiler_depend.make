@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ddh_clustering.
+# This may be replaced when dependencies are built.

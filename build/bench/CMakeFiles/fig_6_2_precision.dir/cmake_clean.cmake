@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_2_precision.dir/fig_6_2_precision.cc.o"
+  "CMakeFiles/fig_6_2_precision.dir/fig_6_2_precision.cc.o.d"
+  "fig_6_2_precision"
+  "fig_6_2_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_2_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

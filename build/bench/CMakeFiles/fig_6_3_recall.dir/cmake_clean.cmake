@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_3_recall.dir/fig_6_3_recall.cc.o"
+  "CMakeFiles/fig_6_3_recall.dir/fig_6_3_recall.cc.o.d"
+  "fig_6_3_recall"
+  "fig_6_3_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_3_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_4_fragmentation.dir/fig_6_4_fragmentation.cc.o"
+  "CMakeFiles/fig_6_4_fragmentation.dir/fig_6_4_fragmentation.cc.o.d"
+  "fig_6_4_fragmentation"
+  "fig_6_4_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_4_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_5_nonhomogeneous.dir/fig_6_5_nonhomogeneous.cc.o"
+  "CMakeFiles/fig_6_5_nonhomogeneous.dir/fig_6_5_nonhomogeneous.cc.o.d"
+  "fig_6_5_nonhomogeneous"
+  "fig_6_5_nonhomogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_5_nonhomogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

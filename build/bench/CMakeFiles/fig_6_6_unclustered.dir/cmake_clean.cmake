@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_6_unclustered.dir/fig_6_6_unclustered.cc.o"
+  "CMakeFiles/fig_6_6_unclustered.dir/fig_6_6_unclustered.cc.o.d"
+  "fig_6_6_unclustered"
+  "fig_6_6_unclustered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_6_unclustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_6_6_unclustered.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_7_query_classification.dir/fig_6_7_query_classification.cc.o"
+  "CMakeFiles/fig_6_7_query_classification.dir/fig_6_7_query_classification.cc.o.d"
+  "fig_6_7_query_classification"
+  "fig_6_7_query_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_7_query_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

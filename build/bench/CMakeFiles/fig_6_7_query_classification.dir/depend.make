@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_6_7_query_classification.
+# This may be replaced when dependencies are built.

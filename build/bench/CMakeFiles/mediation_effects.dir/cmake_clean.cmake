@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediation_effects.dir/mediation_effects.cc.o"
+  "CMakeFiles/mediation_effects.dir/mediation_effects.cc.o.d"
+  "mediation_effects"
+  "mediation_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediation_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

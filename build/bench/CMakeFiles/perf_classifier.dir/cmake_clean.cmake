@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_classifier.dir/perf_classifier.cc.o"
+  "CMakeFiles/perf_classifier.dir/perf_classifier.cc.o.d"
+  "perf_classifier"
+  "perf_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_clustering.dir/perf_clustering.cc.o"
+  "CMakeFiles/perf_clustering.dir/perf_clustering.cc.o.d"
+  "perf_clustering"
+  "perf_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmed_uncertainty.dir/pmed_uncertainty.cc.o"
+  "CMakeFiles/pmed_uncertainty.dir/pmed_uncertainty.cc.o.d"
+  "pmed_uncertainty"
+  "pmed_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmed_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_1_corpus_stats.dir/table_6_1_corpus_stats.cc.o"
+  "CMakeFiles/table_6_1_corpus_stats.dir/table_6_1_corpus_stats.cc.o.d"
+  "table_6_1_corpus_stats"
+  "table_6_1_corpus_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_1_corpus_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_2_clustering_eval.dir/table_6_2_clustering_eval.cc.o"
+  "CMakeFiles/table_6_2_clustering_eval.dir/table_6_2_clustering_eval.cc.o.d"
+  "table_6_2_clustering_eval"
+  "table_6_2_clustering_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_2_clustering_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

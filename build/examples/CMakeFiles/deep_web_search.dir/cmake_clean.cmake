@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_web_search.dir/deep_web_search.cpp.o"
+  "CMakeFiles/deep_web_search.dir/deep_web_search.cpp.o.d"
+  "deep_web_search"
+  "deep_web_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_web_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

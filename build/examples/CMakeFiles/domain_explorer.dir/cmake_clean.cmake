@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_explorer.dir/domain_explorer.cpp.o"
+  "CMakeFiles/domain_explorer.dir/domain_explorer.cpp.o.d"
+  "domain_explorer"
+  "domain_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_paygo.dir/incremental_paygo.cpp.o"
+  "CMakeFiles/incremental_paygo.dir/incremental_paygo.cpp.o.d"
+  "incremental_paygo"
+  "incremental_paygo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_paygo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

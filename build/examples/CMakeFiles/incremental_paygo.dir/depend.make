@@ -1,0 +1,2 @@
+# Empty dependencies file for incremental_paygo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spreadsheet_integration.dir/spreadsheet_integration.cpp.o"
+  "CMakeFiles/spreadsheet_integration.dir/spreadsheet_integration.cpp.o.d"
+  "spreadsheet_integration"
+  "spreadsheet_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spreadsheet_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

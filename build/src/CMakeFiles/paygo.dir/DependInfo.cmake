@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/mdc_clustering.cc" "src/CMakeFiles/paygo.dir/baseline/mdc_clustering.cc.o" "gcc" "src/CMakeFiles/paygo.dir/baseline/mdc_clustering.cc.o.d"
+  "/root/repo/src/classify/approx_classifier.cc" "src/CMakeFiles/paygo.dir/classify/approx_classifier.cc.o" "gcc" "src/CMakeFiles/paygo.dir/classify/approx_classifier.cc.o.d"
+  "/root/repo/src/classify/naive_bayes.cc" "src/CMakeFiles/paygo.dir/classify/naive_bayes.cc.o" "gcc" "src/CMakeFiles/paygo.dir/classify/naive_bayes.cc.o.d"
+  "/root/repo/src/classify/query_featurizer.cc" "src/CMakeFiles/paygo.dir/classify/query_featurizer.cc.o" "gcc" "src/CMakeFiles/paygo.dir/classify/query_featurizer.cc.o.d"
+  "/root/repo/src/cluster/dendrogram.cc" "src/CMakeFiles/paygo.dir/cluster/dendrogram.cc.o" "gcc" "src/CMakeFiles/paygo.dir/cluster/dendrogram.cc.o.d"
+  "/root/repo/src/cluster/fuzzy_assignment.cc" "src/CMakeFiles/paygo.dir/cluster/fuzzy_assignment.cc.o" "gcc" "src/CMakeFiles/paygo.dir/cluster/fuzzy_assignment.cc.o.d"
+  "/root/repo/src/cluster/hac.cc" "src/CMakeFiles/paygo.dir/cluster/hac.cc.o" "gcc" "src/CMakeFiles/paygo.dir/cluster/hac.cc.o.d"
+  "/root/repo/src/cluster/incremental.cc" "src/CMakeFiles/paygo.dir/cluster/incremental.cc.o" "gcc" "src/CMakeFiles/paygo.dir/cluster/incremental.cc.o.d"
+  "/root/repo/src/cluster/linkage.cc" "src/CMakeFiles/paygo.dir/cluster/linkage.cc.o" "gcc" "src/CMakeFiles/paygo.dir/cluster/linkage.cc.o.d"
+  "/root/repo/src/cluster/probabilistic_assignment.cc" "src/CMakeFiles/paygo.dir/cluster/probabilistic_assignment.cc.o" "gcc" "src/CMakeFiles/paygo.dir/cluster/probabilistic_assignment.cc.o.d"
+  "/root/repo/src/core/integration_system.cc" "src/CMakeFiles/paygo.dir/core/integration_system.cc.o" "gcc" "src/CMakeFiles/paygo.dir/core/integration_system.cc.o.d"
+  "/root/repo/src/eval/classification_metrics.cc" "src/CMakeFiles/paygo.dir/eval/classification_metrics.cc.o" "gcc" "src/CMakeFiles/paygo.dir/eval/classification_metrics.cc.o.d"
+  "/root/repo/src/eval/clustering_metrics.cc" "src/CMakeFiles/paygo.dir/eval/clustering_metrics.cc.o" "gcc" "src/CMakeFiles/paygo.dir/eval/clustering_metrics.cc.o.d"
+  "/root/repo/src/eval/partition_metrics.cc" "src/CMakeFiles/paygo.dir/eval/partition_metrics.cc.o" "gcc" "src/CMakeFiles/paygo.dir/eval/partition_metrics.cc.o.d"
+  "/root/repo/src/feedback/consistency.cc" "src/CMakeFiles/paygo.dir/feedback/consistency.cc.o" "gcc" "src/CMakeFiles/paygo.dir/feedback/consistency.cc.o.d"
+  "/root/repo/src/feedback/feedback.cc" "src/CMakeFiles/paygo.dir/feedback/feedback.cc.o" "gcc" "src/CMakeFiles/paygo.dir/feedback/feedback.cc.o.d"
+  "/root/repo/src/integrate/data_source.cc" "src/CMakeFiles/paygo.dir/integrate/data_source.cc.o" "gcc" "src/CMakeFiles/paygo.dir/integrate/data_source.cc.o.d"
+  "/root/repo/src/integrate/keyword_search.cc" "src/CMakeFiles/paygo.dir/integrate/keyword_search.cc.o" "gcc" "src/CMakeFiles/paygo.dir/integrate/keyword_search.cc.o.d"
+  "/root/repo/src/integrate/query_engine.cc" "src/CMakeFiles/paygo.dir/integrate/query_engine.cc.o" "gcc" "src/CMakeFiles/paygo.dir/integrate/query_engine.cc.o.d"
+  "/root/repo/src/integrate/tuple.cc" "src/CMakeFiles/paygo.dir/integrate/tuple.cc.o" "gcc" "src/CMakeFiles/paygo.dir/integrate/tuple.cc.o.d"
+  "/root/repo/src/mediate/mediated_schema.cc" "src/CMakeFiles/paygo.dir/mediate/mediated_schema.cc.o" "gcc" "src/CMakeFiles/paygo.dir/mediate/mediated_schema.cc.o.d"
+  "/root/repo/src/mediate/mediator.cc" "src/CMakeFiles/paygo.dir/mediate/mediator.cc.o" "gcc" "src/CMakeFiles/paygo.dir/mediate/mediator.cc.o.d"
+  "/root/repo/src/mediate/probabilistic_mapping.cc" "src/CMakeFiles/paygo.dir/mediate/probabilistic_mapping.cc.o" "gcc" "src/CMakeFiles/paygo.dir/mediate/probabilistic_mapping.cc.o.d"
+  "/root/repo/src/mediate/probabilistic_mediated_schema.cc" "src/CMakeFiles/paygo.dir/mediate/probabilistic_mediated_schema.cc.o" "gcc" "src/CMakeFiles/paygo.dir/mediate/probabilistic_mediated_schema.cc.o.d"
+  "/root/repo/src/persist/model_io.cc" "src/CMakeFiles/paygo.dir/persist/model_io.cc.o" "gcc" "src/CMakeFiles/paygo.dir/persist/model_io.cc.o.d"
+  "/root/repo/src/schema/corpus.cc" "src/CMakeFiles/paygo.dir/schema/corpus.cc.o" "gcc" "src/CMakeFiles/paygo.dir/schema/corpus.cc.o.d"
+  "/root/repo/src/schema/corpus_io.cc" "src/CMakeFiles/paygo.dir/schema/corpus_io.cc.o" "gcc" "src/CMakeFiles/paygo.dir/schema/corpus_io.cc.o.d"
+  "/root/repo/src/schema/feature_vector.cc" "src/CMakeFiles/paygo.dir/schema/feature_vector.cc.o" "gcc" "src/CMakeFiles/paygo.dir/schema/feature_vector.cc.o.d"
+  "/root/repo/src/schema/lexicon.cc" "src/CMakeFiles/paygo.dir/schema/lexicon.cc.o" "gcc" "src/CMakeFiles/paygo.dir/schema/lexicon.cc.o.d"
+  "/root/repo/src/schema/multi_table.cc" "src/CMakeFiles/paygo.dir/schema/multi_table.cc.o" "gcc" "src/CMakeFiles/paygo.dir/schema/multi_table.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/paygo.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/paygo.dir/schema/schema.cc.o.d"
+  "/root/repo/src/synth/ddh_generator.cc" "src/CMakeFiles/paygo.dir/synth/ddh_generator.cc.o" "gcc" "src/CMakeFiles/paygo.dir/synth/ddh_generator.cc.o.d"
+  "/root/repo/src/synth/many_domains.cc" "src/CMakeFiles/paygo.dir/synth/many_domains.cc.o" "gcc" "src/CMakeFiles/paygo.dir/synth/many_domains.cc.o.d"
+  "/root/repo/src/synth/query_generator.cc" "src/CMakeFiles/paygo.dir/synth/query_generator.cc.o" "gcc" "src/CMakeFiles/paygo.dir/synth/query_generator.cc.o.d"
+  "/root/repo/src/synth/tuple_generator.cc" "src/CMakeFiles/paygo.dir/synth/tuple_generator.cc.o" "gcc" "src/CMakeFiles/paygo.dir/synth/tuple_generator.cc.o.d"
+  "/root/repo/src/synth/vocabulary.cc" "src/CMakeFiles/paygo.dir/synth/vocabulary.cc.o" "gcc" "src/CMakeFiles/paygo.dir/synth/vocabulary.cc.o.d"
+  "/root/repo/src/synth/web_generator.cc" "src/CMakeFiles/paygo.dir/synth/web_generator.cc.o" "gcc" "src/CMakeFiles/paygo.dir/synth/web_generator.cc.o.d"
+  "/root/repo/src/text/lcs.cc" "src/CMakeFiles/paygo.dir/text/lcs.cc.o" "gcc" "src/CMakeFiles/paygo.dir/text/lcs.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/CMakeFiles/paygo.dir/text/porter_stemmer.cc.o" "gcc" "src/CMakeFiles/paygo.dir/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/similarity_index.cc" "src/CMakeFiles/paygo.dir/text/similarity_index.cc.o" "gcc" "src/CMakeFiles/paygo.dir/text/similarity_index.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/paygo.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/paygo.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/term_similarity.cc" "src/CMakeFiles/paygo.dir/text/term_similarity.cc.o" "gcc" "src/CMakeFiles/paygo.dir/text/term_similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/paygo.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/paygo.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/paygo.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/paygo.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/paygo.dir/util/random.cc.o" "gcc" "src/CMakeFiles/paygo.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/paygo.dir/util/status.cc.o" "gcc" "src/CMakeFiles/paygo.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/paygo.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/paygo.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/paygo.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/paygo.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

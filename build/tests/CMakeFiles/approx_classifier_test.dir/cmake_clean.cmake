@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_classifier_test.dir/approx_classifier_test.cc.o"
+  "CMakeFiles/approx_classifier_test.dir/approx_classifier_test.cc.o.d"
+  "approx_classifier_test"
+  "approx_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_vector_test.dir/feature_vector_test.cc.o"
+  "CMakeFiles/feature_vector_test.dir/feature_vector_test.cc.o.d"
+  "feature_vector_test"
+  "feature_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

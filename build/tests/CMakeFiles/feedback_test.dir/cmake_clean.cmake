@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_test.dir/feedback_test.cc.o"
+  "CMakeFiles/feedback_test.dir/feedback_test.cc.o.d"
+  "feedback_test"
+  "feedback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

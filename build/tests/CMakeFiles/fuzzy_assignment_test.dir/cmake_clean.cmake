@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_assignment_test.dir/fuzzy_assignment_test.cc.o"
+  "CMakeFiles/fuzzy_assignment_test.dir/fuzzy_assignment_test.cc.o.d"
+  "fuzzy_assignment_test"
+  "fuzzy_assignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_test.dir/hac_test.cc.o"
+  "CMakeFiles/hac_test.dir/hac_test.cc.o.d"
+  "hac_test"
+  "hac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

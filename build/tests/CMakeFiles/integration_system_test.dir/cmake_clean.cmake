@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_system_test.dir/integration_system_test.cc.o"
+  "CMakeFiles/integration_system_test.dir/integration_system_test.cc.o.d"
+  "integration_system_test"
+  "integration_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcs_test.dir/lcs_test.cc.o"
+  "CMakeFiles/lcs_test.dir/lcs_test.cc.o.d"
+  "lcs_test"
+  "lcs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

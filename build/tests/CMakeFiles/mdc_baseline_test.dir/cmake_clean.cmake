@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_baseline_test.dir/mdc_baseline_test.cc.o"
+  "CMakeFiles/mdc_baseline_test.dir/mdc_baseline_test.cc.o.d"
+  "mdc_baseline_test"
+  "mdc_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

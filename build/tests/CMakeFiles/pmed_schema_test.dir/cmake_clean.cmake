@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmed_schema_test.dir/pmed_schema_test.cc.o"
+  "CMakeFiles/pmed_schema_test.dir/pmed_schema_test.cc.o.d"
+  "pmed_schema_test"
+  "pmed_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmed_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

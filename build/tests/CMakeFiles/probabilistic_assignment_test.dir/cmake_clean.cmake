@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_assignment_test.dir/probabilistic_assignment_test.cc.o"
+  "CMakeFiles/probabilistic_assignment_test.dir/probabilistic_assignment_test.cc.o.d"
+  "probabilistic_assignment_test"
+  "probabilistic_assignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

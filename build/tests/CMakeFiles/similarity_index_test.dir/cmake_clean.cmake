@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_index_test.dir/similarity_index_test.cc.o"
+  "CMakeFiles/similarity_index_test.dir/similarity_index_test.cc.o.d"
+  "similarity_index_test"
+  "similarity_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

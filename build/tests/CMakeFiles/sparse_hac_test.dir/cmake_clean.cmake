@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_hac_test.dir/sparse_hac_test.cc.o"
+  "CMakeFiles/sparse_hac_test.dir/sparse_hac_test.cc.o.d"
+  "sparse_hac_test"
+  "sparse_hac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_hac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

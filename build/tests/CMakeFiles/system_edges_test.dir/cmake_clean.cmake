@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_edges_test.dir/system_edges_test.cc.o"
+  "CMakeFiles/system_edges_test.dir/system_edges_test.cc.o.d"
+  "system_edges_test"
+  "system_edges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_edges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

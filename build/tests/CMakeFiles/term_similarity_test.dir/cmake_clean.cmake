@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_similarity_test.dir/term_similarity_test.cc.o"
+  "CMakeFiles/term_similarity_test.dir/term_similarity_test.cc.o.d"
+  "term_similarity_test"
+  "term_similarity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paygo_cli.dir/paygo_cli.cc.o"
+  "CMakeFiles/paygo_cli.dir/paygo_cli.cc.o.d"
+  "paygo_cli"
+  "paygo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paygo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
