@@ -1,0 +1,167 @@
+/// \file serve_throughput.cc
+/// \brief Closed-loop load benchmark of the PaygoServer serving runtime.
+///
+/// Builds an integration system over a synthetic corpus, starts the
+/// server, and runs three phases:
+///
+///   1. a closed-loop load phase — N client threads classify keyword
+///      queries back-to-back, measuring client-observed latency;
+///   2. a saturation probe — a burst of async submissions against a
+///      deliberately tiny queue to demonstrate admission-control
+///      rejection under overload;
+///   3. a mixed phase — the same closed loop while a writer adds schemas
+///      concurrently, exercising snapshot swaps under load.
+///
+/// Output is a single JSON object (schema documented in bench/README.md);
+/// pass --human for a readable summary instead.
+///
+/// Flags: --corpus <dw|ss|both|many> --threads N --seconds S --workers N
+///        --queue-depth N --cache-capacity N --delay-us N --human
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/integration_system.h"
+#include "serve/load_generator.h"
+#include "serve/paygo_server.h"
+#include "synth/many_domains.h"
+#include "synth/web_generator.h"
+
+namespace {
+
+using namespace paygo;
+
+struct BenchOptions {
+  std::string corpus = "both";
+  std::size_t threads = 4;
+  double seconds = 2.0;
+  std::size_t workers = 4;
+  std::size_t queue_depth = 256;
+  std::size_t cache_capacity = 1024;
+  std::uint64_t delay_us = 0;
+  bool human = false;
+};
+
+SchemaCorpus MakeCorpus(const std::string& name) {
+  if (name == "dw") return MakeDwCorpus();
+  if (name == "ss") return MakeSsCorpus();
+  if (name == "many") return MakeManyDomainCorpus();
+  return MakeDwSsCorpus();
+}
+
+Schema MakeExtraSchema(int i) {
+  Schema schema;
+  schema.source_name = "live-source-" + std::to_string(i);
+  schema.attributes = {"departure city", "destination city",
+                       "travel date", "fare class",
+                       "seat " + std::to_string(i)};
+  return schema;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--corpus" && next()) {
+      opts.corpus = argv[i];
+    } else if (arg == "--threads" && next()) {
+      opts.threads = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else if (arg == "--seconds" && next()) {
+      opts.seconds = std::atof(argv[i]);
+    } else if (arg == "--workers" && next()) {
+      opts.workers = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else if (arg == "--queue-depth" && next()) {
+      opts.queue_depth = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else if (arg == "--cache-capacity" && next()) {
+      opts.cache_capacity = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else if (arg == "--delay-us" && next()) {
+      opts.delay_us = static_cast<std::uint64_t>(std::atoll(argv[i]));
+    } else if (arg == "--human") {
+      opts.human = true;
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  auto built = IntegrationSystem::Build(MakeCorpus(opts.corpus));
+  if (!built.ok()) {
+    std::cerr << built.status() << "\n";
+    return 1;
+  }
+  std::vector<std::string> queries = BuildQueryPool(**built, 256, 17);
+
+  // Phase 1: steady-state closed loop.
+  ServeOptions serve;
+  serve.num_workers = opts.workers;
+  serve.queue_depth = opts.queue_depth;
+  serve.cache_capacity = opts.cache_capacity;
+  serve.artificial_request_delay_us = opts.delay_us;
+  PaygoServer server(std::move(*built), serve);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  LoadGenOptions load;
+  load.client_threads = opts.threads;
+  load.duration_ms = static_cast<std::uint64_t>(opts.seconds * 1000);
+  const LoadReport steady = RunClosedLoopLoad(server, queries, load);
+
+  // Phase 2: saturation probe against a tiny queue. Slow the handlers so
+  // the burst cannot drain between submissions.
+  auto built2 = IntegrationSystem::Build(MakeCorpus(opts.corpus));
+  if (!built2.ok()) {
+    std::cerr << built2.status() << "\n";
+    return 1;
+  }
+  ServeOptions tiny = serve;
+  tiny.num_workers = 1;
+  tiny.queue_depth = 2;
+  tiny.cache_capacity = 0;  // every request does real work
+  tiny.artificial_request_delay_us =
+      std::max<std::uint64_t>(opts.delay_us, 2000);
+  PaygoServer saturated(std::move(*built2), tiny);
+  if (Status s = saturated.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  const std::uint64_t probe_rejected =
+      RunSaturationProbe(saturated, queries[0], 64);
+  saturated.Stop();
+
+  // Phase 3: the same closed loop with a concurrent AddSchema writer.
+  std::vector<std::future<Status>> writes;
+  for (int i = 0; i < 4; ++i) {
+    writes.push_back(server.AddSchemaAsync(MakeExtraSchema(i),
+                                           {"live-domain"}));
+  }
+  const LoadReport mixed = RunClosedLoopLoad(server, queries, load);
+  for (auto& w : writes) w.get();
+  const std::uint64_t generation = server.generation();
+  server.Stop();
+
+  if (opts.human) {
+    std::cout << "steady:    " << steady.qps << " qps, p50 "
+              << steady.p50_us << "us p95 " << steady.p95_us << "us p99 "
+              << steady.p99_us << "us, cache hit rate "
+              << steady.cache_hit_rate << "\n";
+    std::cout << "mixed:     " << mixed.qps << " qps under " << generation
+              << " snapshot swaps\n";
+    std::cout << "saturation: " << probe_rejected
+              << "/64 requests rejected by admission control\n";
+    return 0;
+  }
+  std::cout << "{\"steady\": " << steady.ToJson()
+            << ", \"mixed_with_writer\": " << mixed.ToJson()
+            << ", \"saturation_probe\": {\"burst\": 64, \"rejected\": "
+            << probe_rejected << "}, \"final_generation\": " << generation
+            << "}\n";
+  return 0;
+}

@@ -122,6 +122,36 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
   return sys;
 }
 
+std::unique_ptr<IntegrationSystem> IntegrationSystem::Clone() const {
+  auto copy = std::unique_ptr<IntegrationSystem>(new IntegrationSystem());
+  copy->options_ = options_;
+  copy->corpus_ = corpus_;
+  copy->tokenizer_ = std::make_unique<Tokenizer>(*tokenizer_);
+  copy->lexicon_ = std::make_unique<Lexicon>(*lexicon_);
+  // Rebind the vectorizer to the clone's lexicon; the similarity index is
+  // identical, so it is copied rather than recomputed.
+  copy->vectorizer_ =
+      std::make_unique<FeatureVectorizer>(*copy->lexicon_, *vectorizer_);
+  copy->features_ = features_;
+  copy->sims_ = std::make_unique<SimilarityMatrix>(*sims_);
+  copy->clustering_ = clustering_;
+  copy->domains_ = domains_;
+  if (classifier_ != nullptr) {
+    copy->classifier_ = std::make_unique<NaiveBayesClassifier>(*classifier_);
+  }
+  if (query_featurizer_ != nullptr) {
+    copy->query_featurizer_ = std::make_unique<QueryFeaturizer>(
+        *copy->tokenizer_, *copy->vectorizer_);
+  }
+  copy->mediations_ = mediations_;
+  copy->sources_.reserve(sources_.size());
+  for (const std::unique_ptr<DataSource>& src : sources_) {
+    copy->sources_.push_back(src == nullptr ? nullptr
+                                            : std::make_unique<DataSource>(*src));
+  }
+  return copy;
+}
+
 Status IntegrationSystem::RebuildDerivedState() {
   if (options_.build_mediation) {
     std::vector<DomainMediation> mediations;

@@ -63,6 +63,16 @@ struct DomainSuggestion {
 };
 
 /// \brief The built pay-as-you-go data integration system.
+///
+/// Thread-safety contract: every const member function is a pure read — no
+/// lazily-filled caches, no mutable members, no const_casts anywhere on the
+/// ClassifyKeywordQuery / SuggestDomains / AnswerKeywordQuery /
+/// AnswerStructuredQuery / DescribeDomain paths — so any number of threads
+/// may call const methods concurrently on one instance. Mutators
+/// (AddSchema, ApplyFeedback, RebuildFromScratch, AttachTuples) are NOT
+/// safe to run concurrently with reads on the same instance; the serving
+/// layer (src/serve) handles this by mutating a Clone() and publishing it
+/// with an atomic snapshot swap instead of locking readers out.
 class IntegrationSystem {
  public:
   /// Runs the offline pipeline. The corpus is copied into the system.
@@ -77,6 +87,14 @@ class IntegrationSystem {
   static Result<std::unique_ptr<IntegrationSystem>> Restore(
       SchemaCorpus corpus, SystemOptions options, DomainModel model,
       std::vector<DomainConditionals> conditionals);
+
+  /// Deep copy for copy-on-write snapshotting: the clone shares no state
+  /// with the original (internal cross-references — the vectorizer's
+  /// lexicon binding, the query featurizer — are rebound to the clone's own
+  /// parts), so mutating the clone never disturbs concurrent readers of the
+  /// original. The similarity index is copied, not recomputed, keeping the
+  /// clone cost linear in model size.
+  std::unique_ptr<IntegrationSystem> Clone() const;
 
   // --- runtime: keyword queries (Chapter 5) ---
 

@@ -36,6 +36,15 @@ class FeatureVectorizer {
   FeatureVectorizer(const Lexicon& lexicon,
                     FeatureVectorizerOptions options = {});
 
+  /// Copy of \p other rebound to \p lexicon, reusing the already-built
+  /// similarity index instead of recomputing it. \p lexicon must hold the
+  /// same terms \p other was built over (the deep-copy case of
+  /// IntegrationSystem::Clone).
+  FeatureVectorizer(const Lexicon& lexicon, const FeatureVectorizer& other)
+      : lexicon_(lexicon),
+        options_(other.options_),
+        index_(std::make_unique<SimilarityIndex>(*other.index_)) {}
+
   /// F_i for every schema the lexicon was built over (Algorithm 1's output
   /// set F). Vector order matches the corpus order.
   std::vector<DynamicBitset> VectorizeCorpus() const;

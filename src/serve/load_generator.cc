@@ -1,0 +1,172 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+
+#include "synth/query_generator.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace paygo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t SamplePercentile(const std::vector<std::uint64_t>& sorted,
+                               double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1,
+                       p * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+}  // namespace
+
+std::vector<std::string> BuildQueryPool(const IntegrationSystem& system,
+                                        std::size_t pool_size,
+                                        std::uint64_t seed) {
+  pool_size = std::max<std::size_t>(pool_size, 1);
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  Rng rng(seed);
+  auto gen = QueryGenerator::Build(system.corpus(), system.lexicon(), {});
+  if (gen.ok() && !gen->targetable_labels().empty()) {
+    while (pool.size() < pool_size) {
+      // Realistic web-query length mix: mostly 2-4 keywords.
+      const std::size_t num_keywords =
+          static_cast<std::size_t>(rng.NextInRange(1, 5));
+      pool.push_back(Join(gen->Generate(num_keywords, rng).keywords, " "));
+    }
+    return pool;
+  }
+  // Unlabeled corpus: sample attribute names as query text instead.
+  const SchemaCorpus& corpus = system.corpus();
+  while (pool.size() < pool_size) {
+    const Schema& schema = corpus.schema(
+        static_cast<std::size_t>(rng.NextBelow(corpus.size())));
+    if (schema.attributes.empty()) continue;
+    const std::string& a = schema.attributes[static_cast<std::size_t>(
+        rng.NextBelow(schema.attributes.size()))];
+    const std::string& b = schema.attributes[static_cast<std::size_t>(
+        rng.NextBelow(schema.attributes.size()))];
+    pool.push_back(a + " " + b);
+  }
+  return pool;
+}
+
+LoadReport RunClosedLoopLoad(PaygoServer& server,
+                             const std::vector<std::string>& queries,
+                             const LoadGenOptions& options) {
+  LoadReport report;
+  report.client_threads = std::max<std::size_t>(options.client_threads, 1);
+  report.duration_ms = std::max<std::uint64_t>(options.duration_ms, 1);
+  if (queries.empty()) return report;
+
+  struct ClientResult {
+    std::vector<std::uint64_t> latencies_us;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+  };
+  std::vector<ClientResult> per_client(report.client_threads);
+
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(report.duration_ms);
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(report.client_threads);
+  for (std::size_t c = 0; c < report.client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      ClientResult& mine = per_client[c];
+      std::size_t next = c;  // offset so clients do not march in lockstep
+      while (Clock::now() < deadline) {
+        const std::string& query = queries[next % queries.size()];
+        ++next;
+        const Clock::time_point sent = Clock::now();
+        Result<std::vector<DomainScore>> scores = server.Classify(query);
+        const std::uint64_t us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - sent)
+                .count());
+        mine.latencies_us.push_back(us);
+        if (scores.ok()) {
+          ++mine.ok;
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const std::uint64_t elapsed_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+
+  std::vector<std::uint64_t> all;
+  for (ClientResult& r : per_client) {
+    report.ok_requests += r.ok;
+    report.error_requests += r.errors;
+    all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
+  }
+  report.total_requests = report.ok_requests + report.error_requests;
+  std::sort(all.begin(), all.end());
+  report.p50_us = SamplePercentile(all, 0.50);
+  report.p95_us = SamplePercentile(all, 0.95);
+  report.p99_us = SamplePercentile(all, 0.99);
+  report.max_us = all.empty() ? 0 : all.back();
+  if (!all.empty()) {
+    double sum = 0;
+    for (std::uint64_t v : all) sum += static_cast<double>(v);
+    report.mean_us = sum / static_cast<double>(all.size());
+  }
+  report.qps = elapsed_us == 0
+                   ? 0.0
+                   : static_cast<double>(report.total_requests) * 1e6 /
+                         static_cast<double>(elapsed_us);
+
+  const ServerMetrics& m = server.metrics();
+  report.cache_hit_rate = m.CacheHitRate();
+  report.rejected = m.requests_rejected.load();
+  report.timed_out = m.requests_timed_out.load();
+  report.snapshot_generation = m.snapshot_generation.load();
+  return report;
+}
+
+std::uint64_t RunSaturationProbe(PaygoServer& server,
+                                 const std::string& query,
+                                 std::size_t burst) {
+  std::vector<std::future<Result<std::vector<DomainScore>>>> inflight;
+  inflight.reserve(burst);
+  for (std::size_t i = 0; i < burst; ++i) {
+    inflight.push_back(server.ClassifyAsync(query));
+  }
+  std::uint64_t rejected = 0;
+  for (auto& f : inflight) {
+    const Result<std::vector<DomainScore>> r = f.get();
+    if (!r.ok() && r.status().IsResourceExhausted()) ++rejected;
+  }
+  return rejected;
+}
+
+std::string LoadReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"client_threads\": " << client_threads
+     << ", \"duration_ms\": " << duration_ms
+     << ", \"total_requests\": " << total_requests
+     << ", \"ok_requests\": " << ok_requests
+     << ", \"error_requests\": " << error_requests << ", \"qps\": " << qps
+     << ", \"latency_us\": {\"p50\": " << p50_us << ", \"p95\": " << p95_us
+     << ", \"p99\": " << p99_us << ", \"mean\": " << mean_us
+     << ", \"max\": " << max_us << "}"
+     << ", \"cache_hit_rate\": " << cache_hit_rate
+     << ", \"rejected\": " << rejected << ", \"timed_out\": " << timed_out
+     << ", \"snapshot_generation\": " << snapshot_generation << "}";
+  return os.str();
+}
+
+}  // namespace paygo

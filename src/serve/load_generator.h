@@ -1,0 +1,81 @@
+#ifndef PAYGO_SERVE_LOAD_GENERATOR_H_
+#define PAYGO_SERVE_LOAD_GENERATOR_H_
+
+/// \file load_generator.h
+/// \brief Closed-loop load generation against a PaygoServer.
+///
+/// The measurement harness behind `bench/serve_throughput` and
+/// `paygo_cli serve-bench`. N client threads issue keyword-classification
+/// requests back-to-back (closed loop: one outstanding request per
+/// client), each recording end-to-end latency client-side; the report
+/// aggregates exact percentiles over all samples plus the server's own
+/// metrics (cache hit rate, rejections). A separate saturation probe
+/// floods the admission queue with async submissions to demonstrate
+/// rejection under overload.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/integration_system.h"
+#include "serve/paygo_server.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Options of the closed-loop run.
+struct LoadGenOptions {
+  std::size_t client_threads = 4;
+  std::uint64_t duration_ms = 2000;
+  std::uint64_t seed = 42;
+};
+
+/// \brief Aggregated result of one load run.
+struct LoadReport {
+  std::size_t client_threads = 0;
+  std::uint64_t duration_ms = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t ok_requests = 0;
+  std::uint64_t error_requests = 0;  // rejected, timed out, or failed
+  double qps = 0.0;
+  // Exact sample percentiles (client-observed end-to-end), microseconds.
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+  double mean_us = 0.0;
+  // Server-side counters sampled at the end of the run.
+  double cache_hit_rate = 0.0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t snapshot_generation = 0;
+
+  /// One JSON object (the `bench/serve_throughput` output schema; see
+  /// bench/README.md).
+  std::string ToJson() const;
+};
+
+/// Builds a pool of keyword queries for load generation: label-targeted
+/// generated queries when the corpus is labeled, otherwise queries drawn
+/// from schema attribute names. Always returns at least one query.
+std::vector<std::string> BuildQueryPool(const IntegrationSystem& system,
+                                        std::size_t pool_size,
+                                        std::uint64_t seed);
+
+/// Runs the closed loop: each client thread round-robins through
+/// \p queries (offset by thread id) for options.duration_ms, issuing
+/// synchronous classifications. The server must be running.
+LoadReport RunClosedLoopLoad(PaygoServer& server,
+                             const std::vector<std::string>& queries,
+                             const LoadGenOptions& options);
+
+/// Fires \p burst async classifications without waiting in between, then
+/// collects them all; returns how many were rejected by admission control.
+/// With burst > queue depth + workers, some rejections are guaranteed.
+std::uint64_t RunSaturationProbe(PaygoServer& server,
+                                 const std::string& query,
+                                 std::size_t burst);
+
+}  // namespace paygo
+
+#endif  // PAYGO_SERVE_LOAD_GENERATOR_H_

@@ -1,0 +1,311 @@
+#include "serve/paygo_server.h"
+
+#include <sstream>
+#include <utility>
+
+namespace paygo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+}  // namespace
+
+PaygoServer::PaygoServer(std::unique_ptr<IntegrationSystem> system,
+                         ServeOptions options)
+    : options_(options) {
+  snapshot_.store(Snapshot(std::move(system)));
+  requests_ = std::make_unique<BoundedQueue<QueuedRequest>>(
+      options_.queue_depth);
+  updates_ = std::make_unique<BoundedQueue<QueuedUpdate>>(
+      options_.update_queue_depth);
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<QueryResultCache>(options_.cache_capacity,
+                                                options_.cache_shards);
+  }
+}
+
+PaygoServer::~PaygoServer() { Stop(); }
+
+Status PaygoServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return Status::OK();
+  if (requests_->closed()) {
+    // A stopped server's queues are closed for good; constructing a fresh
+    // server is cheaper than making queue reopening race-safe.
+    return Status::FailedPrecondition(
+        "server was stopped; construct a new one");
+  }
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void PaygoServer::Stop() {
+  if (workers_.empty() && !writer_.joinable()) return;
+  running_.store(false, std::memory_order_release);
+  requests_->Close();
+  updates_->Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (writer_.joinable()) writer_.join();
+}
+
+void PaygoServer::SubmitOrReject(QueuedRequest request) {
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!running_.load(std::memory_order_acquire)) {
+    request.run(nullptr,
+                Status::FailedPrecondition("server is not running"));
+    return;
+  }
+  // Move into a local so a failed push can still fail the promise (TryPush
+  // leaves the argument intact on rejection).
+  QueuedRequest local = std::move(request);
+  if (!requests_->TryPush(std::move(local))) {
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    local.run(nullptr, Status::ResourceExhausted(
+                           "request queue is full (admission control)"));
+  }
+}
+
+void PaygoServer::WorkerLoop() {
+  while (true) {
+    std::optional<QueuedRequest> request = requests_->Pop();
+    if (!request.has_value()) return;  // closed and drained
+    if (options_.queue_timeout_ms > 0) {
+      const std::uint64_t waited_ms = MicrosSince(request->enqueued) / 1000;
+      if (waited_ms > options_.queue_timeout_ms) {
+        metrics_.requests_timed_out.fetch_add(1, std::memory_order_relaxed);
+        request->run(nullptr,
+                     Status::DeadlineExceeded(
+                         "request spent " + std::to_string(waited_ms) +
+                         "ms in queue (limit " +
+                         std::to_string(options_.queue_timeout_ms) + "ms)"));
+        continue;
+      }
+    }
+    if (options_.artificial_request_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          options_.artificial_request_delay_us));
+    }
+    request->run(snapshot(), Status::OK());
+  }
+}
+
+std::future<Result<std::vector<DomainScore>>> PaygoServer::ClassifyAsync(
+    std::string keyword_query) {
+  auto done =
+      std::make_shared<std::promise<Result<std::vector<DomainScore>>>>();
+  std::future<Result<std::vector<DomainScore>>> result = done->get_future();
+  QueuedRequest request;
+  request.enqueued = Clock::now();
+  request.run = [this, done, query = std::move(keyword_query),
+                 enqueued = request.enqueued](const Snapshot& sys,
+                                              Status admission) {
+    if (!admission.ok()) {
+      done->set_value(std::move(admission));
+      return;
+    }
+    if (cache_ != nullptr) {
+      const std::string key = NormalizeQueryKey(query);
+      // Generation BEFORE snapshot: if a swap lands in between, the insert
+      // below carries a stale tag and is dropped, never poisoning the new
+      // generation (see result_cache.h).
+      const std::uint64_t gen = cache_->generation();
+      if (QueryResultCache::Value hit = cache_->Lookup(key)) {
+        metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+        metrics_.classify_latency.Record(MicrosSince(enqueued));
+        done->set_value(*hit);
+        return;
+      }
+      metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      Result<std::vector<DomainScore>> scores =
+          sys->ClassifyKeywordQuery(query);
+      if (scores.ok()) {
+        cache_->Insert(
+            key, std::make_shared<const std::vector<DomainScore>>(*scores),
+            gen);
+        metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      metrics_.classify_latency.Record(MicrosSince(enqueued));
+      done->set_value(std::move(scores));
+      return;
+    }
+    Result<std::vector<DomainScore>> scores =
+        sys->ClassifyKeywordQuery(query);
+    if (scores.ok()) {
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics_.classify_latency.Record(MicrosSince(enqueued));
+    done->set_value(std::move(scores));
+  };
+  SubmitOrReject(std::move(request));
+  return result;
+}
+
+std::future<Result<IntegrationSystem::KeywordSearchAnswer>>
+PaygoServer::KeywordSearchAsync(std::string keyword_query,
+                                KeywordSearchOptions options) {
+  auto done = std::make_shared<
+      std::promise<Result<IntegrationSystem::KeywordSearchAnswer>>>();
+  auto result = done->get_future();
+  QueuedRequest request;
+  request.enqueued = Clock::now();
+  request.run = [this, done, query = std::move(keyword_query), options,
+                 enqueued = request.enqueued](const Snapshot& sys,
+                                              Status admission) {
+    if (!admission.ok()) {
+      done->set_value(std::move(admission));
+      return;
+    }
+    Result<IntegrationSystem::KeywordSearchAnswer> answer =
+        sys->AnswerKeywordQuery(query, options);
+    if (answer.ok()) {
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics_.keyword_search_latency.Record(MicrosSince(enqueued));
+    done->set_value(std::move(answer));
+  };
+  SubmitOrReject(std::move(request));
+  return result;
+}
+
+std::future<Result<std::vector<RankedTuple>>>
+PaygoServer::StructuredQueryAsync(std::uint32_t domain,
+                                  StructuredQuery query) {
+  auto done =
+      std::make_shared<std::promise<Result<std::vector<RankedTuple>>>>();
+  auto result = done->get_future();
+  QueuedRequest request;
+  request.enqueued = Clock::now();
+  request.run = [this, done, domain, query = std::move(query),
+                 enqueued = request.enqueued](const Snapshot& sys,
+                                              Status admission) {
+    if (!admission.ok()) {
+      done->set_value(std::move(admission));
+      return;
+    }
+    Result<std::vector<RankedTuple>> tuples =
+        sys->AnswerStructuredQuery(domain, query);
+    if (tuples.ok()) {
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics_.structured_latency.Record(MicrosSince(enqueued));
+    done->set_value(std::move(tuples));
+  };
+  SubmitOrReject(std::move(request));
+  return result;
+}
+
+void PaygoServer::WriterLoop() {
+  while (true) {
+    std::optional<QueuedUpdate> update = updates_->Pop();
+    if (!update.has_value()) return;
+    // Copy-on-write: mutate a private clone, publish on success. The
+    // writer is the only thread that ever touches a mutable
+    // IntegrationSystem, so the clone needs no locking.
+    std::unique_ptr<IntegrationSystem> draft = snapshot()->Clone();
+    Status status = update->mutation(*draft);
+    if (status.ok()) {
+      snapshot_.store(Snapshot(std::move(draft)));
+      const std::uint64_t gen =
+          generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      metrics_.snapshot_generation.store(gen, std::memory_order_relaxed);
+      metrics_.snapshot_swaps.fetch_add(1, std::memory_order_relaxed);
+      // Invalidate AFTER publishing: a racing reader that tags a result
+      // with the old generation merely loses a cache slot (dropped or
+      // evicted), it can never serve pre-swap data under the new
+      // generation.
+      if (cache_ != nullptr) cache_->AdvanceGeneration(gen);
+    } else {
+      metrics_.updates_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    update->done.set_value(std::move(status));
+  }
+}
+
+std::future<Status> PaygoServer::UpdateAsync(
+    std::function<Status(IntegrationSystem&)> mutation) {
+  QueuedUpdate update;
+  update.mutation = std::move(mutation);
+  std::future<Status> result = update.done.get_future();
+  if (!running_.load(std::memory_order_acquire)) {
+    update.done.set_value(
+        Status::FailedPrecondition("server is not running"));
+    return result;
+  }
+  QueuedUpdate local = std::move(update);
+  if (!updates_->TryPush(std::move(local))) {
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    local.done.set_value(Status::ResourceExhausted(
+        "update queue is full (admission control)"));
+  }
+  return result;
+}
+
+std::future<Status> PaygoServer::AddSchemaAsync(
+    Schema schema, std::vector<std::string> labels) {
+  return UpdateAsync(
+      [schema = std::move(schema),
+       labels = std::move(labels)](IntegrationSystem& sys) mutable -> Status {
+        auto added = sys.AddSchema(std::move(schema), std::move(labels));
+        return added.status();
+      });
+}
+
+std::future<Status> PaygoServer::ApplyFeedbackAsync(FeedbackStore store) {
+  return UpdateAsync(
+      [store = std::move(store)](IntegrationSystem& sys) -> Status {
+        return sys.ApplyFeedback(store);
+      });
+}
+
+std::future<Status> PaygoServer::AttachTuplesAsync(
+    std::uint32_t schema_id, std::vector<Tuple> tuples) {
+  return UpdateAsync([schema_id, tuples = std::move(tuples)](
+                         IntegrationSystem& sys) mutable -> Status {
+    return sys.AttachTuples(schema_id, std::move(tuples));
+  });
+}
+
+std::future<Status> PaygoServer::RebuildFromScratchAsync() {
+  return UpdateAsync(
+      [](IntegrationSystem& sys) { return sys.RebuildFromScratch(); });
+}
+
+std::string PaygoServer::DebugString() const {
+  std::ostringstream os;
+  os << "PaygoServer{running=" << (running() ? "yes" : "no")
+     << " workers=" << options_.num_workers
+     << " queue=" << requests_->size() << "/" << requests_->capacity()
+     << " cache=" << (cache_ != nullptr ? cache_->size() : 0)
+     << " generation=" << generation() << "}\n";
+  os << metrics_.DebugString();
+  return os.str();
+}
+
+}  // namespace paygo

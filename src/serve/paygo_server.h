@@ -1,0 +1,188 @@
+#ifndef PAYGO_SERVE_PAYGO_SERVER_H_
+#define PAYGO_SERVE_PAYGO_SERVER_H_
+
+/// \file paygo_server.h
+/// \brief Concurrent query-serving runtime over an IntegrationSystem.
+///
+/// The library core is single-threaded: IntegrationSystem's const methods
+/// are pure reads, but its mutators rewrite the very state reads traverse.
+/// PaygoServer turns that into a serving-grade runtime with three pieces:
+///
+///  * **Snapshot swapping.** The server owns an immutable
+///    `std::shared_ptr<const IntegrationSystem>` published through an
+///    atomic holder. Readers load the pointer, never take a lock, and keep
+///    their snapshot alive for the duration of the request via shared
+///    ownership. Mutations (AddSchema, ApplyFeedback, rebuilds, tuple
+///    attachment) run on ONE background writer thread, copy-on-write: the
+///    writer deep-Clones the current snapshot, mutates the private clone,
+///    and publishes it with an atomic store. Readers racing a swap see
+///    either the old or the new snapshot in full — never a torn mix.
+///    Memory ordering: the publish releases and reader loads acquire (see
+///    snapshot_holder.h, including why std::atomic<shared_ptr> is not used
+///    here), so everything the writer wrote into the clone happens-before
+///    any reader dereference.
+///
+///  * **Admission control.** Requests enter a bounded MPMC queue drained
+///    by a fixed worker pool. When the queue is full, submission fails
+///    immediately with ResourceExhausted (no unbounded buffering, no
+///    producer blocking). Requests that wait in the queue longer than the
+///    configured timeout are failed with DeadlineExceeded instead of being
+///    executed — stale work is shed, not served.
+///
+///  * **Result caching.** Keyword-query classification results are cached
+///    in a sharded LRU keyed on the normalized query and tagged with the
+///    snapshot generation; a snapshot swap invalidates the whole cache
+///    (see result_cache.h for the insert-after-swap race analysis).
+///
+/// All request APIs come in async (future-returning) and sync flavors.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/integration_system.h"
+#include "serve/bounded_queue.h"
+#include "serve/result_cache.h"
+#include "serve/server_metrics.h"
+#include "serve/snapshot_holder.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Tuning knobs of the serving runtime.
+struct ServeOptions {
+  /// Worker threads draining the request queue.
+  std::size_t num_workers = 4;
+  /// Admission-control depth: submissions beyond this many queued requests
+  /// are rejected with ResourceExhausted.
+  std::size_t queue_depth = 256;
+  /// Requests older than this when a worker picks them up are failed with
+  /// DeadlineExceeded. 0 disables queue-wait deadlines.
+  std::uint64_t queue_timeout_ms = 1000;
+  /// Depth of the (separate) mutation queue feeding the writer thread.
+  std::size_t update_queue_depth = 64;
+  /// Classification result cache; 0 entries disables caching.
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+  /// Artificial per-request handler delay, in microseconds. A load- and
+  /// admission-testing aid: lets tests and benchmarks saturate the queue
+  /// deterministically regardless of how fast the model evaluates.
+  std::uint64_t artificial_request_delay_us = 0;
+};
+
+/// \brief The concurrent serving runtime. Construct, Start(), submit.
+class PaygoServer {
+ public:
+  using Snapshot = std::shared_ptr<const IntegrationSystem>;
+
+  /// Takes ownership of the system to serve. The server starts stopped.
+  PaygoServer(std::unique_ptr<IntegrationSystem> system,
+              ServeOptions options = {});
+  ~PaygoServer();
+
+  PaygoServer(const PaygoServer&) = delete;
+  PaygoServer& operator=(const PaygoServer&) = delete;
+
+  /// Spawns the worker pool and the writer thread. Idempotent.
+  Status Start();
+  /// Closes the queues, drains in-flight work, joins all threads.
+  /// Idempotent; called by the destructor.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- snapshot read access (never blocks on a mutation in progress) ---
+
+  /// The current immutable snapshot. Callers may hold it as long as they
+  /// like; it stays valid (shared ownership) across any number of swaps.
+  Snapshot snapshot() const { return snapshot_.load(); }
+  /// Monotone generation, bumped on every published mutation.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // --- read path (admission-controlled, worker pool) ---
+
+  std::future<Result<std::vector<DomainScore>>> ClassifyAsync(
+      std::string keyword_query);
+  std::future<Result<IntegrationSystem::KeywordSearchAnswer>>
+  KeywordSearchAsync(std::string keyword_query,
+                     KeywordSearchOptions options = {});
+  std::future<Result<std::vector<RankedTuple>>> StructuredQueryAsync(
+      std::uint32_t domain, StructuredQuery query);
+
+  /// Sync conveniences: submit and wait.
+  Result<std::vector<DomainScore>> Classify(std::string keyword_query) {
+    return ClassifyAsync(std::move(keyword_query)).get();
+  }
+  Result<IntegrationSystem::KeywordSearchAnswer> KeywordSearch(
+      std::string keyword_query, KeywordSearchOptions options = {}) {
+    return KeywordSearchAsync(std::move(keyword_query), options).get();
+  }
+  Result<std::vector<RankedTuple>> AnswerStructuredQuery(
+      std::uint32_t domain, StructuredQuery query) {
+    return StructuredQueryAsync(domain, std::move(query)).get();
+  }
+
+  // --- write path (copy-on-write, single writer thread) ---
+
+  /// Queues an arbitrary mutation. The function runs on the writer thread
+  /// against a private clone of the current snapshot; an OK status
+  /// publishes the clone as the new snapshot (bumping the generation and
+  /// invalidating the result cache), a non-OK status discards it.
+  std::future<Status> UpdateAsync(
+      std::function<Status(IntegrationSystem&)> mutation);
+
+  std::future<Status> AddSchemaAsync(Schema schema,
+                                     std::vector<std::string> labels = {});
+  std::future<Status> ApplyFeedbackAsync(FeedbackStore store);
+  std::future<Status> AttachTuplesAsync(std::uint32_t schema_id,
+                                        std::vector<Tuple> tuples);
+  std::future<Status> RebuildFromScratchAsync();
+
+  // --- introspection ---
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  const ServeOptions& options() const { return options_; }
+  /// Metrics JSON plus queue/cache occupancy.
+  std::string DebugString() const;
+
+ private:
+  struct QueuedRequest {
+    std::chrono::steady_clock::time_point enqueued;
+    /// Invoked exactly once, either with a live snapshot and OK admission
+    /// or with a null snapshot and the admission failure to report.
+    std::function<void(const Snapshot&, Status admission)> run;
+  };
+  struct QueuedUpdate {
+    std::function<Status(IntegrationSystem&)> mutation;
+    std::promise<Status> done;
+  };
+
+  void WorkerLoop();
+  void WriterLoop();
+  /// Admission control: TryPush or fail the request immediately.
+  void SubmitOrReject(QueuedRequest request);
+
+  ServeOptions options_;
+  AtomicSharedPtr<const IntegrationSystem> snapshot_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> running_{false};
+
+  std::unique_ptr<BoundedQueue<QueuedRequest>> requests_;
+  std::unique_ptr<BoundedQueue<QueuedUpdate>> updates_;
+  std::unique_ptr<QueryResultCache> cache_;  // null when caching disabled
+  ServerMetrics metrics_;
+
+  std::vector<std::thread> workers_;
+  std::thread writer_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SERVE_PAYGO_SERVER_H_

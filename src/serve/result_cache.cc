@@ -1,0 +1,129 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace paygo {
+
+std::string NormalizeQueryKey(std::string_view raw_query) {
+  std::string out;
+  out.reserve(raw_query.size());
+  bool pending_space = false;
+  for (char c : raw_query) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+struct QueryResultCache::Shard {
+  struct Entry {
+    std::string key;
+    Value value;
+    std::uint64_t generation = 0;
+  };
+
+  std::mutex mu;
+  // Front = most recently used; the map indexes into the list.
+  std::list<Entry> lru;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  std::size_t capacity = 1;
+};
+
+QueryResultCache::QueryResultCache(std::size_t capacity,
+                                   std::size_t num_shards)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  num_shards = std::max<std::size_t>(num_shards, 1);
+  const std::size_t per_shard =
+      std::max<std::size_t>(capacity_ / num_shards, 1);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = per_shard;
+  }
+}
+
+QueryResultCache::~QueryResultCache() = default;
+
+QueryResultCache::Shard& QueryResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+QueryResultCache::Value QueryResultCache::Lookup(const std::string& key) {
+  const std::uint64_t current = generation();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  if (it->second->generation != current) {
+    // Stale entry from before a snapshot swap: evict on touch.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return nullptr;
+  }
+  // Move to MRU position.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void QueryResultCache::Insert(const std::string& key, Value value,
+                              std::uint64_t insert_generation) {
+  if (insert_generation != generation()) return;  // computed pre-swap
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    it->second->generation = insert_generation;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(
+      Shard::Entry{key, std::move(value), insert_generation});
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+}
+
+void QueryResultCache::AdvanceGeneration(std::uint64_t new_generation) {
+  generation_.store(new_generation, std::memory_order_release);
+  // Proactively drop dead entries so memory is reclaimed without waiting
+  // for lookups to touch them.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->generation != new_generation) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::size_t QueryResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace paygo

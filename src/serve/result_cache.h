@@ -1,0 +1,79 @@
+#ifndef PAYGO_SERVE_RESULT_CACHE_H_
+#define PAYGO_SERVE_RESULT_CACHE_H_
+
+/// \file result_cache.h
+/// \brief Sharded LRU cache for keyword-query classification results.
+///
+/// Classification is the hot read path of the server (every keyword search
+/// starts with it) and is fully determined by (normalized query, model
+/// snapshot). The cache is sharded by key hash so concurrent workers rarely
+/// contend on one mutex, and every entry is tagged with the snapshot
+/// generation it was computed against: when the writer publishes a new
+/// snapshot it bumps the cache's generation, which logically invalidates
+/// all older entries at once (they are treated as misses and evicted on
+/// touch). This closes the insert-after-swap race — a worker that computed
+/// a result against generation G can never poison the cache after the swap
+/// to G+1, because its insert carries G and lookups compare generations.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/naive_bayes.h"
+
+namespace paygo {
+
+/// Canonical cache key of a raw keyword query: lower-cased, whitespace
+/// runs collapsed to single spaces, leading/trailing whitespace dropped.
+/// "  Departure   TORONTO " and "departure toronto" share one entry.
+std::string NormalizeQueryKey(std::string_view raw_query);
+
+/// \brief Sharded, generation-tagged LRU cache. All methods thread-safe.
+class QueryResultCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<DomainScore>>;
+
+  /// \p capacity is the total entry budget, split evenly across
+  /// \p num_shards (each shard gets at least one slot).
+  QueryResultCache(std::size_t capacity, std::size_t num_shards = 8);
+  ~QueryResultCache();
+
+  QueryResultCache(const QueryResultCache&) = delete;
+  QueryResultCache& operator=(const QueryResultCache&) = delete;
+
+  /// The cached value for \p key computed at the current generation, or
+  /// nullptr on miss (including generation-stale hits, which are evicted).
+  Value Lookup(const std::string& key);
+
+  /// Inserts \p value for \p key, tagged with \p generation. A stale
+  /// insert (generation older than the cache's current one) is dropped.
+  void Insert(const std::string& key, Value value, std::uint64_t generation);
+
+  /// Invalidates every entry of generations < \p new_generation and makes
+  /// \p new_generation current. Called by the writer on snapshot swap.
+  void AdvanceGeneration(std::uint64_t new_generation);
+
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Live entries across all shards (stale-but-unevicted entries count).
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard;
+  Shard& ShardFor(const std::string& key);
+
+  const std::size_t capacity_;
+  // Monotone snapshot generation; entries from older generations are dead.
+  std::atomic<std::uint64_t> generation_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,125 @@
+#include "serve/server_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace paygo {
+
+namespace {
+
+std::size_t BucketIndexFor(std::uint64_t micros) {
+  if (micros <= 1) return 0;
+  // Bucket i covers (2^(i-1), 2^i]: index = ceil(log2(micros)).
+  const int bits = 64 - __builtin_clzll(micros - 1);
+  return std::min<std::size_t>(static_cast<std::size_t>(bits),
+                               LatencyHistogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::uint64_t micros) {
+  buckets_[BucketIndexFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::MeanMicros() const {
+  const std::uint64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(SumMicros()) / n;
+}
+
+std::uint64_t LatencyHistogram::BucketUpperMicros(std::size_t i) {
+  return i == 0 ? 1 : (std::uint64_t{1} << i);
+}
+
+std::uint64_t LatencyHistogram::PercentileMicros(double p) const {
+  const std::uint64_t total = Count();
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperMicros(i);
+  }
+  return BucketUpperMicros(kNumBuckets - 1);
+}
+
+double ServerMetrics::CacheHitRate() const {
+  const std::uint64_t hits = cache_hits.load(std::memory_order_relaxed);
+  const std::uint64_t misses = cache_misses.load(std::memory_order_relaxed);
+  const std::uint64_t lookups = hits + misses;
+  return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+}
+
+namespace {
+
+void AppendHistogramJson(std::ostringstream& os, const char* name,
+                         const LatencyHistogram& h) {
+  os << "\"" << name << "\": {\"count\": " << h.Count()
+     << ", \"mean_us\": " << h.MeanMicros()
+     << ", \"p50_us\": " << h.PercentileMicros(0.50)
+     << ", \"p95_us\": " << h.PercentileMicros(0.95)
+     << ", \"p99_us\": " << h.PercentileMicros(0.99) << "}";
+}
+
+}  // namespace
+
+std::string ServerMetrics::DebugString() const {
+  std::ostringstream os;
+  os << "requests: submitted=" << requests_submitted.load()
+     << " completed=" << requests_completed.load()
+     << " rejected=" << requests_rejected.load()
+     << " timed_out=" << requests_timed_out.load()
+     << " failed=" << requests_failed.load() << "\n";
+  os << "cache: hits=" << cache_hits.load()
+     << " misses=" << cache_misses.load() << " hit_rate=" << CacheHitRate()
+     << "\n";
+  os << "snapshot: generation=" << snapshot_generation.load()
+     << " swaps=" << snapshot_swaps.load()
+     << " updates_failed=" << updates_failed.load() << "\n";
+  const struct {
+    const char* name;
+    const LatencyHistogram& h;
+  } paths[] = {{"classify", classify_latency},
+               {"keyword_search", keyword_search_latency},
+               {"structured", structured_latency}};
+  for (const auto& p : paths) {
+    os << p.name << ": n=" << p.h.Count() << " mean=" << p.h.MeanMicros()
+       << "us p50=" << p.h.PercentileMicros(0.5)
+       << "us p95=" << p.h.PercentileMicros(0.95)
+       << "us p99=" << p.h.PercentileMicros(0.99) << "us\n";
+  }
+  return os.str();
+}
+
+std::string ServerMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"requests_submitted\": " << requests_submitted.load()
+     << ", \"requests_completed\": " << requests_completed.load()
+     << ", \"requests_rejected\": " << requests_rejected.load()
+     << ", \"requests_timed_out\": " << requests_timed_out.load()
+     << ", \"requests_failed\": " << requests_failed.load()
+     << ", \"cache_hits\": " << cache_hits.load()
+     << ", \"cache_misses\": " << cache_misses.load()
+     << ", \"cache_hit_rate\": " << CacheHitRate()
+     << ", \"snapshot_generation\": " << snapshot_generation.load()
+     << ", \"snapshot_swaps\": " << snapshot_swaps.load()
+     << ", \"updates_failed\": " << updates_failed.load() << ", ";
+  AppendHistogramJson(os, "classify_latency", classify_latency);
+  os << ", ";
+  AppendHistogramJson(os, "keyword_search_latency", keyword_search_latency);
+  os << ", ";
+  AppendHistogramJson(os, "structured_latency", structured_latency);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace paygo

@@ -1,0 +1,91 @@
+#ifndef PAYGO_SERVE_SERVER_METRICS_H_
+#define PAYGO_SERVE_SERVER_METRICS_H_
+
+/// \file server_metrics.h
+/// \brief Lock-free serving metrics: counters and latency histograms.
+///
+/// Everything here is plain atomics with relaxed ordering — metrics are
+/// monitoring data, not synchronization, and must never serialize the
+/// request paths they observe. Latencies go into fixed power-of-two
+/// microsecond buckets (1us .. ~4s, plus overflow), which makes Record()
+/// one relaxed fetch_add and keeps percentile queries allocation-free.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace paygo {
+
+/// \brief Fixed-bucket latency histogram (microseconds, power-of-two
+/// bucket bounds). Thread-safe; Record is wait-free.
+class LatencyHistogram {
+ public:
+  /// Bucket i covers (2^(i-1), 2^i] microseconds; bucket 0 is [0, 1].
+  /// The last bucket absorbs everything above ~4.2 seconds.
+  static constexpr std::size_t kNumBuckets = 23;
+
+  void Record(std::uint64_t micros);
+
+  /// Total recorded samples.
+  std::uint64_t Count() const;
+  /// Sum of recorded latencies in microseconds.
+  std::uint64_t SumMicros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+  /// Mean latency in microseconds (0 when empty).
+  double MeanMicros() const;
+
+  /// Approximate percentile in microseconds: the upper bound of the bucket
+  /// containing the p-th sample (p in [0, 1]). 0 when empty.
+  std::uint64_t PercentileMicros(double p) const;
+
+  /// Per-bucket count (for tests and dumps).
+  std::uint64_t BucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket \p i in microseconds.
+  static std::uint64_t BucketUpperMicros(std::size_t i);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+/// \brief All counters the PaygoServer maintains. The server owns one
+/// instance; readers may sample it at any time (values are individually
+/// consistent, not a cross-counter snapshot).
+struct ServerMetrics {
+  // Admission and lifecycle.
+  std::atomic<std::uint64_t> requests_submitted{0};
+  std::atomic<std::uint64_t> requests_completed{0};
+  std::atomic<std::uint64_t> requests_rejected{0};   // queue-full admission
+  std::atomic<std::uint64_t> requests_timed_out{0};  // deadline in queue
+  std::atomic<std::uint64_t> requests_failed{0};     // non-OK handler status
+
+  // Result cache.
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+
+  // Copy-on-write writer.
+  std::atomic<std::uint64_t> snapshot_swaps{0};
+  std::atomic<std::uint64_t> updates_failed{0};
+  std::atomic<std::uint64_t> snapshot_generation{0};
+
+  // Per-path latency (enqueue -> handler completion).
+  LatencyHistogram classify_latency;
+  LatencyHistogram keyword_search_latency;
+  LatencyHistogram structured_latency;
+
+  /// Cache hit fraction in [0, 1]; 0 when no lookups happened.
+  double CacheHitRate() const;
+
+  /// Multi-line human-readable dump.
+  std::string DebugString() const;
+  /// Single JSON object with every counter, hit rate, and per-path
+  /// p50/p95/p99/mean latencies in microseconds.
+  std::string ToJson() const;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SERVE_SERVER_METRICS_H_

@@ -1,0 +1,80 @@
+#ifndef PAYGO_SERVE_SNAPSHOT_HOLDER_H_
+#define PAYGO_SERVE_SNAPSHOT_HOLDER_H_
+
+/// \file snapshot_holder.h
+/// \brief Atomically swappable shared_ptr with TSan-clean happens-before.
+///
+/// Why not `std::atomic<std::shared_ptr<T>>`? libstdc++ (GCC 12) implements
+/// it with a pointer-tag spinlock whose reader-side unlock is relaxed
+/// (`_Sp_atomic::load` ends with `unlock(memory_order_relaxed)`). Mutual
+/// exclusion still holds through the lock word's RMW modification order, so
+/// the code is correct on real hardware — but the formal happens-before
+/// edge from a reader's pointer read to the next writer's pointer write is
+/// missing, and ThreadSanitizer (correctly, per the abstract machine)
+/// reports a data race on the stored pointer. This holder implements the
+/// same protocol with acquire/release on both ends of the critical section,
+/// so the serving runtime is sanitizer-clean without suppressions.
+///
+/// Progress guarantees are identical: `std::atomic<shared_ptr>` is not
+/// lock-free either (`is_always_lock_free` is false; it spins on the same
+/// kind of embedded lock). The critical section here is a handful of
+/// instructions — copy or swap one shared_ptr — so readers never wait on a
+/// writer's long mutation; mutations run entirely outside the holder, on a
+/// private clone, and only the final publish touches the lock.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+namespace paygo {
+
+/// \brief A spinlock-guarded `std::shared_ptr<T>` slot: `load()` returns a
+/// shared copy, `store()` publishes a replacement. Safe for any number of
+/// concurrent readers and writers.
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  explicit AtomicSharedPtr(std::shared_ptr<T> initial)
+      : value_(std::move(initial)) {}
+
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+  /// Returns a shared copy of the current value. Never blocks for longer
+  /// than a concurrent load/store's pointer copy.
+  std::shared_ptr<T> load() const {
+    Lock();
+    std::shared_ptr<T> copy = value_;
+    Unlock();
+    return copy;
+  }
+
+  /// Publishes \p desired. The displaced value is released after the
+  /// critical section, so an expensive destruction (the last reference to
+  /// an old snapshot) never runs under the lock.
+  void store(std::shared_ptr<T> desired) {
+    Lock();
+    value_.swap(desired);
+    Unlock();
+  }
+
+ private:
+  void Lock() const {
+    bool expected = false;
+    while (!locked_.compare_exchange_weak(expected, true,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+      expected = false;
+      std::this_thread::yield();  // single-core friendliness
+    }
+  }
+  void Unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<T> value_;  // guarded by locked_
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SERVE_SNAPSHOT_HOLDER_H_

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

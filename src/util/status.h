@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal = 7,
   kNotImplemented = 8,
   kIoError = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -75,6 +76,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   /// @}
 
   /// True iff the status carries no error.
@@ -101,6 +105,9 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   /// @}
 
   /// "OK" or "<CodeName>: <message>".

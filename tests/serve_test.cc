@@ -1,0 +1,338 @@
+#include "serve/paygo_server.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+#include "serve/load_generator.h"
+#include "serve/result_cache.h"
+#include "serve/server_metrics.h"
+
+namespace paygo {
+namespace {
+
+/// The same tiny three-domain corpus the integration-system tests use.
+SchemaCorpus SmallCorpus() {
+  SchemaCorpus corpus("small");
+  corpus.Add(Schema("expedia",
+                    {"departure airport", "destination airport",
+                     "departing", "returning", "airline"}),
+             {"travel"});
+  corpus.Add(Schema("orbitz",
+                    {"departure airport", "destination", "airline",
+                     "passengers"}),
+             {"travel"});
+  corpus.Add(Schema("kayak",
+                    {"departure", "destination airport", "airline", "class"}),
+             {"travel"});
+  corpus.Add(Schema("dblp", {"title", "authors", "year of publish",
+                             "conference name"}),
+             {"bibliography"});
+  corpus.Add(Schema("citeseer", {"title", "author", "year", "journal"}),
+             {"bibliography"});
+  corpus.Add(Schema("autotrader", {"make", "model", "year", "price"}),
+             {"cars"});
+  return corpus;
+}
+
+std::unique_ptr<IntegrationSystem> BuildSmallSystem() {
+  auto sys = IntegrationSystem::Build(SmallCorpus());
+  EXPECT_TRUE(sys.ok()) << sys.status();
+  return std::move(*sys);
+}
+
+// --- BoundedQueue ---
+
+TEST(BoundedQueueTest, RejectsWhenFullAndDrainsInOrder) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // admission control
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_TRUE(queue.TryPush(4));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(5));        // closed
+  EXPECT_EQ(queue.Pop().value(), 4);     // drains queued work
+  EXPECT_FALSE(queue.Pop().has_value());  // then signals shutdown
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(4);
+  std::thread producer([&] { queue.TryPush(7); });
+  EXPECT_EQ(queue.Pop().value(), 7);
+  producer.join();
+}
+
+// --- NormalizeQueryKey ---
+
+TEST(NormalizeQueryKeyTest, CanonicalizesCaseAndWhitespace) {
+  EXPECT_EQ(NormalizeQueryKey("  Departure   TORONTO "),
+            "departure toronto");
+  EXPECT_EQ(NormalizeQueryKey("departure toronto"), "departure toronto");
+  EXPECT_EQ(NormalizeQueryKey("\t\n"), "");
+}
+
+// --- QueryResultCache ---
+
+QueryResultCache::Value MakeValue(double score) {
+  std::vector<DomainScore> scores(1);
+  scores[0].domain = 0;
+  scores[0].log_posterior = score;
+  return std::make_shared<const std::vector<DomainScore>>(
+      std::move(scores));
+}
+
+TEST(QueryResultCacheTest, HitsMissesAndLru) {
+  QueryResultCache cache(/*capacity=*/2, /*num_shards=*/1);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", MakeValue(1.0), 0);
+  cache.Insert("b", MakeValue(2.0), 0);
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // touches a -> b becomes LRU
+  cache.Insert("c", MakeValue(3.0), 0);   // evicts b
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+}
+
+TEST(QueryResultCacheTest, GenerationInvalidatesAndDropsStaleInserts) {
+  QueryResultCache cache(8, 2);
+  cache.Insert("a", MakeValue(1.0), 0);
+  ASSERT_NE(cache.Lookup("a"), nullptr);
+  cache.AdvanceGeneration(1);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);  // swap invalidated it
+  EXPECT_EQ(cache.size(), 0u);            // proactively evicted
+  cache.Insert("b", MakeValue(2.0), 0);   // stale tag: dropped
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  cache.Insert("b", MakeValue(2.0), 1);   // current tag: kept
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+}
+
+// --- LatencyHistogram ---
+
+TEST(LatencyHistogramTest, BucketsAndPercentiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(3);  // bucket (2,4]
+  h.Record(5000);                            // bucket (4096, 8192]
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_EQ(h.PercentileMicros(0.50), 4u);
+  EXPECT_EQ(h.PercentileMicros(0.99), 4u);
+  EXPECT_EQ(h.PercentileMicros(1.0), 8192u);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), (99 * 3 + 5000) / 100.0);
+}
+
+// --- PaygoServer ---
+
+TEST(PaygoServerTest, StartStopIsIdempotentAndServesAfterStart) {
+  PaygoServer server(BuildSmallSystem());
+  EXPECT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.Start().ok());  // idempotent
+  auto scores = server.Classify("departure Toronto destination Cairo");
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  EXPECT_FALSE(scores->empty());
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  // A stopped server rejects instead of hanging.
+  EXPECT_TRUE(server.Classify("departure").status().IsFailedPrecondition());
+  // And cannot be restarted (documented contract).
+  EXPECT_TRUE(server.Start().IsFailedPrecondition());
+}
+
+TEST(PaygoServerTest, RejectsBeforeStart) {
+  PaygoServer server(BuildSmallSystem());
+  EXPECT_TRUE(server.Classify("departure").status().IsFailedPrecondition());
+}
+
+TEST(PaygoServerTest, ServedResultsMatchDirectEvaluation) {
+  auto sys = BuildSmallSystem();
+  const auto direct = sys->ClassifyKeywordQuery("title author journal");
+  ASSERT_TRUE(direct.ok());
+  PaygoServer server(std::move(sys));
+  ASSERT_TRUE(server.Start().ok());
+  const auto served = server.Classify("title author journal");
+  ASSERT_TRUE(served.ok());
+  ASSERT_EQ(served->size(), direct->size());
+  for (std::size_t i = 0; i < served->size(); ++i) {
+    EXPECT_EQ((*served)[i].domain, (*direct)[i].domain);
+    EXPECT_DOUBLE_EQ((*served)[i].log_posterior,
+                     (*direct)[i].log_posterior);
+  }
+}
+
+TEST(PaygoServerTest, AdmissionControlRejectsWhenQueueSaturated) {
+  ServeOptions options;
+  options.num_workers = 1;
+  options.queue_depth = 1;
+  options.cache_capacity = 0;  // every request does real work
+  options.queue_timeout_ms = 0;
+  options.artificial_request_delay_us = 5000;  // hold the worker busy
+  PaygoServer server(BuildSmallSystem(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::uint64_t rejected =
+      RunSaturationProbe(server, "departure airline", 32);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(server.metrics().requests_rejected.load(), rejected);
+  // Everything admitted (not rejected) eventually completed. On a
+  // single-core box the whole burst can land before the worker first
+  // runs, so as few as one request may have been admitted.
+  EXPECT_GE(server.metrics().requests_completed.load(), 1u);
+  EXPECT_EQ(server.metrics().requests_completed.load() + rejected, 32u);
+  server.Stop();
+}
+
+TEST(PaygoServerTest, QueueWaitDeadlineShedsStaleRequests) {
+  ServeOptions options;
+  options.num_workers = 1;
+  options.queue_depth = 16;
+  options.cache_capacity = 0;
+  options.queue_timeout_ms = 1;
+  options.artificial_request_delay_us = 20000;  // 20ms per request
+  PaygoServer server(BuildSmallSystem(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::future<Result<std::vector<DomainScore>>>> inflight;
+  for (int i = 0; i < 4; ++i) {
+    inflight.push_back(server.ClassifyAsync("departure airline"));
+  }
+  std::size_t timed_out = 0;
+  for (auto& f : inflight) {
+    if (f.get().status().IsDeadlineExceeded()) ++timed_out;
+  }
+  // Every request after the first waits >= 20ms > the 1ms budget.
+  EXPECT_GE(timed_out, 3u);
+  EXPECT_EQ(server.metrics().requests_timed_out.load(), timed_out);
+  server.Stop();
+}
+
+TEST(PaygoServerTest, CacheHitsOnRepeatAndInvalidatesOnSwap) {
+  PaygoServer server(BuildSmallSystem());
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(server.Classify("departure Toronto").ok());
+  ASSERT_TRUE(server.Classify("  departure   TORONTO ").ok());  // same key
+  EXPECT_EQ(server.metrics().cache_hits.load(), 1u);
+  EXPECT_EQ(server.metrics().cache_misses.load(), 1u);
+
+  // A published mutation swaps the snapshot and invalidates the cache.
+  Schema extra("hotwire", {"departure airport", "destination", "fare"});
+  ASSERT_TRUE(server.AddSchemaAsync(extra, {"travel"}).get().ok());
+  EXPECT_EQ(server.generation(), 1u);
+  EXPECT_EQ(server.metrics().snapshot_swaps.load(), 1u);
+
+  ASSERT_TRUE(server.Classify("departure toronto").ok());
+  EXPECT_EQ(server.metrics().cache_hits.load(), 1u);  // unchanged: miss
+  EXPECT_EQ(server.metrics().cache_misses.load(), 2u);
+  // The new snapshot actually contains the added schema.
+  EXPECT_EQ(server.snapshot()->corpus().size(), 7u);
+  server.Stop();
+}
+
+TEST(PaygoServerTest, FailedUpdateDoesNotPublish) {
+  PaygoServer server(BuildSmallSystem());
+  ASSERT_TRUE(server.Start().ok());
+  const auto before = server.snapshot();
+  Status status =
+      server
+          .UpdateAsync([](IntegrationSystem&) {
+            return Status::InvalidArgument("synthetic failure");
+          })
+          .get();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(server.generation(), 0u);
+  EXPECT_EQ(server.snapshot().get(), before.get());  // same object
+  EXPECT_EQ(server.metrics().updates_failed.load(), 1u);
+  server.Stop();
+}
+
+TEST(PaygoServerTest, SnapshotOutlivesSwap) {
+  PaygoServer server(BuildSmallSystem());
+  ASSERT_TRUE(server.Start().ok());
+  const auto old_snapshot = server.snapshot();
+  const std::size_t old_size = old_snapshot->corpus().size();
+  Schema extra("hotwire", {"departure airport", "destination", "fare"});
+  ASSERT_TRUE(server.AddSchemaAsync(extra, {"travel"}).get().ok());
+  // The pre-swap snapshot is still fully usable (shared ownership).
+  EXPECT_EQ(old_snapshot->corpus().size(), old_size);
+  const auto scores = old_snapshot->ClassifyKeywordQuery("departure");
+  EXPECT_TRUE(scores.ok());
+  EXPECT_NE(server.snapshot().get(), old_snapshot.get());
+  server.Stop();
+}
+
+TEST(PaygoServerTest, KeywordSearchAndStructuredPathsServe) {
+  auto sys = BuildSmallSystem();
+  // Attach a couple of travel tuples so search returns hits.
+  ASSERT_TRUE(sys
+                  ->AttachTuples(0, {Tuple({"Toronto", "Cairo", "june",
+                                            "july", "egyptair"})})
+                  .ok());
+  PaygoServer server(std::move(sys));
+  ASSERT_TRUE(server.Start().ok());
+  const auto answer = server.KeywordSearch("departure Toronto");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_FALSE(answer->consulted.empty());
+  EXPECT_GT(server.metrics().keyword_search_latency.Count(), 0u);
+  // Structured query over the travel domain of schema 0.
+  const std::uint32_t travel =
+      server.snapshot()->domains().DomainsOf(0)[0].first;
+  const auto tuples = server.AnswerStructuredQuery(travel, {});
+  ASSERT_TRUE(tuples.ok()) << tuples.status();
+  EXPECT_FALSE(tuples->empty());
+  server.Stop();
+}
+
+TEST(PaygoServerTest, MetricsJsonContainsTheContractFields) {
+  PaygoServer server(BuildSmallSystem());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.Classify("departure").ok());
+  const std::string json = server.metrics().ToJson();
+  for (const char* field :
+       {"\"requests_submitted\"", "\"requests_rejected\"",
+        "\"cache_hit_rate\"", "\"snapshot_generation\"",
+        "\"classify_latency\"", "\"p99_us\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << "\n" << json;
+  }
+  server.Stop();
+}
+
+// --- IntegrationSystem::Clone ---
+
+TEST(CloneTest, CloneIsDeepAndIndependent) {
+  auto sys = BuildSmallSystem();
+  ASSERT_TRUE(
+      sys->AttachTuples(0, {Tuple({"Toronto", "Cairo", "june", "july",
+                                   "egyptair"})})
+          .ok());
+  auto clone = sys->Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->corpus().size(), sys->corpus().size());
+  EXPECT_EQ(clone->domains().num_domains(), sys->domains().num_domains());
+
+  // Same classification behavior...
+  const auto a = sys->ClassifyKeywordQuery("departure toronto");
+  const auto b = clone->ClassifyKeywordQuery("departure toronto");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].domain, (*b)[i].domain);
+    EXPECT_DOUBLE_EQ((*a)[i].log_posterior, (*b)[i].log_posterior);
+  }
+
+  // ...but mutating the clone leaves the original untouched.
+  const std::size_t before = sys->corpus().size();
+  Schema extra("hotwire", {"departure airport", "destination", "fare"});
+  ASSERT_TRUE(clone->AddSchema(extra, {"travel"}).ok());
+  EXPECT_EQ(sys->corpus().size(), before);
+  EXPECT_EQ(clone->corpus().size(), before + 1);
+}
+
+}  // namespace
+}  // namespace paygo

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Local CI gate: the tier-1 suite plus a ThreadSanitizer pass over the
+# serving runtime's concurrency tests.
+#
+#   tools/ci.sh            # full run (tier-1 + TSan serve tests)
+#   tools/ci.sh --no-tsan  # tier-1 only
+#
+# Build trees: ./build (plain) and ./build-tsan (PAYGO_SANITIZE=thread).
+# Both are incremental across runs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_TSAN=1
+[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> tier-1: ctest"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "==> tsan: configure + build serve tests (PAYGO_SANITIZE=thread)"
+  cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
+  cmake --build build-tsan --target serve_test serve_concurrency_test -j "$JOBS"
+
+  echo "==> tsan: serve_test"
+  ./build-tsan/tests/serve_test
+  echo "==> tsan: serve_concurrency_test"
+  ./build-tsan/tests/serve_concurrency_test
+fi
+
+echo "==> ci: all green"

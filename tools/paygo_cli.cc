@@ -11,11 +11,16 @@
 ///   dendrogram <corpus-file>                 print the merge tree
 ///   bench-queries <corpus-file>              top-k quality on generated
 ///                                            queries (labels required)
+///   serve-bench <corpus-file>                closed-loop load test of the
+///                                            concurrent serving runtime
+///                                            (JSON report)
 ///
 /// Common options: --tau <v> (tau_c_sim, default 0.25), --theta <v>
 /// (default 0.02), --linkage <avg|min|max|total>, --eval (score clustering
 /// against the corpus labels, when present), --newick (dendrogram format),
-/// --queries <n> (per size, default 50).
+/// --queries <n> (per size, default 50). serve-bench options:
+/// --serve-threads, --serve-seconds, --serve-workers, --serve-queue-depth,
+/// --human.
 
 #include <cstdlib>
 #include <iostream>
@@ -29,6 +34,8 @@
 #include "eval/clustering_metrics.h"
 #include "persist/model_io.h"
 #include "schema/corpus_io.h"
+#include "serve/load_generator.h"
+#include "serve/paygo_server.h"
 #include "synth/ddh_generator.h"
 #include "synth/query_generator.h"
 #include "synth/web_generator.h"
@@ -51,12 +58,21 @@ commands:
   classify <corpus-file> <keywords...>   rank domains for a keyword query
   snapshot <corpus-file> <snapshot-file> build a system and persist it
   query <snapshot-file> <keywords...>    classify against a saved snapshot
+  serve-bench <corpus-file>              load-test the concurrent serving
+                                         runtime; emits a JSON report
 
 options (cluster/classify/snapshot):
   --tau <v>       clustering threshold tau_c_sim (default 0.25)
   --theta <v>     uncertainty threshold theta (default 0.02)
   --linkage <k>   avg | min | max | total (default avg)
   --eval          also score clustering against corpus labels
+
+options (serve-bench):
+  --serve-threads <n>      client threads (default 4)
+  --serve-seconds <s>      load duration per phase (default 2)
+  --serve-workers <n>      server worker threads (default 4)
+  --serve-queue-depth <n>  admission-control queue depth (default 256)
+  --human                  readable summary instead of JSON
 )";
   return 2;
 }
@@ -65,7 +81,12 @@ struct CliOptions {
   SystemOptions system;
   bool eval = false;
   bool newick = false;
+  bool human = false;
   std::size_t queries_per_size = 50;
+  std::size_t serve_threads = 4;
+  double serve_seconds = 2.0;
+  std::size_t serve_workers = 4;
+  std::size_t serve_queue_depth = 256;
   std::vector<std::string> positional;
 };
 
@@ -109,6 +130,24 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       if (!v) return false;
       out->queries_per_size = static_cast<std::size_t>(std::atoi(v));
       if (out->queries_per_size == 0) return false;
+    } else if (arg == "--serve-threads") {
+      const char* v = next();
+      if (!v) return false;
+      out->serve_threads = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--serve-seconds") {
+      const char* v = next();
+      if (!v) return false;
+      out->serve_seconds = std::atof(v);
+    } else if (arg == "--serve-workers") {
+      const char* v = next();
+      if (!v) return false;
+      out->serve_workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--serve-queue-depth") {
+      const char* v = next();
+      if (!v) return false;
+      out->serve_queue_depth = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--human") {
+      out->human = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option '" << arg << "'\n";
       return false;
@@ -342,6 +381,48 @@ int CmdBenchQueries(const CliOptions& cli) {
   return 0;
 }
 
+int CmdServeBench(const CliOptions& cli) {
+  if (cli.positional.size() != 1) return Usage();
+  auto corpus = LoadOrFail(cli.positional[0]);
+  if (!corpus.ok()) return 1;
+  auto sys = IntegrationSystem::Build(std::move(*corpus), cli.system);
+  if (!sys.ok()) {
+    std::cerr << sys.status() << "\n";
+    return 1;
+  }
+  const std::vector<std::string> queries = BuildQueryPool(**sys, 256, 17);
+
+  ServeOptions serve;
+  serve.num_workers = cli.serve_workers;
+  serve.queue_depth = cli.serve_queue_depth;
+  PaygoServer server(std::move(*sys), serve);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  LoadGenOptions load;
+  load.client_threads = cli.serve_threads;
+  load.duration_ms =
+      static_cast<std::uint64_t>(cli.serve_seconds * 1000);
+  const LoadReport report = RunClosedLoopLoad(server, queries, load);
+  if (cli.human) {
+    std::cout << report.qps << " qps over " << report.total_requests
+              << " requests (" << load.client_threads << " clients, "
+              << serve.num_workers << " workers)\n"
+              << "latency p50 " << report.p50_us << "us  p95 "
+              << report.p95_us << "us  p99 " << report.p99_us
+              << "us  mean " << report.mean_us << "us\n"
+              << "cache hit rate " << report.cache_hit_rate
+              << ", rejected " << report.rejected << ", timed out "
+              << report.timed_out << "\n\n"
+              << server.DebugString();
+  } else {
+    std::cout << report.ToJson() << "\n";
+  }
+  server.Stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -357,6 +438,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(cli);
   if (command == "dendrogram") return CmdDendrogram(cli);
   if (command == "bench-queries") return CmdBenchQueries(cli);
+  if (command == "serve-bench") return CmdServeBench(cli);
   std::cerr << "unknown command '" << command << "'\n";
   return Usage();
 }
