@@ -5,6 +5,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
+
 namespace paygo {
 namespace {
 
@@ -126,6 +129,19 @@ Result<DomainConditionals> ComputeDomainConditionals(
   probs.reserve(uncertain.size());
   for (std::uint32_t i : uncertain) probs.push_back(model.Membership(i, domain));
 
+  // Possible worlds for this domain: 2^u subsets of the uncertain schemas
+  // (saturated for u >= 63). The exhaustive engine enumerates all of them;
+  // the factored engine evaluates only u + 1 subset-size classes and the
+  // difference is reported as "pruned".
+  StatsRegistry& reg = StatsRegistry::Global();
+  static Counter* enumerated =
+      reg.GetCounter("paygo.classifier.subsets_enumerated");
+  static Counter* pruned = reg.GetCounter("paygo.classifier.subsets_pruned");
+  const std::size_t u = probs.size();
+  const std::uint64_t possible =
+      u >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << u);
+
+  PAYGO_TRACE_SPAN("classify.domain_conditionals");
   WorldAccumulators acc;
   switch (engine) {
     case ClassifierEngine::kExhaustive:
@@ -138,9 +154,12 @@ Result<DomainConditionals> ComputeDomainConditionals(
             " (use the factored engine)");
       }
       acc = AccumulateExhaustive(probs, certain.size(), num_schemas_total);
+      enumerated->Add(possible);
       break;
     case ClassifierEngine::kFactored:
       acc = AccumulateFactored(probs, certain.size(), num_schemas_total);
+      enumerated->Add(u + 1);
+      pruned->Add(possible - std::min<std::uint64_t>(possible, u + 1));
       break;
   }
 
@@ -228,6 +247,10 @@ void NaiveBayesClassifier::Precompute() {
 
 std::vector<DomainScore> NaiveBayesClassifier::Classify(
     const DynamicBitset& query) const {
+  PAYGO_TRACE_SPAN("classify.query");
+  static Counter* queries =
+      StatsRegistry::Global().GetCounter("paygo.classifier.queries");
+  queries->Increment();
   const std::vector<std::size_t> set_bits = query.SetBits();
   std::vector<DomainScore> scores;
   scores.reserve(conditionals_.size());

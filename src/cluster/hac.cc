@@ -6,8 +6,38 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
+
 namespace paygo {
 namespace {
+
+/// Per-run instrumentation accumulated in plain locals (the merge loops
+/// are the hottest code in the library; no atomics inside them) and
+/// flushed to the global registry once, on destruction.
+struct HacRunStats {
+  std::uint64_t pairs_evaluated = 0;  ///< Linkages computed from scratch.
+  std::uint64_t memo_hits = 0;        ///< Memoized cluster-sim reads.
+  std::uint64_t merges = 0;
+  std::uint64_t heap_pushes = 0;
+  std::uint64_t stale_skips = 0;      ///< Lazy-deletion heap discards.
+
+  ~HacRunStats() {
+    StatsRegistry& reg = StatsRegistry::Global();
+    static Counter* runs = reg.GetCounter("paygo.hac.runs");
+    static Counter* pairs = reg.GetCounter("paygo.hac.pairs_evaluated");
+    static Counter* memo = reg.GetCounter("paygo.hac.memo_hits");
+    static Counter* merged = reg.GetCounter("paygo.hac.merges");
+    static Counter* pushes = reg.GetCounter("paygo.hac.heap_pushes");
+    static Counter* stale = reg.GetCounter("paygo.hac.stale_skips");
+    runs->Increment();
+    pairs->Add(pairs_evaluated);
+    memo->Add(memo_hits);
+    merged->Add(merges);
+    pushes->Add(heap_pushes);
+    stale->Add(stale_skips);
+  }
+};
 
 /// A candidate merge in the lazy-deletion heap. Entries become stale when
 /// either endpoint is merged; staleness is detected via per-slot versions.
@@ -227,6 +257,8 @@ ConstraintState BuildConstraintState(std::size_t n,
 Result<HacResult> RunNaive(const std::vector<DynamicBitset>& features,
                            const SimilarityMatrix& sims,
                            const HacOptions& options) {
+  PAYGO_TRACE_SPAN("hac.run");
+  HacRunStats stats;
   const std::size_t n = features.size();
   ClusterState st;
   st.Init(n, features, options.linkage == LinkageKind::kTotal);
@@ -248,6 +280,7 @@ Result<HacResult> RunNaive(const std::vector<DynamicBitset>& features,
         if (slot_of[i] == b) slot_of[i] = a;
       }
       merges.push_back({a, b, 1.0});
+      ++stats.merges;
     }
   }
 
@@ -261,6 +294,7 @@ Result<HacResult> RunNaive(const std::vector<DynamicBitset>& features,
       for (std::uint32_t b = a + 1; b < n; ++b) {
         if (!st.active[b]) continue;
         if (cs.Violates(a, b)) continue;
+        ++stats.pairs_evaluated;
         const double s = LinkageFromScratch(st, sims, options.linkage, a, b);
         if (s > best_sim) {
           best_sim = s;
@@ -271,9 +305,13 @@ Result<HacResult> RunNaive(const std::vector<DynamicBitset>& features,
     }
     if (best_sim < 0.0) break;  // no admissible pair left
     if (!count_mode && best_sim < options.tau_c_sim) break;
-    st.Merge(best_a, best_b);
-    cs.MergeInto(best_a, best_b);
-    merges.push_back({best_a, best_b, best_sim});
+    {
+      PAYGO_TRACE_SPAN("hac.merge");
+      st.Merge(best_a, best_b);
+      cs.MergeInto(best_a, best_b);
+      merges.push_back({best_a, best_b, best_sim});
+      ++stats.merges;
+    }
     if (merges.size() + 1 == n) break;  // single cluster left
   }
   return st.Finish(std::move(merges));
@@ -282,6 +320,8 @@ Result<HacResult> RunNaive(const std::vector<DynamicBitset>& features,
 Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
                           const SimilarityMatrix& sims,
                           const HacOptions& options) {
+  PAYGO_TRACE_SPAN("hac.run");
+  HacRunStats stats;
   const std::size_t n = features.size();
   ClusterState st;
   st.Init(n, features, options.linkage == LinkageKind::kTotal);
@@ -302,7 +342,11 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
     }
   }
   auto cluster_sim = [&](std::uint32_t a, std::uint32_t b) -> double {
-    if (memoized) return csim[static_cast<std::size_t>(a) * n + b];
+    if (memoized) {
+      ++stats.memo_hits;
+      return csim[static_cast<std::size_t>(a) * n + b];
+    }
+    ++stats.pairs_evaluated;
     return LinkageFromScratch(st, sims, options.linkage, a, b);
   };
 
@@ -317,6 +361,8 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
   // Performs the merge of slot b into slot a at similarity `sim`,
   // updating memoized similarities and pushing refreshed heap entries.
   auto do_merge = [&](std::uint32_t a, std::uint32_t b, double sim) {
+    PAYGO_TRACE_SPAN("hac.merge");
+    ++stats.merges;
     const double size_a = static_cast<double>(st.members[a].size());
     const double size_b = static_cast<double>(st.members[b].size());
     st.Merge(a, b);
@@ -327,6 +373,7 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
       if (!st.active[c] || c == a) continue;
       double s;
       if (memoized) {
+        stats.memo_hits += 2;
         const double sca = csim[static_cast<std::size_t>(c) * n + a];
         const double scb = csim[static_cast<std::size_t>(c) * n + b];
         switch (options.linkage) {
@@ -354,6 +401,7 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
         const std::uint32_t lo = std::min(a, c);
         const std::uint32_t hi = std::max(a, c);
         heap.push({s, lo, hi, st.version[lo], st.version[hi]});
+        ++stats.heap_pushes;
       }
     }
   };
@@ -380,6 +428,7 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
       const double s = cluster_sim(a, b);
       if (s >= push_threshold) {
         heap.push({s, a, b, st.version[a], st.version[b]});
+        ++stats.heap_pushes;
       }
     }
   }
@@ -388,8 +437,14 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
     if (count_mode && n - merges.size() <= options.max_clusters) break;
     const HeapEntry top = heap.top();
     heap.pop();
-    if (!st.active[top.a] || !st.active[top.b]) continue;
-    if (st.version[top.a] != top.va || st.version[top.b] != top.vb) continue;
+    if (!st.active[top.a] || !st.active[top.b]) {
+      ++stats.stale_skips;
+      continue;
+    }
+    if (st.version[top.a] != top.va || st.version[top.b] != top.vb) {
+      ++stats.stale_skips;
+      continue;
+    }
     if (!count_mode && top.sim < options.tau_c_sim) break;
     // Cannot-link: skip the violating merge; the pair stays apart (new
     // constraints only accumulate through merges, so dropping the entry
@@ -407,6 +462,8 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
 /// disjoint), under kMax it is simply not a maximum candidate.
 Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
                             const HacOptions& options) {
+  PAYGO_TRACE_SPAN("hac.run");
+  HacRunStats stats;
   const std::size_t n = features.size();
   ClusterState st;
   st.Init(n, features, /*need_bits=*/false);
@@ -446,12 +503,17 @@ Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
                                    static_cast<double>(uni));
     row[a].emplace(b, s);
     row[b].emplace(a, s);
-    if (s >= options.tau_c_sim) heap.push({s, std::min(a, b),
-                                           std::max(a, b), 0, 0});
+    ++stats.pairs_evaluated;
+    if (s >= options.tau_c_sim) {
+      heap.push({s, std::min(a, b), std::max(a, b), 0, 0});
+      ++stats.heap_pushes;
+    }
   }
 
   std::vector<HacMerge> merges;
   auto do_merge = [&](std::uint32_t a, std::uint32_t b, double sim) {
+    PAYGO_TRACE_SPAN("hac.merge");
+    ++stats.merges;
     const double size_a = static_cast<double>(st.members[a].size());
     const double size_b = static_cast<double>(st.members[b].size());
     const double total = size_a + size_b;
@@ -503,6 +565,7 @@ Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
               const std::uint32_t hi = std::max(a, c);
               heap.push({merged_value, lo, hi, st.version[lo],
                          st.version[hi]});
+              ++stats.heap_pushes;
             }
           }
         }
@@ -540,8 +603,14 @@ Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
-    if (!st.active[top.a] || !st.active[top.b]) continue;
-    if (st.version[top.a] != top.va || st.version[top.b] != top.vb) continue;
+    if (!st.active[top.a] || !st.active[top.b]) {
+      ++stats.stale_skips;
+      continue;
+    }
+    if (st.version[top.a] != top.va || st.version[top.b] != top.vb) {
+      ++stats.stale_skips;
+      continue;
+    }
     if (top.sim < options.tau_c_sim) break;
     if (cs.Violates(top.a, top.b)) continue;
     do_merge(top.a, top.b, top.sim);

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace paygo {
 
 Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
@@ -16,28 +18,40 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
   sys->options_ = options;
   sys->corpus_ = std::move(corpus);
 
+  PAYGO_TRACE_SPAN("system.build");
+
   // Algorithm 1: terms, lexicon, feature vectors.
-  sys->tokenizer_ = std::make_unique<Tokenizer>(options.tokenizer);
-  sys->lexicon_ = std::make_unique<Lexicon>(
-      Lexicon::Build(sys->corpus_, *sys->tokenizer_));
-  if (sys->lexicon_->dim() == 0) {
-    return Status::InvalidArgument(
-        "no terms survived extraction; check the corpus and tokenizer "
-        "options");
+  {
+    PAYGO_TRACE_SPAN("system.build.features");
+    sys->tokenizer_ = std::make_unique<Tokenizer>(options.tokenizer);
+    sys->lexicon_ = std::make_unique<Lexicon>(
+        Lexicon::Build(sys->corpus_, *sys->tokenizer_));
+    if (sys->lexicon_->dim() == 0) {
+      return Status::InvalidArgument(
+          "no terms survived extraction; check the corpus and tokenizer "
+          "options");
+    }
+    sys->vectorizer_ =
+        std::make_unique<FeatureVectorizer>(*sys->lexicon_, options.features);
+    sys->features_ = sys->vectorizer_->VectorizeCorpus();
   }
-  sys->vectorizer_ =
-      std::make_unique<FeatureVectorizer>(*sys->lexicon_, options.features);
-  sys->features_ = sys->vectorizer_->VectorizeCorpus();
 
   // Algorithm 2: clustering (with the memoized similarity matrix).
-  sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_);
+  {
+    PAYGO_TRACE_SPAN("system.build.similarity");
+    sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_);
+  }
   PAYGO_ASSIGN_OR_RETURN(
       sys->clustering_, Hac::Run(sys->features_, *sys->sims_, options.hac));
 
   // Algorithm 3: probabilistic schema-to-domain assignment.
-  PAYGO_ASSIGN_OR_RETURN(
-      sys->domains_,
-      AssignProbabilities(*sys->sims_, sys->clustering_, options.assignment));
+  {
+    PAYGO_TRACE_SPAN("system.build.assign");
+    PAYGO_ASSIGN_OR_RETURN(
+        sys->domains_,
+        AssignProbabilities(*sys->sims_, sys->clustering_,
+                            options.assignment));
+  }
 
   // Section 4.4 mediation and the Chapter 5 classifier (all heavy
   // classifier work happens here, at setup time).
@@ -153,7 +167,9 @@ std::unique_ptr<IntegrationSystem> IntegrationSystem::Clone() const {
 }
 
 Status IntegrationSystem::RebuildDerivedState() {
+  PAYGO_TRACE_SPAN("system.rebuild_derived");
   if (options_.build_mediation) {
+    PAYGO_TRACE_SPAN("system.mediate");
     std::vector<DomainMediation> mediations;
     mediations.reserve(domains_.num_domains());
     for (std::uint32_t r = 0; r < domains_.num_domains(); ++r) {
@@ -170,6 +186,7 @@ Status IntegrationSystem::RebuildDerivedState() {
     mediations_ = std::move(mediations);
   }
   if (options_.build_classifier) {
+    PAYGO_TRACE_SPAN("system.build_classifier");
     auto clf = NaiveBayesClassifier::Build(domains_, features_,
                                            corpus_.size(),
                                            options_.classifier);
@@ -235,6 +252,7 @@ Status IntegrationSystem::ApplyFeedback(const FeedbackStore& store) {
 
 Result<std::vector<DomainScore>> IntegrationSystem::ClassifyKeywordQuery(
     std::string_view keyword_query) const {
+  PAYGO_TRACE_SPAN("system.classify_query");
   if (classifier_ == nullptr) {
     return Status::FailedPrecondition(
         "system was built without a classifier");
@@ -267,6 +285,7 @@ Result<IntegrationSystem::KeywordSearchAnswer>
 IntegrationSystem::AnswerKeywordQuery(
     std::string_view keyword_query,
     const KeywordSearchOptions& options) const {
+  PAYGO_TRACE_SPAN("system.keyword_search");
   if (mediations_.empty()) {
     return Status::FailedPrecondition("system was built without mediation");
   }
@@ -328,6 +347,7 @@ Status IntegrationSystem::AttachTuples(std::uint32_t schema_id,
 
 Result<std::vector<RankedTuple>> IntegrationSystem::AnswerStructuredQuery(
     std::uint32_t domain, const StructuredQuery& query) const {
+  PAYGO_TRACE_SPAN("system.structured_query");
   if (mediations_.empty()) {
     return Status::FailedPrecondition("system was built without mediation");
   }

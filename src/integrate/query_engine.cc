@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace paygo {
 
 Result<std::vector<RankedTuple>> QueryEngine::Answer(
     const StructuredQuery& query) const {
+  PAYGO_TRACE_SPAN("query.answer");
   const std::size_t width = mediation_.mediated.size();
   for (const auto& p : query.predicates) {
     if (p.mediated_attribute >= width) {
@@ -25,6 +28,7 @@ Result<std::vector<RankedTuple>> QueryEngine::Answer(
   std::map<Tuple, Consolidated> result;
 
   for (std::size_t m = 0; m < mediation_.members.size(); ++m) {
+    PAYGO_TRACE_SPAN("query.source_scan");
     const auto& [schema_id, membership] = mediation_.members[m];
     if (schema_id >= sources_.size() || sources_[schema_id] == nullptr) {
       continue;  // no data attached for this member
@@ -93,6 +97,7 @@ Result<std::vector<RankedTuple>> QueryEngine::Answer(
     }
   }
 
+  PAYGO_TRACE_SPAN("query.consolidate");
   std::vector<RankedTuple> out;
   out.reserve(result.size());
   for (auto& [tuple, c] : result) {

@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace paygo {
 namespace {
 
@@ -53,6 +55,7 @@ Result<std::vector<DomainAttribute>> CollectFrequentAttributes(
     const SchemaCorpus& corpus, const Tokenizer& tokenizer,
     const std::vector<std::pair<std::uint32_t, double>>& members,
     double attr_freq_threshold) {
+  PAYGO_TRACE_SPAN("mediate.collect_attributes");
   if (attr_freq_threshold < 0.0 || attr_freq_threshold > 1.0) {
     return Status::InvalidArgument("attr_freq_threshold must be in [0, 1]");
   }
@@ -106,6 +109,7 @@ Result<DomainMediation> Mediator::BuildForDomain(
     const SchemaCorpus& corpus, const Tokenizer& tokenizer,
     std::vector<std::pair<std::uint32_t, double>> members,
     const MediatorOptions& options) {
+  PAYGO_TRACE_SPAN("mediate.build_domain");
   PAYGO_ASSIGN_OR_RETURN(
       const std::vector<DomainAttribute> kept,
       CollectFrequentAttributes(corpus, tokenizer, members,
@@ -116,47 +120,54 @@ Result<DomainMediation> Mediator::BuildForDomain(
 
   // Single-link clustering of the kept attribute names.
   UnionFind uf(kept.size());
-  for (std::uint32_t i = 0; i < kept.size(); ++i) {
-    for (std::uint32_t j = i + 1; j < kept.size(); ++j) {
-      const double s = AttributeNameSimilarity(kept[i].terms, kept[j].terms,
-                                               sim, options.tau_t_sim);
-      if (s >= options.attr_sim_threshold) uf.Union(i, j);
-    }
-  }
-  std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
-  for (std::uint32_t i = 0; i < kept.size(); ++i) {
-    groups[uf.Find(i)].push_back(i);
-  }
-  for (const auto& [root, group] : groups) {
-    MediatedAttribute ma;
-    double best_weight = -1.0;
-    for (std::uint32_t i : group) {
-      const DomainAttribute& info = kept[i];
-      ma.members.push_back(info.canonical);
-      ma.weight += info.weight;
-      if (info.weight > best_weight) {
-        best_weight = info.weight;
-        ma.name = info.display;
+  {
+    PAYGO_TRACE_SPAN("mediate.cluster_attributes");
+    for (std::uint32_t i = 0; i < kept.size(); ++i) {
+      for (std::uint32_t j = i + 1; j < kept.size(); ++j) {
+        const double s = AttributeNameSimilarity(kept[i].terms, kept[j].terms,
+                                                 sim, options.tau_t_sim);
+        if (s >= options.attr_sim_threshold) uf.Union(i, j);
       }
     }
-    std::sort(ma.members.begin(), ma.members.end());
-    out.mediated.attributes.push_back(std::move(ma));
   }
-  // Deterministic order: heaviest mediated attribute first.
-  std::sort(out.mediated.attributes.begin(), out.mediated.attributes.end(),
-            [](const MediatedAttribute& a, const MediatedAttribute& b) {
-              if (a.weight != b.weight) return a.weight > b.weight;
-              return a.name < b.name;
-            });
-
-  // Precompute mediated-attribute term sets for candidate matching.
   std::vector<std::vector<std::string>> mediated_terms;
-  mediated_terms.reserve(out.mediated.size());
-  for (const MediatedAttribute& ma : out.mediated.attributes) {
-    mediated_terms.push_back(tokenizer.Tokenize(ma.name));
+  {
+    PAYGO_TRACE_SPAN("mediate.mediated_attributes");
+    std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
+    for (std::uint32_t i = 0; i < kept.size(); ++i) {
+      groups[uf.Find(i)].push_back(i);
+    }
+    for (const auto& [root, group] : groups) {
+      MediatedAttribute ma;
+      double best_weight = -1.0;
+      for (std::uint32_t i : group) {
+        const DomainAttribute& info = kept[i];
+        ma.members.push_back(info.canonical);
+        ma.weight += info.weight;
+        if (info.weight > best_weight) {
+          best_weight = info.weight;
+          ma.name = info.display;
+        }
+      }
+      std::sort(ma.members.begin(), ma.members.end());
+      out.mediated.attributes.push_back(std::move(ma));
+    }
+    // Deterministic order: heaviest mediated attribute first.
+    std::sort(out.mediated.attributes.begin(), out.mediated.attributes.end(),
+              [](const MediatedAttribute& a, const MediatedAttribute& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.name < b.name;
+              });
+
+    // Precompute mediated-attribute term sets for candidate matching.
+    mediated_terms.reserve(out.mediated.size());
+    for (const MediatedAttribute& ma : out.mediated.attributes) {
+      mediated_terms.push_back(tokenizer.Tokenize(ma.name));
+    }
   }
 
   // 4. Probabilistic mappings per member schema.
+  PAYGO_TRACE_SPAN("mediate.mappings");
   for (const auto& [schema_id, prob] : members) {
     (void)prob;
     const Schema& schema = corpus.schema(schema_id);

@@ -1,0 +1,154 @@
+#ifndef PAYGO_OBS_STATS_H_
+#define PAYGO_OBS_STATS_H_
+
+/// \file stats.h
+/// \brief Process-wide registry of named counters, gauges, and latency
+/// histograms.
+///
+/// Everything here is plain atomics with relaxed ordering — metrics are
+/// monitoring data, not synchronization, and must never serialize the hot
+/// paths they observe. The registry hands out stable pointers: call sites
+/// cache them in function-local statics so the steady-state cost of a
+/// metric update is one relaxed atomic RMW, with no lock and no map
+/// lookup. `ResetForTest()` zeroes values but never deallocates, so cached
+/// pointers stay valid for the life of the process.
+///
+/// Dumps come in three formats: `ToText()` for humans, `ToJson()` for
+/// tooling, and `ToPrometheus()` in Prometheus exposition format (names
+/// are sanitized `[a-zA-Z0-9_]`; histograms expand to cumulative
+/// `_bucket{le=...}` series plus `_sum` / `_count`).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace paygo {
+
+/// \brief Monotone counter. Thread-safe; Add is wait-free.
+class Counter {
+ public:
+  void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Zeroes the counter (test/bench aid, not for production paths).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// \brief Point-in-time signed value. Thread-safe; Set/Add are wait-free.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket latency histogram (microseconds, power-of-two
+/// bucket bounds). Thread-safe; Record is wait-free.
+///
+/// Promoted out of `src/serve` so every subsystem shares one
+/// implementation; `serve/server_metrics.h` re-exports it.
+class LatencyHistogram {
+ public:
+  /// Bucket i covers (2^(i-1), 2^i] microseconds; bucket 0 is [0, 1].
+  /// The last bucket absorbs everything above kOverflowBoundMicros / 2.
+  static constexpr std::size_t kNumBuckets = 23;
+
+  /// Inclusive upper bound of the overflow bucket: 2^22 us (~4.2 s).
+  /// Percentile queries saturate here — samples slower than this are
+  /// indistinguishable from exactly this bound.
+  static constexpr std::uint64_t kOverflowBoundMicros = std::uint64_t{1}
+                                                        << (kNumBuckets - 1);
+
+  void Record(std::uint64_t micros);
+
+  /// Total recorded samples.
+  std::uint64_t Count() const;
+  /// Sum of recorded latencies in microseconds.
+  std::uint64_t SumMicros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+  /// Mean latency in microseconds (0 when empty).
+  double MeanMicros() const;
+
+  /// Approximate percentile in microseconds: the inclusive upper bound of
+  /// the bucket containing the p-th sample (p clamped to [0, 1]). 0 when
+  /// empty. p = 1.0 returns the bound of the highest non-empty bucket,
+  /// which is kOverflowBoundMicros when any sample landed in the overflow
+  /// bucket — the true maximum may be larger.
+  std::uint64_t PercentileMicros(double p) const;
+
+  /// Per-bucket count (for tests and dumps).
+  std::uint64_t BucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket \p i in microseconds.
+  static std::uint64_t BucketUpperMicros(std::size_t i);
+
+  /// Zeroes all buckets and the sum (test/bench aid; racing Record()s may
+  /// survive partially).
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+/// \brief Process-wide map of named metrics.
+///
+/// Get*() registers on first use and returns a pointer that stays valid
+/// (and keeps its identity) forever — cache it:
+///
+/// \code
+///   static Counter* merges = StatsRegistry::Global().GetCounter(
+///       "paygo.hac.merges");
+///   merges->Add(1);
+/// \endcode
+///
+/// Names are dotted lowercase (`paygo.<subsystem>.<metric>`). Calling a
+/// Get*() twice with the same name returns the same pointer; requesting an
+/// existing name as a different metric kind aborts (programming error).
+class StatsRegistry {
+ public:
+  /// The process-wide instance. Separate instances are possible for tests.
+  static StatsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// One `name value` (or histogram summary) per line, sorted by name.
+  std::string ToText() const;
+  /// Single JSON object keyed by metric name; histograms expand to
+  /// {count, sum_us, mean_us, p50_us, p95_us, p99_us}.
+  std::string ToJson() const;
+  /// Prometheus exposition format ('.' and '-' in names become '_').
+  std::string ToPrometheus() const;
+
+  /// Zeroes every registered metric's value. Never deallocates — pointers
+  /// handed out by Get*() remain valid and registered.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_OBS_STATS_H_

@@ -8,6 +8,7 @@
 
 #include "synth/query_generator.h"
 #include "util/random.h"
+#include "util/timer.h"
 #include "util/string_util.h"
 
 namespace paygo {
@@ -76,7 +77,7 @@ LoadReport RunClosedLoopLoad(PaygoServer& server,
 
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(report.duration_ms);
-  const Clock::time_point start = Clock::now();
+  const WallTimer start;
   std::vector<std::thread> clients;
   clients.reserve(report.client_threads);
   for (std::size_t c = 0; c < report.client_threads; ++c) {
@@ -86,13 +87,9 @@ LoadReport RunClosedLoopLoad(PaygoServer& server,
       while (Clock::now() < deadline) {
         const std::string& query = queries[next % queries.size()];
         ++next;
-        const Clock::time_point sent = Clock::now();
+        const WallTimer sent;
         Result<std::vector<DomainScore>> scores = server.Classify(query);
-        const std::uint64_t us = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                Clock::now() - sent)
-                .count());
-        mine.latencies_us.push_back(us);
+        mine.latencies_us.push_back(sent.ElapsedMicros());
         if (scores.ok()) {
           ++mine.ok;
         } else {
@@ -102,10 +99,7 @@ LoadReport RunClosedLoopLoad(PaygoServer& server,
     });
   }
   for (std::thread& t : clients) t.join();
-  const std::uint64_t elapsed_us = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                            start)
-          .count());
+  const std::uint64_t elapsed_us = start.ElapsedMicros();
 
   std::vector<std::uint64_t> all;
   for (ClientResult& r : per_client) {

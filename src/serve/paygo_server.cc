@@ -1,5 +1,6 @@
 #include "serve/paygo_server.h"
 
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -7,13 +8,50 @@ namespace paygo {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+/// Per-request tracing scope, used inside the worker-side handler. When
+/// tracing is enabled it installs a SpanCollector, tags the worker thread
+/// with the request's trace id, opens the root "serve.request" span, and
+/// records the already-elapsed queue wait as a "serve.queue_wait" child.
+/// Finish() closes the root span and returns the request's full span
+/// breakdown for the slow-query log. When tracing is disabled the whole
+/// scope is one branch.
+class RequestTraceScope {
+ public:
+  RequestTraceScope(std::uint64_t trace_id, std::uint64_t queued_us)
+      : tracing_(Tracer::enabled()) {
+    if (!tracing_) return;
+    collector_.emplace();
+    Tracer::SetCurrentTraceId(trace_id);
+    root_.emplace("serve.request");
+    const std::uint64_t now = Tracer::NowMicros();
+    Tracer::RecordComplete("serve.queue_wait",
+                           now >= queued_us ? now - queued_us : 0, queued_us);
+  }
 
-std::uint64_t MicrosSince(Clock::time_point start) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                            start)
-          .count());
+  ~RequestTraceScope() {
+    if (tracing_) Tracer::SetCurrentTraceId(0);
+  }
+
+  RequestTraceScope(const RequestTraceScope&) = delete;
+  RequestTraceScope& operator=(const RequestTraceScope&) = delete;
+
+  /// Closes the root span and hands back everything recorded in scope
+  /// (empty when tracing was disabled).
+  std::vector<CollectedSpan> Finish() {
+    if (!tracing_) return {};
+    root_.reset();  // record "serve.request" into the collector
+    return collector_->TakeSpans();
+  }
+
+ private:
+  bool tracing_;
+  std::optional<SpanCollector> collector_;
+  std::optional<ScopedSpan> root_;
+};
+
+std::string TruncateForLog(const std::string& s) {
+  constexpr std::size_t kMaxChars = 256;
+  return s.size() <= kMaxChars ? s : s.substr(0, kMaxChars) + "...";
 }
 
 }  // namespace
@@ -30,6 +68,8 @@ PaygoServer::PaygoServer(std::unique_ptr<IntegrationSystem> system,
     cache_ = std::make_unique<QueryResultCache>(options_.cache_capacity,
                                                 options_.cache_shards);
   }
+  slow_log_ = std::make_unique<SlowQueryLog>(
+      options_.slow_query_log_size, options_.slow_query_threshold_us);
 }
 
 PaygoServer::~PaygoServer() { Stop(); }
@@ -88,7 +128,7 @@ void PaygoServer::WorkerLoop() {
     std::optional<QueuedRequest> request = requests_->Pop();
     if (!request.has_value()) return;  // closed and drained
     if (options_.queue_timeout_ms > 0) {
-      const std::uint64_t waited_ms = MicrosSince(request->enqueued) / 1000;
+      const std::uint64_t waited_ms = request->queued.ElapsedMicros() / 1000;
       if (waited_ms > options_.queue_timeout_ms) {
         metrics_.requests_timed_out.fetch_add(1, std::memory_order_relaxed);
         request->run(nullptr,
@@ -113,30 +153,47 @@ std::future<Result<std::vector<DomainScore>>> PaygoServer::ClassifyAsync(
       std::make_shared<std::promise<Result<std::vector<DomainScore>>>>();
   std::future<Result<std::vector<DomainScore>>> result = done->get_future();
   QueuedRequest request;
-  request.enqueued = Clock::now();
+  request.trace_id = Tracer::NextTraceId();
   request.run = [this, done, query = std::move(keyword_query),
-                 enqueued = request.enqueued](const Snapshot& sys,
+                 timer = request.queued,
+                 trace_id = request.trace_id](const Snapshot& sys,
                                               Status admission) {
     if (!admission.ok()) {
       done->set_value(std::move(admission));
       return;
     }
+    RequestTraceScope trace(trace_id, timer.ElapsedMicros());
+    auto finish = [&](std::uint64_t total_us) {
+      metrics_.classify_latency.Record(total_us);
+      if (total_us > options_.slow_query_threshold_us) {
+        slow_log_->MaybeRecord(SlowQueryEntry{trace_id, "classify",
+                                              TruncateForLog(query), total_us,
+                                              generation(), trace.Finish()});
+      }
+    };
     if (cache_ != nullptr) {
       const std::string key = NormalizeQueryKey(query);
       // Generation BEFORE snapshot: if a swap lands in between, the insert
       // below carries a stale tag and is dropped, never poisoning the new
       // generation (see result_cache.h).
       const std::uint64_t gen = cache_->generation();
-      if (QueryResultCache::Value hit = cache_->Lookup(key)) {
+      QueryResultCache::Value hit;
+      {
+        PAYGO_TRACE_SPAN("serve.cache_lookup");
+        hit = cache_->Lookup(key);
+      }
+      if (hit) {
         metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
         metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-        metrics_.classify_latency.Record(MicrosSince(enqueued));
+        finish(timer.ElapsedMicros());
         done->set_value(*hit);
         return;
       }
       metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
-      Result<std::vector<DomainScore>> scores =
-          sys->ClassifyKeywordQuery(query);
+      Result<std::vector<DomainScore>> scores = [&] {
+        PAYGO_TRACE_SPAN("serve.handler");
+        return sys->ClassifyKeywordQuery(query);
+      }();
       if (scores.ok()) {
         cache_->Insert(
             key, std::make_shared<const std::vector<DomainScore>>(*scores),
@@ -145,18 +202,20 @@ std::future<Result<std::vector<DomainScore>>> PaygoServer::ClassifyAsync(
       } else {
         metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
       }
-      metrics_.classify_latency.Record(MicrosSince(enqueued));
+      finish(timer.ElapsedMicros());
       done->set_value(std::move(scores));
       return;
     }
-    Result<std::vector<DomainScore>> scores =
-        sys->ClassifyKeywordQuery(query);
+    Result<std::vector<DomainScore>> scores = [&] {
+      PAYGO_TRACE_SPAN("serve.handler");
+      return sys->ClassifyKeywordQuery(query);
+    }();
     if (scores.ok()) {
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
     } else {
       metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
     }
-    metrics_.classify_latency.Record(MicrosSince(enqueued));
+    finish(timer.ElapsedMicros());
     done->set_value(std::move(scores));
   };
   SubmitOrReject(std::move(request));
@@ -170,22 +229,32 @@ PaygoServer::KeywordSearchAsync(std::string keyword_query,
       std::promise<Result<IntegrationSystem::KeywordSearchAnswer>>>();
   auto result = done->get_future();
   QueuedRequest request;
-  request.enqueued = Clock::now();
+  request.trace_id = Tracer::NextTraceId();
   request.run = [this, done, query = std::move(keyword_query), options,
-                 enqueued = request.enqueued](const Snapshot& sys,
+                 timer = request.queued,
+                 trace_id = request.trace_id](const Snapshot& sys,
                                               Status admission) {
     if (!admission.ok()) {
       done->set_value(std::move(admission));
       return;
     }
-    Result<IntegrationSystem::KeywordSearchAnswer> answer =
-        sys->AnswerKeywordQuery(query, options);
+    RequestTraceScope trace(trace_id, timer.ElapsedMicros());
+    Result<IntegrationSystem::KeywordSearchAnswer> answer = [&] {
+      PAYGO_TRACE_SPAN("serve.handler");
+      return sys->AnswerKeywordQuery(query, options);
+    }();
     if (answer.ok()) {
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
     } else {
       metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
     }
-    metrics_.keyword_search_latency.Record(MicrosSince(enqueued));
+    const std::uint64_t total_us = timer.ElapsedMicros();
+    metrics_.keyword_search_latency.Record(total_us);
+    if (total_us > options_.slow_query_threshold_us) {
+      slow_log_->MaybeRecord(SlowQueryEntry{trace_id, "keyword_search",
+                                            TruncateForLog(query), total_us,
+                                            generation(), trace.Finish()});
+    }
     done->set_value(std::move(answer));
   };
   SubmitOrReject(std::move(request));
@@ -199,22 +268,32 @@ PaygoServer::StructuredQueryAsync(std::uint32_t domain,
       std::make_shared<std::promise<Result<std::vector<RankedTuple>>>>();
   auto result = done->get_future();
   QueuedRequest request;
-  request.enqueued = Clock::now();
+  request.trace_id = Tracer::NextTraceId();
   request.run = [this, done, domain, query = std::move(query),
-                 enqueued = request.enqueued](const Snapshot& sys,
+                 timer = request.queued,
+                 trace_id = request.trace_id](const Snapshot& sys,
                                               Status admission) {
     if (!admission.ok()) {
       done->set_value(std::move(admission));
       return;
     }
-    Result<std::vector<RankedTuple>> tuples =
-        sys->AnswerStructuredQuery(domain, query);
+    RequestTraceScope trace(trace_id, timer.ElapsedMicros());
+    Result<std::vector<RankedTuple>> tuples = [&] {
+      PAYGO_TRACE_SPAN("serve.handler");
+      return sys->AnswerStructuredQuery(domain, query);
+    }();
     if (tuples.ok()) {
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
     } else {
       metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
     }
-    metrics_.structured_latency.Record(MicrosSince(enqueued));
+    const std::uint64_t total_us = timer.ElapsedMicros();
+    metrics_.structured_latency.Record(total_us);
+    if (total_us > options_.slow_query_threshold_us) {
+      slow_log_->MaybeRecord(SlowQueryEntry{
+          trace_id, "structured", "domain " + std::to_string(domain),
+          total_us, generation(), trace.Finish()});
+    }
     done->set_value(std::move(tuples));
   };
   SubmitOrReject(std::move(request));
@@ -305,6 +384,7 @@ std::string PaygoServer::DebugString() const {
      << " cache=" << (cache_ != nullptr ? cache_->size() : 0)
      << " generation=" << generation() << "}\n";
   os << metrics_.DebugString();
+  if (options_.slow_query_log_size > 0) os << slow_log_->DebugString();
   return os.str();
 }
 

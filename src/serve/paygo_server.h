@@ -47,11 +47,14 @@
 #include <vector>
 
 #include "core/integration_system.h"
+#include "obs/trace.h"
 #include "serve/bounded_queue.h"
 #include "serve/result_cache.h"
 #include "serve/server_metrics.h"
+#include "serve/slow_query_log.h"
 #include "serve/snapshot_holder.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace paygo {
 
@@ -74,6 +77,12 @@ struct ServeOptions {
   /// admission-testing aid: lets tests and benchmarks saturate the queue
   /// deterministically regardless of how fast the model evaluates.
   std::uint64_t artificial_request_delay_us = 0;
+  /// Slow-query log: retain the N worst requests over the threshold.
+  /// 0 disables the log entirely.
+  std::size_t slow_query_log_size = 16;
+  /// End-to-end latency (microseconds) a request must exceed to be a
+  /// slow-query-log candidate.
+  std::uint64_t slow_query_threshold_us = 10000;
 };
 
 /// \brief The concurrent serving runtime. Construct, Start(), submit.
@@ -149,12 +158,16 @@ class PaygoServer {
 
   const ServerMetrics& metrics() const { return metrics_; }
   const ServeOptions& options() const { return options_; }
-  /// Metrics JSON plus queue/cache occupancy.
+  /// The N worst requests over the configured threshold. Entries carry a
+  /// span breakdown when tracing was enabled while they ran.
+  const SlowQueryLog& slow_query_log() const { return *slow_log_; }
+  /// Metrics JSON plus queue/cache occupancy and the slow-query log.
   std::string DebugString() const;
 
  private:
   struct QueuedRequest {
-    std::chrono::steady_clock::time_point enqueued;
+    WallTimer queued;             ///< Started at submission.
+    std::uint64_t trace_id = 0;   ///< Correlates this request's spans.
     /// Invoked exactly once, either with a live snapshot and OK admission
     /// or with a null snapshot and the admission failure to report.
     std::function<void(const Snapshot&, Status admission)> run;
@@ -177,6 +190,7 @@ class PaygoServer {
   std::unique_ptr<BoundedQueue<QueuedRequest>> requests_;
   std::unique_ptr<BoundedQueue<QueuedUpdate>> updates_;
   std::unique_ptr<QueryResultCache> cache_;  // null when caching disabled
+  std::unique_ptr<SlowQueryLog> slow_log_;
   ServerMetrics metrics_;
 
   std::vector<std::thread> workers_;

@@ -1,56 +1,8 @@
 #include "serve/server_metrics.h"
 
-#include <algorithm>
-#include <cmath>
 #include <sstream>
 
 namespace paygo {
-
-namespace {
-
-std::size_t BucketIndexFor(std::uint64_t micros) {
-  if (micros <= 1) return 0;
-  // Bucket i covers (2^(i-1), 2^i]: index = ceil(log2(micros)).
-  const int bits = 64 - __builtin_clzll(micros - 1);
-  return std::min<std::size_t>(static_cast<std::size_t>(bits),
-                               LatencyHistogram::kNumBuckets - 1);
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(std::uint64_t micros) {
-  buckets_[BucketIndexFor(micros)].fetch_add(1, std::memory_order_relaxed);
-  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::Count() const {
-  std::uint64_t total = 0;
-  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
-  return total;
-}
-
-double LatencyHistogram::MeanMicros() const {
-  const std::uint64_t n = Count();
-  return n == 0 ? 0.0 : static_cast<double>(SumMicros()) / n;
-}
-
-std::uint64_t LatencyHistogram::BucketUpperMicros(std::size_t i) {
-  return i == 0 ? 1 : (std::uint64_t{1} << i);
-}
-
-std::uint64_t LatencyHistogram::PercentileMicros(double p) const {
-  const std::uint64_t total = Count();
-  if (total == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
-  const std::uint64_t rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(p * total)));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketUpperMicros(i);
-  }
-  return BucketUpperMicros(kNumBuckets - 1);
-}
 
 double ServerMetrics::CacheHitRate() const {
   const std::uint64_t hits = cache_hits.load(std::memory_order_relaxed);

@@ -6,50 +6,19 @@
 ///
 /// Everything here is plain atomics with relaxed ordering — metrics are
 /// monitoring data, not synchronization, and must never serialize the
-/// request paths they observe. Latencies go into fixed power-of-two
-/// microsecond buckets (1us .. ~4s, plus overflow), which makes Record()
-/// one relaxed fetch_add and keeps percentile queries allocation-free.
+/// request paths they observe.
+///
+/// `LatencyHistogram` moved to `obs/stats.h` so the whole library shares
+/// one implementation; this header re-exports it so existing includes
+/// keep compiling.
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/stats.h"
+
 namespace paygo {
-
-/// \brief Fixed-bucket latency histogram (microseconds, power-of-two
-/// bucket bounds). Thread-safe; Record is wait-free.
-class LatencyHistogram {
- public:
-  /// Bucket i covers (2^(i-1), 2^i] microseconds; bucket 0 is [0, 1].
-  /// The last bucket absorbs everything above ~4.2 seconds.
-  static constexpr std::size_t kNumBuckets = 23;
-
-  void Record(std::uint64_t micros);
-
-  /// Total recorded samples.
-  std::uint64_t Count() const;
-  /// Sum of recorded latencies in microseconds.
-  std::uint64_t SumMicros() const {
-    return sum_micros_.load(std::memory_order_relaxed);
-  }
-  /// Mean latency in microseconds (0 when empty).
-  double MeanMicros() const;
-
-  /// Approximate percentile in microseconds: the upper bound of the bucket
-  /// containing the p-th sample (p in [0, 1]). 0 when empty.
-  std::uint64_t PercentileMicros(double p) const;
-
-  /// Per-bucket count (for tests and dumps).
-  std::uint64_t BucketCount(std::size_t i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
-  }
-  /// Inclusive upper bound of bucket \p i in microseconds.
-  static std::uint64_t BucketUpperMicros(std::size_t i);
-
- private:
-  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
-  std::atomic<std::uint64_t> sum_micros_{0};
-};
 
 /// \brief All counters the PaygoServer maintains. The server owns one
 /// instance; readers may sample it at any time (values are individually

@@ -1,0 +1,84 @@
+#ifndef PAYGO_SERVE_SLOW_QUERY_LOG_H_
+#define PAYGO_SERVE_SLOW_QUERY_LOG_H_
+
+/// \file slow_query_log.h
+/// \brief Bounded log of the worst-latency requests the server handled.
+///
+/// The server offers every completed request; the log keeps the N slowest
+/// whose end-to-end latency exceeded a configurable threshold. Each entry
+/// carries the request's span breakdown (captured by a `SpanCollector`
+/// while the handler ran, so it is only populated when tracing is
+/// enabled), which is what turns "this request took 40 ms" into "38 ms of
+/// it was the naive-Bayes subset enumeration".
+///
+/// Admission uses an atomic floor so the common case — a fast request
+/// under the current N-th-worst latency — is one relaxed load and no lock.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace paygo {
+
+/// \brief One slow request retained by the log.
+struct SlowQueryEntry {
+  std::uint64_t trace_id = 0;          ///< Correlation id for the trace file.
+  const char* kind = "";               ///< "classify" etc.; static string.
+  std::string query;                   ///< Query text (may be truncated).
+  std::uint64_t total_us = 0;          ///< End-to-end latency.
+  std::uint64_t snapshot_generation = 0;
+  std::vector<CollectedSpan> spans;    ///< Breakdown; empty if tracing off.
+};
+
+/// \brief Keeps the `capacity` slowest requests over `threshold_us`.
+/// Thread-safe.
+class SlowQueryLog {
+ public:
+  SlowQueryLog(std::size_t capacity, std::uint64_t threshold_us)
+      : capacity_(capacity), threshold_us_(threshold_us) {}
+
+  /// Offers a completed request. Keeps it iff total_us > threshold and it
+  /// ranks among the `capacity` slowest seen so far (evicting the current
+  /// fastest retained entry when full). Fast path when it cannot qualify:
+  /// one relaxed atomic load.
+  void MaybeRecord(SlowQueryEntry entry);
+
+  /// Retained entries, slowest first.
+  std::vector<SlowQueryEntry> Entries() const;
+
+  /// Total requests that cleared the threshold (admitted or not).
+  std::uint64_t OverThresholdCount() const {
+    return over_threshold_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t threshold_us() const { return threshold_us_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Human-readable dump: one block per entry, slowest first, each span
+  /// indented by nesting depth.
+  std::string DebugString() const;
+  /// JSON array of entries, slowest first, spans inlined.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  const std::uint64_t threshold_us_;
+
+  /// Latency a request must beat to possibly be admitted: threshold while
+  /// the log has room, then the fastest retained entry's latency.
+  std::atomic<std::uint64_t> admission_floor_us_{0};
+  std::atomic<std::uint64_t> over_threshold_{0};
+
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> entries_;  // sorted slowest -> fastest
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SERVE_SLOW_QUERY_LOG_H_

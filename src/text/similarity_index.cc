@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "text/porter_stemmer.h"
 
 namespace paygo {
@@ -63,6 +65,28 @@ std::vector<std::uint32_t> SimilarityIndex::BigramCandidates(
 }
 
 void SimilarityIndex::BuildNeighborhoods() {
+  PAYGO_TRACE_SPAN("simindex.build");
+  // Accumulated locally (the pair scan is O(n^2) in the worst case) and
+  // flushed to the registry once at the end of the build.
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+  StatsRegistry& reg = StatsRegistry::Global();
+  static Counter* builds = reg.GetCounter("paygo.simindex.builds");
+  static Counter* evaluated_total =
+      reg.GetCounter("paygo.simindex.pairs_evaluated");
+  static Counter* pruned_total = reg.GetCounter("paygo.simindex.pairs_pruned");
+  builds->Increment();
+  struct Flush {
+    std::uint64_t& evaluated;
+    std::uint64_t& pruned;
+    Counter* evaluated_total;
+    Counter* pruned_total;
+    ~Flush() {
+      evaluated_total->Add(evaluated);
+      pruned_total->Add(pruned);
+    }
+  } flush{evaluated, pruned, evaluated_total, pruned_total};
+
   const std::size_t n = terms_.size();
   neighbors_.assign(n, {});
   for (std::uint32_t i = 0; i < n; ++i) neighbors_[i].push_back(i);
@@ -113,7 +137,11 @@ void SimilarityIndex::BuildNeighborhoods() {
     for (std::uint32_t j : candidates) {
       if (j <= i) continue;  // each unordered pair evaluated once
       const std::string& tj = terms_[j];
-      if (sim_.UpperBound(ti.size(), tj.size()) < threshold_) continue;
+      if (sim_.UpperBound(ti.size(), tj.size()) < threshold_) {
+        ++pruned;
+        continue;
+      }
+      ++evaluated;
       if (sim_.Compute(ti, tj) >= threshold_) {
         neighbors_[i].push_back(j);
         neighbors_[j].push_back(i);
@@ -124,7 +152,19 @@ void SimilarityIndex::BuildNeighborhoods() {
 }
 
 std::vector<std::uint32_t> SimilarityIndex::Match(std::string_view term) const {
+  // Lookup hit rate: hits / lookups across every index in the process.
+  StatsRegistry& reg = StatsRegistry::Global();
+  static Counter* lookups = reg.GetCounter("paygo.simindex.lookups");
+  static Counter* hits = reg.GetCounter("paygo.simindex.lookup_hits");
+  lookups->Increment();
   std::vector<std::uint32_t> out;
+  struct HitFlush {  // counts on every return path
+    const std::vector<std::uint32_t>& out;
+    Counter* hits;
+    ~HitFlush() {
+      if (!out.empty()) hits->Increment();
+    }
+  } hit_flush{out, hits};
   if (term.empty() || terms_.empty()) return out;
 
   switch (sim_.kind()) {

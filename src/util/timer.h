@@ -5,6 +5,7 @@
 /// \brief Wall-clock timing for experiment harnesses.
 
 #include <chrono>
+#include <cstdint>
 
 namespace paygo {
 
@@ -23,6 +24,14 @@ class WallTimer {
 
   /// Milliseconds elapsed since construction / last Restart().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Whole microseconds elapsed since construction / last Restart().
+  std::uint64_t ElapsedMicros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

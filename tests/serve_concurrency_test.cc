@@ -24,10 +24,19 @@
 #include <vector>
 
 #include "core/integration_system.h"
+#include "obs/trace.h"
 #include "serve/paygo_server.h"
 
 namespace paygo {
 namespace {
+
+/// Keep tracing on for the whole test so the TSan run also covers the
+/// lock-free trace rings and per-request span collectors under the same
+/// reader/writer contention.
+[[maybe_unused]] const bool kTracingEnabled = [] {
+  Tracer::Enable();
+  return true;
+}();
 
 SchemaCorpus SmallCorpus() {
   SchemaCorpus corpus("small");

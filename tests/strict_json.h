@@ -1,0 +1,251 @@
+#ifndef PAYGO_TESTS_STRICT_JSON_H_
+#define PAYGO_TESTS_STRICT_JSON_H_
+
+/// Strict recursive-descent JSON validator for tests.
+///
+/// Accepts exactly the RFC 8259 grammar: one top-level value, objects with
+/// string keys, no trailing commas, no bare NaN/Infinity, numbers in the
+/// canonical JSON form. Exists so machine-readable dumps (ServerMetrics,
+/// StatsRegistry, trace export) fail tier-1 the moment they emit a malformed
+/// key or a trailing comma, instead of failing downstream in Perfetto or jq.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace paygo {
+namespace strict_json {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Returns true iff `text` is exactly one valid JSON value (plus optional
+  /// surrounding whitespace). On failure, `error()` describes the first
+  /// offending byte offset.
+  bool Validate() {
+    pos_ = 0;
+    error_.clear();
+    if (depth_ != 0) depth_ = 0;
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing content after top-level value");
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char c) {
+    if (AtEnd() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue() {
+    if (++depth_ > kMaxDepth) return Fail("nesting too deep");
+    bool ok = ParseValueInner();
+    --depth_;
+    return ok;
+  }
+
+  bool ParseValueInner() {
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseLiteral(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (AtEnd() || text_[pos_] != *p) return Fail("bad literal");
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Fail("object key must be a string");
+      if (!ParseString()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;  // the loop head rejects a '}' after ',' (trailing comma)
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWs();
+        if (!AtEnd() && Peek() == ']') return Fail("trailing comma in array");
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (!AtEnd()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Fail("dangling escape");
+        const char e = text_[pos_];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+          continue;
+        }
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+          continue;
+        }
+        return Fail("invalid escape character");
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const std::size_t begin = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;  // leading zero may not be followed by more digits
+      if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("leading zero in number");
+      }
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > begin;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+/// Convenience wrapper: true iff `text` is strictly valid JSON.
+inline bool IsValid(const std::string& text) { return Parser(text).Validate(); }
+
+/// Returns the parse error for invalid input, or "" when valid.
+inline std::string ErrorOf(const std::string& text) {
+  Parser p(text);
+  return p.Validate() ? std::string() : p.error();
+}
+
+}  // namespace strict_json
+}  // namespace paygo
+
+#endif  // PAYGO_TESTS_STRICT_JSON_H_

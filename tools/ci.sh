@@ -24,13 +24,15 @@ echo "==> tier-1: ctest"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "==> tsan: configure + build serve tests (PAYGO_SANITIZE=thread)"
+  echo "==> tsan: configure + build serve + trace tests (PAYGO_SANITIZE=thread)"
   cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
-  cmake --build build-tsan --target serve_test serve_concurrency_test -j "$JOBS"
+  cmake --build build-tsan --target serve_test serve_concurrency_test trace_test -j "$JOBS"
 
+  echo "==> tsan: trace_test"
+  ./build-tsan/tests/trace_test
   echo "==> tsan: serve_test"
   ./build-tsan/tests/serve_test
-  echo "==> tsan: serve_concurrency_test"
+  echo "==> tsan: serve_concurrency_test (tracing enabled)"
   ./build-tsan/tests/serve_concurrency_test
 fi
 

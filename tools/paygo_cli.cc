@@ -23,6 +23,7 @@
 /// --human.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "core/integration_system.h"
 #include "eval/classification_metrics.h"
 #include "eval/clustering_metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "persist/model_io.h"
 #include "schema/corpus_io.h"
 #include "serve/load_generator.h"
@@ -72,7 +75,15 @@ options (serve-bench):
   --serve-seconds <s>      load duration per phase (default 2)
   --serve-workers <n>      server worker threads (default 4)
   --serve-queue-depth <n>  admission-control queue depth (default 256)
+  --slow-us <n>            slow-query log threshold in us (default 0:
+                           every request qualifies for the slow_queries
+                           section of the JSON report)
   --human                  readable summary instead of JSON
+
+observability (cluster/classify/serve-bench):
+  --trace-out <file>  enable tracing; write Chrome trace-event JSON on
+                      exit (load in Perfetto / chrome://tracing)
+  --stats-json <file> write the StatsRegistry dump as JSON on exit
 )";
   return 2;
 }
@@ -87,6 +98,9 @@ struct CliOptions {
   double serve_seconds = 2.0;
   std::size_t serve_workers = 4;
   std::size_t serve_queue_depth = 256;
+  std::uint64_t slow_us = 0;
+  std::string trace_out;
+  std::string stats_json;
   std::vector<std::string> positional;
 };
 
@@ -146,6 +160,18 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       const char* v = next();
       if (!v) return false;
       out->serve_queue_depth = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--slow-us") {
+      const char* v = next();
+      if (!v) return false;
+      out->slow_us = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      out->trace_out = v;
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (!v) return false;
+      out->stats_json = v;
     } else if (arg == "--human") {
       out->human = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -156,6 +182,31 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
     }
   }
   return true;
+}
+
+/// Flushes the trace / stats files requested via --trace-out /
+/// --stats-json. Returns 0, or 1 when a file could not be written.
+int WriteObservabilityOutputs(const CliOptions& cli) {
+  int rc = 0;
+  if (!cli.trace_out.empty()) {
+    if (Status s = Tracer::WriteChromeTrace(cli.trace_out); !s.ok()) {
+      std::cerr << s << "\n";
+      rc = 1;
+    } else {
+      std::cerr << "wrote trace to " << cli.trace_out << "\n";
+    }
+  }
+  if (!cli.stats_json.empty()) {
+    std::ofstream out(cli.stats_json, std::ios::trunc);
+    out << StatsRegistry::Global().ToJson() << "\n";
+    if (!out) {
+      std::cerr << "failed writing stats file " << cli.stats_json << "\n";
+      rc = 1;
+    } else {
+      std::cerr << "wrote stats to " << cli.stats_json << "\n";
+    }
+  }
+  return rc;
 }
 
 int CmdGenerate(const std::vector<std::string>& args) {
@@ -244,7 +295,7 @@ int CmdCluster(const CliOptions& cli) {
               << "  fragmentation " << FormatDouble(eval.fragmentation, 2)
               << "\n";
   }
-  return 0;
+  return WriteObservabilityOutputs(cli);
 }
 
 int PrintRanking(const IntegrationSystem& sys, const std::string& query) {
@@ -282,7 +333,8 @@ int CmdClassify(const CliOptions& cli) {
   }
   std::vector<std::string> keywords(cli.positional.begin() + 1,
                                     cli.positional.end());
-  return PrintRanking(**sys, Join(keywords, " "));
+  if (int rc = PrintRanking(**sys, Join(keywords, " ")); rc != 0) return rc;
+  return WriteObservabilityOutputs(cli);
 }
 
 int CmdSnapshot(const CliOptions& cli) {
@@ -395,6 +447,7 @@ int CmdServeBench(const CliOptions& cli) {
   ServeOptions serve;
   serve.num_workers = cli.serve_workers;
   serve.queue_depth = cli.serve_queue_depth;
+  serve.slow_query_threshold_us = cli.slow_us;
   PaygoServer server(std::move(*sys), serve);
   if (Status s = server.Start(); !s.ok()) {
     std::cerr << s << "\n";
@@ -417,10 +470,15 @@ int CmdServeBench(const CliOptions& cli) {
               << report.timed_out << "\n\n"
               << server.DebugString();
   } else {
-    std::cout << report.ToJson() << "\n";
+    // One strict-JSON object: the load report plus the slow-query log
+    // (slowest first; span breakdowns populated when --trace-out enabled
+    // tracing for this run).
+    std::cout << "{\"report\": " << report.ToJson()
+              << ", \"slow_queries\": " << server.slow_query_log().ToJson()
+              << "}\n";
   }
   server.Stop();
-  return 0;
+  return WriteObservabilityOutputs(cli);
 }
 
 }  // namespace
@@ -430,6 +488,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   CliOptions cli;
   if (!ParseCommon(argc, argv, 2, &cli)) return Usage();
+  if (!cli.trace_out.empty()) Tracer::Enable();
   if (command == "generate") return CmdGenerate(cli.positional);
   if (command == "stats") return CmdStats(cli.positional);
   if (command == "cluster") return CmdCluster(cli);
