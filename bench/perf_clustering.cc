@@ -4,12 +4,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "cluster/hac.h"
 #include "cluster/probabilistic_assignment.h"
 #include "schema/feature_vector.h"
 #include "schema/lexicon.h"
 #include "synth/ddh_generator.h"
 #include "synth/many_domains.h"
+#include "text/similarity_index.h"
+#include "text/term_similarity.h"
 #include "text/tokenizer.h"
 
 namespace paygo {
@@ -145,6 +152,60 @@ void BM_HacDenseWebShape(benchmark::State& state) {
 }
 BENCHMARK(BM_HacDenseWebShape)->Arg(100)->Arg(300);
 
+// --- parallel scaling curves (--threads=N adds N to the sweep) ---
+//
+// Each benchmark reports one point of the scaling curve; compare the
+// /threads:1 row against /threads:4 etc. to read off the speedup (see
+// bench/README.md). Thread count 0 = hardware concurrency.
+
+void BM_SimilarityMatrixThreads(benchmark::State& state) {
+  const Prepared prep(400);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimilarityMatrix(prep.features, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * 400 * 400);
+}
+
+void BM_HacFastEngineThreads(benchmark::State& state) {
+  const Prepared prep(400);
+  const SimilarityMatrix sims(prep.features);
+  HacOptions opts;
+  opts.tau_c_sim = 0.25;
+  opts.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hac::Run(prep.features, sims, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 400);
+}
+
+void BM_SimilarityIndexThreads(benchmark::State& state) {
+  const SchemaCorpus corpus = CorpusOfSize(400);
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimilarityIndex(
+        lexicon.terms(), TermSimilarity(TermSimilarityKind::kLcs), 0.8,
+        threads));
+  }
+  state.SetItemsProcessed(state.iterations() * lexicon.dim());
+}
+
+void BM_ClusterPipelineThreads(benchmark::State& state) {
+  // End to end over the parallel phases: dense matrix build + fast HAC
+  // (the convenience overload), at 400 schemas — the acceptance-criteria
+  // configuration for the 4-thread speedup.
+  const Prepared prep(400);
+  HacOptions opts;
+  opts.tau_c_sim = 0.25;
+  opts.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hac::Run(prep.features, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 400);
+}
+
 void BM_AssignProbabilities(benchmark::State& state) {
   const Prepared prep(state.range(0));
   const SimilarityMatrix sims(prep.features);
@@ -163,4 +224,48 @@ BENCHMARK(BM_AssignProbabilities)->Arg(100)->Arg(500)->Arg(2323);
 }  // namespace
 }  // namespace paygo
 
-BENCHMARK_MAIN();
+// Custom main: `--threads=N` (consumed before google-benchmark sees the
+// argv) adds N to the thread sweep of the scaling benchmarks, so a box
+// with more cores can extend the curve without recompiling:
+//
+//   bench/perf_clustering --threads=16 \
+//       --benchmark_filter='Threads'
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sweep = {1, 2, 4, 8};
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      const std::size_t extra = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + prefix.size(), nullptr, 10));
+      if (std::find(sweep.begin(), sweep.end(), extra) == sweep.end()) {
+        sweep.push_back(extra);
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  for (auto* bench :
+       {benchmark::RegisterBenchmark("BM_SimilarityMatrixThreads",
+                                     paygo::BM_SimilarityMatrixThreads),
+        benchmark::RegisterBenchmark("BM_HacFastEngineThreads",
+                                     paygo::BM_HacFastEngineThreads),
+        benchmark::RegisterBenchmark("BM_SimilarityIndexThreads",
+                                     paygo::BM_SimilarityIndexThreads),
+        benchmark::RegisterBenchmark("BM_ClusterPipelineThreads",
+                                     paygo::BM_ClusterPipelineThreads)}) {
+    bench->ArgName("threads");
+    for (std::size_t t : sweep) {
+      bench->Arg(static_cast<std::int64_t>(t));
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace paygo {
 namespace {
@@ -327,6 +328,17 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
   st.Init(n, features, options.linkage == LinkageKind::kTotal);
   ConstraintState cs = BuildConstraintState(n, options);
 
+  // Worker pool for the O(n^2) phases. Width 1 (the default) bypasses the
+  // pool entirely — the exact legacy serial path. At any width the result
+  // is bit-identical to serial: chunk outputs are applied in ascending
+  // chunk order over an ordered contiguous partition, which reproduces the
+  // serial heap-push sequence, and every float/double is computed from the
+  // same inputs the serial path reads (no cross-chunk FP reductions).
+  const std::size_t pool_width =
+      ThreadPool::ResolveThreadCount(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (pool_width > 1 && n > 1) pool = std::make_unique<ThreadPool>(pool_width);
+
   // Memoized cluster-to-cluster similarities, indexed by slot pair. For the
   // Lance-Williams-updatable linkages this is required for the O(|U|)
   // per-merge update; for Total Jaccard similarities are recomputed from
@@ -335,20 +347,22 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
   std::vector<float> csim;
   if (memoized) {
     csim.resize(n * n);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        csim[i * n + j] = static_cast<float>(sims.At(i, j));
+    auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          csim[i * n + j] = static_cast<float>(sims.At(i, j));
+        }
       }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, n, /*grain=*/64,
+                        [&](const ThreadPool::Chunk& c) {
+                          fill_rows(c.begin, c.end);
+                        });
+    } else {
+      fill_rows(0, n);
     }
   }
-  auto cluster_sim = [&](std::uint32_t a, std::uint32_t b) -> double {
-    if (memoized) {
-      ++stats.memo_hits;
-      return csim[static_cast<std::size_t>(a) * n + b];
-    }
-    ++stats.pairs_evaluated;
-    return LinkageFromScratch(st, sims, options.linkage, a, b);
-  };
 
   // In count mode (max_clusters set) the similarity threshold is ignored:
   // every pair is a candidate and merging stops at the target count.
@@ -358,22 +372,36 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
   std::priority_queue<HeapEntry> heap;
   std::vector<HacMerge> merges;
 
-  // Performs the merge of slot b into slot a at similarity `sim`,
-  // updating memoized similarities and pushing refreshed heap entries.
-  auto do_merge = [&](std::uint32_t a, std::uint32_t b, double sim) {
-    PAYGO_TRACE_SPAN("hac.merge");
-    ++stats.merges;
-    const double size_a = static_cast<double>(st.members[a].size());
-    const double size_b = static_cast<double>(st.members[b].size());
-    st.Merge(a, b);
-    cs.MergeInto(a, b);
-    merges.push_back({a, b, sim});
+  // Candidates and instrumentation produced by one chunk of a parallel
+  // scan. Buffered per chunk and flushed in ascending chunk order so heap
+  // pushes land in the serial iteration order; counters are exact integers
+  // so summation order is immaterial.
+  struct ChunkEmit {
+    std::vector<HeapEntry> entries;
+    std::uint64_t pairs_evaluated = 0;
+    std::uint64_t memo_hits = 0;
+  };
+  auto flush_emit = [&](const ChunkEmit& out) {
+    stats.pairs_evaluated += out.pairs_evaluated;
+    stats.memo_hits += out.memo_hits;
+    for (const HeapEntry& e : out.entries) {
+      heap.push(e);
+      ++stats.heap_pushes;
+    }
+  };
 
-    for (std::uint32_t c = 0; c < n; ++c) {
+  // Candidate re-evaluation against the freshly merged slot `a`: the
+  // per-merge O(|U|) loop, over candidate range [lo, hi). Thread-safe for
+  // disjoint ranges: iteration c reads csim rows c (its own) and column b
+  // (untouched) and writes csim[a][c] / csim[c][a] (owned by c).
+  auto reevaluate = [&](std::uint32_t a, std::uint32_t b, double size_a,
+                        double size_b, std::size_t lo, std::size_t hi,
+                        ChunkEmit& out) {
+    for (std::uint32_t c = lo; c < hi; ++c) {
       if (!st.active[c] || c == a) continue;
       double s;
       if (memoized) {
-        stats.memo_hits += 2;
+        out.memo_hits += 2;
         const double sca = csim[static_cast<std::size_t>(c) * n + a];
         const double scb = csim[static_cast<std::size_t>(c) * n + b];
         switch (options.linkage) {
@@ -395,14 +423,44 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
         csim[static_cast<std::size_t>(a) * n + c] = static_cast<float>(s);
         csim[static_cast<std::size_t>(c) * n + a] = static_cast<float>(s);
       } else {
-        s = cluster_sim(a, c);
+        ++out.pairs_evaluated;
+        s = LinkageFromScratch(st, sims, options.linkage, a, c);
       }
       if (s >= push_threshold) {
-        const std::uint32_t lo = std::min(a, c);
-        const std::uint32_t hi = std::max(a, c);
-        heap.push({s, lo, hi, st.version[lo], st.version[hi]});
-        ++stats.heap_pushes;
+        const std::uint32_t lo_id = std::min(a, c);
+        const std::uint32_t hi_id = std::max(a, c);
+        out.entries.push_back(
+            {s, lo_id, hi_id, st.version[lo_id], st.version[hi_id]});
       }
+    }
+  };
+
+  // Performs the merge of slot b into slot a at similarity `sim`,
+  // updating memoized similarities and pushing refreshed heap entries.
+  auto do_merge = [&](std::uint32_t a, std::uint32_t b, double sim) {
+    PAYGO_TRACE_SPAN("hac.merge");
+    ++stats.merges;
+    const double size_a = static_cast<double>(st.members[a].size());
+    const double size_b = static_cast<double>(st.members[b].size());
+    st.Merge(a, b);
+    cs.MergeInto(a, b);
+    merges.push_back({a, b, sim});
+
+    // Memoized re-evaluation is O(1) per candidate — only worth spreading
+    // for very wide ranges; the Total-Jaccard recomputation is O(dim/64)
+    // per candidate and parallelizes at much smaller n.
+    const std::size_t grain = memoized ? 4096 : 256;
+    const std::size_t chunks = pool != nullptr ? pool->NumChunks(n, grain) : 1;
+    if (chunks > 1) {
+      std::vector<ChunkEmit> outs(chunks);
+      pool->ParallelFor(0, n, grain, [&](const ThreadPool::Chunk& c) {
+        reevaluate(a, b, size_a, size_b, c.begin, c.end, outs[c.index]);
+      });
+      for (const ChunkEmit& out : outs) flush_emit(out);
+    } else {
+      ChunkEmit out;
+      reevaluate(a, b, size_a, size_b, 0, n, out);
+      flush_emit(out);
     }
   };
 
@@ -421,15 +479,43 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
     }
   }
 
-  for (std::uint32_t a = 0; a < n; ++a) {
-    if (!st.active[a]) continue;
-    for (std::uint32_t b = a + 1; b < n; ++b) {
-      if (!st.active[b]) continue;
-      const double s = cluster_sim(a, b);
-      if (s >= push_threshold) {
-        heap.push({s, a, b, st.version[a], st.version[b]});
-        ++stats.heap_pushes;
+  // Initial pairwise candidate scan over rows [lo, hi) x (row, n). Pure
+  // reads of csim / cluster state, so chunks never interfere.
+  auto scan_rows = [&](std::size_t lo, std::size_t hi, ChunkEmit& out) {
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      if (!st.active[a]) continue;
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (!st.active[b]) continue;
+        double s;
+        if (memoized) {
+          ++out.memo_hits;
+          s = csim[static_cast<std::size_t>(a) * n + b];
+        } else {
+          ++out.pairs_evaluated;
+          s = LinkageFromScratch(st, sims, options.linkage, a, b);
+        }
+        if (s >= push_threshold) {
+          out.entries.push_back({s, a, b, st.version[a], st.version[b]});
+        }
       }
+    }
+  };
+  {
+    PAYGO_TRACE_SPAN("hac.parallel_pairs");
+    // Row a costs n - a pairs; small grain + chunk oversubscription keep
+    // the triangular load balanced.
+    const std::size_t grain = memoized ? 64 : 8;
+    const std::size_t chunks = pool != nullptr ? pool->NumChunks(n, grain) : 1;
+    if (chunks > 1) {
+      std::vector<ChunkEmit> outs(chunks);
+      pool->ParallelFor(0, n, grain, [&](const ThreadPool::Chunk& c) {
+        scan_rows(c.begin, c.end, outs[c.index]);
+      });
+      for (const ChunkEmit& out : outs) flush_emit(out);
+    } else {
+      ChunkEmit out;
+      scan_rows(0, n, out);
+      flush_emit(out);
     }
   }
 
@@ -711,7 +797,7 @@ Result<HacResult> Hac::Run(const std::vector<DynamicBitset>& features,
     }
     return RunSparse(features, validated);
   }
-  SimilarityMatrix sims(features);
+  SimilarityMatrix sims(features, options.num_threads);
   return Run(features, sims, options);
 }
 

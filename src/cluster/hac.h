@@ -44,6 +44,16 @@ struct HacOptions {
   /// Lance-Williams-updatable linkages (Avg/Min/Max); Total Jaccard and
   /// max_clusters count mode (which needs all pairs) are rejected.
   bool use_sparse_engine = false;
+  /// Worker threads for the O(n^2) phases of the fast engine (the initial
+  /// pairwise candidate scan and per-merge candidate re-evaluation) and
+  /// for the dense similarity-matrix build of the convenience overload.
+  /// 0 = hardware_concurrency, 1 = the exact legacy serial path (default).
+  /// The result is bit-identical to the serial path at every thread count
+  /// and for every linkage: chunked work is combined in ascending chunk
+  /// order over an ordered contiguous partition (reproducing the serial
+  /// heap-push sequence exactly), and merge candidates tie-break on
+  /// (similarity, slot_a, slot_b) — never on arrival order.
+  std::size_t num_threads = 1;
   /// Instance-level constraints from user feedback (Chapter 7 future
   /// work): schema pairs that must end up in the same cluster — merged
   /// before agglomeration starts — and pairs that may never share a

@@ -1,5 +1,9 @@
 #include "cluster/linkage.h"
 
+#include <memory>
+
+#include "util/thread_pool.h"
+
 namespace paygo {
 
 std::string LinkageKindName(LinkageKind kind) {
@@ -23,16 +27,33 @@ const std::vector<LinkageKind>& AllLinkageKinds() {
   return kAll;
 }
 
-SimilarityMatrix::SimilarityMatrix(const std::vector<DynamicBitset>& features)
+SimilarityMatrix::SimilarityMatrix(const std::vector<DynamicBitset>& features,
+                                   std::size_t num_threads)
     : n_(features.size()), values_(n_ * n_, 0.0f) {
-  for (std::size_t i = 0; i < n_; ++i) {
-    values_[i * n_ + i] = features[i].None() ? 0.0f : 1.0f;
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      const float s =
-          static_cast<float>(DynamicBitset::Jaccard(features[i], features[j]));
-      values_[i * n_ + j] = s;
-      values_[j * n_ + i] = s;
+  // Row i owns entries (i, j >= i) and their mirrors (j, i): rows write
+  // disjoint slots, so chunked rows race on nothing and the matrix is
+  // bit-identical at any thread count.
+  auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      values_[i * n_ + i] = features[i].None() ? 0.0f : 1.0f;
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        const float s = static_cast<float>(
+            DynamicBitset::Jaccard(features[i], features[j]));
+        values_[i * n_ + j] = s;
+        values_[j * n_ + i] = s;
+      }
     }
+  };
+  const std::size_t width = ThreadPool::ResolveThreadCount(num_threads);
+  if (width > 1 && n_ > 1) {
+    ThreadPool pool(width);
+    // Rows are heavy (n - i Jaccards over dim-L bitsets each); a small
+    // grain plus chunk oversubscription balances the triangular load.
+    pool.ParallelFor(0, n_, /*grain=*/8, [&](const ThreadPool::Chunk& c) {
+      fill_rows(c.begin, c.end);
+    });
+  } else {
+    fill_rows(0, n_);
   }
 }
 

@@ -45,8 +45,12 @@ const std::vector<LinkageKind>& AllLinkageKinds();
 /// float matrix: 2323 schemas (DDH) need ~21 MB.
 class SimilarityMatrix {
  public:
-  /// Computes Jaccard(F_i, F_j) for all pairs.
-  explicit SimilarityMatrix(const std::vector<DynamicBitset>& features);
+  /// Computes Jaccard(F_i, F_j) for all pairs. \p num_threads spreads the
+  /// O(n^2) fill over a worker pool (0 = hardware_concurrency, 1 = serial);
+  /// every entry is written by exactly one row chunk, so the matrix is
+  /// bit-identical at any thread count.
+  explicit SimilarityMatrix(const std::vector<DynamicBitset>& features,
+                            std::size_t num_threads = 1);
 
   /// s_sim(S_i, S_j); symmetric, At(i, i) == 1 for non-empty vectors.
   double At(std::size_t i, std::size_t j) const {

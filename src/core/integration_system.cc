@@ -39,7 +39,8 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
   // Algorithm 2: clustering (with the memoized similarity matrix).
   {
     PAYGO_TRACE_SPAN("system.build.similarity");
-    sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_);
+    sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_,
+                                                    options.hac.num_threads);
   }
   PAYGO_ASSIGN_OR_RETURN(
       sys->clustering_, Hac::Run(sys->features_, *sys->sims_, options.hac));
@@ -82,7 +83,8 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
   sys->vectorizer_ =
       std::make_unique<FeatureVectorizer>(*sys->lexicon_, options.features);
   sys->features_ = sys->vectorizer_->VectorizeCorpus();
-  sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_);
+  sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_,
+                                                  options.hac.num_threads);
 
   // The clustering result is reconstructed from the model (merge history
   // is not persisted — it only serves diagnostics).
@@ -217,7 +219,7 @@ Result<IncrementalAddResult> IntegrationSystem::AddSchema(
   domains_ = inc.model();
   clustering_.clusters = domains_.clusters();
   clustering_.merges.clear();  // merge history no longer describes the model
-  sims_ = std::make_unique<SimilarityMatrix>(features_);
+  sims_ = std::make_unique<SimilarityMatrix>(features_, options_.hac.num_threads);
   sources_.resize(corpus_.size());
   PAYGO_RETURN_NOT_OK(RebuildDerivedState());
   return result;

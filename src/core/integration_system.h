@@ -179,6 +179,17 @@ class IntegrationSystem {
   bool has_mediation() const { return !mediations_.empty(); }
   const SystemOptions& options() const { return options_; }
 
+  /// Overrides the worker-thread count used by subsequent rebuild-style
+  /// mutations (RebuildFromScratch, ApplyFeedback, AddSchema) on this
+  /// instance: 0 = hardware concurrency, 1 = serial. Results are
+  /// bit-identical at any setting; the serving layer calls this on a
+  /// Clone() before mutating it, so readers of the published snapshot are
+  /// never affected.
+  void set_num_threads(std::size_t num_threads) {
+    options_.hac.num_threads = num_threads;
+    options_.features.num_threads = num_threads;
+  }
+
   /// Human-readable domain summary: size, top attributes, member sources.
   std::string DescribeDomain(std::uint32_t domain,
                              std::size_t max_members = 8) const;

@@ -7,7 +7,7 @@ FeatureVectorizer::FeatureVectorizer(const Lexicon& lexicon,
     : lexicon_(lexicon), options_(options) {
   index_ = std::make_unique<SimilarityIndex>(
       lexicon_.terms(), TermSimilarity(options_.similarity_kind),
-      options_.tau_t_sim);
+      options_.tau_t_sim, options_.num_threads);
 }
 
 DynamicBitset FeatureVectorizer::VectorizeSchemaTerms(

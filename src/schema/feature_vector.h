@@ -26,6 +26,10 @@ struct FeatureVectorizerOptions {
   double tau_t_sim = 0.8;
   /// Which t_sim to use (thesis default: LCS-based).
   TermSimilarityKind similarity_kind = TermSimilarityKind::kLcs;
+  /// Worker threads for the similarity-index build (0 = hardware
+  /// concurrency, 1 = serial, the default). The index is bit-identical at
+  /// any thread count.
+  std::size_t num_threads = 1;
 };
 
 /// \brief Builds binary feature vectors for schemas and keyword queries.

@@ -308,6 +308,11 @@ void PaygoServer::WriterLoop() {
     // writer is the only thread that ever touches a mutable
     // IntegrationSystem, so the clone needs no locking.
     std::unique_ptr<IntegrationSystem> draft = snapshot()->Clone();
+    // Rebuild-style mutations may recluster the whole corpus; let them use
+    // the configured pool width. The knob is set on the private clone, so
+    // the published snapshot's options are updated only if the mutation
+    // succeeds — and clustering is bit-identical at any width regardless.
+    draft->set_num_threads(options_.rebuild_threads);
     Status status = update->mutation(*draft);
     if (status.ok()) {
       snapshot_.store(Snapshot(std::move(draft)));

@@ -83,6 +83,12 @@ struct ServeOptions {
   /// End-to-end latency (microseconds) a request must exceed to be a
   /// slow-query-log candidate.
   std::uint64_t slow_query_threshold_us = 10000;
+  /// Worker threads the writer thread hands to rebuild-style mutations
+  /// (RebuildFromScratch, ApplyFeedback reclustering) on the private clone:
+  /// 0 = hardware concurrency, 1 = serial (default). Clustering results
+  /// are bit-identical at any setting, so this only changes rebuild
+  /// latency, never the published model.
+  std::size_t rebuild_threads = 1;
 };
 
 /// \brief The concurrent serving runtime. Construct, Start(), submit.

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "text/porter_stemmer.h"
+#include "util/thread_pool.h"
 
 namespace paygo {
 namespace {
@@ -20,8 +23,12 @@ inline std::size_t BigramKey(unsigned char a, unsigned char b) {
 }  // namespace
 
 SimilarityIndex::SimilarityIndex(std::vector<std::string> terms,
-                                 TermSimilarity sim, double threshold)
-    : terms_(std::move(terms)), sim_(sim), threshold_(threshold) {
+                                 TermSimilarity sim, double threshold,
+                                 std::size_t num_threads)
+    : terms_(std::move(terms)),
+      sim_(sim),
+      threshold_(threshold),
+      num_threads_(ThreadPool::ResolveThreadCount(num_threads)) {
   min_term_len_ = terms_.empty() ? 0 : terms_[0].size();
   for (const auto& t : terms_) min_term_len_ = std::min(min_term_len_, t.size());
   if (sim_.kind() == TermSimilarityKind::kLcs) BuildBigramIndex();
@@ -66,8 +73,10 @@ std::vector<std::uint32_t> SimilarityIndex::BigramCandidates(
 
 void SimilarityIndex::BuildNeighborhoods() {
   PAYGO_TRACE_SPAN("simindex.build");
-  // Accumulated locally (the pair scan is O(n^2) in the worst case) and
-  // flushed to the registry once at the end of the build.
+  // Build instrumentation is accumulated per scan chunk in plain locals
+  // (never shared between workers, so parallel builds cannot tear or
+  // double-count), summed into these totals on the single build thread,
+  // and flushed to the registry once at the end of the build.
   std::uint64_t evaluated = 0;
   std::uint64_t pruned = 0;
   StatsRegistry& reg = StatsRegistry::Global();
@@ -91,17 +100,37 @@ void SimilarityIndex::BuildNeighborhoods() {
   neighbors_.assign(n, {});
   for (std::uint32_t i = 0; i < n; ++i) neighbors_[i].push_back(i);
 
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads_ > 1 && n > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads_);
+  }
+
   switch (sim_.kind()) {
     case TermSimilarityKind::kExact:
       // Identity only (terms_ is deduplicated).
       return;
     case TermSimilarityKind::kStem: {
       // Bucket terms by Porter stem; all terms in a bucket are mutually
-      // similar with similarity 1 (>= any threshold in (0,1]).
+      // similar with similarity 1 (>= any threshold in (0,1]). The
+      // stemming map parallelizes (slot per term); bucketing and the
+      // neighbor fan-out stay serial — bucket traversal order does not
+      // matter because every row is sorted afterwards.
       if (threshold_ > 1.0) return;
+      std::vector<std::string> stems(n);
+      auto stem_range = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) stems[i] = PorterStem(terms_[i]);
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, n, /*grain=*/256,
+                          [&](const ThreadPool::Chunk& c) {
+                            stem_range(c.begin, c.end);
+                          });
+      } else {
+        stem_range(0, n);
+      }
       std::unordered_map<std::string, std::vector<std::uint32_t>> buckets;
       for (std::uint32_t i = 0; i < n; ++i) {
-        buckets[PorterStem(terms_[i])].push_back(i);
+        buckets[stems[i]].push_back(i);
       }
       for (const auto& [stem, members] : buckets) {
         if (members.size() < 2) continue;
@@ -123,30 +152,62 @@ void SimilarityIndex::BuildNeighborhoods() {
   // The bigram prune is only sound for the LCS kind (a qualifying pair is
   // forced to share a substring); the edit-distance-style kinds fall back
   // to the exhaustive scan with the length upper bound.
+  //
+  // Each chunk of rows i scans candidates j > i and buffers the qualifying
+  // (i, j) pairs locally; chunks are applied to the symmetric neighbor
+  // lists serially in ascending chunk order, and every row is sorted at
+  // the end, so the result is identical at any thread count.
   const bool use_bigrams =
       sim_.kind() == TermSimilarityKind::kLcs && BigramPruneSound(min_term_len_);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::string& ti = terms_[i];
-    std::vector<std::uint32_t> candidates;
-    if (use_bigrams) {
-      candidates = BigramCandidates(ti);
-    } else {
-      candidates.resize(n);
-      for (std::uint32_t j = 0; j < n; ++j) candidates[j] = j;
-    }
-    for (std::uint32_t j : candidates) {
-      if (j <= i) continue;  // each unordered pair evaluated once
-      const std::string& tj = terms_[j];
-      if (sim_.UpperBound(ti.size(), tj.size()) < threshold_) {
-        ++pruned;
-        continue;
+  struct ChunkOut {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    std::uint64_t evaluated = 0;
+    std::uint64_t pruned = 0;
+  };
+  auto scan_rows = [&](std::size_t lo, std::size_t hi, ChunkOut& out) {
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const std::string& ti = terms_[i];
+      std::vector<std::uint32_t> candidates;
+      if (use_bigrams) {
+        candidates = BigramCandidates(ti);
+      } else {
+        candidates.resize(n);
+        for (std::uint32_t j = 0; j < n; ++j) candidates[j] = j;
       }
-      ++evaluated;
-      if (sim_.Compute(ti, tj) >= threshold_) {
-        neighbors_[i].push_back(j);
-        neighbors_[j].push_back(i);
+      for (std::uint32_t j : candidates) {
+        if (j <= i) continue;  // each unordered pair evaluated once
+        const std::string& tj = terms_[j];
+        if (sim_.UpperBound(ti.size(), tj.size()) < threshold_) {
+          ++out.pruned;
+          continue;
+        }
+        ++out.evaluated;
+        if (sim_.Compute(ti, tj) >= threshold_) {
+          out.pairs.emplace_back(i, j);
+        }
       }
     }
+  };
+  auto apply = [&](const ChunkOut& out) {
+    evaluated += out.evaluated;
+    pruned += out.pruned;
+    for (const auto& [i, j] : out.pairs) {
+      neighbors_[i].push_back(j);
+      neighbors_[j].push_back(i);
+    }
+  };
+  const std::size_t grain = 16;
+  const std::size_t chunks = pool != nullptr ? pool->NumChunks(n, grain) : 1;
+  if (chunks > 1) {
+    std::vector<ChunkOut> outs(chunks);
+    pool->ParallelFor(0, n, grain, [&](const ThreadPool::Chunk& c) {
+      scan_rows(c.begin, c.end, outs[c.index]);
+    });
+    for (const ChunkOut& out : outs) apply(out);
+  } else {
+    ChunkOut out;
+    scan_rows(0, n, out);
+    apply(out);
   }
   for (auto& nb : neighbors_) std::sort(nb.begin(), nb.end());
 }

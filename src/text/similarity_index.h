@@ -35,9 +35,15 @@ class SimilarityIndex {
  public:
   /// Builds neighborhoods for \p terms under \p sim with threshold
   /// \p threshold. \p terms must be deduplicated; neighborhoods always
-  /// include the term itself.
+  /// include the term itself. \p num_threads spreads the pair scan over a
+  /// worker pool (0 = hardware_concurrency, 1 = serial, the default);
+  /// qualifying pairs are buffered per chunk and applied in ascending
+  /// chunk order, and every row is sorted afterwards, so the neighborhoods
+  /// are identical at any thread count. Build statistics are aggregated
+  /// per chunk and flushed to the registry once, so parallel builds never
+  /// tear or double-count.
   SimilarityIndex(std::vector<std::string> terms, TermSimilarity sim,
-                  double threshold);
+                  double threshold, std::size_t num_threads = 1);
 
   /// Lexicon terms similar to term \p i (sorted indices, includes i).
   const std::vector<std::uint32_t>& Neighbors(std::size_t i) const {
@@ -66,6 +72,7 @@ class SimilarityIndex {
   std::vector<std::string> terms_;
   TermSimilarity sim_;
   double threshold_;
+  std::size_t num_threads_ = 1;
   std::size_t min_term_len_ = 0;
 
   // bigram (c1*256+c2) -> sorted list of term indices containing it.

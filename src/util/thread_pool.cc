@@ -1,0 +1,163 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+
+#include "obs/stats.h"
+
+namespace paygo {
+namespace {
+
+/// Shared state of one ParallelFor: a dynamic chunk cursor plus completion
+/// tracking. Heap-allocated and shared with helper tasks so the caller can
+/// return as soon as the last chunk finishes, even if a helper is still
+/// unwinding its claim loop.
+struct ParallelForState {
+  std::size_t begin = 0;
+  std::size_t size = 0;
+  std::size_t num_chunks = 0;
+  const std::function<void(const ThreadPool::Chunk&)>* body = nullptr;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::vector<std::exception_ptr> errors;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t done_chunks = 0;
+
+  ThreadPool::Chunk ChunkAt(std::size_t k) const {
+    // Even contiguous split: chunk k covers [k*size/chunks, (k+1)*size/..).
+    return {k, begin + k * size / num_chunks,
+            begin + (k + 1) * size / num_chunks};
+  }
+
+  /// Claims and runs chunks until the cursor is exhausted. Exceptions are
+  /// boxed per chunk; the caller rethrows the lowest index after the join.
+  void DrainChunks() {
+    for (;;) {
+      const std::size_t k =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_chunks) return;
+      try {
+        (*body)(ChunkAt(k));
+      } catch (...) {
+        errors[k] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done_chunks == num_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t ThreadPool::ResolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : width_(std::max<std::size_t>(num_threads, 1)) {
+  static Counter* pools =
+      StatsRegistry::Global().GetCounter("paygo.pool.pools_created");
+  pools->Increment();
+  workers_.reserve(width_ - 1);
+  for (std::size_t i = 0; i + 1 < width_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  // Per-worker task counter (pool lane, not OS thread id): lets the stats
+  // dump show how evenly parallel phases spread across lanes.
+  Counter* tasks_run = StatsRegistry::Global().GetCounter(
+      "paygo.pool.worker." + std::to_string(worker_index) + ".tasks");
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    tasks_run->Increment();
+    task();
+  }
+}
+
+std::size_t ThreadPool::NumChunks(std::size_t size, std::size_t grain) const {
+  if (size == 0) return 0;
+  if (width_ == 1) return 1;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t by_grain = (size + g - 1) / g;
+  return std::max<std::size_t>(
+      1, std::min(by_grain, width_ * kChunksPerThread));
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain,
+                             const std::function<void(const Chunk&)>& body) {
+  const std::size_t size = end > begin ? end - begin : 0;
+  const std::size_t chunks = NumChunks(size, grain);
+  if (chunks == 0) return;
+  if (chunks == 1 || workers_.empty()) {
+    // Single chunk spanning the range: the exact serial path, exceptions
+    // propagate naturally.
+    body({0, begin, end});
+    return;
+  }
+
+  static Counter* fors =
+      StatsRegistry::Global().GetCounter("paygo.pool.parallel_fors");
+  static Counter* chunk_count =
+      StatsRegistry::Global().GetCounter("paygo.pool.chunks_run");
+  fors->Increment();
+  chunk_count->Add(chunks);
+
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->size = size;
+  state->num_chunks = chunks;
+  state->body = &body;
+  state->errors.resize(chunks);
+
+  // N-way execution = the caller plus at most width-1 helpers; never more
+  // helpers than chunks beyond the caller's own lane.
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Enqueue([state] { state->DrainChunks(); });
+  }
+  state->DrainChunks();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock,
+                        [&] { return state->done_chunks == chunks; });
+  }
+  // `body` may dangle once we return; helpers past this point only touch
+  // the cursor (>= num_chunks) and never dereference it again.
+  for (std::size_t k = 0; k < chunks; ++k) {
+    if (state->errors[k]) std::rethrow_exception(state->errors[k]);
+  }
+}
+
+}  // namespace paygo

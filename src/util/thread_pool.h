@@ -1,0 +1,128 @@
+#ifndef PAYGO_UTIL_THREAD_POOL_H_
+#define PAYGO_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// \brief Fixed worker pool with a deterministic chunked parallel-for.
+///
+/// The clustering pipeline's O(n^2) phases (pairwise similarity, the
+/// similarity-index neighborhood scan, per-merge candidate re-evaluation)
+/// are embarrassingly parallel, but the library's contract is stronger
+/// than "parallel and correct": results must be *bit-identical* to the
+/// serial path at any thread count. ThreadPool supports that with a
+/// deliberately simple execution model:
+///
+///  * `ParallelFor(begin, end, grain, body)` splits the range into an
+///    ordered partition of contiguous chunks. Chunk boundaries depend only
+///    on the range size, the grain, and the pool width — never on timing.
+///  * Chunks are claimed dynamically (an atomic cursor), so scheduling is
+///    nondeterministic, but the *combination discipline* callers follow is
+///    not: every output slot is written by exactly one chunk, and ordered
+///    by-products (heap pushes, neighbor-list appends) are buffered per
+///    chunk and applied by the caller in ascending chunk order, which —
+///    because the partition is ordered and contiguous — reproduces the
+///    serial iteration order exactly, for every chunk count.
+///  * Floating-point reductions across chunks are forbidden by convention;
+///    cross-chunk reductions are restricted to exact types (integers,
+///    entry buffers). FP values are always computed per slot from the same
+///    inputs the serial path reads.
+///
+/// The caller participates in its own ParallelFor (pool workers act as
+/// helpers), so a pool of width N applies N-way parallelism with N-1
+/// helper tasks and degrades to a plain inline loop when the range is
+/// small or the width is 1. Exceptions thrown by chunk bodies are
+/// captured per chunk and the lowest-index one is rethrown on the calling
+/// thread after every chunk finished — again independent of timing.
+///
+/// There is no work stealing, no task graph, and no priority: schema
+/// clustering needs balanced data-parallel sweeps, and everything beyond
+/// that is surface area for nondeterminism.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace paygo {
+
+/// \brief Fixed-width worker pool. Thread-safe; one instance may serve
+/// Submit() and ParallelFor() calls from multiple threads concurrently.
+class ThreadPool {
+ public:
+  /// Maps a user-facing thread-count knob to a pool width: 0 means
+  /// hardware_concurrency (at least 1), anything else is taken verbatim.
+  static std::size_t ResolveThreadCount(std::size_t requested);
+
+  /// Spawns \p num_threads - 1 helper workers (the calling thread is the
+  /// pool's N-th lane during ParallelFor). Width 1 spawns no threads at
+  /// all — every operation runs inline on the caller.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The pool width (helpers + the participating caller).
+  std::size_t num_threads() const { return width_; }
+
+  /// One contiguous piece of a ParallelFor range.
+  struct Chunk {
+    std::size_t index;  ///< 0-based position in the ordered partition.
+    std::size_t begin;  ///< First element (inclusive).
+    std::size_t end;    ///< Last element (exclusive).
+  };
+
+  /// Number of chunks ParallelFor will use for a range of \p size elements
+  /// with the given minimum \p grain: 0 for an empty range, otherwise
+  /// min(ceil(size / grain), width * kChunksPerThread) clamped to >= 1.
+  /// Callers use this to pre-size per-chunk output buffers.
+  std::size_t NumChunks(std::size_t size, std::size_t grain) const;
+
+  /// Runs \p body over every chunk of [begin, end). Blocks until all
+  /// chunks completed. When the partition is a single chunk the body runs
+  /// inline with zero pool interaction (the exact serial path). Rethrows
+  /// the lowest-chunk-index exception after all chunks finished.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(const Chunk&)>& body);
+
+  /// Schedules \p f on a helper worker; the future carries the result or
+  /// the thrown exception. On a width-1 pool the task runs inline here.
+  template <typename F>
+  auto Submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+    } else {
+      Enqueue([task] { (*task)(); });
+    }
+    return result;
+  }
+
+  /// Chunks-per-thread oversubscription: triangular workloads (row i of a
+  /// pairwise scan costs n - i) balance to within 1/(2 * chunks) of
+  /// optimal with contiguous chunks, so a few chunks per lane suffice.
+  static constexpr std::size_t kChunksPerThread = 4;
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop(std::size_t worker_index);
+
+  std::size_t width_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_UTIL_THREAD_POOL_H_

@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "cluster/hac.h"
 #include "persist/model_io.h"
 #include "schema/corpus_io.h"
 #include "text/porter_stemmer.h"
+#include "text/similarity_index.h"
 #include "text/term_similarity.h"
 #include "text/tokenizer.h"
 #include "util/random.h"
@@ -114,6 +117,97 @@ TEST(FuzzTest, ModelParsersNeverCrash) {
     (void)ParseConditionals(text);
     (void)ParseDomainModel("paygo-model v1\n" + text);
     (void)ParseConditionals("paygo-classifier v1\n" + text);
+  }
+}
+
+TEST(FuzzTest, ParallelClusteringMatchesSerialOnRandomCorpora) {
+  // Differential fuzz of the parallel clustering core: random feature
+  // matrices (varying density, size, and linkage) must cluster bit-
+  // identically at any thread count. Failures print the trial seed so the
+  // case can be replayed in isolation.
+  Rng meta(9007);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::uint64_t seed = 9100 + trial;
+    Rng rng(seed);
+    const std::size_t n = 20 + rng.NextBelow(80);
+    const std::size_t dim = 30 + rng.NextBelow(90);
+    const double density = 0.05 + 0.4 * rng.NextDouble();
+    std::vector<DynamicBitset> features(n, DynamicBitset(dim));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t b = 0; b < dim; ++b) {
+        if (rng.NextBernoulli(density)) features[i].Set(b);
+      }
+    }
+    const LinkageKind linkage =
+        AllLinkageKinds()[meta.NextBelow(AllLinkageKinds().size())];
+
+    HacOptions serial_opts;
+    serial_opts.linkage = linkage;
+    serial_opts.tau_c_sim = 0.05 + 0.4 * meta.NextDouble();
+    const SimilarityMatrix serial_sims(features, 1);
+    const auto serial = Hac::Run(features, serial_sims, serial_opts);
+    ASSERT_TRUE(serial.ok()) << "seed=" << seed;
+
+    for (std::size_t threads : {2, 5, 8}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads) + " linkage=" +
+                   LinkageKindName(linkage));
+      const SimilarityMatrix parallel_sims(features, threads);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(serial_sims.At(i, j), parallel_sims.At(i, j));
+        }
+      }
+      HacOptions parallel_opts = serial_opts;
+      parallel_opts.num_threads = threads;
+      const auto parallel = Hac::Run(features, parallel_sims, parallel_opts);
+      ASSERT_TRUE(parallel.ok());
+      ASSERT_EQ(serial->merges.size(), parallel->merges.size());
+      for (std::size_t m = 0; m < serial->merges.size(); ++m) {
+        ASSERT_EQ(serial->merges[m].slot_a, parallel->merges[m].slot_a);
+        ASSERT_EQ(serial->merges[m].slot_b, parallel->merges[m].slot_b);
+        ASSERT_EQ(serial->merges[m].similarity,
+                  parallel->merges[m].similarity);  // bitwise
+      }
+      ASSERT_EQ(serial->clusters, parallel->clusters);
+    }
+  }
+}
+
+TEST(FuzzTest, ParallelSimilarityIndexMatchesSerialOnRandomLexicons) {
+  // Random printable lexicons through the parallel neighborhood build:
+  // every row must match the serial build exactly.
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t seed = 9200 + trial;
+    Rng rng(seed);
+    std::vector<std::string> terms;
+    const std::size_t n = 30 + rng.NextBelow(120);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string t;
+      const std::size_t len = 3 + rng.NextBelow(12);
+      for (std::size_t k = 0; k < len; ++k) {
+        t.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+      }
+      terms.push_back(std::move(t));
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    const double threshold = 0.5 + 0.45 * rng.NextDouble();
+    const TermSimilarityKind kind = rng.NextBernoulli(0.5)
+                                        ? TermSimilarityKind::kLcs
+                                        : TermSimilarityKind::kStem;
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " kind=" + std::to_string(static_cast<int>(kind)) +
+                 " threshold=" + std::to_string(threshold));
+    const SimilarityIndex serial(terms, TermSimilarity(kind), threshold, 1);
+    for (std::size_t threads : {3, 8}) {
+      const SimilarityIndex parallel(terms, TermSimilarity(kind), threshold,
+                                     threads);
+      for (std::size_t i = 0; i < terms.size(); ++i) {
+        ASSERT_EQ(serial.Neighbors(i), parallel.Neighbors(i))
+            << "threads=" << threads << " term '" << terms[i] << "'";
+      }
+    }
   }
 }
 

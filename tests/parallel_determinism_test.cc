@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/hac.h"
+#include "cluster/linkage.h"
+#include "cluster/probabilistic_assignment.h"
+#include "schema/feature_vector.h"
+#include "schema/lexicon.h"
+#include "synth/ddh_generator.h"
+#include "text/similarity_index.h"
+#include "text/tokenizer.h"
+
+namespace paygo {
+namespace {
+
+// Differential harness: every parallel path must be BIT-identical to the
+// serial (num_threads = 1) path — same dendrogram (merge order, slots, and
+// similarity doubles compared with ==), same flat clusters, same
+// probabilistic domain scores — for every linkage and thread count.
+//
+// Set PAYGO_DETERMINISM_SMALL=1 to shrink the corpora (used by the TSan CI
+// job, where the instrumented LCS scans would otherwise dominate the run).
+
+const std::vector<std::size_t>& ThreadCounts() {
+  static const std::vector<std::size_t> kCounts = {2, 4, 8};
+  return kCounts;
+}
+
+bool SmallMode() {
+  const char* v = std::getenv("PAYGO_DETERMINISM_SMALL");
+  return v != nullptr && std::string(v) != "0";
+}
+
+std::vector<std::size_t> CorpusSizes() {
+  return SmallMode() ? std::vector<std::size_t>{60, 120}
+                     : std::vector<std::size_t>{100, 400};
+}
+
+SchemaCorpus Corpus(std::size_t num_schemas) {
+  DdhGeneratorOptions gen;
+  gen.num_schemas = num_schemas;
+  gen.seed = 17;
+  return MakeDdhCorpus(gen);
+}
+
+struct BuiltFeatures {
+  std::unique_ptr<Lexicon> lexicon;
+  std::vector<DynamicBitset> features;
+};
+
+BuiltFeatures Featurize(const SchemaCorpus& corpus, TermSimilarityKind kind,
+                        std::size_t num_threads) {
+  Tokenizer tok;
+  BuiltFeatures out;
+  out.lexicon = std::make_unique<Lexicon>(Lexicon::Build(corpus, tok));
+  FeatureVectorizerOptions opts;
+  opts.similarity_kind = kind;
+  opts.num_threads = num_threads;
+  FeatureVectorizer vec(*out.lexicon, opts);
+  out.features = vec.VectorizeCorpus();
+  return out;
+}
+
+void ExpectIdenticalMerges(const HacResult& serial, const HacResult& parallel,
+                           const std::string& label) {
+  ASSERT_EQ(serial.merges.size(), parallel.merges.size()) << label;
+  for (std::size_t m = 0; m < serial.merges.size(); ++m) {
+    EXPECT_EQ(serial.merges[m].slot_a, parallel.merges[m].slot_a)
+        << label << " merge " << m;
+    EXPECT_EQ(serial.merges[m].slot_b, parallel.merges[m].slot_b)
+        << label << " merge " << m;
+    // Bitwise double equality, not near-equality: the parallel path must
+    // perform the same FP operations in the same order.
+    EXPECT_EQ(serial.merges[m].similarity, parallel.merges[m].similarity)
+        << label << " merge " << m;
+  }
+  EXPECT_EQ(serial.clusters, parallel.clusters) << label;
+}
+
+// --- SimilarityIndex: parallel neighborhood build is bit-identical ---
+
+TEST(ParallelDeterminismTest, SimilarityIndexNeighborhoods) {
+  const SchemaCorpus corpus = Corpus(CorpusSizes().front());
+  Tokenizer tok;
+  const Lexicon lexicon = Lexicon::Build(corpus, tok);
+  for (TermSimilarityKind kind :
+       {TermSimilarityKind::kStem, TermSimilarityKind::kLcs}) {
+    const SimilarityIndex serial(lexicon.terms(), TermSimilarity(kind), 0.8,
+                                 /*num_threads=*/1);
+    for (std::size_t t : ThreadCounts()) {
+      const SimilarityIndex parallel(lexicon.terms(), TermSimilarity(kind),
+                                     0.8, t);
+      ASSERT_EQ(serial.terms().size(), parallel.terms().size());
+      for (std::size_t i = 0; i < serial.terms().size(); ++i) {
+        EXPECT_EQ(serial.Neighbors(i), parallel.Neighbors(i))
+            << "kind=" << static_cast<int>(kind) << " threads=" << t
+            << " term " << i << " ('" << serial.terms()[i] << "')";
+      }
+    }
+  }
+}
+
+// --- SimilarityMatrix: every cell written by exactly one row chunk ---
+
+TEST(ParallelDeterminismTest, SimilarityMatrixCells) {
+  for (std::size_t n : CorpusSizes()) {
+    const BuiltFeatures built =
+        Featurize(Corpus(n), TermSimilarityKind::kLcs, 1);
+    const SimilarityMatrix serial(built.features, 1);
+    for (std::size_t t : ThreadCounts()) {
+      const SimilarityMatrix parallel(built.features, t);
+      ASSERT_EQ(serial.size(), parallel.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        for (std::size_t j = 0; j < serial.size(); ++j) {
+          ASSERT_EQ(serial.At(i, j), parallel.At(i, j))
+              << "n=" << n << " threads=" << t << " cell (" << i << ", "
+              << j << ")";
+        }
+      }
+    }
+  }
+}
+
+// --- Feature vectors through the parallel index build ---
+
+TEST(ParallelDeterminismTest, FeatureVectors) {
+  const SchemaCorpus corpus = Corpus(CorpusSizes().front());
+  for (TermSimilarityKind kind :
+       {TermSimilarityKind::kStem, TermSimilarityKind::kLcs}) {
+    const BuiltFeatures serial = Featurize(corpus, kind, 1);
+    for (std::size_t t : ThreadCounts()) {
+      const BuiltFeatures parallel = Featurize(corpus, kind, t);
+      ASSERT_EQ(serial.features.size(), parallel.features.size());
+      for (std::size_t i = 0; i < serial.features.size(); ++i) {
+        EXPECT_TRUE(serial.features[i] == parallel.features[i])
+            << "kind=" << static_cast<int>(kind) << " threads=" << t
+            << " schema " << i;
+      }
+    }
+  }
+}
+
+// --- HAC: identical dendrogram for every linkage at every thread count ---
+
+struct HacParam {
+  std::size_t corpus_size;
+  LinkageKind linkage;
+};
+
+class ParallelHacTest : public ::testing::TestWithParam<HacParam> {};
+
+TEST_P(ParallelHacTest, DendrogramBitIdentical) {
+  HacParam p = GetParam();
+  if (SmallMode()) p.corpus_size = p.corpus_size > 100 ? 120 : 60;
+  const BuiltFeatures built =
+      Featurize(Corpus(p.corpus_size), TermSimilarityKind::kLcs, 1);
+  const SimilarityMatrix sims(built.features, 1);
+
+  HacOptions opts;
+  opts.linkage = p.linkage;
+  opts.tau_c_sim = 0.25;
+  const auto serial = Hac::Run(built.features, sims, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  AssignmentOptions assign;
+  const auto serial_model = AssignProbabilities(sims, *serial, assign);
+  ASSERT_TRUE(serial_model.ok()) << serial_model.status();
+
+  for (std::size_t t : ThreadCounts()) {
+    HacOptions popts = opts;
+    popts.num_threads = t;
+    const auto parallel = Hac::Run(built.features, sims, popts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    const std::string label = LinkageKindName(p.linkage) + " n=" +
+                              std::to_string(p.corpus_size) +
+                              " threads=" + std::to_string(t);
+    ExpectIdenticalMerges(*serial, *parallel, label);
+
+    // The probabilistic domain scores derived from the parallel clustering
+    // must also match bitwise.
+    const auto parallel_model = AssignProbabilities(sims, *parallel, assign);
+    ASSERT_TRUE(parallel_model.ok()) << parallel_model.status();
+    ASSERT_EQ(serial_model->num_schemas(), parallel_model->num_schemas());
+    for (std::uint32_t s = 0; s < serial_model->num_schemas(); ++s) {
+      EXPECT_EQ(serial_model->DomainsOf(s), parallel_model->DomainsOf(s))
+          << label << " schema " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLinkages, ParallelHacTest,
+    ::testing::Values(HacParam{100, LinkageKind::kAverage},
+                      HacParam{100, LinkageKind::kMin},
+                      HacParam{100, LinkageKind::kMax},
+                      HacParam{100, LinkageKind::kTotal},
+                      HacParam{400, LinkageKind::kAverage},
+                      HacParam{400, LinkageKind::kMin},
+                      HacParam{400, LinkageKind::kMax},
+                      HacParam{400, LinkageKind::kTotal}));
+
+// --- Convenience overload: parallel matrix + parallel HAC end to end ---
+
+TEST(ParallelDeterminismTest, ConvenienceOverloadEndToEnd) {
+  const BuiltFeatures built =
+      Featurize(Corpus(CorpusSizes().front()), TermSimilarityKind::kLcs, 1);
+  HacOptions serial_opts;
+  const auto serial = Hac::Run(built.features, serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (std::size_t t : ThreadCounts()) {
+    HacOptions popts;
+    popts.num_threads = t;
+    const auto parallel = Hac::Run(built.features, popts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectIdenticalMerges(*serial, *parallel,
+                          "convenience threads=" + std::to_string(t));
+  }
+}
+
+// --- Thread count 0 (hardware concurrency) is also deterministic ---
+
+TEST(ParallelDeterminismTest, HardwareConcurrencyMatchesSerial) {
+  const BuiltFeatures built =
+      Featurize(Corpus(CorpusSizes().front()), TermSimilarityKind::kLcs, 1);
+  const SimilarityMatrix sims(built.features, 1);
+  HacOptions serial_opts;
+  const auto serial = Hac::Run(built.features, sims, serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  HacOptions hw_opts;
+  hw_opts.num_threads = 0;  // resolve to hardware_concurrency
+  const auto hw = Hac::Run(built.features, sims, hw_opts);
+  ASSERT_TRUE(hw.ok()) << hw.status();
+  ExpectIdenticalMerges(*serial, *hw, "threads=hardware");
+}
+
+}  // namespace
+}  // namespace paygo

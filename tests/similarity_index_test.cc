@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.h"
 #include "util/random.h"
 
 namespace paygo {
@@ -127,6 +128,54 @@ TEST_P(SimilarityIndexPropertyTest, AgreesWithExhaustiveReference) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, SimilarityIndexPropertyTest,
                          ::testing::Values(0.3, 0.5, 0.7, 0.8, 0.9));
+
+TEST(SimilarityIndexTest, BuildStatsAggregateOncePerBuild) {
+  // Build instrumentation is accumulated per scan chunk and flushed to the
+  // registry exactly once per build: a parallel build must report the SAME
+  // counter deltas as the serial build of the same lexicon (no tearing, no
+  // per-call-site double counting).
+  std::vector<std::string> terms;
+  Rng rng(4321);
+  for (int i = 0; i < 120; ++i) {
+    std::string t;
+    const std::size_t len = 4 + rng.NextBelow(8);
+    for (std::size_t k = 0; k < len; ++k) {
+      t.push_back(static_cast<char>('a' + rng.NextBelow(12)));
+    }
+    terms.push_back(std::move(t));
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  StatsRegistry& reg = StatsRegistry::Global();
+  Counter* builds = reg.GetCounter("paygo.simindex.builds");
+  Counter* evaluated = reg.GetCounter("paygo.simindex.pairs_evaluated");
+  Counter* pruned = reg.GetCounter("paygo.simindex.pairs_pruned");
+
+  const std::uint64_t builds0 = builds->value();
+  const std::uint64_t evaluated0 = evaluated->value();
+  const std::uint64_t pruned0 = pruned->value();
+  SimilarityIndex serial(terms, TermSimilarity(TermSimilarityKind::kLcs), 0.8,
+                         /*num_threads=*/1);
+  const std::uint64_t serial_builds = builds->value() - builds0;
+  const std::uint64_t serial_evaluated = evaluated->value() - evaluated0;
+  const std::uint64_t serial_pruned = pruned->value() - pruned0;
+  EXPECT_EQ(serial_builds, 1u);
+  EXPECT_GT(serial_evaluated + serial_pruned, 0u);
+
+  const std::uint64_t builds1 = builds->value();
+  const std::uint64_t evaluated1 = evaluated->value();
+  const std::uint64_t pruned1 = pruned->value();
+  SimilarityIndex parallel(terms, TermSimilarity(TermSimilarityKind::kLcs),
+                           0.8, /*num_threads=*/4);
+  EXPECT_EQ(builds->value() - builds1, 1u);
+  EXPECT_EQ(evaluated->value() - evaluated1, serial_evaluated);
+  EXPECT_EQ(pruned->value() - pruned1, serial_pruned);
+
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    ASSERT_EQ(serial.Neighbors(i), parallel.Neighbors(i)) << "term " << i;
+  }
+}
 
 }  // namespace
 }  // namespace paygo

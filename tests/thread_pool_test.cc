@@ -1,0 +1,215 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace paygo {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);  // hardware concurrency
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPoolTest, WidthOneSpawnsNoThreadsAndRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(0, 100, 1, [&](const ThreadPool::Chunk& c) {
+    if (c.begin == 0) ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+  auto f = pool.Submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(f.get(), caller);
+}
+
+TEST(ThreadPoolTest, NumChunksPartition) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumChunks(0, 16), 0u);   // empty range
+  EXPECT_EQ(pool.NumChunks(1, 16), 1u);   // range smaller than grain
+  EXPECT_EQ(pool.NumChunks(16, 16), 1u);  // exactly one grain
+  EXPECT_EQ(pool.NumChunks(17, 16), 2u);  // ceil division
+  // Large ranges cap at width * kChunksPerThread.
+  EXPECT_EQ(pool.NumChunks(1u << 20, 1), 4 * ThreadPool::kChunksPerThread);
+  // The cap depends on the width, so the partition is a function of
+  // (size, grain, width) only — never of timing.
+  ThreadPool pool2(2);
+  EXPECT_EQ(pool2.NumChunks(1u << 20, 1), 2 * ThreadPool::kChunksPerThread);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  bool invoked = false;
+  pool.ParallelFor(10, 10, 1, [&](const ThreadPool::Chunk&) {
+    invoked = true;
+  });
+  pool.ParallelFor(10, 5, 1, [&](const ThreadPool::Chunk&) {
+    invoked = true;  // begin > end is treated as empty, not as wraparound
+  });
+  EXPECT_FALSE(invoked);
+}
+
+// Chunks must form an ordered contiguous partition of [begin, end): every
+// index covered exactly once, chunk k ends where chunk k+1 begins.
+void CheckPartition(std::size_t width, std::size_t begin, std::size_t end,
+                    std::size_t grain) {
+  ThreadPool pool(width);
+  const std::size_t chunks = pool.NumChunks(end - begin, grain);
+  std::vector<std::pair<std::size_t, std::size_t>> bounds(chunks);
+  std::vector<std::atomic<std::uint32_t>> touched(end - begin);
+  for (auto& t : touched) t.store(0);
+  pool.ParallelFor(begin, end, grain, [&](const ThreadPool::Chunk& c) {
+    ASSERT_LT(c.index, chunks);
+    bounds[c.index] = {c.begin, c.end};
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      touched[i - begin].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1u) << "index " << begin + i;
+  }
+  std::size_t expect_begin = begin;
+  for (std::size_t k = 0; k < chunks; ++k) {
+    EXPECT_EQ(bounds[k].first, expect_begin) << "chunk " << k;
+    EXPECT_GT(bounds[k].second, bounds[k].first) << "chunk " << k;
+    expect_begin = bounds[k].second;
+  }
+  EXPECT_EQ(expect_begin, end);
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRange) {
+  CheckPartition(/*width=*/4, 0, 1000, /*grain=*/1);
+  CheckPartition(/*width=*/4, 0, 1000, /*grain=*/64);
+  CheckPartition(/*width=*/3, 5, 12, /*grain=*/1);    // range < chunk cap
+  CheckPartition(/*width=*/8, 0, 3, /*grain=*/1);     // range < width
+  CheckPartition(/*width=*/2, 100, 101, /*grain=*/7); // single element
+  CheckPartition(/*width=*/1, 0, 257, /*grain=*/16);  // serial pool
+}
+
+TEST(ThreadPoolTest, SingleChunkRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  // Range <= grain collapses to one chunk, which must run on the calling
+  // thread (the exact serial path, no pool interaction).
+  std::thread::id ran_on;
+  pool.ParallelFor(0, 8, 16, [&](const ThreadPool::Chunk& c) {
+    EXPECT_EQ(c.index, 0u);
+    EXPECT_EQ(c.begin, 0u);
+    EXPECT_EQ(c.end, 8u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  const std::size_t n = 100000;
+  std::vector<std::uint64_t> values(n);
+  std::iota(values.begin(), values.end(), 1);
+  const std::uint64_t expect =
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+
+  ThreadPool pool(4);
+  const std::size_t chunks = pool.NumChunks(n, 128);
+  std::vector<std::uint64_t> partial(chunks, 0);
+  pool.ParallelFor(0, n, 128, [&](const ThreadPool::Chunk& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      partial[c.index] += values[i];
+    }
+  });
+  // Exact integer cross-chunk reduction, combined in chunk order.
+  std::uint64_t total = 0;
+  for (std::uint64_t p : partial) total += p;
+  EXPECT_EQ(total, expect);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesLowestChunkFirst) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(0, 1000, 1, [&](const ThreadPool::Chunk& c) {
+      // Several chunks throw; the caller must see the lowest-index one,
+      // independent of scheduling.
+      if (c.index % 2 == 1) {
+        throw std::runtime_error("chunk " + std::to_string(c.index));
+      }
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
+  // All non-throwing chunks still ran (errors don't cancel siblings).
+  EXPECT_EQ(completed.load(),
+            static_cast<int>(pool.NumChunks(1000, 1) / 2));
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossSubmissions) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.ParallelFor(0, 64, 4, [&](const ThreadPool::Chunk& c) {
+      std::uint64_t local = 0;
+      for (std::size_t i = c.begin; i < c.end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  }
+  auto f1 = pool.Submit([] { return 41; });
+  auto f2 = pool.Submit([] { return 1; });
+  EXPECT_EQ(f1.get() + f2.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::logic_error("boom"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// Stress: many concurrent ParallelFors from multiple caller threads over
+// one shared pool. Primarily a TSan target (the ci.sh sanitizer job runs
+// this suite under PAYGO_SANITIZE=thread); the assertions also catch
+// lost/duplicated chunks under contention.
+TEST(ThreadPoolTest, StressConcurrentCallers) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  constexpr std::size_t kN = 512;
+  std::vector<std::thread> callers;
+  std::atomic<bool> failed{false};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &failed] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.ParallelFor(0, kN, 8, [&](const ThreadPool::Chunk& ch) {
+          std::uint64_t local = 0;
+          for (std::size_t i = ch.begin; i < ch.end; ++i) local += i + 1;
+          sum.fetch_add(local);
+        });
+        if (sum.load() != kN * (kN + 1) / 2) failed.store(true);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace paygo

@@ -23,10 +23,24 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1: ctest"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "==> smoke: paygo_cli cluster --threads (serial vs parallel)"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./build/tools/paygo_cli generate ddh "$SMOKE_DIR/corpus.txt" >/dev/null
+./build/tools/paygo_cli cluster "$SMOKE_DIR/corpus.txt" --threads 1 > "$SMOKE_DIR/serial.txt"
+./build/tools/paygo_cli cluster "$SMOKE_DIR/corpus.txt" --threads 4 > "$SMOKE_DIR/parallel.txt"
+if ! diff -q "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/parallel.txt" >/dev/null; then
+  echo "FAIL: --threads 4 clustering differs from --threads 1" >&2
+  diff "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/parallel.txt" | head -20 >&2
+  exit 1
+fi
+echo "    serial and 4-thread cluster output identical"
+
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "==> tsan: configure + build serve + trace tests (PAYGO_SANITIZE=thread)"
+  echo "==> tsan: configure + build serve + trace + parallel tests (PAYGO_SANITIZE=thread)"
   cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
-  cmake --build build-tsan --target serve_test serve_concurrency_test trace_test -j "$JOBS"
+  cmake --build build-tsan --target serve_test serve_concurrency_test trace_test \
+    thread_pool_test parallel_determinism_test -j "$JOBS"
 
   echo "==> tsan: trace_test"
   ./build-tsan/tests/trace_test
@@ -34,6 +48,12 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/serve_test
   echo "==> tsan: serve_concurrency_test (tracing enabled)"
   ./build-tsan/tests/serve_concurrency_test
+  echo "==> tsan: thread_pool_test + parallel_determinism_test (ctest -j)"
+  # Instrumented LCS scans are slow; the determinism harness honors
+  # PAYGO_DETERMINISM_SMALL and shrinks its corpora under TSan.
+  (cd build-tsan && PAYGO_DETERMINISM_SMALL=1 \
+    ctest --output-on-failure -j "$JOBS" \
+      -R '^(thread_pool_test|parallel_determinism_test)$')
 fi
 
 echo "==> ci: all green"

@@ -68,6 +68,9 @@ options (cluster/classify/snapshot):
   --tau <v>       clustering threshold tau_c_sim (default 0.25)
   --theta <v>     uncertainty threshold theta (default 0.02)
   --linkage <k>   avg | min | max | total (default avg)
+  --threads <n>   worker threads for clustering + index builds
+                  (0 = hardware concurrency, default 1 = serial;
+                  results are bit-identical at any setting)
   --eval          also score clustering against corpus labels
 
 options (serve-bench):
@@ -135,6 +138,12 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
         std::cerr << "unknown linkage '" << k << "'\n";
         return false;
       }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      const std::size_t n = static_cast<std::size_t>(std::atoi(v));
+      out->system.hac.num_threads = n;
+      out->system.features.num_threads = n;
     } else if (arg == "--eval") {
       out->eval = true;
     } else if (arg == "--newick") {
