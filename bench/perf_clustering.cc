@@ -230,12 +230,22 @@ BENCHMARK(BM_AssignProbabilities)->Arg(100)->Arg(500)->Arg(2323);
 //
 //   bench/perf_clustering --threads=16 \
 //       --benchmark_filter='Threads'
+//
+// `--json-out=FILE` (default BENCH_clustering.json; empty disables)
+// forwards to google-benchmark's JSON file reporter, giving CI a
+// machine-readable record without memorizing the two underlying flags.
 int main(int argc, char** argv) {
   std::vector<std::size_t> sweep = {1, 2, 4, 8};
+  std::string json_out = "BENCH_clustering.json";
+  bool user_set_benchmark_out = false;
+  // Stable storage for flags we synthesize: google-benchmark keeps the
+  // char* pointers it is given.
+  std::vector<std::string> storage;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string prefix = "--threads=";
+    const std::string json_prefix = "--json-out=";
     if (arg.rfind(prefix, 0) == 0) {
       const std::size_t extra = static_cast<std::size_t>(
           std::strtoul(arg.c_str() + prefix.size(), nullptr, 10));
@@ -244,7 +254,17 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (arg.rfind(json_prefix, 0) == 0) {
+      json_out = arg.substr(json_prefix.size());
+      continue;
+    }
+    if (arg.rfind("--benchmark_out", 0) == 0) user_set_benchmark_out = true;
     args.push_back(argv[i]);
+  }
+  if (!json_out.empty() && !user_set_benchmark_out) {
+    storage.push_back("--benchmark_out=" + json_out);
+    storage.push_back("--benchmark_out_format=json");
+    for (std::string& s : storage) args.push_back(s.data());
   }
   for (auto* bench :
        {benchmark::RegisterBenchmark("BM_SimilarityMatrixThreads",

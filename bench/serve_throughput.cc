@@ -13,14 +13,21 @@
 ///      concurrently, exercising snapshot swaps under load.
 ///
 /// Output is a single JSON object (schema documented in bench/README.md);
-/// pass --human for a readable summary instead.
+/// pass --human for a readable summary instead. Unless --json-out is
+/// empty, the same object — enriched with the bench name, a timestamp,
+/// and the configuration — is also written to a machine-readable file
+/// (default BENCH_serve.json) for CI trend tracking.
 ///
 /// Flags: --corpus <dw|ss|both|many> --threads N --seconds S --workers N
-///        --queue-depth N --cache-capacity N --delay-us N --human
+///        --queue-depth N --cache-capacity N --delay-us N
+///        --json-out FILE --human
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/integration_system.h"
@@ -41,6 +48,7 @@ struct BenchOptions {
   std::size_t queue_depth = 256;
   std::size_t cache_capacity = 1024;
   std::uint64_t delay_us = 0;
+  std::string json_out = "BENCH_serve.json";  // "" disables the file
   bool human = false;
 };
 
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
       opts.cache_capacity = static_cast<std::size_t>(std::atoi(argv[i]));
     } else if (arg == "--delay-us" && next()) {
       opts.delay_us = static_cast<std::uint64_t>(std::atoll(argv[i]));
+    } else if (arg == "--json-out" && next()) {
+      opts.json_out = argv[i];
     } else if (arg == "--human") {
       opts.human = true;
     } else {
@@ -147,6 +157,37 @@ int main(int argc, char** argv) {
   const std::uint64_t generation = server.generation();
   server.Stop();
 
+  std::ostringstream results;
+  results << "{\"steady\": " << steady.ToJson()
+          << ", \"mixed_with_writer\": " << mixed.ToJson()
+          << ", \"saturation_probe\": {\"burst\": 64, \"rejected\": "
+          << probe_rejected << "}, \"final_generation\": " << generation
+          << "}";
+
+  if (!opts.json_out.empty()) {
+    // Machine-readable record for CI trend tracking (schema in
+    // bench/README.md): results wrapped with provenance + configuration.
+    const auto ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::ofstream out(opts.json_out, std::ios::trunc);
+    out << "{\"bench\": \"serve_throughput\", \"ts_ms\": " << ts_ms
+        << ", \"config\": {\"corpus\": \"" << opts.corpus
+        << "\", \"threads\": " << opts.threads
+        << ", \"seconds\": " << opts.seconds
+        << ", \"workers\": " << opts.workers
+        << ", \"queue_depth\": " << opts.queue_depth
+        << ", \"cache_capacity\": " << opts.cache_capacity
+        << ", \"delay_us\": " << opts.delay_us
+        << "}, \"results\": " << results.str() << "}\n";
+    if (!out) {
+      std::cerr << "failed writing " << opts.json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << opts.json_out << "\n";
+  }
+
   if (opts.human) {
     std::cout << "steady:    " << steady.qps << " qps, p50 "
               << steady.p50_us << "us p95 " << steady.p95_us << "us p99 "
@@ -158,10 +199,6 @@ int main(int argc, char** argv) {
               << "/64 requests rejected by admission control\n";
     return 0;
   }
-  std::cout << "{\"steady\": " << steady.ToJson()
-            << ", \"mixed_with_writer\": " << mixed.ToJson()
-            << ", \"saturation_probe\": {\"burst\": 64, \"rejected\": "
-            << probe_rejected << "}, \"final_generation\": " << generation
-            << "}\n";
+  std::cout << results.str() << "\n";
   return 0;
 }

@@ -8,7 +8,9 @@
 ///      publishes a new snapshot, readers never block;
 ///   3. shows that a snapshot pinned before the swap is still fully
 ///      servable afterwards (shared ownership, no torn state);
-///   4. prints the server metrics (latency histograms, cache hit rate,
+///   4. spins up the embedded admin HTTP endpoint on an ephemeral loopback
+///      port and scrapes its own /statusz and /readyz pages;
+///   5. prints the server metrics (latency histograms, cache hit rate,
 ///      admission rejections, snapshot generation).
 ///
 /// Run: ./build/examples/serving_demo
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "core/integration_system.h"
+#include "obs/admin_server.h"
 #include "serve/paygo_server.h"
 
 int main() {
@@ -50,6 +53,7 @@ int main() {
   options.num_workers = 2;
   options.queue_depth = 64;
   options.cache_capacity = 256;
+  options.admin_port = 0;  // embedded admin endpoint on an ephemeral port
   PaygoServer server(std::move(*built), options);
   if (Status s = server.Start(); !s.ok()) {
     std::cerr << "start failed: " << s << "\n";
@@ -98,7 +102,22 @@ int main() {
               << " tuple hits\n\n";
   }
 
-  std::cout << server.DebugString() << "\n";
+  // 6. The admin endpoint is live the whole time — any HTTP client can
+  //    scrape it (curl http://127.0.0.1:PORT/metrics). Here we scrape our
+  //    own /readyz and /statusz with the built-in loopback client.
+  std::cout << "admin endpoint on 127.0.0.1:" << server.admin()->port()
+            << " (/metrics /varz /healthz /readyz /statusz /slowz /tracez)\n";
+  for (const char* page : {"/readyz", "/statusz"}) {
+    auto scraped = AdminHttpGet(server.admin()->port(), page);
+    if (scraped.ok()) {
+      const std::size_t body = scraped->find("\r\n\r\n");
+      std::cout << "GET " << page << " -> "
+                << scraped->substr(0, scraped->find("\r\n")) << "\n  "
+                << (body == std::string::npos ? ""
+                                              : scraped->substr(body + 4));
+    }
+  }
+  std::cout << "\n" << server.DebugString() << "\n";
   server.Stop();
   return 0;
 }

@@ -1,0 +1,409 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace paygo {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+void SetSocketTimeouts(int fd, std::uint64_t timeout_ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Sends the whole buffer, tolerating short writes. MSG_NOSIGNAL keeps a
+/// client that hung up from killing the process with SIGPIPE.
+void SendAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) return;  // timeout or peer gone; nothing left to salvage
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const HttpResponse& response) {
+  std::ostringstream head;
+  head << "HTTP/1.1 " << response.status << " "
+       << ReasonPhrase(response.status) << "\r\n"
+       << "Content-Type: " << response.content_type << "\r\n"
+       << "Content-Length: " << response.body.size() << "\r\n"
+       << "Connection: close\r\n";
+  if (response.status == 405) head << "Allow: GET\r\n";
+  head << "\r\n";
+  const std::string header = head.str();
+  SendAll(fd, header.data(), header.size());
+  SendAll(fd, response.body.data(), response.body.size());
+}
+
+HttpResponse PlainResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+/// Case-insensitive ASCII compare of \p text against lowercase \p lower.
+bool EqualsIgnoreCase(const std::string& text, const char* lower) {
+  std::size_t i = 0;
+  for (; text[i] != '\0' && lower[i] != '\0'; ++i) {
+    char c = text[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != lower[i]) return false;
+  }
+  return i == text.size() && lower[i] == '\0';
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+struct AdminCounters {
+  Counter* requests;
+  Counter* errors;  // 4xx/5xx responses, including malformed requests
+  Counter* sheds;   // connections 503'd because the handler pool was full
+  LatencyHistogram* latency;
+
+  static AdminCounters& Get() {
+    static AdminCounters counters = [] {
+      StatsRegistry& reg = StatsRegistry::Global();
+      return AdminCounters{reg.GetCounter("paygo.admin.requests"),
+                           reg.GetCounter("paygo.admin.errors"),
+                           reg.GetCounter("paygo.admin.sheds"),
+                           reg.GetHistogram("paygo.admin.request_us")};
+    }();
+    return counters;
+  }
+};
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.handler_threads == 0) options_.handler_threads = 1;
+  connections_ = std::make_unique<BoundedQueue<int>>(
+      options_.pending_connections);
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(std::string path, Handler handler) {
+  // The route map is read lock-free by handler threads; mutating it while
+  // serving would race. Registration is a setup-time operation.
+  if (running()) return;
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status AdminServer::Start() {
+  if (running()) return Status::OK();
+  if (stopping_.load(std::memory_order_acquire) || connections_->closed()) {
+    return Status::FailedPrecondition(
+        "admin server was stopped; construct a new one");
+  }
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument("admin port out of range");
+  }
+  if (handlers_.find("/") == handlers_.end()) {
+    // Default index: one registered path per line.
+    std::string index;
+    for (const auto& [path, handler] : handlers_) {
+      index += path + "\n";
+    }
+    handlers_["/"] = [index](const HttpRequest&) {
+      return PlainResponse(200, index);
+    };
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad admin bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + err);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  pool_.reserve(options_.handler_threads);
+  for (std::size_t i = 0; i < options_.handler_threads; ++i) {
+    pool_.emplace_back([this] { HandlerLoop(); });
+  }
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!acceptor_.joinable() && pool_.empty()) return;
+  stopping_.store(true, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  connections_->Close();
+  for (std::thread& t : pool_) {
+    if (t.joinable()) t.join();
+  }
+  pool_.clear();
+  for (int fd : connections_->DrainNow()) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    // The 100ms poll bound is the Stop() latency; accept itself never
+    // blocks past it.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetSocketTimeouts(fd, options_.io_timeout_ms);
+    int local = fd;
+    if (!connections_->TryPush(std::move(local))) {
+      // Handler pool saturated: shed instead of queueing unbounded work.
+      AdminCounters::Get().sheds->Increment();
+      SendResponse(fd, PlainResponse(503, "admin handler pool saturated\n"));
+      ::close(fd);
+    }
+  }
+}
+
+void AdminServer::HandlerLoop() {
+  while (true) {
+    std::optional<int> fd = connections_->Pop();
+    if (!fd.has_value()) return;  // closed and drained
+    ServeConnection(*fd);
+    ::close(*fd);
+  }
+}
+
+HttpResponse AdminServer::Dispatch(const HttpRequest& request) const {
+  const auto it = handlers_.find(request.path);
+  if (it == handlers_.end()) {
+    return PlainResponse(404, "no handler for " + request.path + "\n");
+  }
+  try {
+    return it->second(request);
+  } catch (const std::exception& e) {
+    return PlainResponse(500, std::string("handler threw: ") + e.what() +
+                                  "\n");
+  } catch (...) {
+    return PlainResponse(500, "handler threw\n");
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  WallTimer timer;
+  AdminCounters& counters = AdminCounters::Get();
+  counters.requests->Increment();
+
+  // Read until the header terminator. GET requests have no body we care
+  // about, so the headers are the whole request.
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (buffer.size() >= options_.max_request_bytes) {
+      counters.errors->Increment();
+      SendResponse(fd, PlainResponse(413, "request exceeds " +
+                                              std::to_string(
+                                                  options_.max_request_bytes) +
+                                              " bytes\n"));
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      // Peer closed or timed out mid-request. Nothing well-formed arrived;
+      // answer 400 if we got anything at all, otherwise just drop.
+      if (!buffer.empty()) {
+        counters.errors->Increment();
+        SendResponse(fd, PlainResponse(400, "incomplete request\n"));
+      }
+      return;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = buffer.find("\r\n");
+  const std::string line = buffer.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    counters.errors->Increment();
+    SendResponse(fd, PlainResponse(400, "malformed request line\n"));
+    return;
+  }
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = request.target.find('?');
+  request.path = request.target.substr(0, qmark);
+  if (qmark != std::string::npos) request.query = request.target.substr(qmark + 1);
+  if (request.target.empty() || request.target[0] != '/') {
+    counters.errors->Increment();
+    SendResponse(fd, PlainResponse(400, "request target must be a path\n"));
+    return;
+  }
+  if (request.method != "GET") {
+    counters.errors->Increment();
+    SendResponse(fd, PlainResponse(405, "only GET is supported\n"));
+    return;
+  }
+
+  // Headers: only Host matters to us (it anchors the parse, and tests
+  // assert we accept standard clients); everything else is skipped.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buffer.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string header = buffer.substr(pos, eol - pos);
+    const std::size_t colon = header.find(':');
+    if (colon != std::string::npos &&
+        EqualsIgnoreCase(header.substr(0, colon), "host")) {
+      request.host = Trim(header.substr(colon + 1));
+    }
+    pos = eol + 2;
+  }
+
+  const HttpResponse response = Dispatch(request);
+  if (response.status >= 400) counters.errors->Increment();
+  SendResponse(fd, response);
+  counters.latency->Record(timer.ElapsedMicros());
+}
+
+// ------------------------------------------------ obs-level endpoints
+
+void RegisterObsEndpoints(AdminServer& admin) {
+  admin.Handle("/healthz", [](const HttpRequest&) {
+    return PlainResponse(200, "ok\n");
+  });
+  admin.Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = StatsRegistry::Global().ToPrometheus();
+    return response;
+  });
+  admin.Handle("/varz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StatsRegistry::Global().ToJson() + "\n";
+    return response;
+  });
+  admin.Handle("/tracez", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = Tracer::ExportChromeTrace();
+    return response;
+  });
+}
+
+// ------------------------------------------------- loopback test client
+
+Result<std::string> AdminHttpGet(std::uint16_t port, const std::string& target,
+                                 std::uint64_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  SetSocketTimeouts(fd, timeout_ms);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  SendAll(fd, request.data(), request.size());
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.empty()) {
+    return Status::IoError("empty response from 127.0.0.1:" +
+                           std::to_string(port) + target);
+  }
+  return response;
+}
+
+}  // namespace paygo

@@ -1,0 +1,149 @@
+#ifndef PAYGO_OBS_ADMIN_SERVER_H_
+#define PAYGO_OBS_ADMIN_SERVER_H_
+
+/// \file admin_server.h
+/// \brief Embedded, dependency-free admin HTTP/1.1 endpoint.
+///
+/// The library's in-process telemetry (StatsRegistry, trace rings, the
+/// serving runtime's metrics and slow-query log) is useless to an operator
+/// if it can only be read with a debugger attached. AdminServer exposes it
+/// over plain HTTP using nothing but POSIX sockets: one accept thread
+/// multiplexing on `poll`, a bounded handler pool draining accepted
+/// connections, request-line + Host parsing only (no chunked bodies, no
+/// keep-alive — every response closes the connection), and a hard request
+/// cap of `max_request_bytes` (default 1 MiB) so a misbehaving client
+/// cannot balloon memory.
+///
+/// Design constraints, in order:
+///  * **Never perturb the serving path.** Handlers run on the admin pool,
+///    not the request workers; everything they read is lock-free metric
+///    sampling or short registry locks. When the handler pool is saturated
+///    the acceptor sheds the connection with an immediate 503 instead of
+///    queueing unbounded work — the same admission-control philosophy as
+///    the serving queue.
+///  * **Dependency-free.** This is monitoring plumbing; pulling in an HTTP
+///    library for GET-only plaintext endpoints would invert the cost.
+///  * **Graceful Start/Stop.** Stop closes the listener, drains the
+///    handler queue (unserved connections are closed), and joins every
+///    thread. Safe to call twice; called by the destructor.
+///
+/// Routing is an exact-path map registered before Start(). The obs-level
+/// endpoints (`/metrics`, `/varz`, `/healthz`, `/tracez`) are attached by
+/// `RegisterObsEndpoints`; the serving runtime layers `/readyz`,
+/// `/statusz`, `/slowz` on top (see serve/admin_endpoints.h). `GET /`
+/// serves an index of registered paths.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief The slice of an HTTP request a handler sees. Deliberately
+/// minimal: method, split request target, and the Host header.
+struct HttpRequest {
+  std::string method;  ///< "GET" (anything else is rejected with 405).
+  std::string target;  ///< Raw request target, e.g. "/metrics?name=hac".
+  std::string path;    ///< Target up to the first '?'.
+  std::string query;   ///< Target after the first '?' ("" when absent).
+  std::string host;    ///< Host header value ("" when absent).
+};
+
+/// \brief What a handler returns; serialized as HTTP/1.1 with
+/// Content-Length and Connection: close.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// \brief Tuning knobs. The defaults bind a loopback-only ephemeral port.
+struct AdminServerOptions {
+  /// TCP port to bind; 0 asks the kernel for an ephemeral port (read it
+  /// back via port() after Start()).
+  int port = 0;
+  /// Bind address. Loopback by default: exposing metrics beyond the host
+  /// is a deployment decision, not a library default.
+  std::string bind_address = "127.0.0.1";
+  /// Fixed handler pool width.
+  std::size_t handler_threads = 2;
+  /// Accepted connections waiting for a handler beyond this are shed with
+  /// an immediate 503.
+  std::size_t pending_connections = 16;
+  /// Requests larger than this (request line + headers) are answered 413.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Per-connection socket read/write timeout.
+  std::uint64_t io_timeout_ms = 5000;
+};
+
+/// \brief The embedded HTTP endpoint. Construct, Handle(...), Start().
+class AdminServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit AdminServer(AdminServerOptions options = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers (or replaces) the handler for an exact path. Must be called
+  /// before Start() — the route map is immutable while serving.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the accept thread + handler pool.
+  /// Idempotent while running. Fails with IoError when the port cannot be
+  /// bound.
+  Status Start();
+
+  /// Stops accepting, closes queued connections, joins all threads.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0 to the kernel-chosen one). Valid
+  /// after a successful Start().
+  std::uint16_t port() const { return bound_port_; }
+  const AdminServerOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  AdminServerOptions options_;
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::unique_ptr<BoundedQueue<int>> connections_;
+  std::thread acceptor_;
+  std::vector<std::thread> pool_;
+};
+
+/// Registers the library-level observability endpoints on \p admin:
+///   /metrics  Prometheus exposition of the global StatsRegistry
+///   /varz     the same registry as one JSON object
+///   /healthz  liveness: always 200 "ok" while the process serves HTTP
+///   /tracez   drains the trace rings as Chrome trace-event JSON
+void RegisterObsEndpoints(AdminServer& admin);
+
+/// Minimal loopback HTTP GET for tests, smoke checks, and demos: connects
+/// to 127.0.0.1:\p port, sends `GET target HTTP/1.1`, and returns the raw
+/// response (status line, headers, body). Not a general HTTP client.
+Result<std::string> AdminHttpGet(std::uint16_t port, const std::string& target,
+                                 std::uint64_t timeout_ms = 2000);
+
+}  // namespace paygo
+
+#endif  // PAYGO_OBS_ADMIN_SERVER_H_

@@ -1,0 +1,94 @@
+#ifndef PAYGO_OBS_EXPORTER_H_
+#define PAYGO_OBS_EXPORTER_H_
+
+/// \file exporter.h
+/// \brief Periodic metrics-to-JSONL exporter.
+///
+/// The admin endpoint (`admin_server.h`) covers pull-based monitoring; the
+/// MetricsSnapshotter covers the push side for environments with no scraper
+/// — benchmarks, soak tests, air-gapped runs. A background thread wakes on
+/// a fixed interval, snapshots the StatsRegistry, diffs the monotone
+/// counters against the previous snapshot, and appends one self-contained
+/// JSON object per line to a file. Each line carries both the absolute
+/// value and the per-interval delta, so a consumer can compute rates
+/// without retaining history, and truncated tails (a killed process) cost
+/// at most one interval of data.
+///
+/// Record shape (one line per wake, plus a final record on Stop):
+/// \code{.json}
+///   {"ts_ms": 1722873600000, "seq": 3,
+///    "counters": {"paygo.serve.cache_hits": {"value": 41, "delta": 12}},
+///    "gauges": {"paygo.serve.queue_depth": 2},
+///    "histograms": {"paygo.serve.latency_us": {"count": 7,
+///      "delta_count": 3, "sum_us": 910, "mean_us": 130.0,
+///      "p50_us": 128, "p95_us": 256, "p99_us": 256}}}
+/// \endcode
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/stats.h"
+#include "util/status.h"
+
+namespace paygo {
+
+struct MetricsSnapshotterOptions {
+  /// File to append JSONL records to. Created if absent.
+  std::string path;
+  /// Wake interval. Stop() always writes one final record, so short-lived
+  /// processes get at least one line even with a long interval.
+  std::uint64_t interval_ms = 1000;
+};
+
+/// \brief Background thread appending periodic registry snapshots to a
+/// JSONL file. Construct, Start(), Stop() (also run by the destructor).
+class MetricsSnapshotter {
+ public:
+  MetricsSnapshotter(StatsRegistry& registry, MetricsSnapshotterOptions options);
+  ~MetricsSnapshotter();
+
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  /// Opens the output file (append mode) and spawns the export thread.
+  /// IoError when the file cannot be opened.
+  Status Start();
+
+  /// Writes one final record, flushes, and joins the thread. Idempotent;
+  /// called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Records appended so far (including the final one written by Stop()).
+  std::uint64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
+  const MetricsSnapshotterOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  void WriteRecord();
+
+  StatsRegistry& registry_;
+  MetricsSnapshotterOptions options_;
+
+  std::mutex mu_;                 // guards stop_requested_ for the cv
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> records_written_{0};
+  std::ofstream out_;
+  StatsSnapshot previous_;
+  std::uint64_t seq_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_OBS_EXPORTER_H_

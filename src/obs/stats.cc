@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
 #include <sstream>
 
 namespace paygo {
@@ -18,7 +19,47 @@ std::size_t BucketIndexFor(std::uint64_t micros) {
                                LatencyHistogram::kNumBuckets - 1);
 }
 
-std::string PrometheusName(const std::string& name) {
+[[noreturn]] void DieKindMismatch(const std::string& name) {
+  std::fprintf(stderr,
+               "StatsRegistry: metric '%s' already registered as a "
+               "different kind\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+// ------------------------------------------------- shared dump helpers
+
+HistogramSummary SummarizeHistogram(const LatencyHistogram& h) {
+  HistogramSummary s;
+  s.count = h.Count();
+  s.sum_us = h.SumMicros();
+  s.mean_us = h.MeanMicros();
+  s.p50_us = h.PercentileMicros(0.50);
+  s.p95_us = h.PercentileMicros(0.95);
+  s.p99_us = h.PercentileMicros(0.99);
+  return s;
+}
+
+std::string HistogramSummaryJson(const LatencyHistogram& h) {
+  const HistogramSummary s = SummarizeHistogram(h);
+  std::ostringstream os;
+  os << "{\"count\": " << s.count << ", \"sum_us\": " << s.sum_us
+     << ", \"mean_us\": " << s.mean_us << ", \"p50_us\": " << s.p50_us
+     << ", \"p95_us\": " << s.p95_us << ", \"p99_us\": " << s.p99_us << "}";
+  return os.str();
+}
+
+std::string HistogramSummaryText(const LatencyHistogram& h) {
+  const HistogramSummary s = SummarizeHistogram(h);
+  std::ostringstream os;
+  os << "count=" << s.count << " mean=" << s.mean_us << "us p50=" << s.p50_us
+     << "us p95=" << s.p95_us << "us p99=" << s.p99_us << "us";
+  return os.str();
+}
+
+std::string PrometheusMetricName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -29,23 +70,18 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
-[[noreturn]] void DieKindMismatch(const std::string& name) {
-  std::fprintf(stderr,
-               "StatsRegistry: metric '%s' already registered as a "
-               "different kind\n",
-               name.c_str());
-  std::abort();
+void AppendPrometheusHistogram(std::ostream& os, const std::string& pname,
+                               const LatencyHistogram& h) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    cumulative += h.BucketCount(i);
+    os << pname << "_bucket{le=\"" << LatencyHistogram::BucketUpperMicros(i)
+       << "\"} " << cumulative << "\n";
+  }
+  os << pname << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+     << pname << "_sum " << h.SumMicros() << "\n"
+     << pname << "_count " << cumulative << "\n";
 }
-
-void AppendHistogramJson(std::ostringstream& os, const LatencyHistogram& h) {
-  os << "{\"count\": " << h.Count() << ", \"sum_us\": " << h.SumMicros()
-     << ", \"mean_us\": " << h.MeanMicros()
-     << ", \"p50_us\": " << h.PercentileMicros(0.50)
-     << ", \"p95_us\": " << h.PercentileMicros(0.95)
-     << ", \"p99_us\": " << h.PercentileMicros(0.99) << "}";
-}
-
-}  // namespace
 
 // -------------------------------------------------------- LatencyHistogram
 
@@ -140,12 +176,7 @@ std::string StatsRegistry::ToText() const {
     lines[name] = name + " " + std::to_string(g->value());
   }
   for (const auto& [name, h] : histograms_) {
-    std::ostringstream line;
-    line << name << " count=" << h->Count() << " mean=" << h->MeanMicros()
-         << "us p50=" << h->PercentileMicros(0.5)
-         << "us p95=" << h->PercentileMicros(0.95)
-         << "us p99=" << h->PercentileMicros(0.99) << "us";
-    lines[name] = line.str();
+    lines[name] = name + " " + HistogramSummaryText(*h);
   }
   for (const auto& [name, line] : lines) os << line << "\n";
   return os.str();
@@ -170,8 +201,7 @@ std::string StatsRegistry::ToJson() const {
   }
   for (const auto& [name, h] : histograms_) {
     sep();
-    os << "\"" << name << "\": ";
-    AppendHistogramJson(os, *h);
+    os << "\"" << name << "\": " << HistogramSummaryJson(*h);
   }
   os << "}";
   return os.str();
@@ -181,29 +211,32 @@ std::string StatsRegistry::ToPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
-    const std::string pname = PrometheusName(name);
+    const std::string pname = PrometheusMetricName(name);
     os << "# TYPE " << pname << " counter\n"
        << pname << " " << c->value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    const std::string pname = PrometheusName(name);
+    const std::string pname = PrometheusMetricName(name);
     os << "# TYPE " << pname << " gauge\n"
        << pname << " " << g->value() << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string pname = PrometheusName(name);
+    const std::string pname = PrometheusMetricName(name);
     os << "# TYPE " << pname << " histogram\n";
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
-      cumulative += h->BucketCount(i);
-      os << pname << "_bucket{le=\"" << LatencyHistogram::BucketUpperMicros(i)
-         << "\"} " << cumulative << "\n";
-    }
-    os << pname << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
-       << pname << "_sum " << h->SumMicros() << "\n"
-       << pname << "_count " << cumulative << "\n";
+    AppendPrometheusHistogram(os, pname, *h);
   }
   return os.str();
+}
+
+StatsSnapshot StatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot snapshot;
+  for (const auto& [name, c] : counters_) snapshot.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snapshot.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snapshot.histograms[name] = SummarizeHistogram(*h);
+  }
+  return snapshot;
 }
 
 void StatsRegistry::ResetForTest() {

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -107,6 +108,50 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> sum_micros_{0};
 };
 
+/// \brief Point-in-time summary of one LatencyHistogram.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  double mean_us = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// Samples \p h once per field (individually consistent, not atomic across
+/// fields — fine for monitoring).
+HistogramSummary SummarizeHistogram(const LatencyHistogram& h);
+
+/// The single histogram-JSON shape every dump uses — StatsRegistry::ToJson,
+/// ServerMetrics::ToJson, the JSONL exporter — so the formats cannot drift:
+/// `{"count": C, "sum_us": S, "mean_us": M, "p50_us": …, "p95_us": …,
+/// "p99_us": …}`.
+std::string HistogramSummaryJson(const LatencyHistogram& h);
+
+/// Human-readable one-liner: `count=N mean=Mus p50=…us p95=…us p99=…us`.
+std::string HistogramSummaryText(const LatencyHistogram& h);
+
+/// Sanitizes a metric name to the Prometheus charset `[a-zA-Z0-9_]` ('.'
+/// and '-' become '_'; a leading digit gets a '_' prefix).
+std::string PrometheusMetricName(const std::string& name);
+
+/// Appends the full Prometheus exposition of \p h under the already
+/// sanitized name \p pname: the cumulative `_bucket{le="…"}` series (ending
+/// with `le="+Inf"`), then `_sum` and `_count`. `_count` equals the +Inf
+/// bucket by construction, so exposition stays self-consistent even against
+/// concurrent Record() calls.
+void AppendPrometheusHistogram(std::ostream& os, const std::string& pname,
+                               const LatencyHistogram& h);
+
+/// \brief Point-in-time copy of every registered metric, keyed by name.
+/// This is the exporter's input: counters diff cleanly between snapshots
+/// because they are monotone.
+struct StatsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
 /// \brief Process-wide map of named metrics.
 ///
 /// Get*() registers on first use and returns a pointer that stays valid
@@ -137,6 +182,8 @@ class StatsRegistry {
   std::string ToJson() const;
   /// Prometheus exposition format ('.' and '-' in names become '_').
   std::string ToPrometheus() const;
+  /// Copies every registered metric's current value (exporter input).
+  StatsSnapshot Snapshot() const;
 
   /// Zeroes every registered metric's value. Never deallocates — pointers
   /// handed out by Get*() remain valid and registered.

@@ -1,0 +1,33 @@
+#ifndef PAYGO_SERVE_ADMIN_ENDPOINTS_H_
+#define PAYGO_SERVE_ADMIN_ENDPOINTS_H_
+
+/// \file admin_endpoints.h
+/// \brief Serving-runtime endpoints for the embedded admin HTTP server.
+///
+/// The obs layer registers the library-wide pages (`/metrics`, `/varz`,
+/// `/healthz`, `/tracez` — see obs/admin_server.h); this header layers the
+/// PaygoServer-specific surface on top:
+///
+///   /readyz   200 "ready" when Health().ready(), else 503 with the
+///             failing conditions — the load-balancer routing signal.
+///   /statusz  One JSON object: uptime, generation, queue occupancy,
+///             cache hit ratio, rebuild-in-progress, pool widths.
+///   /slowz    The slow-query log as JSON.
+///
+/// It also upgrades /metrics and /varz to include the server's own
+/// counters and latency histograms alongside the global registry.
+
+namespace paygo {
+
+class AdminServer;
+class PaygoServer;
+
+/// Registers /readyz, /statusz, /slowz and re-registers /metrics + /varz
+/// to merge in \p server's metrics. Call after RegisterObsEndpoints and
+/// before admin.Start(). \p server must outlive \p admin's serving life
+/// (PaygoServer guarantees this by stopping the admin endpoint first).
+void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server);
+
+}  // namespace paygo
+
+#endif  // PAYGO_SERVE_ADMIN_ENDPOINTS_H_

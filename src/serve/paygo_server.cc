@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "serve/admin_endpoints.h"
+
 namespace paygo {
 
 namespace {
@@ -56,10 +58,7 @@ std::string TruncateForLog(const std::string& s) {
 
 }  // namespace
 
-PaygoServer::PaygoServer(std::unique_ptr<IntegrationSystem> system,
-                         ServeOptions options)
-    : options_(options) {
-  snapshot_.store(Snapshot(std::move(system)));
+PaygoServer::PaygoServer(ServeOptions options) : options_(options) {
   requests_ = std::make_unique<BoundedQueue<QueuedRequest>>(
       options_.queue_depth);
   updates_ = std::make_unique<BoundedQueue<QueuedUpdate>>(
@@ -70,6 +69,12 @@ PaygoServer::PaygoServer(std::unique_ptr<IntegrationSystem> system,
   }
   slow_log_ = std::make_unique<SlowQueryLog>(
       options_.slow_query_log_size, options_.slow_query_threshold_us);
+}
+
+PaygoServer::PaygoServer(std::unique_ptr<IntegrationSystem> system,
+                         ServeOptions options)
+    : PaygoServer(options) {
+  snapshot_.store(Snapshot(std::move(system)));
 }
 
 PaygoServer::~PaygoServer() { Stop(); }
@@ -90,11 +95,43 @@ Status PaygoServer::Start() {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   writer_ = std::thread([this] { WriterLoop(); });
+  uptime_.Restart();
   running_.store(true, std::memory_order_release);
+
+  // Optional operational surface. Failures here unwind the whole Start so
+  // the caller never gets a half-started server.
+  if (options_.admin_port >= 0) {
+    AdminServerOptions admin_options;
+    admin_options.port = options_.admin_port;
+    admin_ = std::make_unique<AdminServer>(admin_options);
+    RegisterObsEndpoints(*admin_);
+    RegisterServerEndpoints(*admin_, *this);
+    Status status = admin_->Start();
+    if (!status.ok()) {
+      Stop();
+      return status;
+    }
+  }
+  if (!options_.export_path.empty()) {
+    MetricsSnapshotterOptions export_options;
+    export_options.path = options_.export_path;
+    export_options.interval_ms = options_.export_interval_ms;
+    exporter_ = std::make_unique<MetricsSnapshotter>(StatsRegistry::Global(),
+                                                     export_options);
+    Status status = exporter_->Start();
+    if (!status.ok()) {
+      Stop();
+      return status;
+    }
+  }
   return Status::OK();
 }
 
 void PaygoServer::Stop() {
+  // The operational surface goes first: admin handlers read server state,
+  // so they must be joined before the queues and threads wind down.
+  if (admin_ != nullptr) admin_->Stop();
+  if (exporter_ != nullptr) exporter_->Stop();
   if (workers_.empty() && !writer_.joinable()) return;
   running_.store(false, std::memory_order_release);
   requests_->Close();
@@ -143,7 +180,16 @@ void PaygoServer::WorkerLoop() {
       std::this_thread::sleep_for(std::chrono::microseconds(
           options_.artificial_request_delay_us));
     }
-    request->run(snapshot(), Status::OK());
+    Snapshot current = snapshot();
+    if (current == nullptr) {
+      // Deferred-bootstrap server with no system installed yet.
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      request->run(nullptr,
+                   Status::FailedPrecondition(
+                       "no system installed; call InstallSystemAsync first"));
+      continue;
+    }
+    request->run(current, Status::OK());
   }
 }
 
@@ -304,17 +350,31 @@ void PaygoServer::WriterLoop() {
   while (true) {
     std::optional<QueuedUpdate> update = updates_->Pop();
     if (!update.has_value()) return;
-    // Copy-on-write: mutate a private clone, publish on success. The
-    // writer is the only thread that ever touches a mutable
-    // IntegrationSystem, so the clone needs no locking.
-    std::unique_ptr<IntegrationSystem> draft = snapshot()->Clone();
-    // Rebuild-style mutations may recluster the whole corpus; let them use
-    // the configured pool width. The knob is set on the private clone, so
-    // the published snapshot's options are updated only if the mutation
-    // succeeds — and clustering is bit-identical at any width regardless.
-    draft->set_num_threads(options_.rebuild_threads);
-    Status status = update->mutation(*draft);
-    if (status.ok()) {
+    rebuild_in_progress_.store(true, std::memory_order_release);
+    std::unique_ptr<IntegrationSystem> draft;
+    Status status = Status::OK();
+    if (update->install != nullptr) {
+      // Install: publish the given system as-is. No clone, no mutation —
+      // this is how a deferred-bootstrap server gets its first snapshot
+      // (and how an operator swaps in a wholesale replacement).
+      draft = std::move(update->install);
+    } else if (snapshot() == nullptr) {
+      status = Status::FailedPrecondition(
+          "no system installed; call InstallSystemAsync first");
+    } else {
+      // Copy-on-write: mutate a private clone, publish on success. The
+      // writer is the only thread that ever touches a mutable
+      // IntegrationSystem, so the clone needs no locking.
+      draft = snapshot()->Clone();
+      // Rebuild-style mutations may recluster the whole corpus; let them
+      // use the configured pool width. The knob is set on the private
+      // clone, so the published snapshot's options are updated only if the
+      // mutation succeeds — and clustering is bit-identical at any width
+      // regardless.
+      draft->set_num_threads(options_.rebuild_threads);
+      status = update->mutation(*draft);
+    }
+    if (status.ok() && draft != nullptr) {
       snapshot_.store(Snapshot(std::move(draft)));
       const std::uint64_t gen =
           generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -325,11 +385,35 @@ void PaygoServer::WriterLoop() {
       // evicted), it can never serve pre-swap data under the new
       // generation.
       if (cache_ != nullptr) cache_->AdvanceGeneration(gen);
-    } else {
+    } else if (!status.ok()) {
       metrics_.updates_failed.fetch_add(1, std::memory_order_relaxed);
     }
+    rebuild_in_progress_.store(false, std::memory_order_release);
     update->done.set_value(std::move(status));
   }
+}
+
+std::future<Status> PaygoServer::InstallSystemAsync(
+    std::unique_ptr<IntegrationSystem> system) {
+  QueuedUpdate update;
+  update.install = std::move(system);
+  std::future<Status> result = update.done.get_future();
+  if (update.install == nullptr) {
+    update.done.set_value(Status::InvalidArgument("system is null"));
+    return result;
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    update.done.set_value(
+        Status::FailedPrecondition("server is not running"));
+    return result;
+  }
+  QueuedUpdate local = std::move(update);
+  if (!updates_->TryPush(std::move(local))) {
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    local.done.set_value(Status::ResourceExhausted(
+        "update queue is full (admission control)"));
+  }
+  return result;
 }
 
 std::future<Status> PaygoServer::UpdateAsync(
@@ -379,6 +463,36 @@ std::future<Status> PaygoServer::AttachTuplesAsync(
 std::future<Status> PaygoServer::RebuildFromScratchAsync() {
   return UpdateAsync(
       [](IntegrationSystem& sys) { return sys.RebuildFromScratch(); });
+}
+
+std::string HealthState::Describe() const {
+  if (ready()) return "ready";
+  std::string out = "not ready:";
+  if (!started) out += " server-not-started";
+  if (!snapshot_installed) out += " no-snapshot-installed";
+  if (queue_saturated) {
+    out += " queue-saturated(" + std::to_string(queue_depth) + "/" +
+           std::to_string(queue_capacity) + ")";
+  }
+  return out;
+}
+
+HealthState PaygoServer::Health() const {
+  HealthState health;
+  health.started = running();
+  health.snapshot_installed = snapshot() != nullptr;
+  health.generation = generation();
+  health.queue_depth = requests_->size();
+  health.queue_capacity = requests_->capacity();
+  health.queue_watermark = options_.ready_queue_watermark;
+  health.queue_saturated =
+      static_cast<double>(health.queue_depth) >
+      options_.ready_queue_watermark *
+          static_cast<double>(health.queue_capacity);
+  health.rebuild_in_progress =
+      rebuild_in_progress_.load(std::memory_order_acquire);
+  health.uptime_seconds = health.started ? uptime_.ElapsedSeconds() : 0.0;
+  return health;
 }
 
 std::string PaygoServer::DebugString() const {

@@ -47,6 +47,8 @@
 #include <vector>
 
 #include "core/integration_system.h"
+#include "obs/admin_server.h"
+#include "obs/exporter.h"
 #include "obs/trace.h"
 #include "serve/bounded_queue.h"
 #include "serve/result_cache.h"
@@ -89,6 +91,45 @@ struct ServeOptions {
   /// are bit-identical at any setting, so this only changes rebuild
   /// latency, never the published model.
   std::size_t rebuild_threads = 1;
+  /// Readiness watermark: /readyz reports not-ready while the request
+  /// queue holds more than this fraction of queue_depth. A saturated
+  /// server still answers (admission control sheds overflow); readiness is
+  /// the signal load balancers use to route around it.
+  double ready_queue_watermark = 0.9;
+  /// Embedded admin HTTP endpoint (metrics/health/status pages): -1
+  /// disables it, 0 binds an ephemeral loopback port (read it back via
+  /// admin()->port()), >0 binds that port.
+  int admin_port = -1;
+  /// JSONL metrics export file (see obs/exporter.h); empty disables the
+  /// background exporter.
+  std::string export_path;
+  /// Exporter wake interval.
+  std::uint64_t export_interval_ms = 1000;
+};
+
+/// \brief Point-in-time operational health, the /readyz and /statusz
+/// input. Fields are sampled individually (monitoring data, not a
+/// transaction).
+struct HealthState {
+  bool started = false;            ///< Start() succeeded, Stop() not called.
+  bool snapshot_installed = false; ///< A system snapshot is published.
+  std::uint64_t generation = 0;
+  std::size_t queue_depth = 0;     ///< Requests currently queued.
+  std::size_t queue_capacity = 0;
+  double queue_watermark = 0.0;    ///< Configured readiness fraction.
+  bool queue_saturated = false;    ///< depth > watermark * capacity.
+  bool rebuild_in_progress = false;
+  double uptime_seconds = 0.0;
+
+  /// Ready = accepting traffic AND able to answer it: the server is
+  /// started, a snapshot is installed, and the queue is below the
+  /// watermark. Rebuilds do NOT unready the server — readers keep serving
+  /// the old snapshot throughout.
+  bool ready() const {
+    return started && snapshot_installed && !queue_saturated;
+  }
+  /// One-line summary; lists the failing conditions when not ready.
+  std::string Describe() const;
 };
 
 /// \brief The concurrent serving runtime. Construct, Start(), submit.
@@ -99,6 +140,12 @@ class PaygoServer {
   /// Takes ownership of the system to serve. The server starts stopped.
   PaygoServer(std::unique_ptr<IntegrationSystem> system,
               ServeOptions options = {});
+  /// Deferred bootstrap: no snapshot yet. Start() the server (its admin
+  /// endpoint answers /healthz and reports not-ready), build the system,
+  /// then publish it with InstallSystemAsync — /readyz flips 200 exactly
+  /// when the install lands. Requests before that fail with
+  /// FailedPrecondition.
+  explicit PaygoServer(ServeOptions options = {});
   ~PaygoServer();
 
   PaygoServer(const PaygoServer&) = delete;
@@ -160,6 +207,14 @@ class PaygoServer {
                                         std::vector<Tuple> tuples);
   std::future<Status> RebuildFromScratchAsync();
 
+  /// Publishes \p system as the served snapshot (via the writer thread, so
+  /// installs order with other mutations). Unlike UpdateAsync there is no
+  /// clone — the system is published as given and the generation bumped.
+  /// Usable both for the deferred-bootstrap first install and for wholesale
+  /// replacement later.
+  std::future<Status> InstallSystemAsync(
+      std::unique_ptr<IntegrationSystem> system);
+
   // --- introspection ---
 
   const ServerMetrics& metrics() const { return metrics_; }
@@ -169,6 +224,20 @@ class PaygoServer {
   const SlowQueryLog& slow_query_log() const { return *slow_log_; }
   /// Metrics JSON plus queue/cache occupancy and the slow-query log.
   std::string DebugString() const;
+
+  /// Samples the operational health (the /readyz and /statusz input).
+  HealthState Health() const;
+  std::size_t queue_depth() const { return requests_->size(); }
+  std::size_t queue_capacity() const { return requests_->capacity(); }
+  std::size_t cache_size() const {
+    return cache_ != nullptr ? cache_->size() : 0;
+  }
+  /// The embedded admin endpoint; null unless options.admin_port >= 0 and
+  /// the server is started.
+  const AdminServer* admin() const { return admin_.get(); }
+  /// The background JSONL exporter; null unless options.export_path is set
+  /// and the server is started.
+  const MetricsSnapshotter* exporter() const { return exporter_.get(); }
 
  private:
   struct QueuedRequest {
@@ -180,6 +249,9 @@ class PaygoServer {
   };
   struct QueuedUpdate {
     std::function<Status(IntegrationSystem&)> mutation;
+    /// When set this is an install, not a mutation: published as-is with
+    /// no clone (mutation is ignored).
+    std::unique_ptr<IntegrationSystem> install;
     std::promise<Status> done;
   };
 
@@ -198,9 +270,15 @@ class PaygoServer {
   std::unique_ptr<QueryResultCache> cache_;  // null when caching disabled
   std::unique_ptr<SlowQueryLog> slow_log_;
   ServerMetrics metrics_;
+  std::atomic<bool> rebuild_in_progress_{false};
+  WallTimer uptime_;  // restarted by Start()
 
   std::vector<std::thread> workers_;
   std::thread writer_;
+
+  // Optional operational surface, spawned by Start() per options_.
+  std::unique_ptr<AdminServer> admin_;
+  std::unique_ptr<MetricsSnapshotter> exporter_;
 };
 
 }  // namespace paygo

@@ -13,14 +13,11 @@ double ServerMetrics::CacheHitRate() const {
 
 namespace {
 
-void AppendHistogramJson(std::ostringstream& os, const char* name,
-                         const LatencyHistogram& h) {
-  os << "\"" << name << "\": {\"count\": " << h.Count()
-     << ", \"mean_us\": " << h.MeanMicros()
-     << ", \"p50_us\": " << h.PercentileMicros(0.50)
-     << ", \"p95_us\": " << h.PercentileMicros(0.95)
-     << ", \"p99_us\": " << h.PercentileMicros(0.99) << "}";
-}
+/// The three per-path histograms, iterated identically by every dump.
+struct PathHistogram {
+  const char* name;
+  const LatencyHistogram& h;
+};
 
 }  // namespace
 
@@ -37,17 +34,11 @@ std::string ServerMetrics::DebugString() const {
   os << "snapshot: generation=" << snapshot_generation.load()
      << " swaps=" << snapshot_swaps.load()
      << " updates_failed=" << updates_failed.load() << "\n";
-  const struct {
-    const char* name;
-    const LatencyHistogram& h;
-  } paths[] = {{"classify", classify_latency},
-               {"keyword_search", keyword_search_latency},
-               {"structured", structured_latency}};
+  const PathHistogram paths[] = {{"classify", classify_latency},
+                                 {"keyword_search", keyword_search_latency},
+                                 {"structured", structured_latency}};
   for (const auto& p : paths) {
-    os << p.name << ": n=" << p.h.Count() << " mean=" << p.h.MeanMicros()
-       << "us p50=" << p.h.PercentileMicros(0.5)
-       << "us p95=" << p.h.PercentileMicros(0.95)
-       << "us p99=" << p.h.PercentileMicros(0.99) << "us\n";
+    os << p.name << ": " << HistogramSummaryText(p.h) << "\n";
   }
   return os.str();
 }
@@ -64,13 +55,50 @@ std::string ServerMetrics::ToJson() const {
      << ", \"cache_hit_rate\": " << CacheHitRate()
      << ", \"snapshot_generation\": " << snapshot_generation.load()
      << ", \"snapshot_swaps\": " << snapshot_swaps.load()
-     << ", \"updates_failed\": " << updates_failed.load() << ", ";
-  AppendHistogramJson(os, "classify_latency", classify_latency);
-  os << ", ";
-  AppendHistogramJson(os, "keyword_search_latency", keyword_search_latency);
-  os << ", ";
-  AppendHistogramJson(os, "structured_latency", structured_latency);
+     << ", \"updates_failed\": " << updates_failed.load();
+  const PathHistogram paths[] = {
+      {"classify_latency", classify_latency},
+      {"keyword_search_latency", keyword_search_latency},
+      {"structured_latency", structured_latency}};
+  for (const auto& p : paths) {
+    os << ", \"" << p.name << "\": " << HistogramSummaryJson(p.h);
+  }
   os << "}";
+  return os.str();
+}
+
+std::string ServerMetrics::ToPrometheus() const {
+  std::ostringstream os;
+  const struct {
+    const char* name;
+    std::uint64_t value;
+  } counters[] = {
+      {"paygo_serve_requests_submitted", requests_submitted.load()},
+      {"paygo_serve_requests_completed", requests_completed.load()},
+      {"paygo_serve_requests_rejected", requests_rejected.load()},
+      {"paygo_serve_requests_timed_out", requests_timed_out.load()},
+      {"paygo_serve_requests_failed", requests_failed.load()},
+      {"paygo_serve_cache_hits", cache_hits.load()},
+      {"paygo_serve_cache_misses", cache_misses.load()},
+      {"paygo_serve_snapshot_swaps", snapshot_swaps.load()},
+      {"paygo_serve_updates_failed", updates_failed.load()}};
+  for (const auto& c : counters) {
+    os << "# TYPE " << c.name << " counter\n" << c.name << " " << c.value
+       << "\n";
+  }
+  os << "# TYPE paygo_serve_snapshot_generation gauge\n"
+     << "paygo_serve_snapshot_generation " << snapshot_generation.load()
+     << "\n";
+  os << "# TYPE paygo_serve_cache_hit_rate gauge\n"
+     << "paygo_serve_cache_hit_rate " << CacheHitRate() << "\n";
+  const PathHistogram paths[] = {
+      {"paygo_serve_classify_latency_us", classify_latency},
+      {"paygo_serve_keyword_search_latency_us", keyword_search_latency},
+      {"paygo_serve_structured_latency_us", structured_latency}};
+  for (const auto& p : paths) {
+    os << "# TYPE " << p.name << " histogram\n";
+    AppendPrometheusHistogram(os, p.name, p.h);
+  }
   return os.str();
 }
 

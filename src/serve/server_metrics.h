@@ -51,8 +51,11 @@ struct ServerMetrics {
   /// Multi-line human-readable dump.
   std::string DebugString() const;
   /// Single JSON object with every counter, hit rate, and per-path
-  /// p50/p95/p99/mean latencies in microseconds.
+  /// latency summaries (the shared HistogramSummaryJson shape).
   std::string ToJson() const;
+  /// Prometheus exposition of the same data under `paygo_serve_*` names,
+  /// for the admin endpoint's /metrics page.
+  std::string ToPrometheus() const;
 };
 
 }  // namespace paygo

@@ -36,11 +36,44 @@ if ! diff -q "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/parallel.txt" >/dev/null; then
 fi
 echo "    serial and 4-thread cluster output identical"
 
+echo "==> smoke: serve-bench admin endpoint (/healthz over loopback)"
+# A small corpus keeps the system build fast; --admin-port 0 binds an
+# ephemeral port that paygo_cli reports on stderr.
+./build/tools/paygo_cli generate both "$SMOKE_DIR/admin-corpus.txt" >/dev/null
+./build/tools/paygo_cli serve-bench "$SMOKE_DIR/admin-corpus.txt" \
+  --serve-seconds 6 --admin-port 0 \
+  > "$SMOKE_DIR/serve-bench.json" 2> "$SMOKE_DIR/serve-bench.log" &
+SERVE_PID=$!
+ADMIN_PORT=""
+for _ in $(seq 1 100); do
+  ADMIN_PORT=$(sed -n 's/.*admin server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "$SMOKE_DIR/serve-bench.log" | head -1)
+  [[ -n "$ADMIN_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$ADMIN_PORT" ]]; then
+  echo "FAIL: serve-bench never reported its admin port" >&2
+  cat "$SMOKE_DIR/serve-bench.log" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+# curl-free HTTP GET via bash's /dev/tcp.
+HEALTHZ_STATUS=$(exec 3<>"/dev/tcp/127.0.0.1/$ADMIN_PORT" \
+  && printf 'GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' >&3 \
+  && head -1 <&3; exec 3>&- 2>/dev/null || true)
+if [[ "$HEALTHZ_STATUS" != *" 200 "* ]]; then
+  echo "FAIL: /healthz on port $ADMIN_PORT answered: $HEALTHZ_STATUS" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$SERVE_PID"
+echo "    /healthz on 127.0.0.1:$ADMIN_PORT answered 200"
+
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "==> tsan: configure + build serve + trace + parallel tests (PAYGO_SANITIZE=thread)"
+  echo "==> tsan: configure + build serve + admin + trace + parallel tests (PAYGO_SANITIZE=thread)"
   cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target serve_test serve_concurrency_test trace_test \
-    thread_pool_test parallel_determinism_test -j "$JOBS"
+    admin_server_test thread_pool_test parallel_determinism_test -j "$JOBS"
 
   echo "==> tsan: trace_test"
   ./build-tsan/tests/trace_test
@@ -48,6 +81,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/serve_test
   echo "==> tsan: serve_concurrency_test (tracing enabled)"
   ./build-tsan/tests/serve_concurrency_test
+  echo "==> tsan: admin_server_test (concurrent scrapes vs rebuilds)"
+  ./build-tsan/tests/admin_server_test
   echo "==> tsan: thread_pool_test + parallel_determinism_test (ctest -j)"
   # Instrumented LCS scans are slow; the determinism harness honors
   # PAYGO_DETERMINISM_SMALL and shrinks its corpora under TSan.

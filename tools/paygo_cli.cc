@@ -81,6 +81,14 @@ options (serve-bench):
   --slow-us <n>            slow-query log threshold in us (default 0:
                            every request qualifies for the slow_queries
                            section of the JSON report)
+  --admin-port <p>         serve the admin HTTP endpoint on 127.0.0.1:<p>
+                           while the bench runs (0 = ephemeral port; the
+                           bound port is printed to stderr). Endpoints:
+                           /metrics /varz /healthz /readyz /statusz
+                           /slowz /tracez
+  --export-jsonl <file>    append periodic metric snapshots to <file>
+                           (one JSON object per line)
+  --export-interval-ms <n> exporter wake interval (default 1000)
   --human                  readable summary instead of JSON
 
 observability (cluster/classify/serve-bench):
@@ -102,6 +110,9 @@ struct CliOptions {
   std::size_t serve_workers = 4;
   std::size_t serve_queue_depth = 256;
   std::uint64_t slow_us = 0;
+  int admin_port = -1;
+  std::string export_jsonl;
+  std::uint64_t export_interval_ms = 1000;
   std::string trace_out;
   std::string stats_json;
   std::vector<std::string> positional;
@@ -173,6 +184,18 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       const char* v = next();
       if (!v) return false;
       out->slow_us = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--admin-port") {
+      const char* v = next();
+      if (!v) return false;
+      out->admin_port = std::atoi(v);
+    } else if (arg == "--export-jsonl") {
+      const char* v = next();
+      if (!v) return false;
+      out->export_jsonl = v;
+    } else if (arg == "--export-interval-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->export_interval_ms = static_cast<std::uint64_t>(std::atoll(v));
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (!v) return false;
@@ -457,10 +480,22 @@ int CmdServeBench(const CliOptions& cli) {
   serve.num_workers = cli.serve_workers;
   serve.queue_depth = cli.serve_queue_depth;
   serve.slow_query_threshold_us = cli.slow_us;
+  serve.admin_port = cli.admin_port;
+  serve.export_path = cli.export_jsonl;
+  serve.export_interval_ms = cli.export_interval_ms;
   PaygoServer server(std::move(*sys), serve);
   if (Status s = server.Start(); !s.ok()) {
     std::cerr << s << "\n";
     return 1;
+  }
+  if (server.admin() != nullptr) {
+    // Scripts (tools/ci.sh) parse this line to find the ephemeral port.
+    std::cerr << "admin server listening on 127.0.0.1:"
+              << server.admin()->port() << "\n";
+  }
+  if (server.exporter() != nullptr) {
+    std::cerr << "exporting metrics to " << cli.export_jsonl << " every "
+              << cli.export_interval_ms << "ms\n";
   }
   LoadGenOptions load;
   load.client_threads = cli.serve_threads;
