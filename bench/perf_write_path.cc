@@ -1,0 +1,295 @@
+/// \file perf_write_path.cc
+/// \brief AddSchema churn benchmark of the delta write path.
+///
+/// Builds a DDH-like integration system once per corpus size, then streams
+/// extra schemas into it the way the serving writer does — clone, mutate,
+/// adopt — under both write paths:
+///   * delta  — SystemOptions::delta_mutations = true (the default):
+///     one-row similarity extension, touched-domain mediation, incremental
+///     classifier refresh;
+///   * full   — delta_mutations = false: the legacy rebuild-everything
+///     path, kept as the baseline.
+/// Reports p50/p99/mean mutation latency per path and the speedup. A third
+/// phase streams the same adds through a live PaygoServer and measures
+/// snapshot staleness: the time from submitting AddSchemaAsync until a
+/// reader polling server.generation() can observe the new snapshot.
+///
+/// The delta run also exports the paygo.classifier.domains_refreshed /
+/// domains_reused counters, the direct evidence that classifier work is
+/// O(affected domains); `--check` turns that into a PASS/FAIL gate for CI
+/// (refreshed domains must stay within a small per-add budget).
+///
+/// Output: JSON on stdout (and, unless --json-out is empty, the same
+/// object wrapped with provenance into BENCH_write.json — schema in
+/// bench/README.md). Flags:
+///   --corpora 500,2000   comma-separated corpus sizes
+///   --adds N             schemas streamed per corpus (default 40)
+///   --smoke              tiny preset (one 120-schema corpus, 8 adds)
+///   --check              exit 1 if classifier refresh work is not O(delta)
+///   --json-out FILE      machine-readable output ("" disables)
+///   --human              readable summary instead of JSON
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/integration_system.h"
+#include "obs/stats.h"
+#include "serve/paygo_server.h"
+#include "synth/ddh_generator.h"
+
+namespace {
+
+using namespace paygo;
+using Clock = std::chrono::steady_clock;
+
+struct BenchOptions {
+  std::vector<std::size_t> corpora = {500, 2000};
+  std::size_t adds = 40;
+  bool check = false;
+  std::string json_out = "BENCH_write.json";  // "" disables the file
+  bool human = false;
+};
+
+double MicrosSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+
+  static LatencySummary Of(std::vector<double> us) {
+    LatencySummary s;
+    if (us.empty()) return s;
+    std::sort(us.begin(), us.end());
+    s.p50_us = us[us.size() / 2];
+    s.p99_us = us[std::min(us.size() - 1,
+                           static_cast<std::size_t>(us.size() * 0.99))];
+    for (double v : us) s.mean_us += v;
+    s.mean_us /= static_cast<double>(us.size());
+    return s;
+  }
+
+  std::string ToJson() const {
+    std::ostringstream os;
+    os << "{\"p50_us\": " << p50_us << ", \"p99_us\": " << p99_us
+       << ", \"mean_us\": " << mean_us << "}";
+    return os.str();
+  }
+};
+
+/// The writer's per-update work, measured end to end: clone the served
+/// system, fold one schema in, adopt the draft.
+std::vector<double> RunChurn(const IntegrationSystem& base, bool delta_mode,
+                             const SchemaCorpus& pool, std::size_t first,
+                             std::size_t adds) {
+  auto sys = base.Clone();
+  sys->set_delta_mutations(delta_mode);
+  std::vector<double> us;
+  us.reserve(adds);
+  for (std::size_t i = 0; i < adds; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    auto draft = sys->Clone();
+    auto added = draft->AddSchema(pool.schema(first + i),
+                                 pool.labels(first + i));
+    us.push_back(MicrosSince(t0));
+    if (!added.ok()) {
+      std::cerr << "AddSchema failed: " << added.status() << "\n";
+      std::exit(1);
+    }
+    sys = std::move(draft);
+  }
+  return us;
+}
+
+/// Streams the same adds through a live server; staleness is how long a
+/// generation-polling reader waits for each add to become visible.
+std::vector<double> RunServedStaleness(const IntegrationSystem& base,
+                                       const SchemaCorpus& pool,
+                                       std::size_t first, std::size_t adds) {
+  auto sys = base.Clone();
+  ServeOptions serve;
+  serve.num_workers = 1;
+  PaygoServer server(std::move(sys), serve);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    std::exit(1);
+  }
+  std::vector<double> us;
+  us.reserve(adds);
+  for (std::size_t i = 0; i < adds; ++i) {
+    const std::uint64_t gen_before = server.generation();
+    const Clock::time_point t0 = Clock::now();
+    auto fut = server.AddSchemaAsync(pool.schema(first + i),
+                                     pool.labels(first + i));
+    while (server.generation() == gen_before) {
+      std::this_thread::yield();
+    }
+    us.push_back(MicrosSince(t0));
+    if (Status s = fut.get(); !s.ok()) {
+      std::cerr << "AddSchemaAsync failed: " << s << "\n";
+      std::exit(1);
+    }
+  }
+  server.Stop();
+  return us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--corpora" && next()) {
+      opts.corpora.clear();
+      std::stringstream ss(argv[i]);
+      std::string piece;
+      while (std::getline(ss, piece, ',')) {
+        opts.corpora.push_back(
+            static_cast<std::size_t>(std::atoll(piece.c_str())));
+      }
+    } else if (arg == "--adds" && next()) {
+      opts.adds = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else if (arg == "--smoke") {
+      opts.corpora = {120};
+      opts.adds = 8;
+    } else if (arg == "--check") {
+      opts.check = true;
+    } else if (arg == "--json-out" && next()) {
+      opts.json_out = argv[i];
+    } else if (arg == "--human") {
+      opts.human = true;
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  Counter* refreshed =
+      StatsRegistry::Global().GetCounter("paygo.classifier.domains_refreshed");
+  Counter* reused =
+      StatsRegistry::Global().GetCounter("paygo.classifier.domains_reused");
+
+  bool check_failed = false;
+  std::ostringstream results;
+  std::ostringstream human;
+  results << "{";
+  bool first_corpus = true;
+  for (std::size_t corpus_size : opts.corpora) {
+    // One pool holds base + extras so both paths fold identical schemas.
+    const SchemaCorpus pool = MakeDdhCorpus(
+        {.num_schemas = corpus_size + opts.adds, .seed = 17});
+    SchemaCorpus base_corpus("ddh-base");
+    for (std::size_t i = 0; i < corpus_size; ++i) {
+      base_corpus.Add(pool.schema(i), pool.labels(i));
+    }
+    auto built = IntegrationSystem::Build(std::move(base_corpus));
+    if (!built.ok()) {
+      std::cerr << built.status() << "\n";
+      return 1;
+    }
+
+    const std::vector<double> full_us =
+        RunChurn(**built, /*delta_mode=*/false, pool, corpus_size, opts.adds);
+    refreshed->Reset();
+    reused->Reset();
+    const std::vector<double> delta_us =
+        RunChurn(**built, /*delta_mode=*/true, pool, corpus_size, opts.adds);
+    const std::uint64_t delta_refreshed = refreshed->value();
+    const std::uint64_t delta_reused = reused->value();
+    const std::vector<double> staleness_us =
+        RunServedStaleness(**built, pool, corpus_size, opts.adds);
+
+    const LatencySummary full = LatencySummary::Of(full_us);
+    const LatencySummary delta = LatencySummary::Of(delta_us);
+    const LatencySummary staleness = LatencySummary::Of(staleness_us);
+    const double speedup_p50 =
+        delta.p50_us > 0.0 ? full.p50_us / delta.p50_us : 0.0;
+    const double speedup_mean =
+        delta.mean_us > 0.0 ? full.mean_us / delta.mean_us : 0.0;
+    const std::size_t num_domains = (*built)->domains().num_domains();
+
+    // The O(delta) gate: across all adds, the classifier must have fully
+    // recomputed only a small per-add number of domains — not the whole
+    // model. The budget is loose (a schema can legitimately join several
+    // qualifying domains) but catastrophically smaller than D * adds.
+    const std::uint64_t budget =
+        opts.adds * std::max<std::uint64_t>(4, num_domains / 10);
+    const bool ok = delta_refreshed <= budget;
+    if (!ok) check_failed = true;
+
+    if (!first_corpus) results << ", ";
+    first_corpus = false;
+    results << "\"corpus_" << corpus_size << "\": {\"adds\": " << opts.adds
+            << ", \"full\": " << full.ToJson()
+            << ", \"delta\": " << delta.ToJson()
+            << ", \"speedup_p50\": " << speedup_p50
+            << ", \"speedup_mean\": " << speedup_mean
+            << ", \"staleness\": " << staleness.ToJson()
+            << ", \"classifier\": {\"num_domains\": " << num_domains
+            << ", \"domains_refreshed\": " << delta_refreshed
+            << ", \"domains_reused\": " << delta_reused
+            << ", \"refresh_budget\": " << budget
+            << ", \"o_delta\": " << (ok ? "true" : "false") << "}}";
+
+    human << "corpus " << corpus_size << " (" << num_domains
+          << " domains), " << opts.adds << " adds:\n"
+          << "  full   p50 " << full.p50_us << "us  p99 " << full.p99_us
+          << "us  mean " << full.mean_us << "us\n"
+          << "  delta  p50 " << delta.p50_us << "us  p99 " << delta.p99_us
+          << "us  mean " << delta.mean_us << "us  ("
+          << speedup_p50 << "x p50, " << speedup_mean << "x mean)\n"
+          << "  staleness p50 " << staleness.p50_us << "us  p99 "
+          << staleness.p99_us << "us\n"
+          << "  classifier refreshed " << delta_refreshed << " / reused "
+          << delta_reused << " domain rebuilds (budget " << budget << ", "
+          << (ok ? "O(delta) OK" : "O(delta) VIOLATED") << ")\n";
+  }
+  results << "}";
+
+  if (!opts.json_out.empty()) {
+    const auto ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::ofstream out(opts.json_out, std::ios::trunc);
+    out << "{\"bench\": \"write_path\", \"ts_ms\": " << ts_ms
+        << ", \"config\": {\"corpora\": [";
+    for (std::size_t i = 0; i < opts.corpora.size(); ++i) {
+      out << (i ? ", " : "") << opts.corpora[i];
+    }
+    out << "], \"adds\": " << opts.adds << "}, \"results\": "
+        << results.str() << "}\n";
+    if (!out) {
+      std::cerr << "failed writing " << opts.json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << opts.json_out << "\n";
+  }
+
+  if (opts.human) {
+    std::cout << human.str();
+  } else {
+    std::cout << results.str() << "\n";
+  }
+  if (opts.check && check_failed) {
+    std::cerr << "FAIL: classifier refresh work exceeded the O(delta) "
+                 "budget\n";
+    return 1;
+  }
+  return 0;
+}

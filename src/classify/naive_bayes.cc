@@ -15,32 +15,35 @@ namespace {
 ///
 /// Over the possible worlds S' (always containing all certain schemas, any
 /// subset of the uncertain ones), with per-world unnormalized weight
-/// omega(S') = (|S'| / |S|) * Pr(D_r = S'):
-///   pr_d = sum omega                                    == Pr(D_r)
+/// omega(S') = |S'| * Pr(D_r = S') — deliberately WITHOUT the 1/|S| of
+/// Eq. 5.5, which is applied once at the very end:
+///   mass = sum omega                                    == |S| * Pr(D_r)
 ///   t0   = sum omega / (2|S'| + 1)
 ///   t1   = sum omega * (1 + |S'|) / (2|S'| + 1)
 ///   h[i] = sum over worlds containing uncertain schema i of
 ///          omega / (2|S'| + 1)
 /// The m-estimate conditional (Eq. 5.9 with p = 1/dim L, m = 1 + |S'|) is
 /// linear in the membership indicators, so
-///   Pr(F_j=1 | D_r) = (base_j * t0 + p * t1 + sum_{i: F_ij=1} h[i]) / pr_d
-/// where base_j counts certain schemas with feature j set. Worlds with
+///   Pr(F_j=1 | D_r) = (base_j * t0 + p * t1 + sum_{i: F_ij=1} h[i]) / mass
+/// where base_j counts certain schemas with feature j set — every ratio
+/// the 1/|S| factor would cancel out of is computed without it, so q1 is
+/// bitwise independent of the corpus size (the property UpdateDomains
+/// relies on to reuse unaffected domains verbatim). Only the prior
+/// Pr(D_r) = mass / |S| sees the corpus size, in one multiply. Worlds with
 /// |S'| = 0 carry weight 0 (Eq. 5.5), which also resolves the first
 /// robustness issue of Section 5.2.
 struct WorldAccumulators {
-  double pr_d = 0.0;
+  double mass = 0.0;
   double t0 = 0.0;
   double t1 = 0.0;
   std::vector<double> h;  // one per uncertain schema
 };
 
 WorldAccumulators AccumulateExhaustive(const std::vector<double>& probs,
-                                       std::size_t num_certain,
-                                       std::size_t num_schemas_total) {
+                                       std::size_t num_certain) {
   const std::size_t u = probs.size();
   WorldAccumulators acc;
   acc.h.assign(u, 0.0);
-  const double inv_total = 1.0 / static_cast<double>(num_schemas_total);
   for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << u); ++mask) {
     double w = 1.0;
     for (std::size_t i = 0; i < u; ++i) {
@@ -48,9 +51,9 @@ WorldAccumulators AccumulateExhaustive(const std::vector<double>& probs,
     }
     const std::size_t sz = num_certain + std::popcount(mask);
     if (sz == 0) continue;  // omega = 0
-    const double omega = static_cast<double>(sz) * inv_total * w;
+    const double omega = static_cast<double>(sz) * w;
     const double denom = static_cast<double>(2 * sz + 1);
-    acc.pr_d += omega;
+    acc.mass += omega;
     acc.t0 += omega / denom;
     acc.t1 += omega * static_cast<double>(1 + sz) / denom;
     for (std::size_t i = 0; i < u; ++i) {
@@ -76,20 +79,18 @@ std::vector<double> SubsetSizePoly(const std::vector<double>& probs) {
 }
 
 WorldAccumulators AccumulateFactored(const std::vector<double>& probs,
-                                     std::size_t num_certain,
-                                     std::size_t num_schemas_total) {
+                                     std::size_t num_certain) {
   const std::size_t u = probs.size();
   WorldAccumulators acc;
   acc.h.assign(u, 0.0);
-  const double inv_total = 1.0 / static_cast<double>(num_schemas_total);
 
   const std::vector<double> coef = SubsetSizePoly(probs);
   for (std::size_t c = 0; c <= u; ++c) {
     const std::size_t sz = num_certain + c;
     if (sz == 0) continue;
-    const double omega = static_cast<double>(sz) * inv_total * coef[c];
+    const double omega = static_cast<double>(sz) * coef[c];
     const double denom = static_cast<double>(2 * sz + 1);
-    acc.pr_d += omega;
+    acc.mass += omega;
     acc.t0 += omega / denom;
     acc.t1 += omega * static_cast<double>(1 + sz) / denom;
   }
@@ -105,12 +106,38 @@ WorldAccumulators AccumulateFactored(const std::vector<double>& probs,
     const std::vector<double> loo = SubsetSizePoly(rest);
     for (std::size_t c = 0; c < loo.size(); ++c) {
       const std::size_t sz = num_certain + c + 1;  // +1 for schema i itself
-      const double omega =
-          static_cast<double>(sz) * inv_total * probs[i] * loo[c];
+      const double omega = static_cast<double>(sz) * probs[i] * loo[c];
       acc.h[i] += omega / static_cast<double>(2 * sz + 1);
     }
   }
   return acc;
+}
+
+/// Membership probabilities of the domain's uncertain schemas, in
+/// UncertainSchemas order (the accumulation input both the full and the
+/// prior-only computations share).
+std::vector<double> UncertainProbs(const DomainModel& model,
+                                   std::uint32_t domain,
+                                   const std::vector<std::uint32_t>& uncertain) {
+  std::vector<double> probs;
+  probs.reserve(uncertain.size());
+  for (std::uint32_t i : uncertain) {
+    probs.push_back(model.Membership(i, domain));
+  }
+  return probs;
+}
+
+Status CheckExhaustiveBudget(std::uint32_t domain, std::size_t num_uncertain,
+                             std::size_t max_uncertain_exhaustive) {
+  if (num_uncertain > max_uncertain_exhaustive) {
+    return Status::ResourceExhausted(
+        "domain " + std::to_string(domain) + " has " +
+        std::to_string(num_uncertain) +
+        " uncertain schemas; exhaustive enumeration capped at " +
+        std::to_string(max_uncertain_exhaustive) +
+        " (use the factored engine)");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -125,9 +152,7 @@ Result<DomainConditionals> ComputeDomainConditionals(
 
   const std::vector<std::uint32_t> certain = model.CertainSchemas(domain);
   const std::vector<std::uint32_t> uncertain = model.UncertainSchemas(domain);
-  std::vector<double> probs;
-  probs.reserve(uncertain.size());
-  for (std::uint32_t i : uncertain) probs.push_back(model.Membership(i, domain));
+  const std::vector<double> probs = UncertainProbs(model, domain, uncertain);
 
   // Possible worlds for this domain: 2^u subsets of the uncertain schemas
   // (saturated for u >= 63). The exhaustive engine enumerates all of them;
@@ -145,45 +170,66 @@ Result<DomainConditionals> ComputeDomainConditionals(
   WorldAccumulators acc;
   switch (engine) {
     case ClassifierEngine::kExhaustive:
-      if (uncertain.size() > max_uncertain_exhaustive) {
-        return Status::ResourceExhausted(
-            "domain " + std::to_string(domain) + " has " +
-            std::to_string(uncertain.size()) +
-            " uncertain schemas; exhaustive enumeration capped at " +
-            std::to_string(max_uncertain_exhaustive) +
-            " (use the factored engine)");
-      }
-      acc = AccumulateExhaustive(probs, certain.size(), num_schemas_total);
+      PAYGO_RETURN_NOT_OK(CheckExhaustiveBudget(domain, uncertain.size(),
+                                                max_uncertain_exhaustive));
+      acc = AccumulateExhaustive(probs, certain.size());
       enumerated->Add(possible);
       break;
     case ClassifierEngine::kFactored:
-      acc = AccumulateFactored(probs, certain.size(), num_schemas_total);
+      acc = AccumulateFactored(probs, certain.size());
       enumerated->Add(u + 1);
       pruned->Add(possible - std::min<std::uint64_t>(possible, u + 1));
       break;
   }
 
-  out.prior = acc.pr_d;
   out.q1.assign(dim, 0.0);
-  if (acc.pr_d <= 0.0) {
+  if (acc.mass <= 0.0) {
     // Degenerate domain (no possible world with a member): flat smoothing.
     std::fill(out.q1.begin(), out.q1.end(), p);
     out.prior = 0.0;
     return out;
   }
+  // The only place the corpus size enters (Eq. 5.5's 1/|S|).
+  out.prior = acc.mass / static_cast<double>(num_schemas_total);
 
-  const double inv_pr = 1.0 / acc.pr_d;
-  const double smooth = p * acc.t1 * inv_pr;  // contribution of the p*m term
-  const double slope = acc.t0 * inv_pr;       // per certain-member count
+  const double inv_mass = 1.0 / acc.mass;
+  const double smooth = p * acc.t1 * inv_mass;  // contribution of the p*m term
+  const double slope = acc.t0 * inv_mass;       // per certain-member count
   for (std::size_t j = 0; j < dim; ++j) out.q1[j] = smooth;
   for (std::uint32_t s : certain) {
     for (std::size_t j : features[s].SetBits()) out.q1[j] += slope;
   }
   for (std::size_t i = 0; i < uncertain.size(); ++i) {
-    const double hi = acc.h[i] * inv_pr;
+    const double hi = acc.h[i] * inv_mass;
     for (std::size_t j : features[uncertain[i]].SetBits()) out.q1[j] += hi;
   }
   return out;
+}
+
+Result<double> ComputeDomainPrior(const DomainModel& model,
+                                  std::uint32_t domain,
+                                  std::size_t num_schemas_total,
+                                  ClassifierEngine engine,
+                                  std::size_t max_uncertain_exhaustive) {
+  const std::vector<std::uint32_t> certain = model.CertainSchemas(domain);
+  const std::vector<std::uint32_t> uncertain = model.UncertainSchemas(domain);
+  const std::vector<double> probs = UncertainProbs(model, domain, uncertain);
+  // Run the same accumulation the full computation runs (the mass sum is
+  // independent of the other accumulators, so summing it alone in the same
+  // order yields the same bits), then apply the same final 1/|S|.
+  WorldAccumulators acc;
+  switch (engine) {
+    case ClassifierEngine::kExhaustive:
+      PAYGO_RETURN_NOT_OK(CheckExhaustiveBudget(domain, uncertain.size(),
+                                                max_uncertain_exhaustive));
+      acc = AccumulateExhaustive(probs, certain.size());
+      break;
+    case ClassifierEngine::kFactored:
+      acc = AccumulateFactored(probs, certain.size());
+      break;
+  }
+  if (acc.mass <= 0.0) return 0.0;
+  return acc.mass / static_cast<double>(num_schemas_total);
 }
 
 Result<NaiveBayesClassifier> NaiveBayesClassifier::Build(
@@ -229,20 +275,117 @@ void NaiveBayesClassifier::Precompute() {
   // All remaining query-independent work (Section 5.3): per-domain base
   // score with every feature absent, plus per-feature log-odds so a query
   // only pays for its set features.
-  constexpr double kNegInf = -1e300;
   base_.resize(conditionals_.size());
+  log1mq_sum_.resize(conditionals_.size());
   log_odds_.resize(conditionals_.size());
-  for (std::size_t r = 0; r < conditionals_.size(); ++r) {
-    const DomainConditionals& c = conditionals_[r];
-    double base = c.prior > 0.0 ? std::log(c.prior) : kNegInf;
-    log_odds_[r].resize(c.q1.size());
-    for (std::size_t j = 0; j < c.q1.size(); ++j) {
-      const double q = std::min(std::max(c.q1[j], 1e-300), 1.0 - 1e-15);
-      base += std::log1p(-q);
-      log_odds_[r][j] = std::log(q) - std::log1p(-q);
-    }
-    base_[r] = base;
+  for (std::size_t r = 0; r < conditionals_.size(); ++r) PrecomputeDomain(r);
+}
+
+void NaiveBayesClassifier::PrecomputeDomain(std::size_t r) {
+  const DomainConditionals& c = conditionals_[r];
+  double s = 0.0;
+  log_odds_[r].resize(c.q1.size());
+  for (std::size_t j = 0; j < c.q1.size(); ++j) {
+    const double q = std::min(std::max(c.q1[j], 1e-300), 1.0 - 1e-15);
+    s += std::log1p(-q);
+    log_odds_[r][j] = std::log(q) - std::log1p(-q);
   }
+  log1mq_sum_[r] = s;
+  RefreshBase(r);
+}
+
+void NaiveBayesClassifier::RefreshBase(std::size_t r) {
+  constexpr double kNegInf = -1e300;
+  const double prior = conditionals_[r].prior;
+  base_[r] = (prior > 0.0 ? std::log(prior) : kNegInf) + log1mq_sum_[r];
+}
+
+Result<NaiveBayesClassifier> NaiveBayesClassifier::UpdateDomains(
+    const NaiveBayesClassifier& base, const DomainModel& model,
+    const std::vector<DynamicBitset>& features, std::size_t num_schemas_total,
+    const std::vector<std::uint32_t>& affected_domains) {
+  if (features.size() != model.num_schemas()) {
+    return Status::InvalidArgument(
+        "feature count does not match the domain model's schema count");
+  }
+  if (num_schemas_total == 0) {
+    return Status::InvalidArgument("num_schemas_total must be positive");
+  }
+  if (model.num_domains() < base.num_domains()) {
+    return Status::InvalidArgument(
+        "domain model shrank across an incremental update (" +
+        std::to_string(model.num_domains()) + " < " +
+        std::to_string(base.num_domains()) + " domains)");
+  }
+  StatsRegistry& reg = StatsRegistry::Global();
+  static Counter* refreshed =
+      reg.GetCounter("paygo.classifier.domains_refreshed");
+  static Counter* reused = reg.GetCounter("paygo.classifier.domains_reused");
+  PAYGO_TRACE_SPAN("classify.update_domains");
+
+  NaiveBayesClassifier clf;
+  clf.options_ = base.options_;
+  clf.conditionals_ = base.conditionals_;
+  clf.log_odds_ = base.log_odds_;
+  clf.log1mq_sum_ = base.log1mq_sum_;
+  clf.base_ = base.base_;
+  const std::size_t old_domains = base.num_domains();
+  clf.conditionals_.resize(model.num_domains());
+  clf.log_odds_.resize(model.num_domains());
+  clf.log1mq_sum_.resize(model.num_domains(), 0.0);
+  clf.base_.resize(model.num_domains(), 0.0);
+  clf.singleton_domain_.resize(model.num_domains());
+  for (std::uint32_t r = 0; r < model.num_domains(); ++r) {
+    clf.singleton_domain_[r] = model.IsSingletonDomain(r);
+  }
+
+  std::vector<bool> affected(model.num_domains(), false);
+  for (std::uint32_t r : affected_domains) {
+    if (r >= model.num_domains()) {
+      return Status::InvalidArgument("affected domain id " +
+                                     std::to_string(r) + " out of range");
+    }
+    affected[r] = true;
+  }
+  // Domains the base classifier has never seen are necessarily affected.
+  for (std::size_t r = old_domains; r < model.num_domains(); ++r) {
+    affected[r] = true;
+  }
+
+  for (std::uint32_t r = 0; r < model.num_domains(); ++r) {
+    if (affected[r]) {
+      PAYGO_ASSIGN_OR_RETURN(
+          clf.conditionals_[r],
+          ComputeDomainConditionals(model, r, features, num_schemas_total,
+                                    clf.options_.engine,
+                                    clf.options_.max_uncertain_exhaustive));
+      clf.PrecomputeDomain(r);
+      refreshed->Increment();
+    } else {
+      // Untouched schema set: q1 and log-odds are bitwise what Build()
+      // would produce (the accumulators never see |S|); only the prior's
+      // 1/|S| normalizer changed.
+      PAYGO_ASSIGN_OR_RETURN(
+          clf.conditionals_[r].prior,
+          ComputeDomainPrior(model, r, num_schemas_total, clf.options_.engine,
+                             clf.options_.max_uncertain_exhaustive));
+      clf.RefreshBase(r);
+      reused->Increment();
+    }
+  }
+  return clf;
+}
+
+NaiveBayesClassifier NaiveBayesClassifier::WithPriors(
+    const std::vector<double>& priors) const {
+  NaiveBayesClassifier clf = *this;
+  assert(priors.size() == clf.conditionals_.size());
+  const std::size_t n = std::min(priors.size(), clf.conditionals_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    clf.conditionals_[r].prior = priors[r];
+    clf.RefreshBase(r);
+  }
+  return clf;
 }
 
 std::vector<DomainScore> NaiveBayesClassifier::Classify(

@@ -24,6 +24,15 @@
 ///
 /// All expensive work happens at Build() time; Classify() costs
 /// O(|D| * |set features of the query|) via precomputed log-odds.
+///
+/// The conditionals Pr(F_j=1 | D_r) are evaluated from |S|-free
+/// accumulators (the 1/|S| prior normalizer is applied once, at the end),
+/// so q1 is bitwise independent of the corpus size. That is what makes
+/// UpdateDomains() exact: when a schema arrives, only the domains whose
+/// schema sets changed need their conditionals recomputed — every other
+/// domain keeps its q1 vector verbatim and merely has its prior rescaled
+/// to the new |S| (recomputed through the same accumulation loop, so the
+/// result is bit-identical to a from-scratch Build()).
 
 #include <cstdint>
 #include <vector>
@@ -87,6 +96,29 @@ class NaiveBayesClassifier {
       std::vector<DomainConditionals> conditionals,
       std::vector<bool> singleton_domain, const ClassifierOptions& options);
 
+  /// Incremental refresh: a classifier for \p model where only the domains
+  /// in \p affected_domains (plus any domains \p base does not cover yet)
+  /// have their conditionals recomputed; every other domain reuses \p
+  /// base's q1 vector and precomputed log-odds verbatim, and has its prior
+  /// recomputed for the new \p num_schemas_total. Exact, not approximate:
+  /// the factored engine makes each domain's conditionals depend only on
+  /// its own membership rows and its members' feature vectors, so the
+  /// result is bit-identical to Build() over the same inputs. Domains must
+  /// never shrink ids across updates (the incremental clusterer only
+  /// appends); \p affected_domains must list every domain whose schema set
+  /// or membership probabilities changed.
+  static Result<NaiveBayesClassifier> UpdateDomains(
+      const NaiveBayesClassifier& base, const DomainModel& model,
+      const std::vector<DynamicBitset>& features,
+      std::size_t num_schemas_total,
+      const std::vector<std::uint32_t>& affected_domains);
+
+  /// A copy of this classifier with per-domain priors replaced by
+  /// \p priors (size must equal num_domains()). Conditionals and log-odds
+  /// are reused verbatim; only the prior-dependent base scores are
+  /// recomputed — the implicit-feedback fast path.
+  NaiveBayesClassifier WithPriors(const std::vector<double>& priors) const;
+
   /// Ranks all domains for the query feature vector, descending by
   /// posterior. Ties broken by domain id for determinism.
   std::vector<DomainScore> Classify(const DynamicBitset& query) const;
@@ -121,14 +153,25 @@ class NaiveBayesClassifier {
  private:
   NaiveBayesClassifier() = default;
   void Precompute();
+  /// Recomputes log_odds_[r], log1mq_sum_[r], and base_[r] from
+  /// conditionals_[r]. The single canonical per-domain precompute — both
+  /// the full Build() and the incremental UpdateDomains() go through it,
+  /// which is what keeps the two paths bit-identical.
+  void PrecomputeDomain(std::size_t r);
+  /// base_[r] from the domain's prior and cached log1mq_sum_[r].
+  void RefreshBase(std::size_t r);
 
   ClassifierOptions options_;
   std::vector<DomainConditionals> conditionals_;
   std::vector<bool> singleton_domain_;
   // Precomputed scoring terms: score(Q) = base_[r] + sum over set features
-  // of log_odds_[r][j], where base_ = log prior + sum_j log(1 - q1[j]) and
-  // log_odds_[r][j] = log q1[j] - log(1 - q1[j]).
+  // of log_odds_[r][j], where base_ = log prior + log1mq_sum_ (the cached
+  // sum_j log(1 - q1[j])) and log_odds_[r][j] = log q1[j] - log(1 - q1[j]).
+  // log1mq_sum_ is kept separately so a prior-only change (incremental
+  // arrivals rescale every prior; click feedback reweights them) refreshes
+  // base_ without touching the O(dim) log evaluations.
   std::vector<double> base_;
+  std::vector<double> log1mq_sum_;
   std::vector<std::vector<double>> log_odds_;
 };
 
@@ -138,6 +181,17 @@ Result<DomainConditionals> ComputeDomainConditionals(
     const DomainModel& model, std::uint32_t domain,
     const std::vector<DynamicBitset>& features, std::size_t num_schemas_total,
     ClassifierEngine engine, std::size_t max_uncertain_exhaustive);
+
+/// Computes only Pr(D_r) for one domain — the cheap O(|S-hat|^2) slice of
+/// ComputeDomainConditionals, accumulated through the identical loop so
+/// the result is bit-identical to the full computation's prior. This is
+/// what lets UpdateDomains rescale unaffected domains' priors to a new
+/// corpus size without touching their conditionals.
+Result<double> ComputeDomainPrior(const DomainModel& model,
+                                  std::uint32_t domain,
+                                  std::size_t num_schemas_total,
+                                  ClassifierEngine engine,
+                                  std::size_t max_uncertain_exhaustive);
 
 }  // namespace paygo
 

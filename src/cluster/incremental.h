@@ -78,6 +78,11 @@ class IncrementalClusterer {
   /// Feature vectors including added schemas (corpus order).
   const std::vector<DynamicBitset>& features() const { return features_; }
 
+  /// Moves the feature vectors out (corpus order), leaving the clusterer
+  /// drained — the delta write path's way to adopt them without an
+  /// O(#schemas * dim) copy. Call last.
+  std::vector<DynamicBitset> TakeFeatures() { return std::move(features_); }
+
   /// Number of schemas added since construction.
   std::size_t num_added() const { return num_added_; }
 

@@ -1,5 +1,7 @@
 #include "cluster/linkage.h"
 
+#include <algorithm>
+#include <cassert>
 #include <memory>
 
 #include "util/thread_pool.h"
@@ -54,6 +56,27 @@ SimilarityMatrix::SimilarityMatrix(const std::vector<DynamicBitset>& features,
     });
   } else {
     fill_rows(0, n_);
+  }
+}
+
+SimilarityMatrix::SimilarityMatrix(const SimilarityMatrix& base,
+                                   const std::vector<DynamicBitset>& features)
+    : n_(features.size()), values_(n_ * n_, 0.0f) {
+  const std::size_t old_n = base.n_;
+  assert(n_ == old_n + 1);
+  // Old block row by row (the stride changed from old_n to n_), then the
+  // single new row/column.
+  for (std::size_t i = 0; i < old_n; ++i) {
+    const float* src = base.values_.data() + i * old_n;
+    std::copy(src, src + old_n, values_.data() + i * n_);
+  }
+  const std::size_t k = n_ - 1;
+  values_[k * n_ + k] = features[k].None() ? 0.0f : 1.0f;
+  for (std::size_t j = 0; j < k; ++j) {
+    const float s =
+        static_cast<float>(DynamicBitset::Jaccard(features[k], features[j]));
+    values_[k * n_ + j] = s;
+    values_[j * n_ + k] = s;
   }
 }
 

@@ -52,6 +52,16 @@ class SimilarityMatrix {
   explicit SimilarityMatrix(const std::vector<DynamicBitset>& features,
                             std::size_t num_threads = 1);
 
+  /// Extends \p base (built over features[0..n-1]) to cover \p features
+  /// (size n + 1, the last entry newly appended): old entries are copied
+  /// verbatim and only the new row/column's n Jaccards are computed —
+  /// O(n * dim) instead of the O(n^2 * dim) full fill. Jaccard is a pure
+  /// function of the two bitsets, so the result is bit-identical to a
+  /// from-scratch build over \p features. The delta write path's matrix
+  /// refresh.
+  SimilarityMatrix(const SimilarityMatrix& base,
+                   const std::vector<DynamicBitset>& features);
+
   /// s_sim(S_i, S_j); symmetric, At(i, i) == 1 for non-empty vectors.
   double At(std::size_t i, std::size_t j) const {
     return values_[i * n_ + j];

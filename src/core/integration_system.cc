@@ -16,34 +16,35 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
   }
   auto sys = std::unique_ptr<IntegrationSystem>(new IntegrationSystem());
   sys->options_ = options;
-  sys->corpus_ = std::move(corpus);
+  sys->corpus_ = std::make_shared<const SchemaCorpus>(std::move(corpus));
 
   PAYGO_TRACE_SPAN("system.build");
 
   // Algorithm 1: terms, lexicon, feature vectors.
   {
     PAYGO_TRACE_SPAN("system.build.features");
-    sys->tokenizer_ = std::make_unique<Tokenizer>(options.tokenizer);
-    sys->lexicon_ = std::make_unique<Lexicon>(
-        Lexicon::Build(sys->corpus_, *sys->tokenizer_));
+    sys->tokenizer_ = std::make_shared<const Tokenizer>(options.tokenizer);
+    sys->lexicon_ = std::make_shared<const Lexicon>(
+        Lexicon::Build(*sys->corpus_, *sys->tokenizer_));
     if (sys->lexicon_->dim() == 0) {
       return Status::InvalidArgument(
           "no terms survived extraction; check the corpus and tokenizer "
           "options");
     }
-    sys->vectorizer_ =
-        std::make_unique<FeatureVectorizer>(*sys->lexicon_, options.features);
-    sys->features_ = sys->vectorizer_->VectorizeCorpus();
+    sys->vectorizer_ = std::make_shared<const FeatureVectorizer>(
+        *sys->lexicon_, options.features);
+    sys->features_ = std::make_shared<const std::vector<DynamicBitset>>(
+        sys->vectorizer_->VectorizeCorpus());
   }
 
   // Algorithm 2: clustering (with the memoized similarity matrix).
   {
     PAYGO_TRACE_SPAN("system.build.similarity");
-    sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_,
-                                                    options.hac.num_threads);
+    sys->sims_ = std::make_shared<const SimilarityMatrix>(
+        *sys->features_, options.hac.num_threads);
   }
   PAYGO_ASSIGN_OR_RETURN(
-      sys->clustering_, Hac::Run(sys->features_, *sys->sims_, options.hac));
+      sys->clustering_, Hac::Run(*sys->features_, *sys->sims_, options.hac));
 
   // Algorithm 3: probabilistic schema-to-domain assignment.
   {
@@ -58,7 +59,7 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
   // classifier work happens here, at setup time).
   PAYGO_RETURN_NOT_OK(sys->RebuildDerivedState());
 
-  sys->sources_.resize(sys->corpus_.size());
+  sys->sources_.resize(sys->corpus_->size());
   return sys;
 }
 
@@ -75,16 +76,17 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
   }
   auto sys = std::unique_ptr<IntegrationSystem>(new IntegrationSystem());
   sys->options_ = options;
-  sys->corpus_ = std::move(corpus);
+  sys->corpus_ = std::make_shared<const SchemaCorpus>(std::move(corpus));
 
-  sys->tokenizer_ = std::make_unique<Tokenizer>(options.tokenizer);
-  sys->lexicon_ = std::make_unique<Lexicon>(
-      Lexicon::Build(sys->corpus_, *sys->tokenizer_));
-  sys->vectorizer_ =
-      std::make_unique<FeatureVectorizer>(*sys->lexicon_, options.features);
-  sys->features_ = sys->vectorizer_->VectorizeCorpus();
-  sys->sims_ = std::make_unique<SimilarityMatrix>(sys->features_,
-                                                  options.hac.num_threads);
+  sys->tokenizer_ = std::make_shared<const Tokenizer>(options.tokenizer);
+  sys->lexicon_ = std::make_shared<const Lexicon>(
+      Lexicon::Build(*sys->corpus_, *sys->tokenizer_));
+  sys->vectorizer_ = std::make_shared<const FeatureVectorizer>(
+      *sys->lexicon_, options.features);
+  sys->features_ = std::make_shared<const std::vector<DynamicBitset>>(
+      sys->vectorizer_->VectorizeCorpus());
+  sys->sims_ = std::make_shared<const SimilarityMatrix>(
+      *sys->features_, options.hac.num_threads);
 
   // The clustering result is reconstructed from the model (merge history
   // is not persisted — it only serves diagnostics).
@@ -96,14 +98,15 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
     for (std::uint32_t r = 0; r < sys->domains_.num_domains(); ++r) {
       const auto& members = sys->domains_.SchemasOf(r);
       if (members.empty()) {
-        sys->mediations_.emplace_back();
+        sys->mediations_.push_back(std::make_shared<const DomainMediation>());
         continue;
       }
       PAYGO_ASSIGN_OR_RETURN(
           DomainMediation med,
-          Mediator::BuildForDomain(sys->corpus_, *sys->tokenizer_, members,
+          Mediator::BuildForDomain(*sys->corpus_, *sys->tokenizer_, members,
                                    options.mediator));
-      sys->mediations_.push_back(std::move(med));
+      sys->mediations_.push_back(
+          std::make_shared<const DomainMediation>(std::move(med)));
     }
   }
 
@@ -126,45 +129,40 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
     for (std::uint32_t r = 0; r < sys->domains_.num_domains(); ++r) {
       singleton.push_back(sys->domains_.IsSingletonDomain(r));
     }
-    sys->classifier_ = std::make_unique<NaiveBayesClassifier>(
+    sys->classifier_ = std::make_shared<const NaiveBayesClassifier>(
         NaiveBayesClassifier::FromConditionals(std::move(conditionals),
                                                std::move(singleton),
                                                options.classifier));
-    sys->query_featurizer_ = std::make_unique<QueryFeaturizer>(
+    sys->query_featurizer_ = std::make_shared<const QueryFeaturizer>(
         *sys->tokenizer_, *sys->vectorizer_);
   }
 
-  sys->sources_.resize(sys->corpus_.size());
+  sys->sources_.resize(sys->corpus_->size());
   return sys;
 }
 
 std::unique_ptr<IntegrationSystem> IntegrationSystem::Clone() const {
+  PAYGO_TRACE_SPAN("system.clone");
   auto copy = std::unique_ptr<IntegrationSystem>(new IntegrationSystem());
   copy->options_ = options_;
+  // Structural sharing: every shared_ptr<const T> component is aliased, not
+  // copied — the vectorizer's lexicon reference and the query featurizer's
+  // tokenizer/vectorizer references stay valid because the objects they
+  // point at are themselves shared (stable addresses for the life of both
+  // systems). Mutators never write through these pointers; they swap in
+  // fresh components copy-on-write.
   copy->corpus_ = corpus_;
-  copy->tokenizer_ = std::make_unique<Tokenizer>(*tokenizer_);
-  copy->lexicon_ = std::make_unique<Lexicon>(*lexicon_);
-  // Rebind the vectorizer to the clone's lexicon; the similarity index is
-  // identical, so it is copied rather than recomputed.
-  copy->vectorizer_ =
-      std::make_unique<FeatureVectorizer>(*copy->lexicon_, *vectorizer_);
+  copy->tokenizer_ = tokenizer_;
+  copy->lexicon_ = lexicon_;
+  copy->vectorizer_ = vectorizer_;
   copy->features_ = features_;
-  copy->sims_ = std::make_unique<SimilarityMatrix>(*sims_);
+  copy->sims_ = sims_;
   copy->clustering_ = clustering_;
   copy->domains_ = domains_;
-  if (classifier_ != nullptr) {
-    copy->classifier_ = std::make_unique<NaiveBayesClassifier>(*classifier_);
-  }
-  if (query_featurizer_ != nullptr) {
-    copy->query_featurizer_ = std::make_unique<QueryFeaturizer>(
-        *copy->tokenizer_, *copy->vectorizer_);
-  }
+  copy->classifier_ = classifier_;
+  copy->query_featurizer_ = query_featurizer_;
   copy->mediations_ = mediations_;
-  copy->sources_.reserve(sources_.size());
-  for (const std::unique_ptr<DataSource>& src : sources_) {
-    copy->sources_.push_back(src == nullptr ? nullptr
-                                            : std::make_unique<DataSource>(*src));
-  }
+  copy->sources_ = sources_;
   return copy;
 }
 
@@ -172,30 +170,97 @@ Status IntegrationSystem::RebuildDerivedState() {
   PAYGO_TRACE_SPAN("system.rebuild_derived");
   if (options_.build_mediation) {
     PAYGO_TRACE_SPAN("system.mediate");
-    std::vector<DomainMediation> mediations;
+    std::vector<std::shared_ptr<const DomainMediation>> mediations;
     mediations.reserve(domains_.num_domains());
     for (std::uint32_t r = 0; r < domains_.num_domains(); ++r) {
       const auto& members = domains_.SchemasOf(r);
       if (members.empty()) {
-        mediations.emplace_back();  // empty domain: empty mediation
+        // Empty domain: empty mediation.
+        mediations.push_back(std::make_shared<const DomainMediation>());
         continue;
       }
-      auto med = Mediator::BuildForDomain(corpus_, *tokenizer_, members,
+      auto med = Mediator::BuildForDomain(*corpus_, *tokenizer_, members,
                                           options_.mediator);
       if (!med.ok()) return med.status();
-      mediations.push_back(std::move(*med));
+      mediations.push_back(
+          std::make_shared<const DomainMediation>(std::move(*med)));
     }
     mediations_ = std::move(mediations);
   }
   if (options_.build_classifier) {
     PAYGO_TRACE_SPAN("system.build_classifier");
-    auto clf = NaiveBayesClassifier::Build(domains_, features_,
-                                           corpus_.size(),
+    auto clf = NaiveBayesClassifier::Build(domains_, *features_,
+                                           corpus_->size(),
                                            options_.classifier);
     if (!clf.ok()) return clf.status();
-    classifier_ = std::make_unique<NaiveBayesClassifier>(std::move(*clf));
+    classifier_ =
+        std::make_shared<const NaiveBayesClassifier>(std::move(*clf));
     if (query_featurizer_ == nullptr) {
-      query_featurizer_ = std::make_unique<QueryFeaturizer>(
+      query_featurizer_ = std::make_shared<const QueryFeaturizer>(
+          *tokenizer_, *vectorizer_);
+    }
+  }
+  return Status::OK();
+}
+
+Status IntegrationSystem::RebuildDerivedStateDelta(
+    const std::vector<std::uint32_t>& affected_domains,
+    std::size_t old_num_domains) {
+  PAYGO_TRACE_SPAN("system.rebuild_derived_delta");
+  std::vector<bool> affected(domains_.num_domains(), false);
+  for (std::uint32_t r : affected_domains) {
+    if (r < affected.size()) affected[r] = true;
+  }
+  for (std::size_t r = old_num_domains; r < affected.size(); ++r) {
+    affected[r] = true;
+  }
+  if (options_.build_mediation) {
+    PAYGO_TRACE_SPAN("system.mediate_delta");
+    std::vector<std::shared_ptr<const DomainMediation>> mediations;
+    mediations.reserve(domains_.num_domains());
+    for (std::uint32_t r = 0; r < domains_.num_domains(); ++r) {
+      if (r < mediations_.size() && !affected[r]) {
+        // BuildForDomain is a pure function of the domain's members, which
+        // did not change — share the existing mediation.
+        mediations.push_back(mediations_[r]);
+        continue;
+      }
+      const auto& members = domains_.SchemasOf(r);
+      if (members.empty()) {
+        mediations.push_back(std::make_shared<const DomainMediation>());
+        continue;
+      }
+      auto med = Mediator::BuildForDomain(*corpus_, *tokenizer_, members,
+                                          options_.mediator);
+      if (!med.ok()) return med.status();
+      mediations.push_back(
+          std::make_shared<const DomainMediation>(std::move(*med)));
+    }
+    mediations_ = std::move(mediations);
+  }
+  if (options_.build_classifier && classifier_ != nullptr) {
+    PAYGO_TRACE_SPAN("system.update_classifier");
+    std::vector<std::uint32_t> touched;
+    touched.reserve(affected.size());
+    for (std::uint32_t r = 0; r < affected.size(); ++r) {
+      if (affected[r]) touched.push_back(r);
+    }
+    auto clf = NaiveBayesClassifier::UpdateDomains(
+        *classifier_, domains_, *features_, corpus_->size(), touched);
+    if (!clf.ok()) return clf.status();
+    classifier_ =
+        std::make_shared<const NaiveBayesClassifier>(std::move(*clf));
+  } else if (options_.build_classifier) {
+    // No base classifier to update (never happens on the Build() path);
+    // fall back to the full build.
+    auto clf = NaiveBayesClassifier::Build(domains_, *features_,
+                                           corpus_->size(),
+                                           options_.classifier);
+    if (!clf.ok()) return clf.status();
+    classifier_ =
+        std::make_shared<const NaiveBayesClassifier>(std::move(*clf));
+    if (query_featurizer_ == nullptr) {
+      query_featurizer_ = std::make_shared<const QueryFeaturizer>(
           *tokenizer_, *vectorizer_);
     }
   }
@@ -204,30 +269,56 @@ Status IntegrationSystem::RebuildDerivedState() {
 
 Result<IncrementalAddResult> IntegrationSystem::AddSchema(
     Schema schema, std::vector<std::string> labels) {
+  PAYGO_TRACE_SPAN("system.add_schema");
   // Delegate the Algorithm 3-style assignment to the incremental engine,
   // seeded with the system's current state.
   IncrementalOptions inc_opts;
   inc_opts.tau_c_sim = options_.assignment.tau_c_sim;
   inc_opts.theta = options_.assignment.theta;
-  IncrementalClusterer inc(*tokenizer_, *vectorizer_, features_, domains_,
+  const std::size_t old_num_domains = domains_.num_domains();
+  IncrementalClusterer inc(*tokenizer_, *vectorizer_, *features_, domains_,
                            inc_opts);
   PAYGO_ASSIGN_OR_RETURN(IncrementalAddResult result,
                          inc.AddSchema(schema));
-  // Adopt the updated state.
-  corpus_.Add(std::move(schema), std::move(labels));
-  features_ = inc.features();
+  // Adopt the updated state copy-on-write: readers of a snapshot that
+  // shares the old components never see these swaps.
+  {
+    auto corpus = std::make_shared<SchemaCorpus>(*corpus_);
+    corpus->Add(std::move(schema), std::move(labels));
+    corpus_ = std::move(corpus);
+  }
+  features_ = std::make_shared<const std::vector<DynamicBitset>>(
+      inc.TakeFeatures());
   domains_ = inc.model();
   clustering_.clusters = domains_.clusters();
   clustering_.merges.clear();  // merge history no longer describes the model
-  sims_ = std::make_unique<SimilarityMatrix>(features_, options_.hac.num_threads);
-  sources_.resize(corpus_.size());
-  PAYGO_RETURN_NOT_OK(RebuildDerivedState());
+  if (options_.delta_mutations) {
+    // One appended schema: extend the memoized matrix by its row/column
+    // (O(n * dim)) instead of refilling all O(n^2) pairs.
+    sims_ = std::make_shared<const SimilarityMatrix>(*sims_, *features_);
+  } else {
+    sims_ = std::make_shared<const SimilarityMatrix>(
+        *features_, options_.hac.num_threads);
+  }
+  sources_.resize(corpus_->size());
+  if (options_.delta_mutations) {
+    // The schema joined result.memberships' domains (or opened a new one);
+    // every other domain's member set is untouched.
+    std::vector<std::uint32_t> affected;
+    affected.reserve(result.memberships.size());
+    for (const auto& [domain, prob] : result.memberships) {
+      affected.push_back(domain);
+    }
+    PAYGO_RETURN_NOT_OK(RebuildDerivedStateDelta(affected, old_num_domains));
+  } else {
+    PAYGO_RETURN_NOT_OK(RebuildDerivedState());
+  }
   return result;
 }
 
 Status IntegrationSystem::RebuildFromScratch() {
   PAYGO_ASSIGN_OR_RETURN(std::unique_ptr<IntegrationSystem> fresh,
-                         Build(corpus_, options_));
+                         Build(*corpus_, options_));
   // Carry the attached data sources over, then adopt the fresh state.
   fresh->sources_ = std::move(sources_);
   *this = std::move(*fresh);
@@ -238,7 +329,7 @@ Status IntegrationSystem::ApplyFeedback(const FeedbackStore& store) {
   if (store.has_explicit_feedback()) {
     PAYGO_ASSIGN_OR_RETURN(
         DomainModel refined,
-        ReclusterWithFeedback(features_, *sims_, options_.hac,
+        ReclusterWithFeedback(*features_, *sims_, options_.hac,
                               options_.assignment, store));
     domains_ = std::move(refined);
     clustering_.clusters = domains_.clusters();
@@ -246,7 +337,7 @@ Status IntegrationSystem::ApplyFeedback(const FeedbackStore& store) {
     PAYGO_RETURN_NOT_OK(RebuildDerivedState());
   }
   if (store.has_implicit_feedback() && classifier_ != nullptr) {
-    classifier_ = std::make_unique<NaiveBayesClassifier>(
+    classifier_ = std::make_shared<const NaiveBayesClassifier>(
         AdjustClassifierWithClicks(*classifier_, store));
   }
   return Status::OK();
@@ -274,7 +365,7 @@ Result<std::vector<DomainSuggestion>> IntegrationSystem::SuggestDomains(
     sug.log_posterior = s.log_posterior;
     if (!mediations_.empty()) {
       for (const MediatedAttribute& a :
-           mediations_[s.domain].mediated.attributes) {
+           mediations_[s.domain]->mediated.attributes) {
         sug.mediated_attributes.push_back(a.name);
       }
     }
@@ -314,7 +405,7 @@ IntegrationSystem::AnswerKeywordQuery(
 
   const std::vector<std::string> keywords =
       query_featurizer_->ExtractTerms(keyword_query);
-  std::vector<const DataSource*> by_schema(corpus_.size(), nullptr);
+  std::vector<const DataSource*> by_schema(corpus_->size(), nullptr);
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     by_schema[i] = sources_[i].get();
   }
@@ -324,7 +415,7 @@ IntegrationSystem::AnswerKeywordQuery(
     PAYGO_ASSIGN_OR_RETURN(
         std::vector<KeywordHit> hits,
         SearchDomainTuples(answer.consulted[k].domain, posteriors[k],
-                           mediations_[answer.consulted[k].domain],
+                           *mediations_[answer.consulted[k].domain],
                            by_schema, keywords, options));
     per_domain.push_back(std::move(hits));
   }
@@ -334,16 +425,19 @@ IntegrationSystem::AnswerKeywordQuery(
 
 Status IntegrationSystem::AttachTuples(std::uint32_t schema_id,
                                        std::vector<Tuple> tuples) {
-  if (schema_id >= corpus_.size()) {
+  if (schema_id >= corpus_->size()) {
     return Status::OutOfRange("schema id out of range");
   }
-  if (sources_[schema_id] == nullptr) {
-    sources_[schema_id] = std::make_unique<DataSource>(
-        schema_id, corpus_.schema(schema_id));
-  }
+  // Copy-on-write: the store may be shared with published snapshots, so
+  // tuples are appended to a private copy that replaces the pointer.
+  auto src = sources_[schema_id] == nullptr
+                 ? std::make_shared<DataSource>(schema_id,
+                                                corpus_->schema(schema_id))
+                 : std::make_shared<DataSource>(*sources_[schema_id]);
   for (Tuple& t : tuples) {
-    PAYGO_RETURN_NOT_OK(sources_[schema_id]->AddTuple(std::move(t)));
+    PAYGO_RETURN_NOT_OK(src->AddTuple(std::move(t)));
   }
+  sources_[schema_id] = std::move(src);
   return Status::OK();
 }
 
@@ -356,11 +450,11 @@ Result<std::vector<RankedTuple>> IntegrationSystem::AnswerStructuredQuery(
   if (domain >= mediations_.size()) {
     return Status::OutOfRange("domain id out of range");
   }
-  std::vector<const DataSource*> by_schema(corpus_.size(), nullptr);
+  std::vector<const DataSource*> by_schema(corpus_->size(), nullptr);
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     by_schema[i] = sources_[i].get();
   }
-  QueryEngine engine(mediations_[domain], by_schema);
+  QueryEngine engine(*mediations_[domain], by_schema);
   return engine.Answer(query);
 }
 
@@ -374,7 +468,7 @@ std::string IntegrationSystem::DescribeDomain(std::uint32_t domain,
   if (!mediations_.empty()) {
     os << "  mediated schema:";
     std::size_t shown = 0;
-    for (const MediatedAttribute& a : mediations_[domain].mediated.attributes) {
+    for (const MediatedAttribute& a : mediations_[domain]->mediated.attributes) {
       if (shown++ >= 10) {
         os << " ...";
         break;
@@ -389,9 +483,9 @@ std::string IntegrationSystem::DescribeDomain(std::uint32_t domain,
       os << "  ... (" << members.size() - max_members << " more)\n";
       break;
     }
-    os << "  " << corpus_.schema(schema).source_name << " (p=" << prob
+    os << "  " << corpus_->schema(schema).source_name << " (p=" << prob
        << "): ";
-    const auto& attrs = corpus_.schema(schema).attributes;
+    const auto& attrs = corpus_->schema(schema).attributes;
     for (std::size_t a = 0; a < attrs.size() && a < 6; ++a) {
       os << (a ? "; " : "") << attrs[a];
     }

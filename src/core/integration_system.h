@@ -49,6 +49,14 @@ struct SystemOptions {
   bool build_mediation = true;
   /// Skip classifier construction.
   bool build_classifier = true;
+  /// Delta write path (default): AddSchema extends the similarity matrix by
+  /// one row instead of refilling it, rebuilds mediation only for the
+  /// domains the schema joined, and refreshes the classifier incrementally
+  /// via NaiveBayesClassifier::UpdateDomains — bit-identical to the full
+  /// path but O(delta) instead of O(corpus). Set false to force the legacy
+  /// full rebuild on every mutation (the differential-test oracle and the
+  /// perf baseline).
+  bool delta_mutations = true;
 };
 
 /// \brief One entry of a keyword query's answer: a relevant domain, its
@@ -88,12 +96,17 @@ class IntegrationSystem {
       SchemaCorpus corpus, SystemOptions options, DomainModel model,
       std::vector<DomainConditionals> conditionals);
 
-  /// Deep copy for copy-on-write snapshotting: the clone shares no state
-  /// with the original (internal cross-references — the vectorizer's
-  /// lexicon binding, the query featurizer — are rebound to the clone's own
-  /// parts), so mutating the clone never disturbs concurrent readers of the
-  /// original. The similarity index is copied, not recomputed, keeping the
-  /// clone cost linear in model size.
+  /// Structurally shared copy for copy-on-write snapshotting: the
+  /// immutable heavyweights — corpus, tokenizer, lexicon, similarity
+  /// index/vectorizer, per-schema feature vectors, similarity matrix,
+  /// classifier, per-domain mediations, attached tuple stores — sit behind
+  /// shared_ptr<const T>, so a clone is O(#components + #domains +
+  /// #schemas) pointer copies, independent of corpus text, matrix, or
+  /// model size. Mutators copy-on-write exactly the components they
+  /// replace (a fresh corpus/feature vector on append, the touched
+  /// domains' mediations, one tuple store), so mutating the clone never
+  /// disturbs concurrent readers of the original: shared components are
+  /// const and never written in place.
   std::unique_ptr<IntegrationSystem> Clone() const;
 
   // --- runtime: keyword queries (Chapter 5) ---
@@ -161,11 +174,11 @@ class IntegrationSystem {
 
   // --- introspection ---
 
-  const SchemaCorpus& corpus() const { return corpus_; }
+  const SchemaCorpus& corpus() const { return *corpus_; }
   const Tokenizer& tokenizer() const { return *tokenizer_; }
   const Lexicon& lexicon() const { return *lexicon_; }
   const FeatureVectorizer& vectorizer() const { return *vectorizer_; }
-  const std::vector<DynamicBitset>& features() const { return features_; }
+  const std::vector<DynamicBitset>& features() const { return *features_; }
   const SimilarityMatrix& similarities() const { return *sims_; }
   const HacResult& clustering() const { return clustering_; }
   const DomainModel& domains() const { return domains_; }
@@ -174,7 +187,7 @@ class IntegrationSystem {
   bool has_classifier() const { return classifier_ != nullptr; }
   /// Requires build_mediation.
   const DomainMediation& mediation(std::uint32_t domain) const {
-    return mediations_[domain];
+    return *mediations_[domain];
   }
   bool has_mediation() const { return !mediations_.empty(); }
   const SystemOptions& options() const { return options_; }
@@ -190,6 +203,14 @@ class IntegrationSystem {
     options_.features.num_threads = num_threads;
   }
 
+  /// Toggles the delta write path on this instance (see
+  /// SystemOptions::delta_mutations). The differential tests and the
+  /// write-path bench build one system, then flip this on Clone()s so the
+  /// delta and full paths start from bit-identical state.
+  void set_delta_mutations(bool enabled) {
+    options_.delta_mutations = enabled;
+  }
+
   /// Human-readable domain summary: size, top attributes, member sources.
   std::string DescribeDomain(std::uint32_t domain,
                              std::size_t max_members = 8) const;
@@ -197,22 +218,36 @@ class IntegrationSystem {
  private:
   IntegrationSystem() = default;
   /// Rebuilds mediation (when enabled) and the classifier from the current
-  /// corpus/features/domains.
+  /// corpus/features/domains — the full path, O(#domains) mediations plus a
+  /// whole-model classifier build.
   Status RebuildDerivedState();
+  /// The delta path: rebuilds mediation only for \p affected_domains (ids
+  /// >= \p old_num_domains are implicitly affected — they are new), keeps
+  /// every other domain's mediation shared, and refreshes the classifier
+  /// via NaiveBayesClassifier::UpdateDomains. Bit-identical to
+  /// RebuildDerivedState because BuildForDomain and the factored
+  /// conditionals depend only on the domain's own members.
+  Status RebuildDerivedStateDelta(
+      const std::vector<std::uint32_t>& affected_domains,
+      std::size_t old_num_domains);
 
+  // All heavyweight components are shared_ptr<const T>: Clone() copies the
+  // pointers, mutators replace whole components copy-on-write. HacResult /
+  // DomainModel stay by value — they are mutated piecemeal by the
+  // incremental and feedback paths and are O(#schemas) small.
   SystemOptions options_;
-  SchemaCorpus corpus_;
-  std::unique_ptr<Tokenizer> tokenizer_;
-  std::unique_ptr<Lexicon> lexicon_;
-  std::unique_ptr<FeatureVectorizer> vectorizer_;
-  std::vector<DynamicBitset> features_;
-  std::unique_ptr<SimilarityMatrix> sims_;
+  std::shared_ptr<const SchemaCorpus> corpus_;
+  std::shared_ptr<const Tokenizer> tokenizer_;
+  std::shared_ptr<const Lexicon> lexicon_;
+  std::shared_ptr<const FeatureVectorizer> vectorizer_;
+  std::shared_ptr<const std::vector<DynamicBitset>> features_;
+  std::shared_ptr<const SimilarityMatrix> sims_;
   HacResult clustering_;
   DomainModel domains_;
-  std::unique_ptr<NaiveBayesClassifier> classifier_;
-  std::unique_ptr<QueryFeaturizer> query_featurizer_;
-  std::vector<DomainMediation> mediations_;
-  std::vector<std::unique_ptr<DataSource>> sources_;  // by schema id
+  std::shared_ptr<const NaiveBayesClassifier> classifier_;
+  std::shared_ptr<const QueryFeaturizer> query_featurizer_;
+  std::vector<std::shared_ptr<const DomainMediation>> mediations_;
+  std::vector<std::shared_ptr<const DataSource>> sources_;  // by schema id
 };
 
 }  // namespace paygo

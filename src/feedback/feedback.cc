@@ -97,17 +97,19 @@ Result<DomainModel> ReclusterWithFeedback(
 NaiveBayesClassifier AdjustClassifierWithClicks(
     const NaiveBayesClassifier& classifier, const FeedbackStore& store,
     const ClickAdjustOptions& options) {
-  std::vector<DomainConditionals> conds = classifier.conditionals();
-  std::vector<bool> singleton = classifier.singleton_domains();
-  for (std::uint32_t r = 0; r < conds.size(); ++r) {
+  // Click feedback only reweights priors, so the WithPriors fast path
+  // applies: conditionals and the O(#domains * dim) log-odds tables are
+  // reused verbatim; only the prior-dependent base scores are refreshed.
+  std::vector<double> priors;
+  priors.reserve(classifier.num_domains());
+  for (std::uint32_t r = 0; r < classifier.num_domains(); ++r) {
     const double c = static_cast<double>(store.clicks(r));
     const double imp = static_cast<double>(store.impressions(r));
     const double ctr =
         (c + options.alpha) / (imp + 2.0 * options.alpha);
-    conds[r].prior *= std::pow(ctr, options.strength);
+    priors.push_back(classifier.Prior(r) * std::pow(ctr, options.strength));
   }
-  return NaiveBayesClassifier::FromConditionals(
-      std::move(conds), std::move(singleton), classifier.options());
+  return classifier.WithPriors(priors);
 }
 
 }  // namespace paygo

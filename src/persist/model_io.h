@@ -11,6 +11,12 @@
 /// model, and the classifier conditionals in one plain-text file;
 /// restoring rebuilds the cheap derived state (lexicon, feature vectors,
 /// mediation) and reuses the expensive parts verbatim.
+///
+/// Structural sharing (IntegrationSystem::Clone) is invisible here by
+/// construction: SaveSnapshot reads each component once through the
+/// system's accessors, so a component shared by many live snapshots is
+/// serialized exactly once, and LoadSnapshot materializes fresh shared
+/// components the restored system owns outright.
 
 #include <memory>
 #include <string>

@@ -65,6 +65,14 @@ void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server) {
        << ", \"requests_timed_out\": " << m.requests_timed_out.load()
        << ", \"requests_failed\": " << m.requests_failed.load()
        << ", \"slow_queries\": " << srv->slow_query_log().OverThresholdCount()
+       << ", \"write_path\": {\"delta_updates\": " << m.delta_updates.load()
+       << ", \"rebuild_updates\": " << m.rebuild_updates.load()
+       << ", \"updates_failed\": " << m.updates_failed.load()
+       << ", \"clone_us\": " << HistogramSummaryJson(m.clone_latency)
+       << ", \"delta_rebuild_us\": "
+       << HistogramSummaryJson(m.delta_update_latency)
+       << ", \"full_rebuild_us\": "
+       << HistogramSummaryJson(m.rebuild_update_latency) << "}"
        << "}\n";
     HttpResponse response;
     response.content_type = "application/json";

@@ -193,166 +193,125 @@ void PaygoServer::WorkerLoop() {
   }
 }
 
-std::future<Result<std::vector<DomainScore>>> PaygoServer::ClassifyAsync(
-    std::string keyword_query) {
-  auto done =
-      std::make_shared<std::promise<Result<std::vector<DomainScore>>>>();
-  std::future<Result<std::vector<DomainScore>>> result = done->get_future();
+template <typename T, typename Handler>
+std::future<Result<T>> PaygoServer::SubmitRequest(const char* kind,
+                                                  std::string description,
+                                                  LatencyHistogram& latency,
+                                                  Handler handler) {
+  auto done = std::make_shared<std::promise<Result<T>>>();
+  std::future<Result<T>> result = done->get_future();
   QueuedRequest request;
   request.trace_id = Tracer::NextTraceId();
-  request.run = [this, done, query = std::move(keyword_query),
+  request.run = [this, done, kind, description = std::move(description),
+                 &latency, handler = std::move(handler),
                  timer = request.queued,
                  trace_id = request.trace_id](const Snapshot& sys,
-                                              Status admission) {
+                                              Status admission) mutable {
     if (!admission.ok()) {
       done->set_value(std::move(admission));
       return;
     }
     RequestTraceScope trace(trace_id, timer.ElapsedMicros());
-    auto finish = [&](std::uint64_t total_us) {
-      metrics_.classify_latency.Record(total_us);
-      if (total_us > options_.slow_query_threshold_us) {
-        slow_log_->MaybeRecord(SlowQueryEntry{trace_id, "classify",
-                                              TruncateForLog(query), total_us,
-                                              generation(), trace.Finish()});
-      }
-    };
-    if (cache_ != nullptr) {
-      const std::string key = NormalizeQueryKey(query);
-      // Generation BEFORE snapshot: if a swap lands in between, the insert
-      // below carries a stale tag and is dropped, never poisoning the new
-      // generation (see result_cache.h).
-      const std::uint64_t gen = cache_->generation();
-      QueryResultCache::Value hit;
-      {
-        PAYGO_TRACE_SPAN("serve.cache_lookup");
-        hit = cache_->Lookup(key);
-      }
-      if (hit) {
-        metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-        metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-        finish(timer.ElapsedMicros());
-        done->set_value(*hit);
-        return;
-      }
-      metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
-      Result<std::vector<DomainScore>> scores = [&] {
-        PAYGO_TRACE_SPAN("serve.handler");
-        return sys->ClassifyKeywordQuery(query);
-      }();
-      if (scores.ok()) {
-        cache_->Insert(
-            key, std::make_shared<const std::vector<DomainScore>>(*scores),
-            gen);
-        metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
-      }
-      finish(timer.ElapsedMicros());
-      done->set_value(std::move(scores));
-      return;
-    }
-    Result<std::vector<DomainScore>> scores = [&] {
-      PAYGO_TRACE_SPAN("serve.handler");
-      return sys->ClassifyKeywordQuery(query);
-    }();
-    if (scores.ok()) {
+    Result<T> out = handler(sys);
+    if (out.ok()) {
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
     } else {
       metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
     }
-    finish(timer.ElapsedMicros());
-    done->set_value(std::move(scores));
+    const std::uint64_t total_us = timer.ElapsedMicros();
+    latency.Record(total_us);
+    if (total_us > options_.slow_query_threshold_us) {
+      slow_log_->MaybeRecord(SlowQueryEntry{trace_id, kind,
+                                            std::move(description), total_us,
+                                            generation(), trace.Finish()});
+    }
+    done->set_value(std::move(out));
   };
   SubmitOrReject(std::move(request));
   return result;
+}
+
+std::future<Result<std::vector<DomainScore>>> PaygoServer::ClassifyAsync(
+    std::string keyword_query) {
+  std::string description = TruncateForLog(keyword_query);
+  return SubmitRequest<std::vector<DomainScore>>(
+      "classify", std::move(description), metrics_.classify_latency,
+      [this, query = std::move(keyword_query)](const Snapshot& sys)
+          -> Result<std::vector<DomainScore>> {
+        auto evaluate = [&] {
+          PAYGO_TRACE_SPAN("serve.handler");
+          return sys->ClassifyKeywordQuery(query);
+        };
+        if (cache_ == nullptr) return evaluate();
+        const std::string key = NormalizeQueryKey(query);
+        // Generation BEFORE snapshot: if a swap lands in between, the
+        // insert below carries a stale tag and is dropped, never poisoning
+        // the new generation (see result_cache.h).
+        const std::uint64_t gen = cache_->generation();
+        QueryResultCache::Value hit;
+        {
+          PAYGO_TRACE_SPAN("serve.cache_lookup");
+          hit = cache_->Lookup(key);
+        }
+        if (hit) {
+          metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+          return *hit;
+        }
+        metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        Result<std::vector<DomainScore>> scores = evaluate();
+        if (scores.ok()) {
+          cache_->Insert(
+              key, std::make_shared<const std::vector<DomainScore>>(*scores),
+              gen);
+        }
+        return scores;
+      });
 }
 
 std::future<Result<IntegrationSystem::KeywordSearchAnswer>>
 PaygoServer::KeywordSearchAsync(std::string keyword_query,
                                 KeywordSearchOptions options) {
-  auto done = std::make_shared<
-      std::promise<Result<IntegrationSystem::KeywordSearchAnswer>>>();
-  auto result = done->get_future();
-  QueuedRequest request;
-  request.trace_id = Tracer::NextTraceId();
-  request.run = [this, done, query = std::move(keyword_query), options,
-                 timer = request.queued,
-                 trace_id = request.trace_id](const Snapshot& sys,
-                                              Status admission) {
-    if (!admission.ok()) {
-      done->set_value(std::move(admission));
-      return;
-    }
-    RequestTraceScope trace(trace_id, timer.ElapsedMicros());
-    Result<IntegrationSystem::KeywordSearchAnswer> answer = [&] {
-      PAYGO_TRACE_SPAN("serve.handler");
-      return sys->AnswerKeywordQuery(query, options);
-    }();
-    if (answer.ok()) {
-      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
-    }
-    const std::uint64_t total_us = timer.ElapsedMicros();
-    metrics_.keyword_search_latency.Record(total_us);
-    if (total_us > options_.slow_query_threshold_us) {
-      slow_log_->MaybeRecord(SlowQueryEntry{trace_id, "keyword_search",
-                                            TruncateForLog(query), total_us,
-                                            generation(), trace.Finish()});
-    }
-    done->set_value(std::move(answer));
-  };
-  SubmitOrReject(std::move(request));
-  return result;
+  std::string description = TruncateForLog(keyword_query);
+  return SubmitRequest<IntegrationSystem::KeywordSearchAnswer>(
+      "keyword_search", std::move(description),
+      metrics_.keyword_search_latency,
+      [query = std::move(keyword_query), options](const Snapshot& sys)
+          -> Result<IntegrationSystem::KeywordSearchAnswer> {
+        PAYGO_TRACE_SPAN("serve.handler");
+        return sys->AnswerKeywordQuery(query, options);
+      });
 }
 
 std::future<Result<std::vector<RankedTuple>>>
 PaygoServer::StructuredQueryAsync(std::uint32_t domain,
                                   StructuredQuery query) {
-  auto done =
-      std::make_shared<std::promise<Result<std::vector<RankedTuple>>>>();
-  auto result = done->get_future();
-  QueuedRequest request;
-  request.trace_id = Tracer::NextTraceId();
-  request.run = [this, done, domain, query = std::move(query),
-                 timer = request.queued,
-                 trace_id = request.trace_id](const Snapshot& sys,
-                                              Status admission) {
-    if (!admission.ok()) {
-      done->set_value(std::move(admission));
-      return;
-    }
-    RequestTraceScope trace(trace_id, timer.ElapsedMicros());
-    Result<std::vector<RankedTuple>> tuples = [&] {
-      PAYGO_TRACE_SPAN("serve.handler");
-      return sys->AnswerStructuredQuery(domain, query);
-    }();
-    if (tuples.ok()) {
-      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
-    }
-    const std::uint64_t total_us = timer.ElapsedMicros();
-    metrics_.structured_latency.Record(total_us);
-    if (total_us > options_.slow_query_threshold_us) {
-      slow_log_->MaybeRecord(SlowQueryEntry{
-          trace_id, "structured", "domain " + std::to_string(domain),
-          total_us, generation(), trace.Finish()});
-    }
-    done->set_value(std::move(tuples));
-  };
-  SubmitOrReject(std::move(request));
-  return result;
+  return SubmitRequest<std::vector<RankedTuple>>(
+      "structured", "domain " + std::to_string(domain),
+      metrics_.structured_latency,
+      [domain, query = std::move(query)](const Snapshot& sys)
+          -> Result<std::vector<RankedTuple>> {
+        PAYGO_TRACE_SPAN("serve.handler");
+        return sys->AnswerStructuredQuery(domain, query);
+      });
 }
 
 void PaygoServer::WriterLoop() {
+  // Registry histograms mirror the ServerMetrics ones so /metrics and the
+  // JSONL exporter see the write path without holding a server reference.
+  StatsRegistry& reg = StatsRegistry::Global();
+  static LatencyHistogram* clone_us =
+      reg.GetHistogram("paygo.serve.clone_us");
+  static LatencyHistogram* delta_us =
+      reg.GetHistogram("paygo.serve.delta_rebuild_us");
+  static LatencyHistogram* full_us =
+      reg.GetHistogram("paygo.serve.full_rebuild_us");
   while (true) {
     std::optional<QueuedUpdate> update = updates_->Pop();
     if (!update.has_value()) return;
     rebuild_in_progress_.store(true, std::memory_order_release);
     std::unique_ptr<IntegrationSystem> draft;
     Status status = Status::OK();
+    bool mutated = false;
     if (update->install != nullptr) {
       // Install: publish the given system as-is. No clone, no mutation —
       // this is how a deferred-bootstrap server gets its first snapshot
@@ -364,15 +323,32 @@ void PaygoServer::WriterLoop() {
     } else {
       // Copy-on-write: mutate a private clone, publish on success. The
       // writer is the only thread that ever touches a mutable
-      // IntegrationSystem, so the clone needs no locking.
+      // IntegrationSystem, so the clone (structurally shared — pointer
+      // copies, no data copies) needs no locking.
+      WallTimer clone_timer;
       draft = snapshot()->Clone();
-      // Rebuild-style mutations may recluster the whole corpus; let them
-      // use the configured pool width. The knob is set on the private
-      // clone, so the published snapshot's options are updated only if the
-      // mutation succeeds — and clustering is bit-identical at any width
-      // regardless.
-      draft->set_num_threads(options_.rebuild_threads);
+      const std::uint64_t cloned_us = clone_timer.ElapsedMicros();
+      metrics_.clone_latency.Record(cloned_us);
+      clone_us->Record(cloned_us);
+      if (!update->delta) {
+        // Rebuild-style mutations may recluster the whole corpus; let them
+        // use the configured pool width. Delta mutations never touch the
+        // recluster machinery, so their clone keeps the published options
+        // untouched. The knob is set on the private clone either way, and
+        // clustering is bit-identical at any width regardless.
+        draft->set_num_threads(options_.rebuild_threads);
+      }
+      WallTimer mutate_timer;
       status = update->mutation(*draft);
+      const std::uint64_t mutate_us = mutate_timer.ElapsedMicros();
+      if (update->delta) {
+        metrics_.delta_update_latency.Record(mutate_us);
+        delta_us->Record(mutate_us);
+      } else {
+        metrics_.rebuild_update_latency.Record(mutate_us);
+        full_us->Record(mutate_us);
+      }
+      mutated = true;
     }
     if (status.ok() && draft != nullptr) {
       snapshot_.store(Snapshot(std::move(draft)));
@@ -380,6 +356,10 @@ void PaygoServer::WriterLoop() {
           generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
       metrics_.snapshot_generation.store(gen, std::memory_order_relaxed);
       metrics_.snapshot_swaps.fetch_add(1, std::memory_order_relaxed);
+      if (mutated) {
+        (update->delta ? metrics_.delta_updates : metrics_.rebuild_updates)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
       // Invalidate AFTER publishing: a racing reader that tags a result
       // with the old generation merely loses a cache slot (dropped or
       // evicted), it can never serve pre-swap data under the new
@@ -393,15 +373,8 @@ void PaygoServer::WriterLoop() {
   }
 }
 
-std::future<Status> PaygoServer::InstallSystemAsync(
-    std::unique_ptr<IntegrationSystem> system) {
-  QueuedUpdate update;
-  update.install = std::move(system);
+std::future<Status> PaygoServer::EnqueueUpdate(QueuedUpdate update) {
   std::future<Status> result = update.done.get_future();
-  if (update.install == nullptr) {
-    update.done.set_value(Status::InvalidArgument("system is null"));
-    return result;
-  }
   if (!running_.load(std::memory_order_acquire)) {
     update.done.set_value(
         Status::FailedPrecondition("server is not running"));
@@ -414,55 +387,72 @@ std::future<Status> PaygoServer::InstallSystemAsync(
         "update queue is full (admission control)"));
   }
   return result;
+}
+
+std::future<Status> PaygoServer::InstallSystemAsync(
+    std::unique_ptr<IntegrationSystem> system) {
+  if (system == nullptr) {
+    QueuedUpdate update;
+    std::future<Status> result = update.done.get_future();
+    update.done.set_value(Status::InvalidArgument("system is null"));
+    return result;
+  }
+  QueuedUpdate update;
+  update.install = std::move(system);
+  return EnqueueUpdate(std::move(update));
+}
+
+std::future<Status> PaygoServer::SubmitMutation(
+    std::function<Status(IntegrationSystem&)> mutation, bool delta) {
+  QueuedUpdate update;
+  update.mutation = std::move(mutation);
+  update.delta = delta;
+  return EnqueueUpdate(std::move(update));
 }
 
 std::future<Status> PaygoServer::UpdateAsync(
     std::function<Status(IntegrationSystem&)> mutation) {
-  QueuedUpdate update;
-  update.mutation = std::move(mutation);
-  std::future<Status> result = update.done.get_future();
-  if (!running_.load(std::memory_order_acquire)) {
-    update.done.set_value(
-        Status::FailedPrecondition("server is not running"));
-    return result;
-  }
-  QueuedUpdate local = std::move(update);
-  if (!updates_->TryPush(std::move(local))) {
-    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
-    local.done.set_value(Status::ResourceExhausted(
-        "update queue is full (admission control)"));
-  }
-  return result;
+  // Arbitrary mutations are opaque; assume the worst (rebuild-style).
+  return SubmitMutation(std::move(mutation), /*delta=*/false);
 }
 
 std::future<Status> PaygoServer::AddSchemaAsync(
     Schema schema, std::vector<std::string> labels) {
-  return UpdateAsync(
+  return SubmitMutation(
       [schema = std::move(schema),
        labels = std::move(labels)](IntegrationSystem& sys) mutable -> Status {
         auto added = sys.AddSchema(std::move(schema), std::move(labels));
         return added.status();
-      });
+      },
+      /*delta=*/true);
 }
 
 std::future<Status> PaygoServer::ApplyFeedbackAsync(FeedbackStore store) {
-  return UpdateAsync(
+  // Click-only feedback reweights classifier priors (a WithPriors copy);
+  // explicit corrections recluster the corpus — only the former is a
+  // delta.
+  const bool delta = !store.has_explicit_feedback();
+  return SubmitMutation(
       [store = std::move(store)](IntegrationSystem& sys) -> Status {
         return sys.ApplyFeedback(store);
-      });
+      },
+      delta);
 }
 
 std::future<Status> PaygoServer::AttachTuplesAsync(
     std::uint32_t schema_id, std::vector<Tuple> tuples) {
-  return UpdateAsync([schema_id, tuples = std::move(tuples)](
-                         IntegrationSystem& sys) mutable -> Status {
-    return sys.AttachTuples(schema_id, std::move(tuples));
-  });
+  return SubmitMutation(
+      [schema_id, tuples = std::move(tuples)](
+          IntegrationSystem& sys) mutable -> Status {
+        return sys.AttachTuples(schema_id, std::move(tuples));
+      },
+      /*delta=*/true);
 }
 
 std::future<Status> PaygoServer::RebuildFromScratchAsync() {
-  return UpdateAsync(
-      [](IntegrationSystem& sys) { return sys.RebuildFromScratch(); });
+  return SubmitMutation(
+      [](IntegrationSystem& sys) { return sys.RebuildFromScratch(); },
+      /*delta=*/false);
 }
 
 std::string HealthState::Describe() const {

@@ -50,7 +50,7 @@
 #include "obs/admin_server.h"
 #include "obs/exporter.h"
 #include "obs/trace.h"
-#include "serve/bounded_queue.h"
+#include "util/bounded_queue.h"
 #include "serve/result_cache.h"
 #include "serve/server_metrics.h"
 #include "serve/slow_query_log.h"
@@ -252,6 +252,12 @@ class PaygoServer {
     /// When set this is an install, not a mutation: published as-is with
     /// no clone (mutation is ignored).
     std::unique_ptr<IntegrationSystem> install;
+    /// Delta mutations (AddSchema, tuple attachment, click-only feedback)
+    /// touch O(delta) state on the structurally-shared clone; rebuild-style
+    /// ones (explicit-feedback recluster, RebuildFromScratch, raw
+    /// UpdateAsync) may rework the whole corpus. The writer uses this to
+    /// pick the recluster thread width and the latency histogram.
+    bool delta = false;
     std::promise<Status> done;
   };
 
@@ -259,6 +265,20 @@ class PaygoServer {
   void WriterLoop();
   /// Admission control: TryPush or fail the request immediately.
   void SubmitOrReject(QueuedRequest request);
+  /// The shared read-path submit plumbing: admission, per-request tracing,
+  /// completion/failure counters, latency histogram, slow-query logging.
+  /// \p handler runs on a worker against a live snapshot and opens its own
+  /// "serve.handler" span (so cache lookups can trace separately).
+  template <typename T, typename Handler>
+  std::future<Result<T>> SubmitRequest(const char* kind,
+                                       std::string description,
+                                       LatencyHistogram& latency,
+                                       Handler handler);
+  /// The shared write-path submit plumbing (running check + admission).
+  std::future<Status> EnqueueUpdate(QueuedUpdate update);
+  /// UpdateAsync with an explicit delta-vs-rebuild classification.
+  std::future<Status> SubmitMutation(
+      std::function<Status(IntegrationSystem&)> mutation, bool delta);
 
   ServeOptions options_;
   AtomicSharedPtr<const IntegrationSystem> snapshot_;

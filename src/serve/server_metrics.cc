@@ -34,9 +34,14 @@ std::string ServerMetrics::DebugString() const {
   os << "snapshot: generation=" << snapshot_generation.load()
      << " swaps=" << snapshot_swaps.load()
      << " updates_failed=" << updates_failed.load() << "\n";
+  os << "write_path: delta=" << delta_updates.load()
+     << " rebuild=" << rebuild_updates.load() << "\n";
   const PathHistogram paths[] = {{"classify", classify_latency},
                                  {"keyword_search", keyword_search_latency},
-                                 {"structured", structured_latency}};
+                                 {"structured", structured_latency},
+                                 {"clone", clone_latency},
+                                 {"delta_update", delta_update_latency},
+                                 {"rebuild_update", rebuild_update_latency}};
   for (const auto& p : paths) {
     os << p.name << ": " << HistogramSummaryText(p.h) << "\n";
   }
@@ -55,11 +60,16 @@ std::string ServerMetrics::ToJson() const {
      << ", \"cache_hit_rate\": " << CacheHitRate()
      << ", \"snapshot_generation\": " << snapshot_generation.load()
      << ", \"snapshot_swaps\": " << snapshot_swaps.load()
-     << ", \"updates_failed\": " << updates_failed.load();
+     << ", \"updates_failed\": " << updates_failed.load()
+     << ", \"delta_updates\": " << delta_updates.load()
+     << ", \"rebuild_updates\": " << rebuild_updates.load();
   const PathHistogram paths[] = {
       {"classify_latency", classify_latency},
       {"keyword_search_latency", keyword_search_latency},
-      {"structured_latency", structured_latency}};
+      {"structured_latency", structured_latency},
+      {"clone_latency", clone_latency},
+      {"delta_update_latency", delta_update_latency},
+      {"rebuild_update_latency", rebuild_update_latency}};
   for (const auto& p : paths) {
     os << ", \"" << p.name << "\": " << HistogramSummaryJson(p.h);
   }
@@ -81,7 +91,9 @@ std::string ServerMetrics::ToPrometheus() const {
       {"paygo_serve_cache_hits", cache_hits.load()},
       {"paygo_serve_cache_misses", cache_misses.load()},
       {"paygo_serve_snapshot_swaps", snapshot_swaps.load()},
-      {"paygo_serve_updates_failed", updates_failed.load()}};
+      {"paygo_serve_updates_failed", updates_failed.load()},
+      {"paygo_serve_delta_updates", delta_updates.load()},
+      {"paygo_serve_rebuild_updates", rebuild_updates.load()}};
   for (const auto& c : counters) {
     os << "# TYPE " << c.name << " counter\n" << c.name << " " << c.value
        << "\n";
@@ -94,7 +106,10 @@ std::string ServerMetrics::ToPrometheus() const {
   const PathHistogram paths[] = {
       {"paygo_serve_classify_latency_us", classify_latency},
       {"paygo_serve_keyword_search_latency_us", keyword_search_latency},
-      {"paygo_serve_structured_latency_us", structured_latency}};
+      {"paygo_serve_structured_latency_us", structured_latency},
+      {"paygo_serve_clone_latency_us", clone_latency},
+      {"paygo_serve_delta_update_latency_us", delta_update_latency},
+      {"paygo_serve_rebuild_update_latency_us", rebuild_update_latency}};
   for (const auto& p : paths) {
     os << "# TYPE " << p.name << " histogram\n";
     AppendPrometheusHistogram(os, p.name, p.h);

@@ -39,11 +39,23 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> snapshot_swaps{0};
   std::atomic<std::uint64_t> updates_failed{0};
   std::atomic<std::uint64_t> snapshot_generation{0};
+  /// Published mutations that ran the O(delta) write path (AddSchema,
+  /// tuple attachment, click-only feedback) vs the rebuild-style path
+  /// (explicit feedback recluster, RebuildFromScratch, UpdateAsync).
+  std::atomic<std::uint64_t> delta_updates{0};
+  std::atomic<std::uint64_t> rebuild_updates{0};
 
   // Per-path latency (enqueue -> handler completion).
   LatencyHistogram classify_latency;
   LatencyHistogram keyword_search_latency;
   LatencyHistogram structured_latency;
+
+  // Write-path latency, split by phase and kind: the snapshot clone
+  // (pointer copies under structural sharing), then the mutation itself on
+  // the delta or the rebuild path.
+  LatencyHistogram clone_latency;
+  LatencyHistogram delta_update_latency;
+  LatencyHistogram rebuild_update_latency;
 
   /// Cache hit fraction in [0, 1]; 0 when no lookups happened.
   double CacheHitRate() const;

@@ -7,7 +7,7 @@
 #include <thread>
 #include <vector>
 
-#include "serve/bounded_queue.h"
+#include "util/bounded_queue.h"
 #include "serve/load_generator.h"
 #include "serve/result_cache.h"
 #include "serve/server_metrics.h"

@@ -69,11 +69,20 @@ fi
 wait "$SERVE_PID"
 echo "    /healthz on 127.0.0.1:$ADMIN_PORT answered 200"
 
+echo "==> smoke: perf_write_path --smoke --check (O(delta) classifier refresh)"
+# --check fails the run unless the delta write path fully recomputed only
+# a small per-add number of domain conditionals (counters
+# paygo.classifier.domains_refreshed/domains_reused; DESIGN.md section 8).
+./build/bench/perf_write_path --smoke --check --json-out "" \
+  > "$SMOKE_DIR/write-path.json"
+echo "    delta write path within the O(delta) refresh budget"
+
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "==> tsan: configure + build serve + admin + trace + parallel tests (PAYGO_SANITIZE=thread)"
   cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target serve_test serve_concurrency_test trace_test \
-    admin_server_test thread_pool_test parallel_determinism_test -j "$JOBS"
+    clone_aliasing_test admin_server_test thread_pool_test \
+    parallel_determinism_test -j "$JOBS"
 
   echo "==> tsan: trace_test"
   ./build-tsan/tests/trace_test
@@ -81,6 +90,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/serve_test
   echo "==> tsan: serve_concurrency_test (tracing enabled)"
   ./build-tsan/tests/serve_concurrency_test
+  echo "==> tsan: clone_aliasing_test (readers on retained snapshot vs writer)"
+  ./build-tsan/tests/clone_aliasing_test
   echo "==> tsan: admin_server_test (concurrent scrapes vs rebuilds)"
   ./build-tsan/tests/admin_server_test
   echo "==> tsan: thread_pool_test + parallel_determinism_test (ctest -j)"
