@@ -18,21 +18,35 @@
 /// and the configuration — is also written to a machine-readable file
 /// (default BENCH_serve.json) for CI trend tracking.
 ///
+/// With --shards the bench switches to the domain-sharded mode instead:
+/// the corpus is consistent-hash partitioned, one in-process ShardNode is
+/// started per shard, and the multi-endpoint wire-protocol closed loop
+/// measures aggregate read QPS per shard count — the scaling curve lands
+/// in BENCH_serve.json as "shard_scaling". A replica probe (primary +
+/// read replica, full snapshot replication, load served off the replica)
+/// rides along.
+///
 /// Flags: --corpus <dw|ss|both|many> --threads N --seconds S --workers N
 ///        --queue-depth N --cache-capacity N --delay-us N
-///        --json-out FILE --human
+///        --shards N[,N...] --json-out FILE --human
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/integration_system.h"
 #include "serve/load_generator.h"
 #include "serve/paygo_server.h"
+#include "shard/hash_ring.h"
+#include "shard/router.h"
+#include "shard/shard_node.h"
 #include "synth/many_domains.h"
 #include "synth/web_generator.h"
 
@@ -42,12 +56,14 @@ using namespace paygo;
 
 struct BenchOptions {
   std::string corpus = "both";
+  bool corpus_set = false;
   std::size_t threads = 4;
   double seconds = 2.0;
   std::size_t workers = 4;
   std::size_t queue_depth = 256;
   std::size_t cache_capacity = 1024;
   std::uint64_t delay_us = 0;
+  std::vector<std::size_t> shards;  // non-empty selects the sharded mode
   std::string json_out = "BENCH_serve.json";  // "" disables the file
   bool human = false;
 };
@@ -68,6 +84,228 @@ Schema MakeExtraSchema(int i) {
   return schema;
 }
 
+std::vector<std::size_t> ParseShardCounts(const std::string& text) {
+  std::vector<std::size_t> counts;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const int n = std::atoi(item.c_str());
+    if (n >= 1) counts.push_back(static_cast<std::size_t>(n));
+  }
+  return counts;
+}
+
+/// One point of the scaling curve: partition, start a fleet, probe the
+/// router, load every shard over the wire.
+struct ShardSweepPoint {
+  std::size_t shards = 0;
+  std::vector<std::size_t> schemas_per_shard;
+  LoadReport load;
+  std::size_t router_shards_ok = 0;
+  std::size_t router_shards_total = 0;
+  std::size_t router_ranked = 0;
+};
+
+int RunShardSweep(const BenchOptions& opts) {
+  // Sharding pays off on the many-small-domains corpus shape; default to
+  // it unless the user asked for a specific corpus.
+  const std::string corpus_name = opts.corpus_set ? opts.corpus : "many";
+  const SchemaCorpus corpus = MakeCorpus(corpus_name);
+
+  // The query pool comes from one unsharded build over the full corpus,
+  // so every shard count replays the identical workload.
+  auto full = IntegrationSystem::Build(corpus);
+  if (!full.ok()) {
+    std::cerr << full.status() << "\n";
+    return 1;
+  }
+  const std::vector<std::string> queries = BuildQueryPool(**full, 256, 17);
+  full->reset();
+
+  // A fixed artificial handler delay makes the capacity per shard
+  // deterministic (workers / delay), so the curve reflects shard-count
+  // scaling rather than the host's core count; enough closed-loop clients
+  // to saturate the largest fleet.
+  const std::uint64_t delay_us = std::max<std::uint64_t>(opts.delay_us, 1000);
+  LoadGenOptions load;
+  load.client_threads = std::max<std::size_t>(opts.threads, 4 * opts.workers);
+  load.duration_ms = static_cast<std::uint64_t>(opts.seconds * 1000);
+
+  std::vector<ShardSweepPoint> curve;
+  for (const std::size_t num_shards : opts.shards) {
+    const HashRing ring(num_shards);
+    std::vector<SchemaCorpus> parts = PartitionCorpus(corpus, ring);
+
+    ShardSweepPoint point;
+    point.shards = num_shards;
+    std::vector<std::unique_ptr<ShardNode>> nodes;
+    std::vector<ShardAddress> addresses;
+    std::vector<WireEndpoint> endpoints;
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      point.schemas_per_shard.push_back(parts[s].size());
+      ShardNodeOptions node_opts;
+      node_opts.serve.num_workers = opts.workers;
+      node_opts.serve.queue_depth = opts.queue_depth;
+      node_opts.serve.cache_capacity = 0;  // every request does real work
+      node_opts.serve.artificial_request_delay_us = delay_us;
+      node_opts.service.handler_threads =
+          std::max<std::size_t>(opts.workers, 4);
+      node_opts.admin_port = -1;
+      auto node = std::make_unique<ShardNode>(std::move(node_opts));
+      std::unique_ptr<IntegrationSystem> system;
+      if (parts[s].size() > 0) {
+        auto built = IntegrationSystem::Build(std::move(parts[s]));
+        if (!built.ok()) {
+          std::cerr << "shard " << s << ": " << built.status() << "\n";
+          return 1;
+        }
+        system = std::move(*built);
+      }
+      // An empty arc starts a not-ready node; the router degrades around
+      // it, which the probe counters record.
+      if (Status started = node->Start(std::move(system)); !started.ok()) {
+        std::cerr << "shard " << s << ": " << started << "\n";
+        return 1;
+      }
+      addresses.push_back(ShardAddress{"127.0.0.1", node->shard_port()});
+      endpoints.push_back(WireEndpoint{"127.0.0.1", node->shard_port(), 1});
+      nodes.push_back(std::move(node));
+    }
+
+    const ShardRouter router(addresses);
+    if (auto scattered = router.Classify(queries[0], 5); scattered.ok()) {
+      point.router_shards_ok = scattered->shards_ok;
+      point.router_shards_total = scattered->shards_total;
+      point.router_ranked = scattered->ranked.size();
+    }
+
+    point.load = RunClosedLoopWireLoad(endpoints, queries, load);
+    curve.push_back(std::move(point));
+    for (auto& node : nodes) node->Stop();
+  }
+
+  // Replica probe: primary + read replica over a small corpus; the
+  // replica bootstraps via full-snapshot replication, then serves reads.
+  ShardNodeOptions primary_opts;
+  primary_opts.admin_port = -1;
+  ShardNode primary(std::move(primary_opts));
+  auto primary_system = IntegrationSystem::Build(MakeDwCorpus());
+  if (!primary_system.ok()) {
+    std::cerr << primary_system.status() << "\n";
+    return 1;
+  }
+  if (Status s = primary.Start(std::move(*primary_system)); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  ShardNodeOptions replica_opts;
+  replica_opts.admin_port = -1;
+  replica_opts.replica = true;
+  replica_opts.replica_sync.primary_port = primary.shard_port();
+  replica_opts.replica_sync.poll_interval_ms = 50;
+  ShardNode replica(std::move(replica_opts));
+  if (Status s = replica.Start(nullptr); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  const std::uint64_t primary_generation = primary.server().generation();
+  bool replica_synced = false;
+  for (int i = 0; i < 500; ++i) {
+    if (replica.replica() != nullptr &&
+        replica.replica()->GetStats().synced_generation >=
+            primary_generation) {
+      replica_synced = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  LoadReport replica_load;
+  std::string replica_stats_json = "{}";
+  if (replica_synced) {
+    LoadGenOptions replica_load_opts;
+    replica_load_opts.client_threads = 4;
+    replica_load_opts.duration_ms = 500;
+    replica_load = RunClosedLoopWireLoad(
+        {WireEndpoint{"127.0.0.1", replica.shard_port(), 1}}, queries,
+        replica_load_opts);
+    replica_stats_json = replica.replica()->StatsJson();
+  }
+  replica.Stop();
+  primary.Stop();
+
+  std::ostringstream results;
+  results << "{\"shard_scaling\": [";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const ShardSweepPoint& p = curve[i];
+    if (i > 0) results << ", ";
+    results << "{\"shards\": " << p.shards << ", \"schemas_per_shard\": [";
+    for (std::size_t s = 0; s < p.schemas_per_shard.size(); ++s) {
+      if (s > 0) results << ", ";
+      results << p.schemas_per_shard[s];
+    }
+    results << "], \"router_probe\": {\"shards_ok\": " << p.router_shards_ok
+            << ", \"shards_total\": " << p.router_shards_total
+            << ", \"ranked\": " << p.router_ranked
+            << "}, \"load\": " << p.load.ToJson() << "}";
+  }
+  results << "]";
+  double qps_at = 0, qps_base = 0;
+  for (const ShardSweepPoint& p : curve) {
+    if (p.shards == 1) qps_base = p.load.qps;
+    if (p.shards == 2) qps_at = p.load.qps;
+  }
+  if (qps_base > 0 && qps_at > 0) {
+    results << ", \"qps_scaling_2x_vs_1x\": " << (qps_at / qps_base);
+  }
+  results << ", \"replica_probe\": {\"synced\": "
+          << (replica_synced ? "true" : "false")
+          << ", \"primary_generation\": " << primary_generation
+          << ", \"replication\": " << replica_stats_json
+          << ", \"load\": " << replica_load.ToJson() << "}}";
+
+  if (!opts.json_out.empty()) {
+    const auto ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::ofstream out(opts.json_out, std::ios::trunc);
+    out << "{\"bench\": \"serve_throughput\", \"mode\": \"shard_scaling\", "
+        << "\"ts_ms\": " << ts_ms << ", \"config\": {\"corpus\": \""
+        << corpus_name << "\", \"threads\": " << load.client_threads
+        << ", \"seconds\": " << opts.seconds
+        << ", \"workers\": " << opts.workers
+        << ", \"delay_us\": " << delay_us << ", \"shard_counts\": [";
+    for (std::size_t i = 0; i < opts.shards.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << opts.shards[i];
+    }
+    out << "]}, \"results\": " << results.str() << "}\n";
+    if (!out) {
+      std::cerr << "failed writing " << opts.json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << opts.json_out << "\n";
+  }
+
+  if (opts.human) {
+    for (const ShardSweepPoint& p : curve) {
+      std::cout << "shards=" << p.shards << ": " << p.load.qps
+                << " qps aggregate, p50 " << p.load.p50_us << "us, router "
+                << p.router_shards_ok << "/" << p.router_shards_total
+                << " shards ok\n";
+    }
+    if (qps_base > 0 && qps_at > 0) {
+      std::cout << "2-shard vs 1-shard aggregate QPS: "
+                << (qps_at / qps_base) << "x\n";
+    }
+    std::cout << "replica: " << (replica_synced ? "synced" : "NOT SYNCED")
+              << ", " << replica_load.qps << " qps served off replica\n";
+    return 0;
+  }
+  std::cout << results.str() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +317,13 @@ int main(int argc, char** argv) {
     };
     if (arg == "--corpus" && next()) {
       opts.corpus = argv[i];
+      opts.corpus_set = true;
+    } else if (arg == "--shards" && next()) {
+      opts.shards = ParseShardCounts(argv[i]);
+      if (opts.shards.empty()) {
+        std::cerr << "--shards wants a comma-separated list of counts\n";
+        return 2;
+      }
     } else if (arg == "--threads" && next()) {
       opts.threads = static_cast<std::size_t>(std::atoi(argv[i]));
     } else if (arg == "--seconds" && next()) {
@@ -100,6 +345,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (!opts.shards.empty()) return RunShardSweep(opts);
 
   auto built = IntegrationSystem::Build(MakeCorpus(opts.corpus));
   if (!built.ok()) {

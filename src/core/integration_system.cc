@@ -65,7 +65,9 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
 
 Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
     SchemaCorpus corpus, SystemOptions options, DomainModel model,
-    std::vector<DomainConditionals> conditionals) {
+    std::vector<DomainConditionals> conditionals,
+    std::vector<std::string> lexicon_terms,
+    std::vector<DynamicBitset> features) {
   if (corpus.empty()) {
     return Status::InvalidArgument("corpus is empty");
   }
@@ -79,12 +81,37 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
   sys->corpus_ = std::make_shared<const SchemaCorpus>(std::move(corpus));
 
   sys->tokenizer_ = std::make_shared<const Tokenizer>(options.tokenizer);
-  sys->lexicon_ = std::make_shared<const Lexicon>(
-      Lexicon::Build(*sys->corpus_, *sys->tokenizer_));
-  sys->vectorizer_ = std::make_shared<const FeatureVectorizer>(
-      *sys->lexicon_, options.features);
-  sys->features_ = std::make_shared<const std::vector<DynamicBitset>>(
-      sys->vectorizer_->VectorizeCorpus());
+  if (!lexicon_terms.empty()) {
+    // Frozen-lexicon restore (snapshot v2): the feature space is the one
+    // the system was actually serving with, not a re-derivation.
+    if (features.size() != sys->corpus_->size()) {
+      return Status::InvalidArgument(
+          "restored feature vectors cover " +
+          std::to_string(features.size()) + " schemas but the corpus has " +
+          std::to_string(sys->corpus_->size()));
+    }
+    const std::size_t dim = lexicon_terms.size();
+    for (const DynamicBitset& f : features) {
+      if (f.size() != dim) {
+        return Status::InvalidArgument(
+            "restored feature vector dimension does not match the restored "
+            "lexicon");
+      }
+    }
+    sys->lexicon_ = std::make_shared<const Lexicon>(Lexicon::FromTerms(
+        std::move(lexicon_terms), *sys->corpus_, *sys->tokenizer_));
+    sys->vectorizer_ = std::make_shared<const FeatureVectorizer>(
+        *sys->lexicon_, options.features);
+    sys->features_ = std::make_shared<const std::vector<DynamicBitset>>(
+        std::move(features));
+  } else {
+    sys->lexicon_ = std::make_shared<const Lexicon>(
+        Lexicon::Build(*sys->corpus_, *sys->tokenizer_));
+    sys->vectorizer_ = std::make_shared<const FeatureVectorizer>(
+        *sys->lexicon_, options.features);
+    sys->features_ = std::make_shared<const std::vector<DynamicBitset>>(
+        sys->vectorizer_->VectorizeCorpus());
+  }
   sys->sims_ = std::make_shared<const SimilarityMatrix>(
       *sys->features_, options.hac.num_threads);
 

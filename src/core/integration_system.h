@@ -92,9 +92,22 @@ class IntegrationSystem {
   /// rebuilt from the corpus under \p options; the expensive parts — the
   /// probabilistic domain model and, when non-empty, the classifier
   /// conditionals — are restored verbatim instead of recomputed.
+  ///
+  /// When \p lexicon_terms is non-empty the lexicon is NOT rebuilt from the
+  /// corpus: it is frozen to exactly those terms (Lexicon::FromTerms) and
+  /// \p features — which must then have corpus.size() entries of dimension
+  /// lexicon_terms.size() — is adopted verbatim as the per-schema feature
+  /// vectors. This is the only correct way to restore a system whose corpus
+  /// grew through AddSchema after Build: those schemas were featurized by
+  /// VectorizeExternalTerms against the frozen lexicon, so re-deriving the
+  /// lexicon from the grown corpus would change the feature space and
+  /// silently (or loudly, via the dim check) diverge from the persisted
+  /// classifier. Snapshot format v2 persists both (see persist/model_io.h).
   static Result<std::unique_ptr<IntegrationSystem>> Restore(
       SchemaCorpus corpus, SystemOptions options, DomainModel model,
-      std::vector<DomainConditionals> conditionals);
+      std::vector<DomainConditionals> conditionals,
+      std::vector<std::string> lexicon_terms = {},
+      std::vector<DynamicBitset> features = {});
 
   /// Structurally shared copy for copy-on-write snapshotting: the
   /// immutable heavyweights — corpus, tokenizer, lexicon, similarity

@@ -127,8 +127,8 @@ void AdminServer::Handle(std::string path, Handler handler) {
   handlers_[std::move(path)] = std::move(handler);
 }
 
-Status AdminServer::Start() {
-  if (running()) return Status::OK();
+Result<std::uint16_t> AdminServer::Start() {
+  if (running()) return bound_port_;
   if (stopping_.load(std::memory_order_acquire) || connections_->closed()) {
     return Status::FailedPrecondition(
         "admin server was stopped; construct a new one");
@@ -191,7 +191,7 @@ Status AdminServer::Start() {
   for (std::size_t i = 0; i < options_.handler_threads; ++i) {
     pool_.emplace_back([this] { HandlerLoop(); });
   }
-  return Status::OK();
+  return bound_port_;
 }
 
 void AdminServer::Stop() {

@@ -99,10 +99,13 @@ class AdminServer {
   /// before Start() — the route map is immutable while serving.
   void Handle(std::string path, Handler handler);
 
-  /// Binds, listens, and spawns the accept thread + handler pool.
-  /// Idempotent while running. Fails with IoError when the port cannot be
-  /// bound.
-  Status Start();
+  /// Binds, listens, and spawns the accept thread + handler pool. Returns
+  /// the bound port — with options.port = 0 that is the kernel-chosen
+  /// ephemeral port, so multi-process harnesses get a collision-free port
+  /// straight from Start() instead of scraping logs. Idempotent while
+  /// running (returns the already-bound port). Fails with IoError when the
+  /// port cannot be bound.
+  Result<std::uint16_t> Start();
 
   /// Stops accepting, closes queued connections, joins all threads.
   /// Idempotent; called by the destructor.

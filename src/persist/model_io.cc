@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "schema/corpus_io.h"
+#include "util/bitset.h"
 #include "util/string_util.h"
 
 namespace paygo {
@@ -14,6 +15,7 @@ namespace {
 constexpr std::string_view kModelHeader = "paygo-model v1";
 constexpr std::string_view kConditionalsHeader = "paygo-classifier v1";
 constexpr std::string_view kSnapshotHeader = "paygo-snapshot v1";
+constexpr std::string_view kSnapshotHeaderV2 = "paygo-snapshot v2";
 
 /// Round-trip-exact double formatting.
 std::string Fmt(double v) {
@@ -183,31 +185,126 @@ Result<std::vector<DomainConditionals>> ParseConditionals(
   return out;
 }
 
-Status SaveSnapshot(const IntegrationSystem& system, const std::string& path) {
+namespace {
+
+/// The v2 lexicon section: the sorted frozen term vector, one term per
+/// line (tokenizer output never contains newlines), count first so the
+/// parser pre-sizes and validates.
+std::string SerializeLexiconSection(const Lexicon& lexicon) {
+  std::ostringstream os;
+  os << "terms " << lexicon.dim() << "\n";
+  for (const std::string& t : lexicon.terms()) os << t << "\n";
+  return os.str();
+}
+
+Result<std::vector<std::string>> ParseLexiconSection(std::string_view text) {
+  const std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty()) {
+    return Status::InvalidArgument("lexicon section is empty");
+  }
+  const std::vector<std::string> head = SplitAny(Trim(lines[0]), " ");
+  if (head.size() != 2 || head[0] != "terms") {
+    return Status::InvalidArgument("lexicon section must start with 'terms'");
+  }
+  PAYGO_ASSIGN_OR_RETURN(const std::uint64_t dim, ParseUint(head[1]));
+  std::vector<std::string> terms;
+  terms.reserve(dim);
+  for (std::size_t ln = 1; ln < lines.size(); ++ln) {
+    if (lines[ln].empty()) continue;
+    terms.push_back(lines[ln]);
+  }
+  if (terms.size() != dim) {
+    return Status::InvalidArgument(
+        "lexicon section declares " + std::to_string(dim) + " terms but has " +
+        std::to_string(terms.size()));
+  }
+  return terms;
+}
+
+/// The v2 features section: per-schema sparse set-bit index lists.
+/// "f <schema> <count> j1 j2 ..." — bitsets are sparse (a schema's terms
+/// plus similar lexicon terms), so indices beat raw words.
+std::string SerializeFeaturesSection(const std::vector<DynamicBitset>& features,
+                                     std::size_t dim) {
+  std::ostringstream os;
+  os << "counts " << features.size() << " " << dim << "\n";
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    os << "f " << i << " " << features[i].Count();
+    for (std::size_t j = 0; j < features[i].size(); ++j) {
+      if (features[i].Test(j)) os << " " << j;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<DynamicBitset>> ParseFeaturesSection(
+    std::string_view text) {
+  const std::vector<std::string> lines = Split(text, '\n');
+  std::size_t ln = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument("features line " + std::to_string(ln + 1) +
+                                   ": " + msg);
+  };
+  std::vector<DynamicBitset> out;
+  std::size_t dim = 0;
+  bool have_counts = false;
+  for (ln = 0; ln < lines.size(); ++ln) {
+    const std::string line = Trim(lines[ln]);
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = SplitAny(line, " ");
+    if (tok[0] == "counts") {
+      if (tok.size() != 3) return fail("counts needs two integers");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t n, ParseUint(tok[1]));
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t d, ParseUint(tok[2]));
+      out.assign(n, DynamicBitset(d));
+      dim = d;
+      have_counts = true;
+    } else if (tok[0] == "f") {
+      if (!have_counts) return fail("'f' before 'counts'");
+      if (tok.size() < 3) return fail("f needs schema id and bit count");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t i, ParseUint(tok[1]));
+      if (i >= out.size()) return fail("schema id out of range");
+      PAYGO_ASSIGN_OR_RETURN(const std::uint64_t count, ParseUint(tok[2]));
+      if (tok.size() - 3 != count) return fail("set-bit count mismatch");
+      for (std::size_t k = 3; k < tok.size(); ++k) {
+        PAYGO_ASSIGN_OR_RETURN(const std::uint64_t j, ParseUint(tok[k]));
+        if (j >= dim) return fail("bit index out of range");
+        out[i].Set(j);
+      }
+    } else {
+      return fail("unknown directive '" + tok[0] + "'");
+    }
+  }
+  if (!have_counts) {
+    return Status::InvalidArgument("features section missing 'counts'");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> SerializeSnapshot(const IntegrationSystem& system) {
   if (!system.has_classifier()) {
     return Status::FailedPrecondition(
         "snapshotting requires a built classifier");
   }
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << kSnapshotHeader << "\n";
+  std::ostringstream out;
+  out << kSnapshotHeaderV2 << "\n";
   out << "=== corpus ===\n" << SerializeCorpus(system.corpus());
+  out << "=== lexicon ===\n" << SerializeLexiconSection(system.lexicon());
+  out << "=== features ===\n"
+      << SerializeFeaturesSection(system.features(), system.lexicon().dim());
   out << "=== model ===\n" << SerializeDomainModel(system.domains());
   out << "=== classifier ===\n"
       << SerializeConditionals(system.classifier().conditionals());
   out << "=== end ===\n";
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return out.str();
 }
 
-Result<std::unique_ptr<IntegrationSystem>> LoadSnapshot(
-    const std::string& path, SystemOptions options) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-
+Result<std::unique_ptr<IntegrationSystem>> ParseSnapshot(
+    std::string_view text_view, SystemOptions options) {
+  const std::string text(text_view);
   auto section = [&](std::string_view name) -> Result<std::string> {
     const std::string marker = "=== " + std::string(name) + " ===\n";
     const std::size_t begin = text.find(marker);
@@ -222,7 +319,8 @@ Result<std::unique_ptr<IntegrationSystem>> LoadSnapshot(
                                     : next + 1 - content);
   };
 
-  if (text.rfind(kSnapshotHeader, 0) != 0) {
+  const bool v2 = text.rfind(kSnapshotHeaderV2, 0) == 0;
+  if (!v2 && text.rfind(kSnapshotHeader, 0) != 0) {
     return Status::InvalidArgument("missing paygo-snapshot header");
   }
   PAYGO_ASSIGN_OR_RETURN(const std::string corpus_text, section("corpus"));
@@ -232,9 +330,36 @@ Result<std::unique_ptr<IntegrationSystem>> LoadSnapshot(
   PAYGO_ASSIGN_OR_RETURN(DomainModel model, ParseDomainModel(model_text));
   PAYGO_ASSIGN_OR_RETURN(std::vector<DomainConditionals> conditionals,
                          ParseConditionals(clf_text));
+  std::vector<std::string> lexicon_terms;
+  std::vector<DynamicBitset> features;
+  if (v2) {
+    PAYGO_ASSIGN_OR_RETURN(const std::string lex_text, section("lexicon"));
+    PAYGO_ASSIGN_OR_RETURN(const std::string feat_text, section("features"));
+    PAYGO_ASSIGN_OR_RETURN(lexicon_terms, ParseLexiconSection(lex_text));
+    PAYGO_ASSIGN_OR_RETURN(features, ParseFeaturesSection(feat_text));
+  }
   return IntegrationSystem::Restore(std::move(corpus), std::move(options),
-                                    std::move(model),
-                                    std::move(conditionals));
+                                    std::move(model), std::move(conditionals),
+                                    std::move(lexicon_terms),
+                                    std::move(features));
+}
+
+Status SaveSnapshot(const IntegrationSystem& system, const std::string& path) {
+  PAYGO_ASSIGN_OR_RETURN(const std::string text, SerializeSnapshot(system));
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << text;
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<IntegrationSystem>> LoadSnapshot(
+    const std::string& path, SystemOptions options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSnapshot(buf.str(), std::move(options));
 }
 
 }  // namespace paygo

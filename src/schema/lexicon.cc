@@ -39,6 +39,32 @@ Lexicon Lexicon::Build(const SchemaCorpus& corpus, const Tokenizer& tokenizer) {
   return lex;
 }
 
+Lexicon Lexicon::FromTerms(std::vector<std::string> terms,
+                           const SchemaCorpus& corpus,
+                           const Tokenizer& tokenizer) {
+  Lexicon lex;
+  lex.terms_ = std::move(terms);
+  lex.term_index_.reserve(lex.terms_.size());
+  for (std::uint32_t j = 0; j < lex.terms_.size(); ++j) {
+    lex.term_index_.emplace(lex.terms_[j], j);
+  }
+  lex.term_freq_.assign(lex.terms_.size(), 0);
+  lex.schema_terms_.reserve(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    std::vector<std::uint32_t> ids;
+    for (const std::string& t :
+         tokenizer.TokenizeAll(corpus.schema(i).attributes)) {
+      const auto it = lex.term_index_.find(t);
+      if (it == lex.term_index_.end()) continue;  // outside the frozen L
+      ids.push_back(it->second);
+      ++lex.term_freq_[it->second];
+    }
+    std::sort(ids.begin(), ids.end());
+    lex.schema_terms_.push_back(std::move(ids));
+  }
+  return lex;
+}
+
 std::optional<std::uint32_t> Lexicon::IndexOf(std::string_view term) const {
   const auto it = term_index_.find(std::string(term));
   if (it == term_index_.end()) return std::nullopt;

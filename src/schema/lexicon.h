@@ -26,6 +26,18 @@ class Lexicon {
   /// Tokenizes every schema of \p corpus with \p tokenizer and builds L.
   static Lexicon Build(const SchemaCorpus& corpus, const Tokenizer& tokenizer);
 
+  /// Rebuilds a lexicon over a FROZEN term vector \p terms (must be sorted
+  /// and distinct): T_i keeps only the terms of schema i that appear in
+  /// \p terms, exactly the frozen-lexicon semantics of the incremental add
+  /// path. This is how persistence restores a system whose corpus grew via
+  /// AddSchema after the original Build — rebuilding L from the grown
+  /// corpus would widen the feature space and orphan the persisted
+  /// classifier conditionals. Note TermFrequency here counts the whole
+  /// corpus (evaluation-only data; the serving paths never read it).
+  static Lexicon FromTerms(std::vector<std::string> terms,
+                           const SchemaCorpus& corpus,
+                           const Tokenizer& tokenizer);
+
   /// The sorted distinct terms L_1..L_dimL.
   const std::vector<std::string>& terms() const { return terms_; }
   /// dim L.

@@ -8,7 +8,8 @@
 
 namespace paygo {
 
-void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server) {
+void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server,
+                             std::function<std::string()> extra_status) {
   const PaygoServer* srv = &server;
 
   // /metrics and /varz replace the obs-level registrations: the operator
@@ -37,7 +38,7 @@ void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server) {
     return response;
   });
 
-  admin.Handle("/statusz", [srv](const HttpRequest&) {
+  admin.Handle("/statusz", [srv, extra_status](const HttpRequest&) {
     const HealthState health = srv->Health();
     const ServerMetrics& m = srv->metrics();
     const ServeOptions& opts = srv->options();
@@ -72,8 +73,12 @@ void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server) {
        << ", \"delta_rebuild_us\": "
        << HistogramSummaryJson(m.delta_update_latency)
        << ", \"full_rebuild_us\": "
-       << HistogramSummaryJson(m.rebuild_update_latency) << "}"
-       << "}\n";
+       << HistogramSummaryJson(m.rebuild_update_latency) << "}";
+    if (extra_status) {
+      const std::string extra = extra_status();
+      if (!extra.empty()) os << ", " << extra;
+    }
+    os << "}\n";
     HttpResponse response;
     response.content_type = "application/json";
     response.body = os.str();

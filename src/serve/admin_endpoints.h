@@ -17,6 +17,9 @@
 /// It also upgrades /metrics and /varz to include the server's own
 /// counters and latency histograms alongside the global registry.
 
+#include <functional>
+#include <string>
+
 namespace paygo {
 
 class AdminServer;
@@ -26,7 +29,15 @@ class PaygoServer;
 /// to merge in \p server's metrics. Call after RegisterObsEndpoints and
 /// before admin.Start(). \p server must outlive \p admin's serving life
 /// (PaygoServer guarantees this by stopping the admin endpoint first).
-void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server);
+///
+/// \p extra_status, when set, is called per /statusz request and must
+/// return zero or more additional `"key": value` JSON members (comma-
+/// separated, no leading/trailing comma); they are spliced into the
+/// /statusz object. The shard layer uses this to append its "shardz"
+/// section without the serve layer knowing about shards.
+void RegisterServerEndpoints(
+    AdminServer& admin, const PaygoServer& server,
+    std::function<std::string()> extra_status = nullptr);
 
 }  // namespace paygo
 

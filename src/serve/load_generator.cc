@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "shard/wire.h"
 #include "synth/query_generator.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -128,6 +129,86 @@ LoadReport RunClosedLoopLoad(PaygoServer& server,
   report.rejected = m.requests_rejected.load();
   report.timed_out = m.requests_timed_out.load();
   report.snapshot_generation = m.snapshot_generation.load();
+  return report;
+}
+
+LoadReport RunClosedLoopWireLoad(const std::vector<WireEndpoint>& endpoints,
+                                 const std::vector<std::string>& queries,
+                                 const LoadGenOptions& options,
+                                 std::size_t classify_k) {
+  LoadReport report;
+  report.client_threads = std::max<std::size_t>(options.client_threads, 1);
+  report.duration_ms = std::max<std::uint64_t>(options.duration_ms, 1);
+  if (queries.empty() || endpoints.empty()) return report;
+
+  // Weighted round-robin as a flattened schedule: an endpoint of weight w
+  // appears w times, so walking the schedule sequentially realizes the
+  // weights exactly over any window of its length.
+  std::vector<const WireEndpoint*> schedule;
+  for (const WireEndpoint& e : endpoints) {
+    for (std::size_t w = 0; w < std::max<std::size_t>(e.weight, 1); ++w) {
+      schedule.push_back(&e);
+    }
+  }
+
+  struct ClientResult {
+    std::vector<std::uint64_t> latencies_us;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+  };
+  std::vector<ClientResult> per_client(report.client_threads);
+
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(report.duration_ms);
+  const WallTimer start;
+  std::vector<std::thread> clients;
+  clients.reserve(report.client_threads);
+  for (std::size_t c = 0; c < report.client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      ClientResult& mine = per_client[c];
+      std::size_t next = c;  // offset so clients do not march in lockstep
+      while (Clock::now() < deadline) {
+        const std::string& query = queries[next % queries.size()];
+        const WireEndpoint& target = *schedule[next % schedule.size()];
+        ++next;
+        const std::string payload =
+            std::to_string(classify_k) + "\n" + query;
+        const WallTimer sent;
+        Result<Frame> reply = CallOnce(target.host, target.port,
+                                       FrameType::kClassify, payload, 2000);
+        mine.latencies_us.push_back(sent.ElapsedMicros());
+        if (reply.ok() && reply->type == FrameType::kClassifyResult) {
+          ++mine.ok;
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const std::uint64_t elapsed_us = start.ElapsedMicros();
+
+  std::vector<std::uint64_t> all;
+  for (ClientResult& r : per_client) {
+    report.ok_requests += r.ok;
+    report.error_requests += r.errors;
+    all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
+  }
+  report.total_requests = report.ok_requests + report.error_requests;
+  std::sort(all.begin(), all.end());
+  report.p50_us = SamplePercentile(all, 0.50);
+  report.p95_us = SamplePercentile(all, 0.95);
+  report.p99_us = SamplePercentile(all, 0.99);
+  report.max_us = all.empty() ? 0 : all.back();
+  if (!all.empty()) {
+    double sum = 0;
+    for (std::uint64_t v : all) sum += static_cast<double>(v);
+    report.mean_us = sum / static_cast<double>(all.size());
+  }
+  report.qps = elapsed_us == 0
+                   ? 0.0
+                   : static_cast<double>(report.total_requests) * 1e6 /
+                         static_cast<double>(elapsed_us);
   return report;
 }
 

@@ -69,6 +69,27 @@ LoadReport RunClosedLoopLoad(PaygoServer& server,
                              const std::vector<std::string>& queries,
                              const LoadGenOptions& options);
 
+/// \brief One wire-protocol target of the multi-endpoint closed loop.
+struct WireEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Relative share of requests (weighted round-robin). A router fronting
+  /// N shards typically gets weight N next to weight-1 replicas.
+  std::size_t weight = 1;
+};
+
+/// The multi-endpoint closed loop: like RunClosedLoopLoad, but requests go
+/// over the shard wire protocol (kClassify round trips on fresh
+/// connections), spread across \p endpoints by weighted round-robin. One
+/// driver process loads a whole fleet — router plus replicas — which is
+/// how `bench/serve_throughput --shards=N` measures aggregate read QPS.
+/// Server-side fields of the report (cache hit rate, rejections) stay 0:
+/// there is no single server to sample.
+LoadReport RunClosedLoopWireLoad(const std::vector<WireEndpoint>& endpoints,
+                                 const std::vector<std::string>& queries,
+                                 const LoadGenOptions& options,
+                                 std::size_t classify_k = 3);
+
 /// Fires \p burst async classifications without waiting in between, then
 /// collects them all; returns how many were rejected by admission control.
 /// With burst > queue depth + workers, some rejections are guaranteed.

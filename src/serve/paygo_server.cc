@@ -106,10 +106,10 @@ Status PaygoServer::Start() {
     admin_ = std::make_unique<AdminServer>(admin_options);
     RegisterObsEndpoints(*admin_);
     RegisterServerEndpoints(*admin_, *this);
-    Status status = admin_->Start();
-    if (!status.ok()) {
+    Result<std::uint16_t> bound = admin_->Start();
+    if (!bound.ok()) {
       Stop();
-      return status;
+      return bound.status();
     }
   }
   if (!options_.export_path.empty()) {

@@ -34,6 +34,7 @@ std::string ServerMetrics::DebugString() const {
   os << "snapshot: generation=" << snapshot_generation.load()
      << " swaps=" << snapshot_swaps.load()
      << " updates_failed=" << updates_failed.load() << "\n";
+  os << "generation: " << snapshot_generation.load() << "\n";
   os << "write_path: delta=" << delta_updates.load()
      << " rebuild=" << rebuild_updates.load() << "\n";
   const PathHistogram paths[] = {{"classify", classify_latency},
@@ -59,6 +60,7 @@ std::string ServerMetrics::ToJson() const {
      << ", \"cache_misses\": " << cache_misses.load()
      << ", \"cache_hit_rate\": " << CacheHitRate()
      << ", \"snapshot_generation\": " << snapshot_generation.load()
+     << ", \"generation\": " << snapshot_generation.load()
      << ", \"snapshot_swaps\": " << snapshot_swaps.load()
      << ", \"updates_failed\": " << updates_failed.load()
      << ", \"delta_updates\": " << delta_updates.load()
@@ -101,6 +103,11 @@ std::string ServerMetrics::ToPrometheus() const {
   os << "# TYPE paygo_serve_snapshot_generation gauge\n"
      << "paygo_serve_snapshot_generation " << snapshot_generation.load()
      << "\n";
+  // The stable short name replication staleness math keys on:
+  // replica lag = primary paygo_serve_generation - replica synced
+  // generation (see shard/replication.h).
+  os << "# TYPE paygo_serve_generation gauge\n"
+     << "paygo_serve_generation " << snapshot_generation.load() << "\n";
   os << "# TYPE paygo_serve_cache_hit_rate gauge\n"
      << "paygo_serve_cache_hit_rate " << CacheHitRate() << "\n";
   const PathHistogram paths[] = {

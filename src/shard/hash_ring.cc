@@ -1,0 +1,69 @@
+#include "shard/hash_ring.h"
+
+#include <algorithm>
+
+namespace paygo {
+
+std::uint64_t HashRing::Hash64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // Raw FNV-1a of short similar keys ("domain17", "domain18") clusters in
+  // a narrow band of the upper bits, and ring placement is ordered by the
+  // FULL 64-bit value — so without a finalizer whole key families land on
+  // one arc. The murmur3 fmix64 avalanche spreads them uniformly.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+HashRing::HashRing(std::size_t num_shards, std::size_t vnodes)
+    : num_shards_(num_shards == 0 ? 1 : num_shards),
+      vnodes_(vnodes == 0 ? 1 : vnodes) {
+  ring_.reserve(num_shards_ * vnodes_);
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      const std::string point = "shard-" + std::to_string(s) + "-vnode-" +
+                                std::to_string(v);
+      ring_.emplace_back(Hash64(point), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::uint32_t HashRing::ShardFor(std::string_view key) const {
+  const std::uint64_t h = Hash64(key);
+  // First ring point at or after h, wrapping to the start past the end.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+std::string ShardKeyOf(const SchemaCorpus& corpus, std::size_t i) {
+  const auto& labels = corpus.labels(i);
+  if (!labels.empty()) return labels[0];
+  return corpus.schema(i).source_name;
+}
+
+std::vector<SchemaCorpus> PartitionCorpus(const SchemaCorpus& corpus,
+                                          const HashRing& ring) {
+  std::vector<SchemaCorpus> parts(ring.num_shards());
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    parts[s].set_name(corpus.name() + "-shard" + std::to_string(s));
+  }
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const std::uint32_t s = ring.ShardFor(ShardKeyOf(corpus, i));
+    parts[s].Add(corpus.schema(i), corpus.labels(i));
+  }
+  return parts;
+}
+
+}  // namespace paygo

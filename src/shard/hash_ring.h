@@ -1,0 +1,74 @@
+#ifndef PAYGO_SHARD_HASH_RING_H_
+#define PAYGO_SHARD_HASH_RING_H_
+
+/// \file hash_ring.h
+/// \brief Consistent hashing of domains onto shards.
+///
+/// Domain-sharded serving splits a multi-domain corpus across N shard
+/// servers, each owning the schemas of the domains hashed to it. A
+/// consistent-hash ring (virtual nodes per shard, binary search over ring
+/// points) keeps the assignment stable when shards are added: only the
+/// keys landing on the moved arcs change owners, instead of the wholesale
+/// reshuffle a modulo assignment causes.
+///
+/// The shard key of a schema is its first domain label when labels are
+/// present (the synthetic generators label every schema), otherwise its
+/// source name — so labeled corpora shard whole domains, which is what
+/// makes per-shard NB posteriors meaningful: a domain's member schemas all
+/// live on one shard, and the scatter/gather merge (see router.h) ranks
+/// disjoint domain sets.
+///
+/// Everything here is deterministic: FNV-1a hashing, no seeds, so every
+/// process — router, shards, bench harness — derives the same assignment
+/// from (num_shards, vnodes) alone.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/corpus.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// \brief Consistent-hash ring mapping string keys to shard indices.
+class HashRing {
+ public:
+  /// \p vnodes ring points per shard smooth the load split; 64 keeps the
+  /// max/min shard-size ratio under ~1.3 for uniform keys.
+  explicit HashRing(std::size_t num_shards, std::size_t vnodes = 64);
+
+  /// The shard owning \p key: the first ring point clockwise of its hash.
+  std::uint32_t ShardFor(std::string_view key) const;
+
+  std::size_t num_shards() const { return num_shards_; }
+  std::size_t vnodes() const { return vnodes_; }
+
+  /// FNV-1a 64-bit with a murmur3-style avalanche finalizer:
+  /// deterministic, dependency-free, and well-mixed across the full word
+  /// even for short near-identical keys (domain labels).
+  static std::uint64_t Hash64(std::string_view data);
+
+ private:
+  std::size_t num_shards_;
+  std::size_t vnodes_;
+  /// (ring point, shard) sorted by point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+/// The ring key of schema \p i of \p corpus: first label if labeled, else
+/// the source name.
+std::string ShardKeyOf(const SchemaCorpus& corpus, std::size_t i);
+
+/// Splits \p corpus into ring.num_shards() per-shard corpora (schema order
+/// preserved within each shard, labels carried along). Shards a ring arc
+/// assigns no schemas come back empty — the caller decides whether an
+/// empty shard is an error (IntegrationSystem::Build rejects empty
+/// corpora, so benches pick shard counts well below the domain count).
+std::vector<SchemaCorpus> PartitionCorpus(const SchemaCorpus& corpus,
+                                          const HashRing& ring);
+
+}  // namespace paygo
+
+#endif  // PAYGO_SHARD_HASH_RING_H_

@@ -1,0 +1,310 @@
+#include "shard/replication.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/stats.h"
+#include "persist/model_io.h"
+#include "schema/corpus_io.h"
+#include "shard/wire.h"
+
+namespace paygo {
+
+namespace {
+
+std::int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<std::uint64_t> ParseGen(const std::string& s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed generation '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::string MakeDeltaRecord(std::uint64_t generation, const Schema& schema,
+                            const std::vector<std::string>& labels) {
+  SchemaCorpus one;
+  one.set_name("delta");
+  one.Add(schema, labels);
+  const std::string body = SerializeCorpus(one);
+  std::ostringstream os;
+  os << "record " << generation << " " << body.size() << "\n" << body;
+  return os.str();
+}
+
+Result<std::vector<DeltaRecord>> ParseDeltaPayload(std::string_view payload,
+                                                   std::uint64_t* through) {
+  const std::string text(payload);
+  std::size_t pos = text.find('\n');
+  if (pos == std::string::npos || text.rfind("gen ", 0) != 0) {
+    return Status::InvalidArgument("delta payload missing 'gen' header");
+  }
+  PAYGO_ASSIGN_OR_RETURN(const std::uint64_t g,
+                         ParseGen(text.substr(4, pos - 4)));
+  if (through != nullptr) *through = g;
+  ++pos;
+  std::vector<DeltaRecord> out;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos || text.compare(pos, 7, "record ") != 0) {
+      return Status::InvalidArgument("malformed delta record header");
+    }
+    std::istringstream head(text.substr(pos + 7, eol - pos - 7));
+    std::uint64_t gen = 0;
+    std::size_t len = 0;
+    if (!(head >> gen >> len)) {
+      return Status::InvalidArgument("malformed delta record header");
+    }
+    pos = eol + 1;
+    if (pos + len > text.size()) {
+      return Status::InvalidArgument("truncated delta record body");
+    }
+    PAYGO_ASSIGN_OR_RETURN(SchemaCorpus one,
+                           ParseCorpus(text.substr(pos, len)));
+    if (one.size() != 1) {
+      return Status::InvalidArgument("delta record must hold one schema");
+    }
+    DeltaRecord record;
+    record.generation = gen;
+    record.schema = one.schema(0);
+    record.labels = one.labels(0);
+    out.push_back(std::move(record));
+    pos += len;
+  }
+  return out;
+}
+
+// --------------------------------------------------------- ReplicationLog
+
+ReplicationLog::ReplicationLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void ReplicationLog::Append(std::uint64_t generation, std::string record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.empty() && generation != entries_.back().first + 1) {
+    // A mutation this log does not record published in between; serving
+    // deltas across that gap would silently skip it.
+    entries_.clear();
+  }
+  entries_.emplace_back(generation, std::move(record));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void ReplicationLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::optional<std::string> ReplicationLog::RecordsCovering(
+    std::uint64_t since, std::uint64_t through) const {
+  if (through <= since) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty() || entries_.front().first > since + 1) {
+    return std::nullopt;  // trimmed or cleared past the replica's position
+  }
+  std::string out;
+  std::size_t covered = 0;
+  for (const auto& [gen, record] : entries_) {
+    if (gen <= since) continue;
+    if (gen > through) break;
+    out += record;
+    ++covered;
+  }
+  // Entries are contiguous by construction, so covering the whole range
+  // means exactly through - since records.
+  if (covered != through - since) return std::nullopt;
+  return out;
+}
+
+std::size_t ReplicationLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+// ------------------------------------------------------------ ReplicaSync
+
+ReplicaSync::ReplicaSync(PaygoServer& server, ReplicaSyncOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+ReplicaSync::~ReplicaSync() { Stop(); }
+
+Status ReplicaSync::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loop_.joinable()) return Status::OK();
+  if (options_.primary_port == 0) {
+    return Status::InvalidArgument("replica sync needs a primary port");
+  }
+  stopping_ = false;
+  loop_ = std::thread([this] { SyncLoop(); });
+  return Status::OK();
+}
+
+void ReplicaSync::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (loop_.joinable()) loop_.join();
+}
+
+void ReplicaSync::SyncLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    PollOnce();  // failures are counted and retried next tick
+    std::unique_lock<std::mutex> lock(mu_);
+    wake_.wait_for(lock,
+                   std::chrono::milliseconds(options_.poll_interval_ms),
+                   [this] { return stopping_; });
+    if (stopping_) return;
+  }
+}
+
+Status ReplicaSync::PollOnce() {
+  auto fail = [this](Status status) {
+    sync_failures_.fetch_add(1, std::memory_order_relaxed);
+    connected_.store(false, std::memory_order_relaxed);
+    UpdateGauges();
+    return status;
+  };
+
+  Result<int> fd = ConnectWithRetry(
+      options_.primary_host, options_.primary_port, options_.io_timeout_ms,
+      options_.connect_attempts, options_.connect_backoff_ms);
+  if (!fd.ok()) return fail(fd.status());
+
+  // "none" until the first successful apply: a fresh replica's synced
+  // counter of 0 must not be mistaken for "caught up with a generation-0
+  // primary" (servers seeded through the constructor publish at 0).
+  const std::uint64_t synced = synced_.load(std::memory_order_relaxed);
+  const std::string pull = has_synced_.load(std::memory_order_relaxed)
+                               ? std::to_string(synced)
+                               : std::string("none");
+  Status sent = WriteFrame(*fd, FrameType::kSnapshotPull, pull);
+  if (!sent.ok()) {
+    ::close(*fd);
+    return fail(sent);
+  }
+  Result<Frame> reply = ReadFrame(*fd);
+  ::close(*fd);
+  if (!reply.ok()) return fail(reply.status());
+
+  switch (reply->type) {
+    case FrameType::kUpToDate: {
+      Result<std::uint64_t> gen = ParseGen(reply->payload);
+      if (!gen.ok()) return fail(gen.status());
+      RecordSuccess(*gen);
+      return Status::OK();
+    }
+    case FrameType::kSnapshotFull: {
+      const std::size_t eol = reply->payload.find('\n');
+      if (eol == std::string::npos ||
+          reply->payload.rfind("gen ", 0) != 0) {
+        return fail(
+            Status::InvalidArgument("snapshot payload missing 'gen'"));
+      }
+      Result<std::uint64_t> gen =
+          ParseGen(reply->payload.substr(4, eol - 4));
+      if (!gen.ok()) return fail(gen.status());
+      auto restored = ParseSnapshot(
+          std::string_view(reply->payload).substr(eol + 1), options_.system);
+      if (!restored.ok()) return fail(restored.status());
+      Status installed =
+          server_.InstallSystemAsync(std::move(*restored)).get();
+      if (!installed.ok()) return fail(installed);
+      synced_.store(*gen, std::memory_order_relaxed);
+      has_synced_.store(true, std::memory_order_relaxed);
+      full_syncs_.fetch_add(1, std::memory_order_relaxed);
+      RecordSuccess(*gen);
+      return Status::OK();
+    }
+    case FrameType::kSnapshotDelta: {
+      std::uint64_t through = 0;
+      auto records = ParseDeltaPayload(reply->payload, &through);
+      if (!records.ok()) return fail(records.status());
+      for (DeltaRecord& record : *records) {
+        Status applied =
+            server_
+                .AddSchemaAsync(std::move(record.schema),
+                                std::move(record.labels))
+                .get();
+        if (!applied.ok()) return fail(applied);
+        synced_.store(record.generation, std::memory_order_relaxed);
+      }
+      synced_.store(through, std::memory_order_relaxed);
+      delta_syncs_.fetch_add(1, std::memory_order_relaxed);
+      RecordSuccess(through);
+      return Status::OK();
+    }
+    case FrameType::kError:
+      return fail(Status::IoError("primary: " + reply->payload));
+    default:
+      return fail(Status::IoError("unexpected reply frame type"));
+  }
+}
+
+void ReplicaSync::RecordSuccess(std::uint64_t primary_generation) {
+  primary_gen_.store(primary_generation, std::memory_order_relaxed);
+  connected_.store(true, std::memory_order_relaxed);
+  last_success_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
+  UpdateGauges();
+}
+
+void ReplicaSync::UpdateGauges() const {
+  StatsRegistry& reg = StatsRegistry::Global();
+  const Stats stats = GetStats();
+  reg.GetGauge("paygo.shard.replica.generation_lag")
+      ->Set(static_cast<std::int64_t>(stats.generation_lag));
+  reg.GetGauge("paygo.shard.replica.staleness_ms")
+      ->Set(static_cast<std::int64_t>(stats.staleness_ms));
+}
+
+ReplicaSync::Stats ReplicaSync::GetStats() const {
+  Stats stats;
+  stats.synced_generation = synced_.load(std::memory_order_relaxed);
+  stats.primary_generation = primary_gen_.load(std::memory_order_relaxed);
+  stats.generation_lag =
+      stats.primary_generation > stats.synced_generation
+          ? stats.primary_generation - stats.synced_generation
+          : 0;
+  const std::int64_t last = last_success_ms_.load(std::memory_order_relaxed);
+  stats.staleness_ms =
+      last < 0 ? 0
+               : static_cast<std::uint64_t>(
+                     std::max<std::int64_t>(0, SteadyNowMs() - last));
+  stats.full_syncs = full_syncs_.load(std::memory_order_relaxed);
+  stats.delta_syncs = delta_syncs_.load(std::memory_order_relaxed);
+  stats.sync_failures = sync_failures_.load(std::memory_order_relaxed);
+  stats.connected = connected_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string ReplicaSync::StatsJson() const {
+  const Stats stats = GetStats();
+  std::ostringstream os;
+  os << "{\"synced_generation\": " << stats.synced_generation
+     << ", \"primary_generation\": " << stats.primary_generation
+     << ", \"generation_lag\": " << stats.generation_lag
+     << ", \"staleness_ms\": " << stats.staleness_ms
+     << ", \"full_syncs\": " << stats.full_syncs
+     << ", \"delta_syncs\": " << stats.delta_syncs
+     << ", \"sync_failures\": " << stats.sync_failures
+     << ", \"connected\": " << (stats.connected ? "true" : "false") << "}";
+  return os.str();
+}
+
+}  // namespace paygo

@@ -1,0 +1,176 @@
+#ifndef PAYGO_SHARD_REPLICATION_H_
+#define PAYGO_SHARD_REPLICATION_H_
+
+/// \file replication.h
+/// \brief Snapshot replication from a primary shard to read replicas.
+///
+/// Replication is PULL-based: each replica polls its primary with the last
+/// primary generation it has applied (kSnapshotPull), and the primary
+/// answers one of
+///
+///   kUpToDate       nothing newer — the common steady-state round trip,
+///                   a few bytes each way;
+///   kSnapshotDelta  the AddSchema records covering (synced, current] —
+///                   the replica replays them through its own write path,
+///                   which PR-5's delta machinery makes bit-identical to
+///                   the primary's application;
+///   kSnapshotFull   a complete v2 snapshot (persist/model_io) — the
+///                   bootstrap path, and the fallback whenever the delta
+///                   log cannot prove it covers the gap.
+///
+/// The primary's ReplicationLog only records AddSchema mutations. Any
+/// other published mutation (feedback, rebuild, tuple attachment, a raw
+/// UpdateAsync) leaves a generation gap, which the log detects and answers
+/// by clearing itself — forcing the next pull to full-sync. That is the
+/// safety story in one line: deltas are served only when the log covers
+/// every generation of the gap, otherwise the replica gets the whole
+/// state. Replicas apply full snapshots with the existing generation-
+/// tagged SnapshotHolder cutover (InstallSystemAsync), so readers on the
+/// replica never see a torn state.
+///
+/// Staleness is tracked two ways, both exported as gauges and on
+/// /statusz: generation lag (primary generation minus synced generation)
+/// and wall-clock milliseconds since the last successful sync.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/integration_system.h"
+#include "schema/corpus.h"
+#include "serve/paygo_server.h"
+#include "util/status.h"
+
+namespace paygo {
+
+/// One replayable AddSchema mutation.
+struct DeltaRecord {
+  std::uint64_t generation = 0;
+  Schema schema;
+  std::vector<std::string> labels;
+};
+
+/// Serializes one record: "record <gen> <len>\n" + a one-schema corpus in
+/// corpus_io text (length-prefixed because corpus text is multi-line).
+std::string MakeDeltaRecord(std::uint64_t generation, const Schema& schema,
+                            const std::vector<std::string>& labels);
+
+/// Parses a kSnapshotDelta payload: "gen <g>\n" + concatenated records.
+/// \p through receives g.
+Result<std::vector<DeltaRecord>> ParseDeltaPayload(std::string_view payload,
+                                                   std::uint64_t* through);
+
+/// \brief Primary-side log of AddSchema mutations, contiguous by
+/// generation.
+///
+/// Thread-safe. Append detects generation gaps (an unlogged mutation
+/// published in between) and clears the log: a log that cannot prove
+/// contiguity must not serve deltas.
+class ReplicationLog {
+ public:
+  explicit ReplicationLog(std::size_t capacity = 1024);
+
+  /// Appends the record published at \p generation. A generation that is
+  /// not exactly one past the previous entry clears the log first.
+  void Append(std::uint64_t generation, std::string record);
+
+  /// Drops all entries (the next pull full-syncs).
+  void Clear();
+
+  /// The concatenated records covering exactly (\p since, \p through], or
+  /// nullopt when the log cannot prove contiguous coverage of that range
+  /// (trimmed, cleared, or interleaved with unlogged mutations).
+  std::optional<std::string> RecordsCovering(std::uint64_t since,
+                                             std::uint64_t through) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  /// (generation, serialized record), contiguous ascending generations.
+  std::deque<std::pair<std::uint64_t, std::string>> entries_;
+};
+
+/// \brief Replica-side sync loop: poll, apply, report staleness.
+struct ReplicaSyncOptions {
+  std::string primary_host = "127.0.0.1";
+  std::uint16_t primary_port = 0;
+  /// Steady-state poll cadence. Staleness floors at roughly this value.
+  std::uint64_t poll_interval_ms = 200;
+  std::uint64_t io_timeout_ms = 5000;
+  /// Connect retry-with-backoff per poll (rides out primary restarts).
+  std::size_t connect_attempts = 3;
+  std::uint64_t connect_backoff_ms = 100;
+  /// Options full snapshots are restored under; must match the primary's
+  /// mediator/classifier settings.
+  SystemOptions system;
+};
+
+class ReplicaSync {
+ public:
+  /// Applies pulled state to \p server (InstallSystemAsync for full
+  /// snapshots, AddSchemaAsync replay for deltas). \p server must outlive
+  /// this object and be Start()ed before Start() is called here.
+  ReplicaSync(PaygoServer& server, ReplicaSyncOptions options);
+  ~ReplicaSync();
+
+  Status Start();
+  void Stop();
+
+  /// One synchronous pull-and-apply round trip — the test seam, and what
+  /// the background loop runs per tick.
+  Status PollOnce();
+
+  struct Stats {
+    std::uint64_t synced_generation = 0;   ///< last applied primary gen
+    std::uint64_t primary_generation = 0;  ///< as of the last contact
+    std::uint64_t generation_lag = 0;
+    std::uint64_t staleness_ms = 0;  ///< since the last successful sync
+    std::uint64_t full_syncs = 0;
+    std::uint64_t delta_syncs = 0;
+    std::uint64_t sync_failures = 0;
+    bool connected = false;  ///< last poll reached the primary
+  };
+  Stats GetStats() const;
+
+  /// The Stats fields as JSON members (for the /statusz shardz section).
+  std::string StatsJson() const;
+
+ private:
+  void SyncLoop();
+  void RecordSuccess(std::uint64_t primary_generation);
+  void UpdateGauges() const;
+
+  PaygoServer& server_;
+  ReplicaSyncOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread loop_;
+
+  std::atomic<std::uint64_t> synced_{0};
+  /// False until the first successful full-snapshot install; while false
+  /// the pull payload is "none" so the primary full-syncs even when its
+  /// own generation is 0 (constructor-seeded servers publish at 0).
+  std::atomic<bool> has_synced_{false};
+  std::atomic<std::uint64_t> primary_gen_{0};
+  std::atomic<std::uint64_t> full_syncs_{0};
+  std::atomic<std::uint64_t> delta_syncs_{0};
+  std::atomic<std::uint64_t> sync_failures_{0};
+  std::atomic<bool> connected_{false};
+  std::atomic<std::int64_t> last_success_ms_{-1};  ///< steady-clock ms
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SHARD_REPLICATION_H_

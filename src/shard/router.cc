@@ -1,0 +1,282 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "obs/stats.h"
+#include "schema/corpus_io.h"
+#include "shard/wire.h"
+
+namespace paygo {
+
+namespace {
+
+struct RouterCounters {
+  Counter* scatters;
+  Counter* shard_failures;
+  Counter* degraded_scatters;  ///< served with at least one shard down
+
+  static RouterCounters& Get() {
+    static RouterCounters counters = [] {
+      StatsRegistry& reg = StatsRegistry::Global();
+      return RouterCounters{
+          reg.GetCounter("paygo.shard.router.scatters"),
+          reg.GetCounter("paygo.shard.router.shard_failures"),
+          reg.GetCounter("paygo.shard.router.degraded_scatters")};
+    }();
+    return counters;
+  }
+};
+
+/// One shard's kClassifyResult payload:
+///   "ok <gen> <n>\n" then n lines "<domain> <log_posterior> <attrs>",
+/// attrs comma-joined (attribute names contain spaces, never commas).
+Status ParseClassifyReply(const std::string& payload, std::uint32_t shard,
+                          std::uint64_t* generation,
+                          std::vector<RoutedDomain>* out) {
+  std::istringstream is(payload);
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("empty classify reply");
+  }
+  std::istringstream head(line);
+  std::string ok;
+  std::size_t n = 0;
+  if (!(head >> ok >> *generation >> n) || ok != "ok") {
+    return Status::InvalidArgument("malformed classify reply header");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("truncated classify reply");
+    }
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      return Status::InvalidArgument("malformed classify result line");
+    }
+    RoutedDomain d;
+    d.shard = shard;
+    d.domain =
+        static_cast<std::uint32_t>(std::strtoul(line.c_str(), nullptr, 10));
+    d.log_posterior = std::strtod(line.c_str() + sp1 + 1, nullptr);
+    const std::string attrs = line.substr(sp2 + 1);
+    std::size_t pos = 0;
+    while (pos < attrs.size()) {
+      const std::size_t comma = attrs.find(',', pos);
+      const std::string attr =
+          attrs.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+      if (!attr.empty()) d.mediated_attributes.push_back(attr);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    out->push_back(std::move(d));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShardAddress> ParseShardAddress(std::string_view text) {
+  ShardAddress address;
+  const std::size_t colon = text.rfind(':');
+  std::string_view port_part = text;
+  if (colon != std::string_view::npos) {
+    address.host = std::string(text.substr(0, colon));
+    port_part = text.substr(colon + 1);
+  }
+  const std::string port_str(port_part);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad shard address '" + std::string(text) +
+                                   "' (want host:port)");
+  }
+  address.port = static_cast<std::uint16_t>(port);
+  return address;
+}
+
+ShardRouter::ShardRouter(std::vector<ShardAddress> shards,
+                         RouterOptions options)
+    : shards_(std::move(shards)),
+      options_(options),
+      ring_(shards_.empty() ? 1 : shards_.size(), options.vnodes),
+      health_(shards_.size()) {}
+
+void ShardRouter::RecordOutcome(std::size_t shard, bool ok,
+                                std::uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  HealthSlot& slot = health_[shard];
+  slot.up = ok;
+  if (ok) {
+    slot.generation = generation;
+    slot.consecutive_failures = 0;
+  } else {
+    ++slot.consecutive_failures;
+  }
+}
+
+Result<ScatterResult> ShardRouter::Classify(std::string_view query,
+                                            std::size_t k) const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("router has no shards configured");
+  }
+  if (k == 0) k = 1;
+  RouterCounters::Get().scatters->Increment();
+
+  const std::string payload =
+      std::to_string(k) + "\n" + std::string(query);
+  struct ShardReply {
+    Status status = Status::OK();
+    std::uint64_t generation = 0;
+    std::vector<RoutedDomain> ranked;
+  };
+  std::vector<ShardReply> replies(shards_.size());
+
+  // Thread-per-shard scatter: N is the shard count (single digits), and a
+  // slow shard must not delay the others — each thread owns its own
+  // connect/read deadline.
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    threads.emplace_back([this, s, &payload, &replies] {
+      ShardReply& reply = replies[s];
+      Result<Frame> frame =
+          CallOnce(shards_[s].host, shards_[s].port, FrameType::kClassify,
+                   payload, options_.request_timeout_ms);
+      if (!frame.ok()) {
+        reply.status = frame.status();
+        return;
+      }
+      if (frame->type != FrameType::kClassifyResult) {
+        reply.status = Status::IoError(
+            "shard " + std::to_string(s) + ": " +
+            (frame->type == FrameType::kError ? frame->payload
+                                              : "unexpected frame type"));
+        return;
+      }
+      reply.status =
+          ParseClassifyReply(frame->payload, static_cast<std::uint32_t>(s),
+                             &reply.generation, &reply.ranked);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ScatterResult result;
+  result.shards_total = shards_.size();
+  result.shard_generations.assign(shards_.size(), 0);
+  Status first_error = Status::OK();
+  for (std::size_t s = 0; s < replies.size(); ++s) {
+    const bool ok = replies[s].status.ok();
+    RecordOutcome(s, ok, replies[s].generation);
+    if (!ok) {
+      RouterCounters::Get().shard_failures->Increment();
+      if (first_error.ok()) first_error = replies[s].status;
+      continue;
+    }
+    ++result.shards_ok;
+    result.shard_generations[s] = replies[s].generation;
+    for (RoutedDomain& d : replies[s].ranked) {
+      result.ranked.push_back(std::move(d));
+    }
+  }
+  if (result.shards_ok == 0) {
+    return Status::IoError("all " + std::to_string(shards_.size()) +
+                           " shards failed; first error: " +
+                           first_error.message());
+  }
+  if (result.shards_ok < result.shards_total) {
+    RouterCounters::Get().degraded_scatters->Increment();
+  }
+
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const RoutedDomain& a, const RoutedDomain& b) {
+              if (a.log_posterior != b.log_posterior) {
+                return a.log_posterior > b.log_posterior;
+              }
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.domain < b.domain;
+            });
+  if (result.ranked.size() > k) result.ranked.resize(k);
+  return result;
+}
+
+Result<std::uint64_t> ShardRouter::AddSchema(
+    const Schema& schema, const std::vector<std::string>& labels) const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("router has no shards configured");
+  }
+  const std::string key =
+      labels.empty() ? schema.source_name : labels[0];
+  const std::uint32_t s = ring_.ShardFor(key);
+  SchemaCorpus one;
+  one.set_name("routed");
+  one.Add(schema, labels);
+  Result<Frame> frame =
+      CallOnce(shards_[s].host, shards_[s].port, FrameType::kAddSchema,
+               SerializeCorpus(one), options_.request_timeout_ms);
+  if (!frame.ok()) {
+    RecordOutcome(s, false, 0);
+    return frame.status();
+  }
+  if (frame->type != FrameType::kAck) {
+    return Status::IoError(
+        "shard " + std::to_string(s) + ": " +
+        (frame->type == FrameType::kError ? frame->payload
+                                          : "unexpected frame type"));
+  }
+  const std::uint64_t gen = std::strtoull(frame->payload.c_str(), nullptr, 10);
+  RecordOutcome(s, true, gen);
+  return gen;
+}
+
+void ShardRouter::PingAll() const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Result<Frame> frame =
+        CallOnce(shards_[s].host, shards_[s].port, FrameType::kPing, "",
+                 options_.request_timeout_ms);
+    if (frame.ok() && frame->type == FrameType::kPong) {
+      RecordOutcome(s, true,
+                    std::strtoull(frame->payload.c_str(), nullptr, 10));
+    } else {
+      RecordOutcome(s, false, 0);
+    }
+  }
+}
+
+std::vector<ShardRouter::ShardHealth> ShardRouter::Health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  std::vector<ShardHealth> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardHealth h;
+    h.address = shards_[s];
+    h.up = health_[s].up;
+    h.generation = health_[s].generation;
+    h.consecutive_failures = health_[s].consecutive_failures;
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::string ShardRouter::ShardzJson() const {
+  const std::vector<ShardHealth> health = Health();
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t s = 0; s < health.size(); ++s) {
+    if (s > 0) os << ", ";
+    os << "{\"shard\": " << s << ", \"host\": \"" << health[s].address.host
+       << "\", \"port\": " << health[s].address.port
+       << ", \"up\": " << (health[s].up ? "true" : "false")
+       << ", \"generation\": " << health[s].generation
+       << ", \"consecutive_failures\": " << health[s].consecutive_failures
+       << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace paygo

@@ -1,0 +1,121 @@
+#ifndef PAYGO_SHARD_ROUTER_H_
+#define PAYGO_SHARD_ROUTER_H_
+
+/// \file router.h
+/// \brief Cross-domain scatter/gather over the shard fleet.
+///
+/// A keyword query cannot be routed: the querying user does not know the
+/// domain (that is the whole classification problem), so the router fans
+/// the query out to every shard and merges the per-shard rankings. The
+/// merge is sound because each shard's naive-Bayes classifier scores its
+/// own domains independently — a domain's log posterior depends only on
+/// that domain's conditionals and prior, not on which other domains share
+/// the process — so concatenating per-shard rankings and re-sorting by
+/// log posterior is exactly the ranking a single unsharded classifier
+/// would produce over the same per-shard priors.
+///
+/// Failure handling is graceful degradation: shards that cannot be
+/// reached within the request timeout are skipped and the merge proceeds
+/// over the survivors (shards_ok / shards_total report the coverage); the
+/// call fails only when every shard is down. Writes (AddSchema) route to
+/// the single owner shard via the consistent-hash ring.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/corpus.h"
+#include "shard/hash_ring.h"
+#include "util/status.h"
+
+namespace paygo {
+
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (or bare "port", defaulting the host to loopback).
+Result<ShardAddress> ParseShardAddress(std::string_view text);
+
+struct RouterOptions {
+  /// Per-shard scatter deadline; a shard that misses it is degraded, not
+  /// waited for.
+  std::uint64_t request_timeout_ms = 2000;
+  /// Ring geometry — must match the partitioner's (see hash_ring.h).
+  std::size_t vnodes = 64;
+};
+
+/// One merged ranking entry, tagged with the shard that produced it.
+struct RoutedDomain {
+  std::uint32_t shard = 0;
+  std::uint32_t domain = 0;  ///< domain id local to that shard
+  double log_posterior = 0.0;
+  std::vector<std::string> mediated_attributes;
+};
+
+struct ScatterResult {
+  /// Descending by log posterior; ties broken by (shard, domain) so the
+  /// merge is deterministic regardless of reply arrival order.
+  std::vector<RoutedDomain> ranked;
+  std::size_t shards_ok = 0;
+  std::size_t shards_total = 0;
+  /// Per shard, the generation its reply carried; 0 for failed shards.
+  std::vector<std::uint64_t> shard_generations;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::vector<ShardAddress> shards,
+                       RouterOptions options = {});
+
+  /// Scatter the query to every shard, gather and merge the top \p k.
+  /// Partial coverage is success; Unavailable only when ALL shards fail.
+  Result<ScatterResult> Classify(std::string_view query,
+                                 std::size_t k = 5) const;
+
+  /// Routes the write to the ring owner of the schema's shard key.
+  /// Returns the owner's generation after the mutation.
+  Result<std::uint64_t> AddSchema(const Schema& schema,
+                                  const std::vector<std::string>& labels) const;
+
+  struct ShardHealth {
+    ShardAddress address;
+    bool up = false;  ///< last contact succeeded
+    std::uint64_t generation = 0;
+    std::uint64_t consecutive_failures = 0;
+  };
+  /// Last-contact view (updated by Classify/AddSchema/Ping calls).
+  std::vector<ShardHealth> Health() const;
+
+  /// Probes every shard with kPing, updating Health().
+  void PingAll() const;
+
+  /// The Health() view as a JSON array (the router's shardz section).
+  std::string ShardzJson() const;
+
+  const HashRing& ring() const { return ring_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  void RecordOutcome(std::size_t shard, bool ok,
+                     std::uint64_t generation) const;
+
+  std::vector<ShardAddress> shards_;
+  RouterOptions options_;
+  HashRing ring_;
+
+  struct HealthSlot {
+    bool up = false;
+    std::uint64_t generation = 0;
+    std::uint64_t consecutive_failures = 0;
+  };
+  mutable std::mutex health_mu_;
+  mutable std::vector<HealthSlot> health_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SHARD_ROUTER_H_

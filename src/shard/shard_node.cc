@@ -1,0 +1,72 @@
+#include "shard/shard_node.h"
+
+#include <sstream>
+
+#include "serve/admin_endpoints.h"
+
+namespace paygo {
+
+ShardNode::ShardNode(ShardNodeOptions options)
+    : options_(std::move(options)) {
+  options_.serve.admin_port = -1;  // the node owns the admin endpoint
+  if (options_.replica) options_.service.read_only = true;
+  server_ = std::make_unique<PaygoServer>(options_.serve);
+  service_ = std::make_unique<ShardService>(*server_, options_.service);
+}
+
+ShardNode::~ShardNode() { Stop(); }
+
+Status ShardNode::Start(std::unique_ptr<IntegrationSystem> system) {
+  PAYGO_RETURN_NOT_OK(server_->Start());
+  if (system != nullptr) {
+    PAYGO_RETURN_NOT_OK(server_->InstallSystemAsync(std::move(system)).get());
+  }
+  Result<std::uint16_t> shard_port = service_->Start();
+  if (!shard_port.ok()) {
+    Stop();
+    return shard_port.status();
+  }
+  if (options_.replica) {
+    replica_ = std::make_unique<ReplicaSync>(*server_, options_.replica_sync);
+    Status started = replica_->Start();
+    if (!started.ok()) {
+      Stop();
+      return started;
+    }
+  }
+  if (options_.admin_port >= 0) {
+    AdminServerOptions admin_options;
+    admin_options.port = options_.admin_port;
+    admin_ = std::make_unique<AdminServer>(admin_options);
+    RegisterObsEndpoints(*admin_);
+    RegisterServerEndpoints(*admin_, *server_,
+                            [this] { return "\"shardz\": " + ShardzJson(); });
+    Result<std::uint16_t> admin_port = admin_->Start();
+    if (!admin_port.ok()) {
+      Stop();
+      return admin_port.status();
+    }
+  }
+  return Status::OK();
+}
+
+void ShardNode::Stop() {
+  if (admin_ != nullptr) admin_->Stop();
+  if (replica_ != nullptr) replica_->Stop();
+  if (service_ != nullptr) service_->Stop();
+  if (server_ != nullptr) server_->Stop();
+}
+
+std::string ShardNode::ShardzJson() const {
+  std::ostringstream os;
+  os << "{\"role\": \"" << (options_.replica ? "replica" : "primary")
+     << "\", \"shard_port\": " << service_->port()
+     << ", \"generation\": " << server_->generation();
+  if (replica_ != nullptr) {
+    os << ", \"replication\": " << replica_->StatsJson();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace paygo

@@ -1,0 +1,83 @@
+#ifndef PAYGO_SHARD_SHARD_NODE_H_
+#define PAYGO_SHARD_SHARD_NODE_H_
+
+/// \file shard_node.h
+/// \brief One process-worth of domain-sharded serving.
+///
+/// A ShardNode composes the pieces one fleet member runs:
+///
+///   * a PaygoServer (deferred bootstrap — replicas start empty and go
+///     ready exactly when the first replicated snapshot installs),
+///   * a ShardService speaking the wire protocol on its own port,
+///   * optionally a ReplicaSync pulling from a primary,
+///   * optionally an embedded AdminServer whose /statusz carries a
+///     "shardz" section (role, shard port, replication staleness).
+///
+/// The bench harness runs several ShardNodes in-process on ephemeral
+/// ports; the CLI's shard-node subcommand runs one per process for the
+/// multi-process CI smoke.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/integration_system.h"
+#include "obs/admin_server.h"
+#include "serve/paygo_server.h"
+#include "shard/replication.h"
+#include "shard/shard_service.h"
+#include "util/status.h"
+
+namespace paygo {
+
+struct ShardNodeOptions {
+  /// Serving runtime knobs. admin_port is overridden to -1: the node owns
+  /// the admin endpoint so it can splice in the shardz section.
+  ServeOptions serve;
+  ShardServiceOptions service;
+  /// -1 disables the admin endpoint, 0 binds ephemeral, >0 that port.
+  int admin_port = 0;
+  /// Present when this node is a replica; service.read_only is forced on.
+  bool replica = false;
+  ReplicaSyncOptions replica_sync;
+};
+
+class ShardNode {
+ public:
+  explicit ShardNode(ShardNodeOptions options);
+  ~ShardNode();
+
+  ShardNode(const ShardNode&) = delete;
+  ShardNode& operator=(const ShardNode&) = delete;
+
+  /// Starts the serving stack. Primaries pass their built system (it is
+  /// installed before the wire port opens, so the node never serves
+  /// not-ready to the router); replicas pass nullptr and fill via
+  /// replication — /readyz flips 200 when the first snapshot lands.
+  Status Start(std::unique_ptr<IntegrationSystem> system);
+  void Stop();
+
+  PaygoServer& server() { return *server_; }
+  const PaygoServer& server() const { return *server_; }
+  ShardService& service() { return *service_; }
+  std::uint16_t shard_port() const { return service_->port(); }
+  /// 0 when the admin endpoint is disabled.
+  std::uint16_t admin_port() const {
+    return admin_ != nullptr ? admin_->port() : 0;
+  }
+  const ReplicaSync* replica() const { return replica_.get(); }
+
+  /// The /statusz "shardz" member value for this node.
+  std::string ShardzJson() const;
+
+ private:
+  ShardNodeOptions options_;
+  std::unique_ptr<PaygoServer> server_;
+  std::unique_ptr<ShardService> service_;
+  std::unique_ptr<ReplicaSync> replica_;
+  std::unique_ptr<AdminServer> admin_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SHARD_SHARD_NODE_H_

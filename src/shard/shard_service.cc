@@ -1,0 +1,353 @@
+#include "shard/shard_service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/stats.h"
+#include "persist/model_io.h"
+#include "schema/corpus_io.h"
+
+namespace paygo {
+
+namespace {
+
+void SetSocketTimeouts(int fd, std::uint64_t timeout_ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// %.17g, matching model_io: the router re-ranks merged posteriors, so the
+/// wire must not round them.
+std::string FmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Frame ErrorFrame(std::string reason) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.payload = std::move(reason);
+  return frame;
+}
+
+struct ShardServiceCounters {
+  Counter* requests;
+  Counter* errors;
+  Counter* sheds;
+  Counter* full_pulls;
+  Counter* delta_pulls;
+  Counter* uptodate_pulls;
+
+  static ShardServiceCounters& Get() {
+    static ShardServiceCounters counters = [] {
+      StatsRegistry& reg = StatsRegistry::Global();
+      return ShardServiceCounters{
+          reg.GetCounter("paygo.shard.service.requests"),
+          reg.GetCounter("paygo.shard.service.errors"),
+          reg.GetCounter("paygo.shard.service.sheds"),
+          reg.GetCounter("paygo.shard.service.full_pulls"),
+          reg.GetCounter("paygo.shard.service.delta_pulls"),
+          reg.GetCounter("paygo.shard.service.uptodate_pulls")};
+    }();
+    return counters;
+  }
+};
+
+}  // namespace
+
+ShardService::ShardService(PaygoServer& server, ShardServiceOptions options)
+    : server_(server), options_(std::move(options)) {
+  if (options_.handler_threads == 0) options_.handler_threads = 1;
+  connections_ =
+      std::make_unique<BoundedQueue<int>>(options_.pending_connections);
+}
+
+ShardService::~ShardService() { Stop(); }
+
+Result<std::uint16_t> ShardService::Start() {
+  if (running()) return bound_port_;
+  if (stopping_.load(std::memory_order_acquire) || connections_->closed()) {
+    return Status::FailedPrecondition(
+        "shard service was stopped; construct a new one");
+  }
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument("shard port out of range");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad shard bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + err);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  pool_.reserve(options_.handler_threads);
+  for (std::size_t i = 0; i < options_.handler_threads; ++i) {
+    pool_.emplace_back([this] { HandlerLoop(); });
+  }
+  return bound_port_;
+}
+
+void ShardService::Stop() {
+  if (!acceptor_.joinable() && pool_.empty()) return;
+  stopping_.store(true, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  connections_->Close();
+  for (std::thread& t : pool_) {
+    if (t.joinable()) t.join();
+  }
+  pool_.clear();
+  for (int fd : connections_->DrainNow()) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ShardService::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetSocketTimeouts(fd, options_.io_timeout_ms);
+    int local = fd;
+    if (!connections_->TryPush(std::move(local))) {
+      ShardServiceCounters::Get().sheds->Increment();
+      WriteFrame(fd, FrameType::kError, "shard handler pool saturated");
+      ::close(fd);
+    }
+  }
+}
+
+void ShardService::HandlerLoop() {
+  while (true) {
+    std::optional<int> fd = connections_->Pop();
+    if (!fd.has_value()) return;
+    ServeConnection(*fd);
+    ::close(*fd);
+  }
+}
+
+void ShardService::ServeConnection(int fd) {
+  ShardServiceCounters::Get().requests->Increment();
+  Result<Frame> request = ReadFrame(fd);
+  if (!request.ok()) {
+    ShardServiceCounters::Get().errors->Increment();
+    return;  // peer gone or garbage framing; nothing to answer
+  }
+  const Frame reply = Handle(*request);
+  if (reply.type == FrameType::kError) {
+    ShardServiceCounters::Get().errors->Increment();
+  }
+  WriteFrame(fd, reply.type, reply.payload);
+}
+
+Frame ShardService::Handle(const Frame& request) {
+  switch (request.type) {
+    case FrameType::kPing: {
+      Frame reply;
+      reply.type = FrameType::kPong;
+      reply.payload = std::to_string(server_.generation());
+      return reply;
+    }
+    case FrameType::kClassify:
+      return HandleClassify(request.payload);
+    case FrameType::kSnapshotPull:
+      return HandleSnapshotPull(request.payload);
+    case FrameType::kAddSchema:
+      return HandleAddSchema(request.payload);
+    default:
+      return ErrorFrame("unsupported frame type " +
+                        std::to_string(static_cast<int>(request.type)));
+  }
+}
+
+Frame ShardService::HandleClassify(const std::string& payload) const {
+  const std::size_t eol = payload.find('\n');
+  if (eol == std::string::npos) {
+    return ErrorFrame("classify payload must be '<k>\\n<query>'");
+  }
+  char* end = nullptr;
+  const unsigned long long k =
+      std::strtoull(payload.c_str(), &end, 10);
+  if (end == payload.c_str() || k == 0) {
+    return ErrorFrame("bad classify k");
+  }
+  const std::string query = payload.substr(eol + 1);
+
+  // Read the snapshot first: classification may race a swap, so the
+  // mediation enrichment below bounds-checks every domain id against this
+  // (possibly one-generation-older) snapshot and degrades to no
+  // attributes on mismatch.
+  const PaygoServer::Snapshot snap = server_.snapshot();
+  if (snap == nullptr) {
+    return ErrorFrame("shard has no snapshot installed");
+  }
+  Result<std::vector<DomainScore>> scores = server_.Classify(query);
+  if (!scores.ok()) {
+    return ErrorFrame("classify: " + scores.status().message());
+  }
+  const std::size_t n = std::min<std::size_t>(k, scores->size());
+  std::ostringstream os;
+  os << "ok " << server_.generation() << " " << n << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const DomainScore& s = (*scores)[i];
+    os << s.domain << " " << FmtDouble(s.log_posterior) << " ";
+    if (snap->has_mediation() && s.domain < snap->domains().num_domains()) {
+      const auto& attrs = snap->mediation(s.domain).mediated.attributes;
+      for (std::size_t a = 0; a < attrs.size(); ++a) {
+        if (a > 0) os << ",";
+        os << attrs[a].name;
+      }
+    }
+    os << "\n";
+  }
+  Frame reply;
+  reply.type = FrameType::kClassifyResult;
+  reply.payload = os.str();
+  return reply;
+}
+
+Frame ShardService::HandleSnapshotPull(const std::string& payload) {
+  // "none" marks a replica that has never applied anything — it must get
+  // the full snapshot even when this primary still publishes at
+  // generation 0, where a numeric pull would read as already caught up.
+  const bool bootstrap = payload == "none";
+  std::uint64_t since = 0;
+  if (!bootstrap) {
+    char* end = nullptr;
+    const unsigned long long since_raw =
+        std::strtoull(payload.c_str(), &end, 10);
+    if (end == payload.c_str() || *end != '\0') {
+      return ErrorFrame("bad snapshot pull generation");
+    }
+    since = since_raw;
+  }
+
+  // Generation BEFORE snapshot: a concurrent publish makes the label
+  // conservative (snapshot >= label), never optimistic.
+  const std::uint64_t gen = server_.generation();
+  const PaygoServer::Snapshot snap = server_.snapshot();
+  if (snap == nullptr) {
+    return ErrorFrame("primary has no snapshot installed");
+  }
+  if (!bootstrap && since == gen) {
+    ShardServiceCounters::Get().uptodate_pulls->Increment();
+    Frame reply;
+    reply.type = FrameType::kUpToDate;
+    reply.payload = std::to_string(gen);
+    return reply;
+  }
+  if (!bootstrap && since < gen) {
+    std::optional<std::string> records = log_.RecordsCovering(since, gen);
+    if (records.has_value()) {
+      ShardServiceCounters::Get().delta_pulls->Increment();
+      Frame reply;
+      reply.type = FrameType::kSnapshotDelta;
+      reply.payload = "gen " + std::to_string(gen) + "\n" + *records;
+      return reply;
+    }
+  }
+  // Bootstrap, log gap, or a replica from a different history (since >
+  // gen after a primary restart): ship the whole state.
+  Result<std::string> text = SerializeSnapshot(*snap);
+  if (!text.ok()) {
+    return ErrorFrame("serialize snapshot: " + text.status().message());
+  }
+  ShardServiceCounters::Get().full_pulls->Increment();
+  Frame reply;
+  reply.type = FrameType::kSnapshotFull;
+  reply.payload = "gen " + std::to_string(gen) + "\n" + *text;
+  return reply;
+}
+
+Frame ShardService::HandleAddSchema(const std::string& payload) {
+  if (options_.read_only) {
+    return ErrorFrame("replica is read-only; route writes to the primary");
+  }
+  Result<SchemaCorpus> one = ParseCorpus(payload);
+  if (!one.ok()) {
+    return ErrorFrame("add-schema: " + one.status().message());
+  }
+  if (one->size() != 1) {
+    return ErrorFrame("add-schema payload must hold exactly one schema");
+  }
+  Schema schema = one->schema(0);
+  std::vector<std::string> labels = one->labels(0);
+
+  // Serialize wire writes so the generation we log provably belongs to
+  // THIS mutation: if anything else published in the window, the +1 check
+  // fails and we clear the log (next pull full-syncs) instead of logging
+  // a record under a generation that covers someone else's mutation.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const std::uint64_t before = server_.generation();
+  Status added = server_.AddSchemaAsync(schema, labels).get();
+  if (!added.ok()) {
+    return ErrorFrame("add-schema: " + added.message());
+  }
+  const std::uint64_t after = server_.generation();
+  if (after == before + 1) {
+    log_.Append(after, MakeDeltaRecord(after, schema, labels));
+  } else {
+    log_.Clear();
+  }
+  Frame reply;
+  reply.type = FrameType::kAck;
+  reply.payload = std::to_string(after);
+  return reply;
+}
+
+}  // namespace paygo

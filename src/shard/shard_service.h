@@ -1,0 +1,99 @@
+#ifndef PAYGO_SHARD_SHARD_SERVICE_H_
+#define PAYGO_SHARD_SHARD_SERVICE_H_
+
+/// \file shard_service.h
+/// \brief The wire-protocol server of one shard node.
+///
+/// Serves the shard/wire.h protocol over a PaygoServer: classification
+/// reads fan in from the router (kClassify), replicas pull state
+/// (kSnapshotPull — full snapshot, delta records, or up-to-date; see
+/// replication.h), the router routes writes (kAddSchema), and kPing
+/// answers with the serving generation for health probes.
+///
+/// The threading shape mirrors the admin HTTP endpoint deliberately: a
+/// poll-driven accept thread feeding a bounded handler pool through a
+/// BoundedQueue, shedding with kError when saturated. One request frame,
+/// one response frame, connection closed — no protocol state survives a
+/// connection.
+///
+/// Snapshot-pull labeling reads the generation BEFORE the snapshot
+/// pointer: a mutation publishing in between makes the label conservative
+/// (the shipped snapshot is at least as new as its label), so a replica
+/// may re-pull a generation it already has but can never believe it is
+/// fresher than it is.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/paygo_server.h"
+#include "shard/replication.h"
+#include "shard/wire.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace paygo {
+
+struct ShardServiceOptions {
+  /// 0 binds an ephemeral port; read it back from Start().
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  std::size_t handler_threads = 4;
+  std::size_t pending_connections = 32;
+  std::uint64_t io_timeout_ms = 5000;
+  /// Replicas reject kAddSchema — writes go to the primary, state arrives
+  /// via replication.
+  bool read_only = false;
+};
+
+class ShardService {
+ public:
+  /// \p server must outlive this object and be Start()ed first.
+  explicit ShardService(PaygoServer& server, ShardServiceOptions options = {});
+  ~ShardService();
+
+  ShardService(const ShardService&) = delete;
+  ShardService& operator=(const ShardService&) = delete;
+
+  /// Binds, listens, spawns the accept/handler threads. Returns the bound
+  /// port (kernel-chosen when options.port == 0). Idempotent.
+  Result<std::uint16_t> Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return bound_port_; }
+
+  /// The AddSchema delta log replicas pull from.
+  ReplicationLog& log() { return log_; }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+  Frame Handle(const Frame& request);
+  Frame HandleClassify(const std::string& payload) const;
+  Frame HandleSnapshotPull(const std::string& payload);
+  Frame HandleAddSchema(const std::string& payload);
+
+  PaygoServer& server_;
+  ShardServiceOptions options_;
+  ReplicationLog log_;
+
+  /// Serializes kAddSchema handling so each appended log record provably
+  /// maps to the generation its mutation published (see HandleAddSchema).
+  std::mutex write_mu_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::unique_ptr<BoundedQueue<int>> connections_;
+  std::thread acceptor_;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace paygo
+
+#endif  // PAYGO_SHARD_SHARD_SERVICE_H_

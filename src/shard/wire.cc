@@ -1,0 +1,147 @@
+#include "shard/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace paygo {
+
+namespace {
+
+void SetSocketTimeouts(int fd, std::uint64_t timeout_ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Status SendAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IoError(std::string("send: ") +
+                             (n == 0 ? "peer closed" : std::strerror(errno)));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n <= 0) {
+      return Status::IoError(std::string("recv: ") +
+                             (n == 0 ? "peer closed" : std::strerror(errno)));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  char header[5];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<char>(len & 0xff);
+  header[1] = static_cast<char>((len >> 8) & 0xff);
+  header[2] = static_cast<char>((len >> 16) & 0xff);
+  header[3] = static_cast<char>((len >> 24) & 0xff);
+  header[4] = static_cast<char>(type);
+  PAYGO_RETURN_NOT_OK(SendAll(fd, header, sizeof(header)));
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+Result<Frame> ReadFrame(int fd, std::size_t max_bytes) {
+  char header[5];
+  PAYGO_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header)));
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[0])) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[1])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[3]))
+       << 24);
+  if (len > max_bytes) {
+    return Status::InvalidArgument("frame of " + std::to_string(len) +
+                                   " bytes exceeds the " +
+                                   std::to_string(max_bytes) + " byte limit");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<std::uint8_t>(header[4]));
+  frame.payload.resize(len);
+  if (len > 0) {
+    PAYGO_RETURN_NOT_OK(RecvAll(fd, frame.payload.data(), len));
+  }
+  return frame;
+}
+
+Result<int> TcpConnect(const std::string& host, std::uint16_t port,
+                       std::uint64_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  // SO_SNDTIMEO bounds connect() as well as later sends on Linux, so one
+  // knob covers the whole round trip.
+  SetSocketTimeouts(fd, timeout_ms);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad shard address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  return fd;
+}
+
+Result<int> ConnectWithRetry(const std::string& host, std::uint16_t port,
+                             std::uint64_t timeout_ms, std::size_t attempts,
+                             std::uint64_t backoff_ms) {
+  if (attempts == 0) attempts = 1;
+  Status last = Status::OK();
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    Result<int> fd = TcpConnect(host, port, timeout_ms);
+    if (fd.ok()) return fd;
+    last = fd.status();
+    if (attempt < attempts) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(attempt * backoff_ms));
+    }
+  }
+  return last;
+}
+
+Result<Frame> CallOnce(const std::string& host, std::uint16_t port,
+                       FrameType type, std::string_view payload,
+                       std::uint64_t timeout_ms) {
+  PAYGO_ASSIGN_OR_RETURN(const int fd, TcpConnect(host, port, timeout_ms));
+  Status sent = WriteFrame(fd, type, payload);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  Result<Frame> reply = ReadFrame(fd);
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace paygo

@@ -1,0 +1,203 @@
+// Snapshot v2 round-trip: serialize -> parse must reproduce the system
+// bitwise — lexicon, feature vectors, similarity matrix, memberships,
+// classifier priors and conditionals — including after the corpus grew
+// through the delta write path's AddSchema, where the lexicon is frozen
+// and v1's rebuild-from-corpus restore diverges.
+
+#include "persist/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "schema/corpus_io.h"
+#include "synth/web_generator.h"
+
+namespace paygo {
+namespace {
+
+SystemOptions TestOptions() {
+  SystemOptions options;
+  options.hac.tau_c_sim = 0.25;
+  options.assignment.tau_c_sim = 0.25;
+  return options;
+}
+
+/// Schemas a live deployment might discover after Build: overlapping with
+/// the flight domain but carrying terms the frozen lexicon has never seen.
+std::vector<Schema> ChurnSchemas() {
+  return {
+      Schema("churn-flights", {"departure city", "arrival city",
+                               "layover aerodrome", "frequent flyer tier"}),
+      Schema("churn-hotels", {"hotel name", "check in", "check out",
+                              "pillow menu preference"}),
+      Schema("churn-novel", {"zeppelin mooring mast", "dirigible ballast",
+                             "aerostat envelope"}),
+  };
+}
+
+/// Builds the dw corpus system and mutates it through AddSchema so the
+/// corpus no longer matches the (frozen) lexicon.
+std::unique_ptr<IntegrationSystem> BuildChurnedSystem() {
+  auto built = IntegrationSystem::Build(MakeDwCorpus(), TestOptions());
+  EXPECT_TRUE(built.ok()) << built.status();
+  std::unique_ptr<IntegrationSystem> sys = std::move(*built);
+  for (Schema& s : ChurnSchemas()) {
+    auto added = sys->AddSchema(std::move(s), {});
+    EXPECT_TRUE(added.ok()) << added.status();
+  }
+  return sys;
+}
+
+void ExpectBitwiseEqual(const IntegrationSystem& a,
+                        const IntegrationSystem& b) {
+  // Corpus.
+  ASSERT_EQ(a.corpus().size(), b.corpus().size());
+  for (std::size_t i = 0; i < a.corpus().size(); ++i) {
+    EXPECT_EQ(a.corpus().schema(i), b.corpus().schema(i)) << "schema " << i;
+  }
+  // Lexicon: the frozen feature space must survive verbatim.
+  ASSERT_EQ(a.lexicon().dim(), b.lexicon().dim());
+  EXPECT_EQ(a.lexicon().terms(), b.lexicon().terms());
+  // Feature vectors, bit for bit.
+  ASSERT_EQ(a.features().size(), b.features().size());
+  for (std::size_t i = 0; i < a.features().size(); ++i) {
+    EXPECT_TRUE(a.features()[i] == b.features()[i]) << "features " << i;
+  }
+  // Similarity matrix: Jaccard is a pure function of the features, so
+  // identical features must give identical (float) similarities.
+  ASSERT_EQ(a.similarities().size(), b.similarities().size());
+  for (std::size_t i = 0; i < a.similarities().size(); ++i) {
+    for (std::size_t j = 0; j < a.similarities().size(); ++j) {
+      EXPECT_EQ(a.similarities().At(i, j), b.similarities().At(i, j))
+          << "sims(" << i << "," << j << ")";
+    }
+  }
+  // Domain model: clusters and membership probabilities.
+  ASSERT_EQ(a.domains().num_domains(), b.domains().num_domains());
+  ASSERT_EQ(a.domains().num_schemas(), b.domains().num_schemas());
+  for (std::uint32_t r = 0; r < a.domains().num_domains(); ++r) {
+    EXPECT_EQ(a.domains().Cluster(r), b.domains().Cluster(r)) << "cluster "
+                                                              << r;
+  }
+  for (std::uint32_t i = 0; i < a.domains().num_schemas(); ++i) {
+    for (std::uint32_t r = 0; r < a.domains().num_domains(); ++r) {
+      EXPECT_DOUBLE_EQ(a.domains().Membership(i, r),
+                       b.domains().Membership(i, r))
+          << "membership(" << i << "," << r << ")";
+    }
+  }
+  // Classifier priors and conditionals (%.17g round-trips doubles exactly).
+  ASSERT_TRUE(a.has_classifier());
+  ASSERT_TRUE(b.has_classifier());
+  const auto& ca = a.classifier().conditionals();
+  const auto& cb = b.classifier().conditionals();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t r = 0; r < ca.size(); ++r) {
+    EXPECT_DOUBLE_EQ(ca[r].prior, cb[r].prior) << "prior " << r;
+    ASSERT_EQ(ca[r].q1.size(), cb[r].q1.size());
+    for (std::size_t j = 0; j < ca[r].q1.size(); ++j) {
+      EXPECT_DOUBLE_EQ(ca[r].q1[j], cb[r].q1[j])
+          << "q1(" << r << "," << j << ")";
+    }
+  }
+}
+
+TEST(ModelIoRoundTripTest, V2RoundTripBitExactOnFreshBuild) {
+  auto built = IntegrationSystem::Build(MakeDwCorpus(), TestOptions());
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto text = SerializeSnapshot(**built);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto restored = ParseSnapshot(*text, TestOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectBitwiseEqual(**built, **restored);
+}
+
+TEST(ModelIoRoundTripTest, V2RoundTripBitExactAfterAddSchemaChurn) {
+  std::unique_ptr<IntegrationSystem> sys = BuildChurnedSystem();
+  auto text = SerializeSnapshot(*sys);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(text->rfind("paygo-snapshot v2", 0), 0u);
+  auto restored = ParseSnapshot(*text, TestOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectBitwiseEqual(*sys, **restored);
+
+  // Ranked classification is identical, scores and all.
+  for (const char* q : {"departure airline", "hotel check in",
+                        "zeppelin mooring", "salary employer"}) {
+    const auto a = sys->ClassifyKeywordQuery(q);
+    const auto b = (*restored)->ClassifyKeywordQuery(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size()) << q;
+    for (std::size_t k = 0; k < a->size(); ++k) {
+      EXPECT_EQ((*a)[k].domain, (*b)[k].domain) << q;
+      EXPECT_DOUBLE_EQ((*a)[k].log_posterior, (*b)[k].log_posterior) << q;
+    }
+  }
+}
+
+TEST(ModelIoRoundTripTest, V2SurvivesASecondGeneration) {
+  // serialize -> parse -> serialize must be byte-stable (a replica that
+  // re-serializes its restored state ships the same bytes).
+  std::unique_ptr<IntegrationSystem> sys = BuildChurnedSystem();
+  auto text1 = SerializeSnapshot(*sys);
+  ASSERT_TRUE(text1.ok()) << text1.status();
+  auto restored = ParseSnapshot(*text1, TestOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  auto text2 = SerializeSnapshot(**restored);
+  ASSERT_TRUE(text2.ok()) << text2.status();
+  EXPECT_EQ(*text1, *text2);
+}
+
+TEST(ModelIoRoundTripTest, V1SnapshotStillLoads) {
+  auto built = IntegrationSystem::Build(MakeDwCorpus(), TestOptions());
+  ASSERT_TRUE(built.ok()) << built.status();
+  const IntegrationSystem& sys = **built;
+  // A v1 snapshot has no lexicon/features sections; the legacy rebuild
+  // path re-derives both from the corpus, which is exact for a system
+  // that never mutated after Build.
+  std::string v1 = "paygo-snapshot v1\n";
+  v1 += "=== corpus ===\n" + SerializeCorpus(sys.corpus());
+  v1 += "=== model ===\n" + SerializeDomainModel(sys.domains());
+  v1 += "=== classifier ===\n" +
+        SerializeConditionals(sys.classifier().conditionals());
+  v1 += "=== end ===\n";
+  auto restored = ParseSnapshot(v1, TestOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectBitwiseEqual(sys, **restored);
+}
+
+TEST(ModelIoRoundTripTest, V1FormatCannotRepresentChurnedSystem) {
+  // The bug v2 exists to fix: after AddSchema introduced out-of-lexicon
+  // terms, a v1-style restore re-derives a WIDER lexicon from the grown
+  // corpus, and the persisted conditionals no longer fit its dimension.
+  std::unique_ptr<IntegrationSystem> sys = BuildChurnedSystem();
+  std::string v1 = "paygo-snapshot v1\n";
+  v1 += "=== corpus ===\n" + SerializeCorpus(sys->corpus());
+  v1 += "=== model ===\n" + SerializeDomainModel(sys->domains());
+  v1 += "=== classifier ===\n" +
+        SerializeConditionals(sys->classifier().conditionals());
+  v1 += "=== end ===\n";
+  const auto restored = ParseSnapshot(v1, TestOptions());
+  EXPECT_TRUE(restored.status().IsInvalidArgument()) << restored.status();
+}
+
+TEST(ModelIoRoundTripTest, RejectsMalformedV2Sections) {
+  std::unique_ptr<IntegrationSystem> sys = BuildChurnedSystem();
+  auto text = SerializeSnapshot(*sys);
+  ASSERT_TRUE(text.ok());
+  // Truncate the features section: dim check must catch the mismatch.
+  const std::size_t features_at = text->find("=== features ===");
+  ASSERT_NE(features_at, std::string::npos);
+  std::string broken = text->substr(0, features_at);
+  broken += "=== features ===\ncounts 1 3\nf 0 1 0\n";
+  broken += text->substr(text->find("=== model ==="));
+  EXPECT_TRUE(ParseSnapshot(broken, TestOptions())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paygo

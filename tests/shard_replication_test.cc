@@ -1,0 +1,251 @@
+// End-to-end replication tests run against real sockets in-process: a
+// primary PaygoServer fronted by a ShardService, and replica servers
+// pulling through ReplicaSync. Covers full-snapshot bootstrap, delta
+// replay of wire AddSchema writes, the forced full re-sync after an
+// unlogged mutation, staleness gauge export, a writer racing the replica
+// sync loop (the TSan target), and the router staying up when a fleet
+// member is killed.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/integration_system.h"
+#include "gtest/gtest.h"
+#include "obs/stats.h"
+#include "serve/paygo_server.h"
+#include "shard/hash_ring.h"
+#include "shard/replication.h"
+#include "shard/router.h"
+#include "shard/shard_service.h"
+#include "synth/web_generator.h"
+
+namespace paygo {
+namespace {
+
+SystemOptions TestOptions() {
+  SystemOptions options;
+  options.hac.tau_c_sim = 0.25;
+  options.assignment.tau_c_sim = 0.25;
+  return options;
+}
+
+Schema MakeLiveSchema(int i) {
+  Schema schema;
+  schema.source_name = "live-source-" + std::to_string(i);
+  schema.attributes = {"departure city", "destination city", "travel date",
+                       "fare class", "seat " + std::to_string(i)};
+  return schema;
+}
+
+/// A primary serving the DW corpus plus an empty replica wired to it.
+struct Fixture {
+  Fixture() {
+    auto system = IntegrationSystem::Build(MakeDwCorpus(), TestOptions());
+    EXPECT_TRUE(system.ok()) << system.status();
+    primary = std::make_unique<PaygoServer>(std::move(*system));
+    EXPECT_TRUE(primary->Start().ok());
+    service = std::make_unique<ShardService>(*primary);
+    Result<std::uint16_t> port = service->Start();
+    EXPECT_TRUE(port.ok()) << port.status();
+
+    replica = std::make_unique<PaygoServer>(ServeOptions{});
+    EXPECT_TRUE(replica->Start().ok());
+    ReplicaSyncOptions sync_options;
+    sync_options.primary_port = *port;
+    sync_options.poll_interval_ms = 10;
+    sync_options.system = TestOptions();
+    sync = std::make_unique<ReplicaSync>(*replica, sync_options);
+  }
+
+  ~Fixture() {
+    sync->Stop();
+    if (replica != nullptr) replica->Stop();
+    if (service != nullptr) service->Stop();
+    if (primary != nullptr) primary->Stop();
+  }
+
+  ShardAddress primary_address() const {
+    return ShardAddress{"127.0.0.1", service->port()};
+  }
+
+  std::unique_ptr<PaygoServer> primary;
+  std::unique_ptr<ShardService> service;
+  std::unique_ptr<PaygoServer> replica;
+  std::unique_ptr<ReplicaSync> sync;
+};
+
+void ExpectSameRanking(PaygoServer& a, PaygoServer& b,
+                       const std::string& query) {
+  Result<std::vector<DomainScore>> ra = a.Classify(query);
+  Result<std::vector<DomainScore>> rb = b.Classify(query);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  ASSERT_EQ(ra->size(), rb->size());
+  for (std::size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].domain, (*rb)[i].domain) << "rank " << i;
+    EXPECT_DOUBLE_EQ((*ra)[i].log_posterior, (*rb)[i].log_posterior);
+  }
+}
+
+TEST(ShardReplicationTest, FullSnapshotBootstrapsAnEmptyReplica) {
+  Fixture f;
+  // Before the first pull the replica has nothing to serve.
+  EXPECT_FALSE(f.replica->Classify("departure city").ok());
+
+  ASSERT_TRUE(f.sync->PollOnce().ok());
+  const ReplicaSync::Stats stats = f.sync->GetStats();
+  EXPECT_EQ(stats.full_syncs, 1u);
+  EXPECT_EQ(stats.delta_syncs, 0u);
+  EXPECT_EQ(stats.synced_generation, f.primary->generation());
+  EXPECT_EQ(stats.generation_lag, 0u);
+  EXPECT_TRUE(stats.connected);
+
+  ExpectSameRanking(*f.primary, *f.replica, "departure city arrival");
+}
+
+TEST(ShardReplicationTest, WireWritesReplicateAsDeltas) {
+  Fixture f;
+  ASSERT_TRUE(f.sync->PollOnce().ok());
+
+  // Writes through the wire protocol land in the primary's delta log...
+  const ShardRouter router({f.primary_address()});
+  for (int i = 0; i < 3; ++i) {
+    Result<std::uint64_t> generation =
+        router.AddSchema(MakeLiveSchema(i), {"dw-flights"});
+    ASSERT_TRUE(generation.ok()) << generation.status();
+  }
+  ASSERT_EQ(f.service->log().size(), 3u);
+
+  // ...so the next pull replays them instead of re-shipping the snapshot.
+  ASSERT_TRUE(f.sync->PollOnce().ok());
+  const ReplicaSync::Stats stats = f.sync->GetStats();
+  EXPECT_EQ(stats.full_syncs, 1u);
+  EXPECT_EQ(stats.delta_syncs, 1u);
+  // The PRIMARY generation is the replication clock; the replica's local
+  // counter runs offset by its bootstrap install and later full syncs.
+  EXPECT_EQ(stats.synced_generation, f.primary->generation());
+  EXPECT_EQ(stats.generation_lag, 0u);
+
+  ExpectSameRanking(*f.primary, *f.replica, "fare class seat");
+}
+
+TEST(ShardReplicationTest, UnloggedMutationForcesFullResync) {
+  Fixture f;
+  ASSERT_TRUE(f.sync->PollOnce().ok());
+
+  // A mutation applied directly to the server bypasses the ShardService
+  // write path, so the delta log cannot cover the generation gap and the
+  // replica must be given the whole snapshot again.
+  ASSERT_TRUE(
+      f.primary->AddSchemaAsync(MakeLiveSchema(9), {"dw-flights"}).get().ok());
+  ASSERT_TRUE(f.sync->PollOnce().ok());
+  const ReplicaSync::Stats stats = f.sync->GetStats();
+  EXPECT_EQ(stats.full_syncs, 2u);
+  EXPECT_EQ(stats.delta_syncs, 0u);
+  EXPECT_EQ(stats.synced_generation, f.primary->generation());
+
+  ExpectSameRanking(*f.primary, *f.replica, "travel date");
+}
+
+TEST(ShardReplicationTest, StalenessGaugesAreExported) {
+  Fixture f;
+  ASSERT_TRUE(f.sync->PollOnce().ok());
+
+  StatsRegistry& registry = StatsRegistry::Global();
+  EXPECT_EQ(registry.GetGauge("paygo.shard.replica.generation_lag")->value(),
+            0);
+  EXPECT_GE(registry.GetGauge("paygo.shard.replica.staleness_ms")->value(), 0);
+
+  const std::string json = f.sync->StatsJson();
+  EXPECT_NE(json.find("\"generation_lag\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"connected\": true"), std::string::npos);
+}
+
+TEST(ShardReplicationTest, SyncLoopRacesWriterAndReaders) {
+  Fixture f;
+  ASSERT_TRUE(f.sync->Start().ok());
+
+  // Readers hammer the replica while wire writes mutate the primary and
+  // the background loop pulls — the memory-ordering gauntlet TSan checks.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        // Errors are fine before the first install; crashes are not.
+        (void)f.replica->Classify("departure city arrival");
+      }
+    });
+  }
+  const ShardRouter router({f.primary_address()});
+  for (int i = 0; i < 4; ++i) {
+    Result<std::uint64_t> generation =
+        router.AddSchema(MakeLiveSchema(i), {"dw-flights"});
+    ASSERT_TRUE(generation.ok()) << generation.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // The loop must converge on the primary's final generation.
+  const std::uint64_t target = f.primary->generation();
+  bool converged = false;
+  for (int i = 0; i < 500; ++i) {
+    if (f.sync->GetStats().synced_generation == target) {
+      converged = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  ASSERT_TRUE(converged);
+  ExpectSameRanking(*f.primary, *f.replica, "fare class seat");
+}
+
+TEST(ShardReplicationTest, RouterKeepsServingWhenAFleetMemberDies) {
+  // Two primaries, each serving its consistent-hash share of the corpus.
+  const SchemaCorpus corpus = MakeDwSsCorpus();
+  const HashRing ring(2);
+  std::vector<SchemaCorpus> parts = PartitionCorpus(corpus, ring);
+  std::vector<std::unique_ptr<PaygoServer>> servers;
+  std::vector<std::unique_ptr<ShardService>> services;
+  std::vector<ShardAddress> addresses;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    ASSERT_GT(parts[s].size(), 0u) << "shard " << s << " got no schemas";
+    auto system = IntegrationSystem::Build(std::move(parts[s]), TestOptions());
+    ASSERT_TRUE(system.ok()) << system.status();
+    servers.push_back(std::make_unique<PaygoServer>(std::move(*system)));
+    ASSERT_TRUE(servers.back()->Start().ok());
+    services.push_back(std::make_unique<ShardService>(*servers.back()));
+    Result<std::uint16_t> port = services.back()->Start();
+    ASSERT_TRUE(port.ok()) << port.status();
+    addresses.push_back(ShardAddress{"127.0.0.1", *port});
+  }
+
+  RouterOptions options;
+  options.request_timeout_ms = 1000;
+  const ShardRouter router(addresses, options);
+  Result<ScatterResult> healthy = router.Classify("price listing", 5);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_EQ(healthy->shards_ok, 2u);
+  EXPECT_FALSE(healthy->ranked.empty());
+
+  // Kill shard 1. The router must keep serving off the survivor.
+  services[1]->Stop();
+  servers[1]->Stop();
+  Result<ScatterResult> degraded = router.Classify("price listing", 5);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded->shards_ok, 1u);
+  EXPECT_EQ(degraded->shards_total, 2u);
+  EXPECT_FALSE(degraded->ranked.empty());
+  for (const RoutedDomain& d : degraded->ranked) EXPECT_EQ(d.shard, 0u);
+
+  services[0]->Stop();
+  servers[0]->Stop();
+}
+
+}  // namespace
+}  // namespace paygo

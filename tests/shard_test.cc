@@ -1,0 +1,276 @@
+// Unit tests of the domain-sharding building blocks: the consistent-hash
+// ring and corpus partitioner, the length-prefixed wire protocol, the
+// replication delta log's contiguity semantics, and the router's
+// scatter/gather merge with graceful degradation around down shards.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/integration_system.h"
+#include "gtest/gtest.h"
+#include "serve/paygo_server.h"
+#include "shard/hash_ring.h"
+#include "shard/replication.h"
+#include "shard/router.h"
+#include "shard/shard_service.h"
+#include "shard/wire.h"
+#include "synth/web_generator.h"
+
+namespace paygo {
+namespace {
+
+SystemOptions TestOptions() {
+  SystemOptions options;
+  options.hac.tau_c_sim = 0.25;
+  options.assignment.tau_c_sim = 0.25;
+  return options;
+}
+
+TEST(HashRingTest, DeterministicAndReasonablySpread) {
+  const HashRing a(4), b(4);
+  std::map<std::uint32_t, int> counts;
+  for (int k = 0; k < 100; ++k) {
+    const std::string key = "domain" + std::to_string(k);
+    const std::uint32_t shard = a.ShardFor(key);
+    EXPECT_EQ(shard, b.ShardFor(key)) << key;
+    EXPECT_LT(shard, 4u);
+    counts[shard]++;
+  }
+  // 100 uniform keys over 4 shards: every shard owns a meaningful share.
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [shard, n] : counts) {
+    EXPECT_GE(n, 10) << "shard " << shard << " starved";
+  }
+}
+
+TEST(HashRingTest, GrowingTheRingMovesOnlyAMinorityOfKeys) {
+  const HashRing four(4), five(5);
+  int moved = 0;
+  const int total = 200;
+  for (int k = 0; k < total; ++k) {
+    const std::string key = "domain" + std::to_string(k);
+    if (four.ShardFor(key) != five.ShardFor(key)) ++moved;
+  }
+  // Consistent hashing moves ~1/5 of the keys when a fifth shard joins; a
+  // modulo assignment would move ~4/5. Allow slack over the ideal 20%.
+  EXPECT_LT(moved, total / 2);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRingTest, PartitionCorpusPreservesSchemasAndLabels) {
+  const SchemaCorpus corpus = MakeDwSsCorpus();
+  const HashRing ring(3);
+  const std::vector<SchemaCorpus> parts = PartitionCorpus(corpus, ring);
+  ASSERT_EQ(parts.size(), 3u);
+
+  std::size_t total = 0;
+  std::map<std::string, std::size_t> source_to_shard;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    total += parts[s].size();
+    for (std::size_t i = 0; i < parts[s].size(); ++i) {
+      source_to_shard[parts[s].schema(i).source_name] = s;
+      // Every schema sits on the shard its ring key maps to.
+      EXPECT_EQ(ring.ShardFor(ShardKeyOf(parts[s], i)), s);
+    }
+  }
+  EXPECT_EQ(total, corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    ASSERT_TRUE(source_to_shard.count(corpus.schema(i).source_name));
+    EXPECT_EQ(source_to_shard[corpus.schema(i).source_name],
+              ring.ShardFor(ShardKeyOf(corpus, i)));
+  }
+  // Whole domains stay together: schemas sharing a first label share a
+  // shard, which is what makes per-shard posteriors meaningful.
+  std::map<std::string, std::size_t> label_to_shard;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    for (std::size_t i = 0; i < parts[s].size(); ++i) {
+      if (parts[s].labels(i).empty()) continue;
+      const std::string& label = parts[s].labels(i)[0];
+      auto [it, inserted] = label_to_shard.emplace(label, s);
+      EXPECT_EQ(it->second, s) << "domain '" << label << "' split";
+    }
+  }
+}
+
+TEST(HashRingTest, ShardKeyFallsBackToSourceName) {
+  SchemaCorpus corpus;
+  Schema schema;
+  schema.source_name = "unlabeled-source";
+  schema.attributes = {"a", "b"};
+  corpus.Add(schema, {});
+  EXPECT_EQ(ShardKeyOf(corpus, 0), "unlabeled-source");
+}
+
+TEST(WireTest, FrameRoundTripOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  const std::string payload = "gen 42\nsome multi-line\npayload";
+  ASSERT_TRUE(WriteFrame(fds[0], FrameType::kSnapshotDelta, payload).ok());
+  Result<Frame> frame = ReadFrame(fds[1]);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kSnapshotDelta);
+  EXPECT_EQ(frame->payload, payload);
+
+  // Empty payloads are legal (kPing carries none).
+  ASSERT_TRUE(WriteFrame(fds[1], FrameType::kPing, "").ok());
+  frame = ReadFrame(fds[0]);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kPing);
+  EXPECT_TRUE(frame->payload.empty());
+
+  // A frame longer than the reader's cap is rejected, not buffered.
+  ASSERT_TRUE(
+      WriteFrame(fds[0], FrameType::kClassify, std::string(1024, 'x')).ok());
+  EXPECT_FALSE(ReadFrame(fds[1], /*max_bytes=*/512).ok());
+
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WireTest, ParseShardAddressForms) {
+  Result<ShardAddress> full = ParseShardAddress("10.1.2.3:4567");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->host, "10.1.2.3");
+  EXPECT_EQ(full->port, 4567);
+
+  Result<ShardAddress> bare = ParseShardAddress("8080");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->host, "127.0.0.1");
+  EXPECT_EQ(bare->port, 8080);
+
+  EXPECT_FALSE(ParseShardAddress("").ok());
+  EXPECT_FALSE(ParseShardAddress("host:notaport").ok());
+  EXPECT_FALSE(ParseShardAddress("host:0").ok());
+}
+
+TEST(ReplicationLogTest, ServesContiguousRangesOnly) {
+  ReplicationLog log;
+  log.Append(2, "b");
+  log.Append(3, "c");
+  log.Append(4, "d");
+
+  // Full coverage of (1, 4] and a suffix (2, 4].
+  auto all = log.RecordsCovering(1, 4);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(*all, "bcd");
+  auto suffix = log.RecordsCovering(2, 4);
+  ASSERT_TRUE(suffix.has_value());
+  EXPECT_EQ(*suffix, "cd");
+
+  // The log starts at generation 2, so it cannot prove (0, 4].
+  EXPECT_FALSE(log.RecordsCovering(0, 4).has_value());
+  // Nothing newer than 4 exists.
+  EXPECT_FALSE(log.RecordsCovering(2, 5).has_value());
+}
+
+TEST(ReplicationLogTest, GenerationGapClearsTheLog) {
+  ReplicationLog log;
+  log.Append(1, "a");
+  log.Append(2, "b");
+  // Generation 4 is not 3: an unlogged mutation published in between, so
+  // the log can no longer prove contiguity and must drop its history.
+  log.Append(4, "d");
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log.RecordsCovering(1, 4).has_value());
+  auto tail = log.RecordsCovering(3, 4);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, "d");
+}
+
+TEST(ReplicationLogTest, TrimsToCapacity) {
+  ReplicationLog log(/*capacity=*/2);
+  log.Append(1, "a");
+  log.Append(2, "b");
+  log.Append(3, "c");
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log.RecordsCovering(0, 3).has_value());  // "a" trimmed away
+  auto kept = log.RecordsCovering(1, 3);
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(*kept, "bc");
+}
+
+TEST(ReplicationTest, DeltaRecordRoundTrip) {
+  Schema schema;
+  schema.source_name = "delta-source";
+  schema.attributes = {"first attribute", "second attribute"};
+  const std::string record =
+      MakeDeltaRecord(7, schema, {"some-domain", "alt-label"});
+  const std::string payload = "gen 7\n" + record;
+
+  std::uint64_t through = 0;
+  Result<std::vector<DeltaRecord>> parsed =
+      ParseDeltaPayload(payload, &through);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(through, 7u);
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].generation, 7u);
+  EXPECT_EQ((*parsed)[0].schema.source_name, "delta-source");
+  EXPECT_EQ((*parsed)[0].schema.attributes, schema.attributes);
+  // corpus_io normalizes label order, so the round trip comes back sorted.
+  EXPECT_EQ((*parsed)[0].labels,
+            (std::vector<std::string>{"alt-label", "some-domain"}));
+}
+
+TEST(RouterTest, MergesOneShardAndDegradesAroundADownOne) {
+  auto system = IntegrationSystem::Build(MakeDwCorpus(), TestOptions());
+  ASSERT_TRUE(system.ok()) << system.status();
+  // Install after Start (the ShardNode flow) so the shard publishes at
+  // generation >= 1 and the router health view reflects it.
+  PaygoServer server{ServeOptions{}};
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.InstallSystemAsync(std::move(*system)).get().ok());
+  ShardService service(server);
+  Result<std::uint16_t> port = service.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  // Shard 1 points at a port nothing listens on: the scatter must degrade
+  // around it instead of failing the query.
+  RouterOptions options;
+  options.request_timeout_ms = 1000;
+  const ShardRouter router(
+      {ShardAddress{"127.0.0.1", *port}, ShardAddress{"127.0.0.1", 1}},
+      options);
+  Result<ScatterResult> scattered =
+      router.Classify("departure city arrival", 3);
+  ASSERT_TRUE(scattered.ok()) << scattered.status();
+  EXPECT_EQ(scattered->shards_ok, 1u);
+  EXPECT_EQ(scattered->shards_total, 2u);
+  ASSERT_FALSE(scattered->ranked.empty());
+  EXPECT_LE(scattered->ranked.size(), 3u);
+  for (const RoutedDomain& d : scattered->ranked) EXPECT_EQ(d.shard, 0u);
+
+  // The merged scores are the live shard's own posteriors, round-tripped
+  // exactly through the %.17g wire encoding.
+  Result<std::vector<DomainScore>> local =
+      server.Classify("departure city arrival");
+  ASSERT_TRUE(local.ok());
+  ASSERT_GE(local->size(), scattered->ranked.size());
+  for (std::size_t i = 0; i < scattered->ranked.size(); ++i) {
+    EXPECT_EQ(scattered->ranked[i].domain, (*local)[i].domain);
+    EXPECT_DOUBLE_EQ(scattered->ranked[i].log_posterior,
+                     (*local)[i].log_posterior);
+  }
+
+  const std::vector<ShardRouter::ShardHealth> health = router.Health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_TRUE(health[0].up);
+  EXPECT_GE(health[0].generation, 1u);
+  EXPECT_FALSE(health[1].up);
+  EXPECT_GE(health[1].consecutive_failures, 1u);
+  EXPECT_NE(router.ShardzJson().find("\"up\": false"), std::string::npos);
+
+  service.Stop();
+  server.Stop();
+
+  // With every shard down the scatter finally fails.
+  EXPECT_FALSE(router.Classify("departure city arrival", 3).ok());
+}
+
+}  // namespace
+}  // namespace paygo

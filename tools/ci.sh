@@ -77,12 +77,112 @@ echo "==> smoke: perf_write_path --smoke --check (O(delta) classifier refresh)"
   > "$SMOKE_DIR/write-path.json"
 echo "    delta write path within the O(delta) refresh budget"
 
+echo "==> smoke: domain-sharded fleet (2 shard primaries + replica + router)"
+# Three paygo_cli processes on ephemeral ports: two primaries each serving
+# their consistent-hash share of the corpus, plus a read replica of shard 0
+# that bootstraps via snapshot replication. The router scatter/gathers one
+# cross-domain query across the primaries.
+./build/tools/paygo_cli generate both "$SMOKE_DIR/fleet-corpus.txt" >/dev/null
+
+port_from_log() {  # <logfile> <label>  ->  port, or ""
+  sed -n "s/.*$2 server listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p" \
+    "$1" | head -1
+}
+wait_for_port() {  # <logfile> <label>
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(port_from_log "$1" "$2")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+http_head() {  # <port> <path>  ->  first status line
+  exec 3<>"/dev/tcp/127.0.0.1/$1" \
+    && printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' "$2" >&3 \
+    && head -1 <&3; exec 3>&- 2>/dev/null || true
+}
+
+FLEET_PIDS=""
+stop_fleet() { [[ -n "$FLEET_PIDS" ]] && kill $FLEET_PIDS 2>/dev/null || true; }
+
+./build/tools/paygo_cli shard-node "$SMOKE_DIR/fleet-corpus.txt" \
+  --shards 2 --shard-index 0 --admin-port 0 2> "$SMOKE_DIR/shard0.log" &
+FLEET_PIDS="$!"
+./build/tools/paygo_cli shard-node "$SMOKE_DIR/fleet-corpus.txt" \
+  --shards 2 --shard-index 1 --admin-port 0 2> "$SMOKE_DIR/shard1.log" &
+FLEET_PIDS="$FLEET_PIDS $!"
+
+SHARD0_PORT=$(wait_for_port "$SMOKE_DIR/shard0.log" shard)
+SHARD1_PORT=$(wait_for_port "$SMOKE_DIR/shard1.log" shard)
+if [[ -z "$SHARD0_PORT" || -z "$SHARD1_PORT" ]]; then
+  echo "FAIL: a shard primary never reported its wire port" >&2
+  cat "$SMOKE_DIR/shard0.log" "$SMOKE_DIR/shard1.log" >&2
+  stop_fleet; exit 1
+fi
+
+# The replica starts EMPTY and read-only; its /readyz must flip to 200
+# only once the first replicated snapshot has installed.
+./build/tools/paygo_cli shard-node --primary "127.0.0.1:$SHARD0_PORT" \
+  --poll-ms 50 --admin-port 0 2> "$SMOKE_DIR/replica.log" &
+FLEET_PIDS="$FLEET_PIDS $!"
+REPLICA_ADMIN=$(wait_for_port "$SMOKE_DIR/replica.log" admin)
+
+for NODE in "shard0:$(port_from_log "$SMOKE_DIR/shard0.log" admin)" \
+            "shard1:$(port_from_log "$SMOKE_DIR/shard1.log" admin)" \
+            "replica:$REPLICA_ADMIN"; do
+  NAME=${NODE%%:*}; PORT=${NODE##*:}
+  if [[ -z "$PORT" ]]; then
+    echo "FAIL: $NAME never reported its admin port" >&2
+    stop_fleet; exit 1
+  fi
+  READY=""
+  for _ in $(seq 1 100); do
+    READY=$(http_head "$PORT" /readyz)
+    [[ "$READY" == *" 200 "* ]] && break
+    sleep 0.1
+  done
+  if [[ "$READY" != *" 200 "* ]]; then
+    echo "FAIL: /readyz on $NAME (port $PORT) answered: $READY" >&2
+    stop_fleet; exit 1
+  fi
+  echo "    /readyz on $NAME (127.0.0.1:$PORT) answered 200"
+done
+
+# One cross-domain query through the router; a non-empty merged ranking
+# over both shards is the contract (shard-router exits 1 on empty).
+if ! ./build/tools/paygo_cli shard-router used car price listing \
+    --shard "127.0.0.1:$SHARD0_PORT" --shard "127.0.0.1:$SHARD1_PORT" \
+    > "$SMOKE_DIR/router.txt"; then
+  echo "FAIL: router scatter/gather returned no merged ranking" >&2
+  cat "$SMOKE_DIR/router.txt" >&2
+  stop_fleet; exit 1
+fi
+if ! grep -q "(2/2 shards answered)" "$SMOKE_DIR/router.txt"; then
+  echo "FAIL: router did not merge both shards:" >&2
+  cat "$SMOKE_DIR/router.txt" >&2
+  stop_fleet; exit 1
+fi
+echo "    router merged a cross-domain ranking over 2/2 shards"
+
+# Clean shutdown: SIGTERM each node and require exit code 0.
+FLEET_RC=0
+kill -TERM $FLEET_PIDS
+for PID in $FLEET_PIDS; do
+  wait "$PID" || FLEET_RC=$?
+done
+if [[ "$FLEET_RC" != 0 ]]; then
+  echo "FAIL: a fleet member did not shut down cleanly (rc=$FLEET_RC)" >&2
+  exit 1
+fi
+echo "    fleet shut down cleanly"
+
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "==> tsan: configure + build serve + admin + trace + parallel tests (PAYGO_SANITIZE=thread)"
   cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target serve_test serve_concurrency_test trace_test \
     clone_aliasing_test admin_server_test thread_pool_test \
-    parallel_determinism_test -j "$JOBS"
+    parallel_determinism_test shard_replication_test -j "$JOBS"
 
   echo "==> tsan: trace_test"
   ./build-tsan/tests/trace_test
@@ -94,6 +194,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/clone_aliasing_test
   echo "==> tsan: admin_server_test (concurrent scrapes vs rebuilds)"
   ./build-tsan/tests/admin_server_test
+  echo "==> tsan: shard_replication_test (replication + degraded scatter)"
+  ./build-tsan/tests/shard_replication_test
   echo "==> tsan: thread_pool_test + parallel_determinism_test (ctest -j)"
   # Instrumented LCS scans are slow; the determinism harness honors
   # PAYGO_DETERMINISM_SMALL and shrinks its corpora under TSan.

@@ -14,6 +14,12 @@
 ///   serve-bench <corpus-file>                closed-loop load test of the
 ///                                            concurrent serving runtime
 ///                                            (JSON report)
+///   shard-node <corpus-file>                 run one shard server (wire
+///                                            protocol + admin HTTP) until
+///                                            SIGINT/SIGTERM; --primary
+///                                            turns it into a read replica
+///   shard-router <keywords...> --shard a:p   one-shot cross-domain
+///                                            scatter/gather over a fleet
 ///
 /// Common options: --tau <v> (tau_c_sim, default 0.25), --theta <v>
 /// (default 0.02), --linkage <avg|min|max|total>, --eval (score clustering
@@ -22,10 +28,14 @@
 /// --serve-threads, --serve-seconds, --serve-workers, --serve-queue-depth,
 /// --human.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "classify/query_featurizer.h"
@@ -39,6 +49,9 @@
 #include "schema/corpus_io.h"
 #include "serve/load_generator.h"
 #include "serve/paygo_server.h"
+#include "shard/hash_ring.h"
+#include "shard/router.h"
+#include "shard/shard_node.h"
 #include "synth/ddh_generator.h"
 #include "synth/query_generator.h"
 #include "synth/web_generator.h"
@@ -63,6 +76,10 @@ commands:
   query <snapshot-file> <keywords...>    classify against a saved snapshot
   serve-bench <corpus-file>              load-test the concurrent serving
                                          runtime; emits a JSON report
+  shard-node <corpus-file>               serve one shard over the wire
+                                         protocol until SIGINT/SIGTERM
+  shard-router <keywords...> --shard a:p cross-domain scatter/gather query
+                                         over a running fleet (one-shot)
 
 options (cluster/classify/snapshot):
   --tau <v>       clustering threshold tau_c_sim (default 0.25)
@@ -91,6 +108,20 @@ options (serve-bench):
   --export-interval-ms <n> exporter wake interval (default 1000)
   --human                  readable summary instead of JSON
 
+options (shard-node/shard-router):
+  --shard-port <p>         wire-protocol port (default 0 = ephemeral; the
+                           bound port is printed to stderr as
+                           "shard server listening on 127.0.0.1:<p>")
+  --primary <host:port>    run as a read replica of that primary: start
+                           empty, pull snapshots/deltas, serve reads only
+                           (no corpus file; /readyz flips 200 when the
+                           first replicated snapshot installs)
+  --shards <n>             with --shard-index: consistent-hash partition
+  --shard-index <i>        the corpus and serve only shard i's share
+  --poll-ms <n>            replica poll cadence (default 200)
+  --shard <host:port>      (shard-router; repeatable) fleet member to
+                           scatter the query to
+
 observability (cluster/classify/serve-bench):
   --trace-out <file>  enable tracing; write Chrome trace-event JSON on
                       exit (load in Perfetto / chrome://tracing)
@@ -115,6 +146,12 @@ struct CliOptions {
   std::uint64_t export_interval_ms = 1000;
   std::string trace_out;
   std::string stats_json;
+  int shard_port = 0;
+  std::string primary;
+  std::size_t shards_total = 0;
+  std::size_t shard_index = 0;
+  std::uint64_t poll_ms = 200;
+  std::vector<std::string> shard_addrs;
   std::vector<std::string> positional;
 };
 
@@ -196,6 +233,30 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       const char* v = next();
       if (!v) return false;
       out->export_interval_ms = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--shard-port") {
+      const char* v = next();
+      if (!v) return false;
+      out->shard_port = std::atoi(v);
+    } else if (arg == "--primary") {
+      const char* v = next();
+      if (!v) return false;
+      out->primary = v;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      out->shards_total = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--shard-index") {
+      const char* v = next();
+      if (!v) return false;
+      out->shard_index = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--poll-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->poll_ms = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--shard") {
+      const char* v = next();
+      if (!v) return false;
+      out->shard_addrs.push_back(v);
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (!v) return false;
@@ -525,6 +586,122 @@ int CmdServeBench(const CliOptions& cli) {
   return WriteObservabilityOutputs(cli);
 }
 
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+int CmdShardNode(const CliOptions& cli) {
+  const bool replica = !cli.primary.empty();
+  if (replica ? !cli.positional.empty() : cli.positional.size() != 1) {
+    return Usage();
+  }
+
+  ShardNodeOptions opts;
+  opts.serve.num_workers = cli.serve_workers;
+  opts.serve.queue_depth = cli.serve_queue_depth;
+  opts.serve.slow_query_threshold_us = cli.slow_us;
+  opts.service.port = static_cast<std::uint16_t>(cli.shard_port);
+  opts.admin_port = cli.admin_port;
+
+  std::unique_ptr<IntegrationSystem> system;
+  if (replica) {
+    auto addr = ParseShardAddress(cli.primary);
+    if (!addr.ok()) {
+      std::cerr << addr.status() << "\n";
+      return 1;
+    }
+    opts.replica = true;
+    opts.replica_sync.primary_host = addr->host;
+    opts.replica_sync.primary_port = addr->port;
+    opts.replica_sync.poll_interval_ms = cli.poll_ms;
+    opts.replica_sync.system = cli.system;
+  } else {
+    auto corpus = LoadOrFail(cli.positional[0]);
+    if (!corpus.ok()) return 1;
+    if (cli.shards_total > 1) {
+      if (cli.shard_index >= cli.shards_total) {
+        std::cerr << "--shard-index must be < --shards\n";
+        return 2;
+      }
+      const HashRing ring(cli.shards_total);
+      std::vector<SchemaCorpus> parts = PartitionCorpus(*corpus, ring);
+      *corpus = std::move(parts[cli.shard_index]);
+      if (corpus->size() == 0) {
+        std::cerr << "shard " << cli.shard_index
+                  << " owns no schemas of this corpus\n";
+        return 1;
+      }
+    }
+    auto sys = IntegrationSystem::Build(std::move(*corpus), cli.system);
+    if (!sys.ok()) {
+      std::cerr << sys.status() << "\n";
+      return 1;
+    }
+    system = std::move(*sys);
+  }
+
+  ShardNode node(std::move(opts));
+  if (Status s = node.Start(std::move(system)); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  // Scripts (tools/ci.sh) parse these lines to find the ephemeral ports.
+  std::cerr << "shard server listening on 127.0.0.1:" << node.shard_port()
+            << "\n";
+  if (node.admin_port() != 0) {
+    std::cerr << "admin server listening on 127.0.0.1:" << node.admin_port()
+              << "\n";
+  }
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "shutting down\n";
+  node.Stop();
+  return 0;
+}
+
+int CmdShardRouter(const CliOptions& cli) {
+  if (cli.shard_addrs.empty() || cli.positional.empty()) return Usage();
+  std::vector<ShardAddress> addresses;
+  for (const std::string& a : cli.shard_addrs) {
+    auto addr = ParseShardAddress(a);
+    if (!addr.ok()) {
+      std::cerr << addr.status() << "\n";
+      return 2;
+    }
+    addresses.push_back(*addr);
+  }
+  const ShardRouter router(addresses);
+  const std::string query = Join(cli.positional, " ");
+  auto scattered = router.Classify(query, 5);
+  if (!scattered.ok()) {
+    std::cerr << scattered.status() << "\n";
+    return 1;
+  }
+  std::cout << "query: \"" << query << "\" (" << scattered->shards_ok << "/"
+            << scattered->shards_total << " shards answered)\n";
+  for (std::size_t k = 0; k < scattered->ranked.size(); ++k) {
+    const RoutedDomain& d = scattered->ranked[k];
+    std::cout << k + 1 << ". shard " << d.shard << " domain " << d.domain
+              << " (score " << FormatDouble(d.log_posterior, 2) << ")";
+    std::size_t shown = 0;
+    for (const std::string& a : d.mediated_attributes) {
+      std::cout << (shown == 0 ? " :" : "") << " [" << a << "]";
+      if (++shown >= 8) {
+        std::cout << " ...";
+        break;
+      }
+    }
+    std::cout << "\n";
+  }
+  // A merged ranking is the smoke-test contract: no results means the
+  // fleet is not actually serving.
+  return scattered->ranked.empty() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -542,6 +719,8 @@ int main(int argc, char** argv) {
   if (command == "dendrogram") return CmdDendrogram(cli);
   if (command == "bench-queries") return CmdBenchQueries(cli);
   if (command == "serve-bench") return CmdServeBench(cli);
+  if (command == "shard-node") return CmdShardNode(cli);
+  if (command == "shard-router") return CmdShardRouter(cli);
   std::cerr << "unknown command '" << command << "'\n";
   return Usage();
 }
