@@ -1,13 +1,37 @@
 /// \file perf_classifier.cc
-/// \brief google-benchmark microbenchmarks for classifier construction and
-/// query time (Section 5.3).
+/// \brief Classifier performance: google-benchmark microbenchmarks plus a
+/// gated batch-throughput harness.
 ///
-/// The headline contrast: the thesis's exhaustive setup is exponential in
-/// the number of uncertain schemas per domain (2^u subsets), while the
-/// factored engine is polynomial — the exact removal of the exponential
-/// factor that Chapter 7 lists as future work.
+/// Two personalities in one binary:
+///
+///  * **google-benchmark mode** (no harness flags, the default): the
+///    Section 5.3 microbenchmarks — exhaustive vs factored setup cost and
+///    single-query classification time.
+///  * **harness mode** (any of --check/--smoke/--json-out/--human/
+///    --domains/--dim/--bits/--queries/--seconds/--batches): measures
+///    single-thread classify throughput and per-query p50/p99 latency at
+///    each batch size via the zero-alloc ClassifyInto/ClassifyBatchInto
+///    paths, writes BENCH_classifier.json (schema in bench/README.md),
+///    and with --check exits 1 unless batch-64 throughput is >= 2x batch-1
+///    AND per-query p99 stays under budget — the CI regression gate for
+///    the struct-of-arrays batch sweep (tools/ci.sh).
+///
+/// The headline microbenchmark contrast: the thesis's exhaustive setup is
+/// exponential in the number of uncertain schemas per domain (2^u
+/// subsets), while the factored engine is polynomial — the exact removal
+/// of the exponential factor that Chapter 7 lists as future work.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "classify/approx_classifier.h"
 #include "classify/naive_bayes.h"
@@ -111,7 +135,276 @@ void BM_QueryClassification(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryClassification)->Arg(10)->Arg(50)->Arg(200);
 
+// ---------------------------------------------------------------------------
+// Harness mode: the gated batch-throughput measurement.
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+struct HarnessOptions {
+  // The default shape makes the sweep memory-bound (the regime batching is
+  // for): num_domains * dim * 8 bytes of log-odds far exceeds L2, and
+  // dense-ish queries make each domain row earn its cache residency.
+  std::size_t num_domains = 600;
+  std::size_t dim = 4000;
+  std::size_t bits = 48;      ///< set features per query
+  std::size_t queries = 512;  ///< pool size (multiple of every batch size)
+  double seconds = 1.0;       ///< time box per batch size
+  std::vector<std::size_t> batches = {1, 8, 64};
+  bool check = false;
+  double min_speedup = 2.0;      ///< batch-64-vs-1 throughput gate
+  double p99_budget_us = 20000;  ///< per-query p99 budget, every batch size
+  std::string json_out = "BENCH_classifier.json";  // "" disables the file
+  bool human = false;
+};
+
+struct BatchPoint {
+  std::size_t batch = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;   // per-query
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  std::uint64_t total_queries = 0;
+};
+
+double MicrosSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// Single-thread throughput at one batch size, through the zero-alloc
+/// paths (batch 1 = ClassifyInto, the single-query hot path; batch B > 1 =
+/// one ClassifyBatchInto sweep per chunk). Per-query latency for a sweep
+/// is sweep_time / B.
+BatchPoint MeasureBatchSize(const NaiveBayesClassifier& clf,
+                            const std::vector<DynamicBitset>& pool,
+                            std::size_t batch, double seconds) {
+  ClassifyScratch scratch;
+  std::vector<DomainScore> single_out;
+  std::vector<std::vector<DomainScore>> batch_out;
+
+  auto run_chunk = [&](std::size_t start) {
+    if (batch == 1) {
+      clf.ClassifyInto(pool[start], &scratch, &single_out);
+    } else {
+      clf.ClassifyBatchInto(
+          std::span<const DynamicBitset>(pool.data() + start, batch),
+          &scratch, &batch_out);
+    }
+  };
+  for (std::size_t s = 0; s < pool.size(); s += batch) run_chunk(s);  // warm
+
+  std::vector<double> per_query_us;
+  std::uint64_t total = 0;
+  const Clock::time_point t0 = Clock::now();
+  const double budget_us = seconds * 1e6;
+  while (MicrosSince(t0) < budget_us) {
+    for (std::size_t s = 0; s < pool.size(); s += batch) {
+      const Clock::time_point c0 = Clock::now();
+      run_chunk(s);
+      per_query_us.push_back(MicrosSince(c0) / static_cast<double>(batch));
+      total += batch;
+    }
+  }
+  const double elapsed_us = MicrosSince(t0);
+
+  BatchPoint point;
+  point.batch = batch;
+  point.total_queries = total;
+  point.qps = total / (elapsed_us / 1e6);
+  std::sort(per_query_us.begin(), per_query_us.end());
+  if (!per_query_us.empty()) {
+    point.p50_us = per_query_us[per_query_us.size() / 2];
+    point.p99_us = per_query_us[std::min(
+        per_query_us.size() - 1,
+        static_cast<std::size_t>(per_query_us.size() * 0.99))];
+    for (double v : per_query_us) point.mean_us += v;
+    point.mean_us /= static_cast<double>(per_query_us.size());
+  }
+  return point;
+}
+
+int RunHarness(const HarnessOptions& opts) {
+  Rng rng(41);
+  std::vector<DomainConditionals> conds(opts.num_domains);
+  for (auto& c : conds) {
+    c.prior = 0.01 + rng.NextDouble();
+    c.q1.resize(opts.dim);
+    for (double& q : c.q1) q = 0.001 + 0.9 * rng.NextDouble();
+  }
+  const auto clf = NaiveBayesClassifier::FromConditionals(
+      std::move(conds), std::vector<bool>(opts.num_domains, false), {});
+
+  std::vector<DynamicBitset> pool;
+  pool.reserve(opts.queries);
+  for (std::size_t i = 0; i < opts.queries; ++i) {
+    DynamicBitset q(opts.dim);
+    for (std::size_t k = 0; k < opts.bits; ++k) q.Set(rng.NextBelow(opts.dim));
+    pool.push_back(std::move(q));
+  }
+
+  std::vector<BatchPoint> points;
+  for (std::size_t batch : opts.batches) {
+    if (batch == 0 || opts.queries % batch != 0) {
+      std::cerr << "batch size " << batch << " must divide --queries "
+                << opts.queries << "\n";
+      return 2;
+    }
+    points.push_back(MeasureBatchSize(clf, pool, batch, opts.seconds));
+  }
+
+  double qps_b1 = 0.0, qps_bmax = 0.0;
+  std::size_t bmax = 0;
+  for (const BatchPoint& p : points) {
+    if (p.batch == 1) qps_b1 = p.qps;
+    if (p.batch > bmax) {
+      bmax = p.batch;
+      qps_bmax = p.qps;
+    }
+  }
+  const double speedup = qps_b1 > 0.0 ? qps_bmax / qps_b1 : 0.0;
+
+  bool check_failed = false;
+  std::string check_detail;
+  if (bmax > 1 && speedup < opts.min_speedup) {
+    check_failed = true;
+    check_detail += "batch-" + std::to_string(bmax) + " speedup " +
+                    std::to_string(speedup) + "x < required " +
+                    std::to_string(opts.min_speedup) + "x; ";
+  }
+  for (const BatchPoint& p : points) {
+    if (p.p99_us > opts.p99_budget_us) {
+      check_failed = true;
+      check_detail += "batch-" + std::to_string(p.batch) + " p99 " +
+                      std::to_string(p.p99_us) + "us over budget " +
+                      std::to_string(opts.p99_budget_us) + "us; ";
+    }
+  }
+
+  std::ostringstream results;
+  results << "{\"kernel\": \"" << DynamicBitset::KernelName()
+          << "\", \"batches\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const BatchPoint& p = points[i];
+    if (i > 0) results << ", ";
+    results << "{\"batch\": " << p.batch << ", \"qps\": " << p.qps
+            << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+            << ", \"mean_us\": " << p.mean_us
+            << ", \"total_queries\": " << p.total_queries << "}";
+  }
+  results << "], \"speedup_batch" << bmax << "_vs_1\": " << speedup
+          << ", \"min_speedup\": " << opts.min_speedup
+          << ", \"p99_budget_us\": " << opts.p99_budget_us
+          << ", \"check\": \"" << (check_failed ? "FAIL" : "PASS") << "\"}";
+
+  if (!opts.json_out.empty()) {
+    const auto ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+    std::ofstream out(opts.json_out, std::ios::trunc);
+    out << "{\"bench\": \"classifier_batch\", \"ts_ms\": " << ts_ms
+        << ", \"config\": {\"domains\": " << opts.num_domains
+        << ", \"dim\": " << opts.dim << ", \"bits\": " << opts.bits
+        << ", \"queries\": " << opts.queries
+        << ", \"seconds\": " << opts.seconds << "}, \"results\": "
+        << results.str() << "}\n";
+    if (!out) {
+      std::cerr << "failed writing " << opts.json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << opts.json_out << "\n";
+  }
+
+  if (opts.human) {
+    std::cout << "kernel " << DynamicBitset::KernelName() << ", "
+              << opts.num_domains << " domains x " << opts.dim
+              << " features, " << opts.bits << " set bits/query\n";
+    for (const BatchPoint& p : points) {
+      std::cout << "  batch " << p.batch << ": " << p.qps << " qps, p50 "
+                << p.p50_us << "us, p99 " << p.p99_us << "us\n";
+    }
+    std::cout << "  batch-" << bmax << " vs batch-1 speedup: " << speedup
+              << "x\n";
+  } else {
+    std::cout << results.str() << "\n";
+  }
+
+  if (opts.check && check_failed) {
+    std::cerr << "FAIL: " << check_detail << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace paygo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  paygo::HarnessOptions opts;
+  bool harness = false;
+  std::vector<char*> bench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--check") {
+      opts.check = true;
+      harness = true;
+    } else if (arg == "--smoke") {
+      // Shorter time box, same memory-bound shape (the speedup gate needs
+      // the working set to stay bigger than cache).
+      opts.seconds = 0.25;
+      opts.queries = 256;
+      harness = true;
+    } else if (arg == "--domains" && next()) {
+      opts.num_domains = static_cast<std::size_t>(std::atoll(argv[i]));
+      harness = true;
+    } else if (arg == "--dim" && next()) {
+      opts.dim = static_cast<std::size_t>(std::atoll(argv[i]));
+      harness = true;
+    } else if (arg == "--bits" && next()) {
+      opts.bits = static_cast<std::size_t>(std::atoll(argv[i]));
+      harness = true;
+    } else if (arg == "--queries" && next()) {
+      opts.queries = static_cast<std::size_t>(std::atoll(argv[i]));
+      harness = true;
+    } else if (arg == "--seconds" && next()) {
+      opts.seconds = std::atof(argv[i]);
+      harness = true;
+    } else if (arg == "--batches" && next()) {
+      opts.batches.clear();
+      std::stringstream ss(argv[i]);
+      std::string piece;
+      while (std::getline(ss, piece, ',')) {
+        opts.batches.push_back(
+            static_cast<std::size_t>(std::atoll(piece.c_str())));
+      }
+      harness = true;
+    } else if (arg == "--min-speedup" && next()) {
+      opts.min_speedup = std::atof(argv[i]);
+      harness = true;
+    } else if (arg == "--p99-budget-us" && next()) {
+      opts.p99_budget_us = std::atof(argv[i]);
+      harness = true;
+    } else if (arg == "--json-out" && next()) {
+      opts.json_out = argv[i];
+      harness = true;
+    } else if (arg == "--human") {
+      opts.human = true;
+      harness = true;
+    } else {
+      bench_args.push_back(argv[i]);  // google-benchmark flag
+    }
+  }
+  if (harness) return paygo::RunHarness(opts);
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  ::benchmark::Initialize(&bench_argc, bench_args.data());
+  if (::benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -27,8 +27,15 @@
 /// rides along.
 ///
 /// Flags: --corpus <dw|ss|both|many> --threads N --seconds S --workers N
-///        --queue-depth N --cache-capacity N --delay-us N
+///        --queue-depth N --cache-capacity N --delay-us N --batch-max N
 ///        --shards N[,N...] --json-out FILE --human
+///        --check [--p99-budget-us N]
+///
+/// --batch-max sets ServeOptions::classify_batch_max, so the steady phase
+/// exercises the coalesced classify sweep (batch_sweeps/batched_requests
+/// land in the JSON). --check turns the steady phase into a CI gate: exit
+/// 1 if any steady request errored or client-observed p99 exceeds the
+/// budget (default 200ms — a regression tripwire, not a latency SLO).
 
 #include <algorithm>
 #include <chrono>
@@ -63,9 +70,12 @@ struct BenchOptions {
   std::size_t queue_depth = 256;
   std::size_t cache_capacity = 1024;
   std::uint64_t delay_us = 0;
+  std::size_t batch_max = 1;  // classify_batch_max for the steady server
   std::vector<std::size_t> shards;  // non-empty selects the sharded mode
   std::string json_out = "BENCH_serve.json";  // "" disables the file
   bool human = false;
+  bool check = false;
+  double p99_budget_us = 200000;  // steady-phase client-observed p99 gate
 };
 
 SchemaCorpus MakeCorpus(const std::string& name) {
@@ -336,10 +346,16 @@ int main(int argc, char** argv) {
       opts.cache_capacity = static_cast<std::size_t>(std::atoi(argv[i]));
     } else if (arg == "--delay-us" && next()) {
       opts.delay_us = static_cast<std::uint64_t>(std::atoll(argv[i]));
+    } else if (arg == "--batch-max" && next()) {
+      opts.batch_max = static_cast<std::size_t>(std::atoi(argv[i]));
     } else if (arg == "--json-out" && next()) {
       opts.json_out = argv[i];
     } else if (arg == "--human") {
       opts.human = true;
+    } else if (arg == "--check") {
+      opts.check = true;
+    } else if (arg == "--p99-budget-us" && next()) {
+      opts.p99_budget_us = std::atof(argv[i]);
     } else {
       std::cerr << "unknown flag '" << arg << "'\n";
       return 2;
@@ -361,6 +377,7 @@ int main(int argc, char** argv) {
   serve.queue_depth = opts.queue_depth;
   serve.cache_capacity = opts.cache_capacity;
   serve.artificial_request_delay_us = opts.delay_us;
+  serve.classify_batch_max = opts.batch_max;
   PaygoServer server(std::move(*built), serve);
   if (Status s = server.Start(); !s.ok()) {
     std::cerr << s << "\n";
@@ -370,6 +387,11 @@ int main(int argc, char** argv) {
   load.client_threads = opts.threads;
   load.duration_ms = static_cast<std::uint64_t>(opts.seconds * 1000);
   const LoadReport steady = RunClosedLoopLoad(server, queries, load);
+  // Coalescing counters for the steady phase, sampled before the mixed
+  // phase adds more.
+  const std::uint64_t steady_sweeps = server.metrics().batch_sweeps.load();
+  const std::uint64_t steady_batched =
+      server.metrics().batched_requests.load();
 
   // Phase 2: saturation probe against a tiny queue. Slow the handlers so
   // the burst cannot drain between submissions.
@@ -406,7 +428,10 @@ int main(int argc, char** argv) {
 
   std::ostringstream results;
   results << "{\"steady\": " << steady.ToJson()
-          << ", \"mixed_with_writer\": " << mixed.ToJson()
+          << ", \"steady_batch\": {\"batch_max\": " << opts.batch_max
+          << ", \"sweeps\": " << steady_sweeps
+          << ", \"batched_requests\": " << steady_batched
+          << "}, \"mixed_with_writer\": " << mixed.ToJson()
           << ", \"saturation_probe\": {\"burst\": 64, \"rejected\": "
           << probe_rejected << "}, \"final_generation\": " << generation
           << "}";
@@ -427,6 +452,7 @@ int main(int argc, char** argv) {
         << ", \"queue_depth\": " << opts.queue_depth
         << ", \"cache_capacity\": " << opts.cache_capacity
         << ", \"delay_us\": " << opts.delay_us
+        << ", \"batch_max\": " << opts.batch_max
         << "}, \"results\": " << results.str() << "}\n";
     if (!out) {
       std::cerr << "failed writing " << opts.json_out << "\n";
@@ -440,12 +466,32 @@ int main(int argc, char** argv) {
               << steady.p50_us << "us p95 " << steady.p95_us << "us p99 "
               << steady.p99_us << "us, cache hit rate "
               << steady.cache_hit_rate << "\n";
+    if (opts.batch_max > 1) {
+      std::cout << "batching:  max " << opts.batch_max << ", "
+                << steady_sweeps << " sweeps over " << steady_batched
+                << " requests\n";
+    }
     std::cout << "mixed:     " << mixed.qps << " qps under " << generation
               << " snapshot swaps\n";
     std::cout << "saturation: " << probe_rejected
               << "/64 requests rejected by admission control\n";
-    return 0;
+  } else {
+    std::cout << results.str() << "\n";
   }
-  std::cout << results.str() << "\n";
+
+  if (opts.check) {
+    bool failed = false;
+    if (steady.error_requests > 0) {
+      std::cerr << "FAIL: " << steady.error_requests
+                << " steady-phase requests errored\n";
+      failed = true;
+    }
+    if (static_cast<double>(steady.p99_us) > opts.p99_budget_us) {
+      std::cerr << "FAIL: steady-phase p99 " << steady.p99_us
+                << "us over budget " << opts.p99_budget_us << "us\n";
+      failed = true;
+    }
+    if (failed) return 1;
+  }
   return 0;
 }

@@ -388,29 +388,125 @@ NaiveBayesClassifier NaiveBayesClassifier::WithPriors(
   return clf;
 }
 
-std::vector<DomainScore> NaiveBayesClassifier::Classify(
-    const DynamicBitset& query) const {
+namespace {
+
+/// The one ranking order every classify path shares: descending posterior,
+/// ties broken by domain id for determinism.
+bool ScoreBefore(const DomainScore& a, const DomainScore& b) {
+  if (a.log_posterior != b.log_posterior) {
+    return a.log_posterior > b.log_posterior;
+  }
+  return a.domain < b.domain;
+}
+
+}  // namespace
+
+void NaiveBayesClassifier::ClassifyInto(const DynamicBitset& query,
+                                        ClassifyScratch* scratch,
+                                        std::vector<DomainScore>* out) const {
   PAYGO_TRACE_SPAN("classify.query");
   static Counter* queries =
       StatsRegistry::Global().GetCounter("paygo.classifier.queries");
   queries->Increment();
-  const std::vector<std::size_t> set_bits = query.SetBits();
-  std::vector<DomainScore> scores;
-  scores.reserve(conditionals_.size());
+  scratch->set_bits.clear();
+  query.AppendSetBits(&scratch->set_bits);
+  out->clear();
+  out->reserve(conditionals_.size());
   for (std::uint32_t r = 0; r < conditionals_.size(); ++r) {
     if (options_.skip_singleton_domains && singleton_domain_[r]) continue;
     double s = base_[r];
-    for (std::size_t j : set_bits) s += log_odds_[r][j];
-    scores.push_back({r, s});
+    const double* lo = log_odds_[r].data();
+    for (std::size_t j : scratch->set_bits) s += lo[j];
+    out->push_back({r, s});
   }
-  std::sort(scores.begin(), scores.end(),
-            [](const DomainScore& a, const DomainScore& b) {
-              if (a.log_posterior != b.log_posterior) {
-                return a.log_posterior > b.log_posterior;
-              }
-              return a.domain < b.domain;
-            });
+  // std::sort is in-place (introsort) — no heap traffic.
+  std::sort(out->begin(), out->end(), ScoreBefore);
+}
+
+std::vector<DomainScore> NaiveBayesClassifier::Classify(
+    const DynamicBitset& query) const {
+  static thread_local ClassifyScratch scratch;
+  std::vector<DomainScore> scores;
+  ClassifyInto(query, &scratch, &scores);
   return scores;
+}
+
+void NaiveBayesClassifier::ClassifyBatchInto(
+    std::span<const DynamicBitset> queries, ClassifyScratch* scratch,
+    std::vector<std::vector<DomainScore>>* out) const {
+  PAYGO_TRACE_SPAN("classify.batch");
+  StatsRegistry& reg = StatsRegistry::Global();
+  static Counter* query_counter = reg.GetCounter("paygo.classifier.queries");
+  static Counter* sweeps = reg.GetCounter("paygo.classifier.batch_sweeps");
+  const std::size_t batch = queries.size();
+  query_counter->Add(batch);
+  sweeps->Increment();
+
+  // Featurize once into a CSR layout: query b's set features live in
+  // batch_indices[batch_offsets[b] .. batch_offsets[b+1]).
+  scratch->batch_offsets.clear();
+  scratch->batch_indices.clear();
+  for (const DynamicBitset& q : queries) {
+    scratch->batch_offsets.push_back(scratch->batch_indices.size());
+    q.AppendSetBits(&scratch->batch_indices);
+  }
+  scratch->batch_offsets.push_back(scratch->batch_indices.size());
+
+  // Resize without surrendering inner-vector capacity: a plain resize()
+  // destroys surplus vectors on shrink, so the next larger batch would
+  // reallocate them all. Park them in the scratch pool instead and pull
+  // from it when growing — any batch at or below the high-water size is
+  // then alloc-free. The pool's own backing array is pre-grown here so a
+  // later shrink has room to park without allocating.
+  if (scratch->spare_rankings.capacity() < batch) {
+    scratch->spare_rankings.reserve(batch);
+  }
+  while (out->size() > batch) {
+    scratch->spare_rankings.push_back(std::move(out->back()));
+    out->pop_back();
+  }
+  while (out->size() < batch) {
+    if (!scratch->spare_rankings.empty()) {
+      out->push_back(std::move(scratch->spare_rankings.back()));
+      scratch->spare_rankings.pop_back();
+    } else {
+      out->emplace_back();
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    (*out)[b].clear();
+    (*out)[b].reserve(conditionals_.size());
+  }
+
+  // The struct-of-arrays sweep: domain-major, so each domain's log_odds_
+  // row is loaded into cache once and scored against all B queries before
+  // moving on — the single-query loop instead re-touches every row per
+  // query. Per (query, domain) the accumulation is base + ascending
+  // feature adds, the exact order ClassifyInto uses, which is what makes
+  // the batch path bitwise-identical to B single calls.
+  const std::size_t* off = scratch->batch_offsets.data();
+  const std::size_t* idx = scratch->batch_indices.data();
+  for (std::uint32_t r = 0; r < conditionals_.size(); ++r) {
+    if (options_.skip_singleton_domains && singleton_domain_[r]) continue;
+    const double base = base_[r];
+    const double* lo = log_odds_[r].data();
+    for (std::size_t b = 0; b < batch; ++b) {
+      double s = base;
+      for (std::size_t k = off[b]; k < off[b + 1]; ++k) s += lo[idx[k]];
+      (*out)[b].push_back({r, s});
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::sort((*out)[b].begin(), (*out)[b].end(), ScoreBefore);
+  }
+}
+
+std::vector<std::vector<DomainScore>> NaiveBayesClassifier::ClassifyBatch(
+    std::span<const DynamicBitset> queries) const {
+  static thread_local ClassifyScratch scratch;
+  std::vector<std::vector<DomainScore>> out;
+  ClassifyBatchInto(queries, &scratch, &out);
+  return out;
 }
 
 }  // namespace paygo

@@ -35,6 +35,7 @@
 /// result is bit-identical to a from-scratch Build()).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/probabilistic_assignment.h"
@@ -80,6 +81,27 @@ struct DomainScore {
   double log_posterior = 0.0;
 };
 
+/// \brief Reusable scratch for the zero-allocation classify paths.
+///
+/// Holds the query set-bit extraction buffers (single query, and the CSR
+/// layout the batch sweep uses). Every buffer grows to its high-water mark
+/// and is then reused, so a caller that keeps one scratch per thread pays
+/// zero heap allocations in steady state (tests/zero_alloc_test.cc proves
+/// it with a counting operator new). Not thread-safe: one scratch per
+/// thread — Classify/ClassifyBatch keep a thread_local one internally.
+struct ClassifyScratch {
+  /// Set feature indices of the current single query.
+  std::vector<std::size_t> set_bits;
+  /// CSR set-bit layout of a batch: query b's set features are
+  /// batch_indices[batch_offsets[b] .. batch_offsets[b+1]).
+  std::vector<std::size_t> batch_offsets;
+  std::vector<std::size_t> batch_indices;
+  /// Warm ranking vectors parked here when a batch shrinks, reclaimed when
+  /// it grows again — ClassifyBatchInto never destroys an inner vector's
+  /// capacity, so any batch at or below the high-water size is alloc-free.
+  std::vector<std::vector<DomainScore>> spare_rankings;
+};
+
 /// \brief The query classifier. Build once, classify many times.
 class NaiveBayesClassifier {
  public:
@@ -122,6 +144,32 @@ class NaiveBayesClassifier {
   /// Ranks all domains for the query feature vector, descending by
   /// posterior. Ties broken by domain id for determinism.
   std::vector<DomainScore> Classify(const DynamicBitset& query) const;
+
+  /// The zero-allocation flavor of Classify: ranks into \p *out (cleared
+  /// first, capacity reused) using \p *scratch for the set-bit buffer.
+  /// Steady state — same classifier, reused buffers — performs zero heap
+  /// allocations. Bitwise-identical to Classify (same accumulation order).
+  void ClassifyInto(const DynamicBitset& query, ClassifyScratch* scratch,
+                    std::vector<DomainScore>* out) const;
+
+  /// Ranks B queries in one struct-of-arrays sweep: the loop order is
+  /// domain-major, so each domain's log_odds_ row streams through cache
+  /// ONCE for all B queries instead of once per query. Output is
+  /// bitwise-identical (EXPECT_EQ on doubles, not near) to B independent
+  /// Classify calls — per (query, domain) the scored features are summed
+  /// in the same ascending order onto the same base. results[b] is the
+  /// ranking of queries[b].
+  std::vector<std::vector<DomainScore>> ClassifyBatch(
+      std::span<const DynamicBitset> queries) const;
+
+  /// Zero-allocation flavor of ClassifyBatch: rankings go into \p *out
+  /// (resized to queries.size(); inner vectors cleared, capacity reused —
+  /// shrinking batches park surplus vectors in the scratch rather than
+  /// freeing them). Steady state at or below the high-water batch size
+  /// performs zero heap allocations.
+  void ClassifyBatchInto(std::span<const DynamicBitset> queries,
+                         ClassifyScratch* scratch,
+                         std::vector<std::vector<DomainScore>>* out) const;
 
   /// Number of domains the classifier covers.
   std::size_t num_domains() const { return conditionals_.size(); }

@@ -380,6 +380,22 @@ Result<std::vector<DomainScore>> IntegrationSystem::ClassifyKeywordQuery(
   return classifier_->Classify(query_featurizer_->Featurize(keyword_query));
 }
 
+Result<std::vector<std::vector<DomainScore>>>
+IntegrationSystem::ClassifyKeywordQueryBatch(
+    std::span<const std::string> keyword_queries) const {
+  PAYGO_TRACE_SPAN("system.classify_batch");
+  if (classifier_ == nullptr) {
+    return Status::FailedPrecondition(
+        "system was built without a classifier");
+  }
+  std::vector<DynamicBitset> features;
+  features.reserve(keyword_queries.size());
+  for (const std::string& q : keyword_queries) {
+    features.push_back(query_featurizer_->Featurize(q));
+  }
+  return classifier_->ClassifyBatch(features);
+}
+
 Result<std::vector<DomainSuggestion>> IntegrationSystem::SuggestDomains(
     std::string_view keyword_query, std::size_t k) const {
   PAYGO_ASSIGN_OR_RETURN(std::vector<DomainScore> ranking,

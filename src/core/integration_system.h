@@ -14,6 +14,7 @@
 /// with probability-ranked tuples.
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -128,6 +129,14 @@ class IntegrationSystem {
   /// destination Cairo"). Requires build_classifier.
   Result<std::vector<DomainScore>> ClassifyKeywordQuery(
       std::string_view keyword_query) const;
+
+  /// Batch flavor of ClassifyKeywordQuery: featurizes every query, then
+  /// ranks all of them in one cache-resident struct-of-arrays sweep
+  /// (NaiveBayesClassifier::ClassifyBatch). results[i] is bitwise-identical
+  /// to ClassifyKeywordQuery(keyword_queries[i]) — the batch path is a
+  /// throughput optimization, never a different answer.
+  Result<std::vector<std::vector<DomainScore>>> ClassifyKeywordQueryBatch(
+      std::span<const std::string> keyword_queries) const;
 
   /// ClassifyKeywordQuery plus each domain's mediated query interface,
   /// truncated to the top \p k domains — the search-results-page shape of

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <sstream>
+#include <type_traits>
 #include <utility>
 
 #include "serve/admin_endpoints.h"
@@ -164,44 +165,193 @@ void PaygoServer::WorkerLoop() {
   while (true) {
     std::optional<QueuedRequest> request = requests_->Pop();
     if (!request.has_value()) return;  // closed and drained
-    if (options_.queue_timeout_ms > 0) {
-      const std::uint64_t waited_ms = request->queued.ElapsedMicros() / 1000;
-      if (waited_ms > options_.queue_timeout_ms) {
-        metrics_.requests_timed_out.fetch_add(1, std::memory_order_relaxed);
-        request->run(nullptr,
-                     Status::DeadlineExceeded(
-                         "request spent " + std::to_string(waited_ms) +
-                         "ms in queue (limit " +
-                         std::to_string(options_.queue_timeout_ms) + "ms)"));
-        continue;
-      }
-    }
-    if (options_.artificial_request_delay_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          options_.artificial_request_delay_us));
-    }
-    Snapshot current = snapshot();
-    if (current == nullptr) {
-      // Deferred-bootstrap server with no system installed yet.
-      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
-      request->run(nullptr,
-                   Status::FailedPrecondition(
-                       "no system installed; call InstallSystemAsync first"));
+    if (request->batch != nullptr && options_.classify_batch_max > 1) {
+      RunClassifyBatch(std::move(*request));
       continue;
     }
-    request->run(current, Status::OK());
+    ExecuteRequest(std::move(*request));
   }
 }
 
+void PaygoServer::ExecuteRequest(QueuedRequest request) {
+  if (options_.queue_timeout_ms > 0) {
+    const std::uint64_t waited_ms = request.queued.ElapsedMicros() / 1000;
+    if (waited_ms > options_.queue_timeout_ms) {
+      metrics_.requests_timed_out.fetch_add(1, std::memory_order_relaxed);
+      request.run(nullptr,
+                  Status::DeadlineExceeded(
+                      "request spent " + std::to_string(waited_ms) +
+                      "ms in queue (limit " +
+                      std::to_string(options_.queue_timeout_ms) + "ms)"));
+      return;
+    }
+  }
+  if (options_.artificial_request_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.artificial_request_delay_us));
+  }
+  Snapshot current = snapshot();
+  if (current == nullptr) {
+    // Deferred-bootstrap server with no system installed yet.
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    request.run(nullptr,
+                Status::FailedPrecondition(
+                    "no system installed; call InstallSystemAsync first"));
+    return;
+  }
+  request.run(current, Status::OK());
+}
+
+void PaygoServer::CompleteBatchItem(QueuedRequest request,
+                                    Result<std::vector<DomainScore>> outcome) {
+  if (outcome.ok()) {
+    metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t total_us = request.queued.ElapsedMicros();
+  metrics_.classify_latency.Record(total_us);
+  if (total_us > options_.slow_query_threshold_us) {
+    // Coalesced requests carry no per-request span breakdown (the sweep is
+    // shared); the slow-query log still gets the identity and timing.
+    slow_log_->MaybeRecord(SlowQueryEntry{
+        request.trace_id, "classify", std::move(request.batch->description),
+        total_us, generation(), {}});
+  }
+  request.batch->done->set_value(std::move(outcome));
+}
+
+void PaygoServer::RunClassifyBatch(QueuedRequest first) {
+  PAYGO_TRACE_SPAN("serve.classify_batch");
+  StatsRegistry& reg = StatsRegistry::Global();
+  static Counter* sweeps = reg.GetCounter("paygo.serve.batch_sweeps");
+  static Counter* swept = reg.GetCounter("paygo.serve.batched_requests");
+
+  // Drain without waiting: coalescing only ever batches work that is
+  // ALREADY queued — an idle server keeps single-query latency.
+  std::vector<QueuedRequest> batch;
+  batch.reserve(options_.classify_batch_max);
+  batch.push_back(std::move(first));
+  std::vector<QueuedRequest> deferred;
+  while (batch.size() < options_.classify_batch_max) {
+    std::optional<QueuedRequest> more = requests_->TryPop();
+    if (!more.has_value()) break;
+    if (more->batch != nullptr) {
+      batch.push_back(std::move(*more));
+    } else {
+      // Popped a non-batchable request while draining; run it after the
+      // sweep through the classic path (its deadline is re-checked there).
+      deferred.push_back(std::move(*more));
+    }
+  }
+
+  // Per-request queue-wait deadlines apply exactly as on the single path.
+  std::vector<QueuedRequest> live;
+  live.reserve(batch.size());
+  for (QueuedRequest& r : batch) {
+    if (options_.queue_timeout_ms > 0) {
+      const std::uint64_t waited_ms = r.queued.ElapsedMicros() / 1000;
+      if (waited_ms > options_.queue_timeout_ms) {
+        metrics_.requests_timed_out.fetch_add(1, std::memory_order_relaxed);
+        r.run(nullptr,
+              Status::DeadlineExceeded(
+                  "request spent " + std::to_string(waited_ms) +
+                  "ms in queue (limit " +
+                  std::to_string(options_.queue_timeout_ms) + "ms)"));
+        continue;
+      }
+    }
+    live.push_back(std::move(r));
+  }
+  if (options_.artificial_request_delay_us > 0 && !live.empty()) {
+    // The artificial delay models per-HANDLER cost, and the sweep is one
+    // handler execution — one delay per sweep, not per request.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.artificial_request_delay_us));
+  }
+
+  if (!live.empty()) {
+    // Generation BEFORE snapshot, same discipline as the single path: if a
+    // swap lands in between, the inserts below carry a stale tag and are
+    // dropped, never poisoning the new generation (see result_cache.h).
+    const std::uint64_t gen = cache_ != nullptr ? cache_->generation() : 0;
+    Snapshot current = snapshot();
+    if (current == nullptr) {
+      for (QueuedRequest& r : live) {
+        metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+        r.run(nullptr,
+              Status::FailedPrecondition(
+                  "no system installed; call InstallSystemAsync first"));
+      }
+      live.clear();
+    }
+
+    // Cache hits are answered inline; misses collect for the shared sweep.
+    std::vector<QueuedRequest> misses;
+    misses.reserve(live.size());
+    std::vector<std::string> miss_keys;  // parallel to misses (cache on)
+    for (QueuedRequest& r : live) {
+      if (cache_ != nullptr) {
+        std::string key = NormalizeQueryKey(r.batch->query);
+        QueryResultCache::Value hit = cache_->Lookup(key);
+        if (hit) {
+          metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+          CompleteBatchItem(std::move(r),
+                            Result<std::vector<DomainScore>>(*hit));
+          continue;
+        }
+        metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        miss_keys.push_back(std::move(key));
+      }
+      misses.push_back(std::move(r));
+    }
+
+    if (!misses.empty()) {
+      std::vector<std::string> queries;
+      queries.reserve(misses.size());
+      for (const QueuedRequest& r : misses) {
+        queries.push_back(r.batch->query);
+      }
+      sweeps->Increment();
+      swept->Add(misses.size());
+      metrics_.batch_sweeps.fetch_add(1, std::memory_order_relaxed);
+      metrics_.batched_requests.fetch_add(misses.size(),
+                                          std::memory_order_relaxed);
+      Result<std::vector<std::vector<DomainScore>>> scores =
+          current->ClassifyKeywordQueryBatch(queries);
+      for (std::size_t i = 0; i < misses.size(); ++i) {
+        if (!scores.ok()) {
+          CompleteBatchItem(std::move(misses[i]), scores.status());
+          continue;
+        }
+        if (cache_ != nullptr) {
+          cache_->Insert(miss_keys[i],
+                         std::make_shared<const std::vector<DomainScore>>(
+                             (*scores)[i]),
+                         gen);
+        }
+        CompleteBatchItem(std::move(misses[i]), std::move((*scores)[i]));
+      }
+    }
+  }
+
+  for (QueuedRequest& r : deferred) ExecuteRequest(std::move(r));
+}
+
 template <typename T, typename Handler>
-std::future<Result<T>> PaygoServer::SubmitRequest(const char* kind,
-                                                  std::string description,
-                                                  LatencyHistogram& latency,
-                                                  Handler handler) {
+std::future<Result<T>> PaygoServer::SubmitRequest(
+    const char* kind, std::string description, LatencyHistogram& latency,
+    Handler handler, std::shared_ptr<BatchClassifyState> batch) {
   auto done = std::make_shared<std::promise<Result<T>>>();
   std::future<Result<T>> result = done->get_future();
   QueuedRequest request;
   request.trace_id = Tracer::NextTraceId();
+  if constexpr (std::is_same_v<T, std::vector<DomainScore>>) {
+    if (batch != nullptr) {
+      batch->done = done;
+      request.batch = std::move(batch);
+    }
+  }
   request.run = [this, done, kind, description = std::move(description),
                  &latency, handler = std::move(handler),
                  timer = request.queued,
@@ -234,6 +384,14 @@ std::future<Result<T>> PaygoServer::SubmitRequest(const char* kind,
 std::future<Result<std::vector<DomainScore>>> PaygoServer::ClassifyAsync(
     std::string keyword_query) {
   std::string description = TruncateForLog(keyword_query);
+  // With coalescing enabled every classify request is batchable, so ANY
+  // queue buildup — not just SubmitBatch bursts — amortizes into sweeps.
+  std::shared_ptr<BatchClassifyState> batch;
+  if (options_.classify_batch_max > 1) {
+    batch = std::make_shared<BatchClassifyState>();
+    batch->query = keyword_query;
+    batch->description = description;
+  }
   return SubmitRequest<std::vector<DomainScore>>(
       "classify", std::move(description), metrics_.classify_latency,
       [this, query = std::move(keyword_query)](const Snapshot& sys)
@@ -265,7 +423,18 @@ std::future<Result<std::vector<DomainScore>>> PaygoServer::ClassifyAsync(
               gen);
         }
         return scores;
-      });
+      },
+      std::move(batch));
+}
+
+std::vector<std::future<Result<std::vector<DomainScore>>>>
+PaygoServer::SubmitBatch(std::vector<std::string> keyword_queries) {
+  std::vector<std::future<Result<std::vector<DomainScore>>>> futures;
+  futures.reserve(keyword_queries.size());
+  for (std::string& query : keyword_queries) {
+    futures.push_back(ClassifyAsync(std::move(query)));
+  }
+  return futures;
 }
 
 std::future<Result<IntegrationSystem::KeywordSearchAnswer>>

@@ -79,6 +79,15 @@ struct ServeOptions {
   /// admission-testing aid: lets tests and benchmarks saturate the queue
   /// deterministically regardless of how fast the model evaluates.
   std::uint64_t artificial_request_delay_us = 0;
+  /// Classify-request batch coalescing. When > 1, a worker that pops a
+  /// batchable classify request drains (non-blocking TryPop) up to this
+  /// many already-queued ones and scores all cache misses in ONE
+  /// struct-of-arrays sweep (NaiveBayesClassifier::ClassifyBatch) under a
+  /// single snapshot load and a single cache-generation read. Results are
+  /// bitwise-identical to the single-query path; batching only amortizes
+  /// per-domain conditional cache traffic across the batch. 1 (default)
+  /// disables coalescing — every request runs the classic path.
+  std::size_t classify_batch_max = 1;
   /// Slow-query log: retain the N worst requests over the threshold.
   /// 0 disables the log entirely.
   std::size_t slow_query_log_size = 16;
@@ -172,6 +181,16 @@ class PaygoServer {
 
   std::future<Result<std::vector<DomainScore>>> ClassifyAsync(
       std::string keyword_query);
+  /// Batch submission: enqueues every query as a batchable classify
+  /// request and returns the per-query futures (futures[i] answers
+  /// keyword_queries[i]). With classify_batch_max > 1 a worker drains up
+  /// to that many of these into one scoring sweep under one snapshot
+  /// generation; otherwise each runs the normal single-query path. Either
+  /// way every query gets its own admission decision, deadline check,
+  /// cache lookup, and result — batching is a throughput optimization,
+  /// not a semantic change.
+  std::vector<std::future<Result<std::vector<DomainScore>>>> SubmitBatch(
+      std::vector<std::string> keyword_queries);
   std::future<Result<IntegrationSystem::KeywordSearchAnswer>>
   KeywordSearchAsync(std::string keyword_query,
                      KeywordSearchOptions options = {});
@@ -181,6 +200,14 @@ class PaygoServer {
   /// Sync conveniences: submit and wait.
   Result<std::vector<DomainScore>> Classify(std::string keyword_query) {
     return ClassifyAsync(std::move(keyword_query)).get();
+  }
+  std::vector<Result<std::vector<DomainScore>>> ClassifyBatch(
+      std::vector<std::string> keyword_queries) {
+    auto futures = SubmitBatch(std::move(keyword_queries));
+    std::vector<Result<std::vector<DomainScore>>> results;
+    results.reserve(futures.size());
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
   }
   Result<IntegrationSystem::KeywordSearchAnswer> KeywordSearch(
       std::string keyword_query, KeywordSearchOptions options = {}) {
@@ -240,12 +267,26 @@ class PaygoServer {
   const MetricsSnapshotter* exporter() const { return exporter_.get(); }
 
  private:
+  /// Sidecar state a batchable classify request carries so a worker can
+  /// coalesce it into a shared scoring sweep without unpacking the type-
+  /// erased `run` closure. The sweep answers the request by setting `done`
+  /// directly; `run` stays the single-execution and failure path (it holds
+  /// the same promise through its closure).
+  struct BatchClassifyState {
+    std::string query;        ///< Raw keyword query, pre-featurization.
+    std::string description;  ///< Truncated query, for the slow-query log.
+    std::shared_ptr<std::promise<Result<std::vector<DomainScore>>>> done;
+  };
   struct QueuedRequest {
     WallTimer queued;             ///< Started at submission.
     std::uint64_t trace_id = 0;   ///< Correlates this request's spans.
     /// Invoked exactly once, either with a live snapshot and OK admission
     /// or with a null snapshot and the admission failure to report.
     std::function<void(const Snapshot&, Status admission)> run;
+    /// Non-null marks the request batchable (classify with coalescing
+    /// enabled). A worker that pops one may answer it via RunClassifyBatch
+    /// instead of `run`; rejection/timeout paths still go through `run`.
+    std::shared_ptr<BatchClassifyState> batch;
   };
   struct QueuedUpdate {
     std::function<Status(IntegrationSystem&)> mutation;
@@ -263,17 +304,35 @@ class PaygoServer {
 
   void WorkerLoop();
   void WriterLoop();
+  /// One request through the classic path: queue-wait deadline check,
+  /// artificial delay, snapshot load, `run`. Factored out of WorkerLoop so
+  /// the batch path can fall back to it for non-batchable requests it
+  /// popped while draining the queue.
+  void ExecuteRequest(QueuedRequest request);
+  /// The coalesced classify path: starting from \p first (a batchable
+  /// request), drains up to classify_batch_max - 1 more batchable requests
+  /// with TryPop, answers cache hits directly, scores all misses in one
+  /// ClassifyKeywordQueryBatch sweep under one snapshot, and finally runs
+  /// any non-batchable requests it popped along the way.
+  void RunClassifyBatch(QueuedRequest first);
+  /// Completes one batched classify request: counters, latency histogram,
+  /// slow-query log, promise fulfillment.
+  void CompleteBatchItem(QueuedRequest request,
+                         Result<std::vector<DomainScore>> outcome);
   /// Admission control: TryPush or fail the request immediately.
   void SubmitOrReject(QueuedRequest request);
   /// The shared read-path submit plumbing: admission, per-request tracing,
   /// completion/failure counters, latency histogram, slow-query logging.
   /// \p handler runs on a worker against a live snapshot and opens its own
   /// "serve.handler" span (so cache lookups can trace separately).
+  /// \p batch, when non-null, marks the request batchable: its promise is
+  /// wired into the state so the coalesced sweep can answer it without
+  /// invoking \p handler (only Result<vector<DomainScore>> requests may
+  /// pass one).
   template <typename T, typename Handler>
-  std::future<Result<T>> SubmitRequest(const char* kind,
-                                       std::string description,
-                                       LatencyHistogram& latency,
-                                       Handler handler);
+  std::future<Result<T>> SubmitRequest(
+      const char* kind, std::string description, LatencyHistogram& latency,
+      Handler handler, std::shared_ptr<BatchClassifyState> batch = nullptr);
   /// The shared write-path submit plumbing (running check + admission).
   std::future<Status> EnqueueUpdate(QueuedUpdate update);
   /// UpdateAsync with an explicit delta-vs-rebuild classification.

@@ -31,6 +31,8 @@ std::string ServerMetrics::DebugString() const {
   os << "cache: hits=" << cache_hits.load()
      << " misses=" << cache_misses.load() << " hit_rate=" << CacheHitRate()
      << "\n";
+  os << "batch: sweeps=" << batch_sweeps.load()
+     << " requests=" << batched_requests.load() << "\n";
   os << "snapshot: generation=" << snapshot_generation.load()
      << " swaps=" << snapshot_swaps.load()
      << " updates_failed=" << updates_failed.load() << "\n";
@@ -59,6 +61,8 @@ std::string ServerMetrics::ToJson() const {
      << ", \"cache_hits\": " << cache_hits.load()
      << ", \"cache_misses\": " << cache_misses.load()
      << ", \"cache_hit_rate\": " << CacheHitRate()
+     << ", \"batch_sweeps\": " << batch_sweeps.load()
+     << ", \"batched_requests\": " << batched_requests.load()
      << ", \"snapshot_generation\": " << snapshot_generation.load()
      << ", \"generation\": " << snapshot_generation.load()
      << ", \"snapshot_swaps\": " << snapshot_swaps.load()
@@ -92,6 +96,8 @@ std::string ServerMetrics::ToPrometheus() const {
       {"paygo_serve_requests_failed", requests_failed.load()},
       {"paygo_serve_cache_hits", cache_hits.load()},
       {"paygo_serve_cache_misses", cache_misses.load()},
+      {"paygo_serve_batch_sweeps", batch_sweeps.load()},
+      {"paygo_serve_batched_requests", batched_requests.load()},
       {"paygo_serve_snapshot_swaps", snapshot_swaps.load()},
       {"paygo_serve_updates_failed", updates_failed.load()},
       {"paygo_serve_delta_updates", delta_updates.load()},

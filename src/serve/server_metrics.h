@@ -35,6 +35,12 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
 
+  // Classify batch coalescing (classify_batch_max > 1): sweeps run, and
+  // cache-miss requests scored inside them. batched_requests /
+  // batch_sweeps is the achieved batch width.
+  std::atomic<std::uint64_t> batch_sweeps{0};
+  std::atomic<std::uint64_t> batched_requests{0};
+
   // Copy-on-write writer.
   std::atomic<std::uint64_t> snapshot_swaps{0};
   std::atomic<std::uint64_t> updates_failed{0};

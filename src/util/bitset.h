@@ -7,6 +7,16 @@
 /// Binary schema feature vectors (Section 4.1 of the thesis) are stored as
 /// DynamicBitsets so that the Jaccard coefficient over high-dimensional
 /// binary vectors reduces to word-wise AND/OR popcounts.
+///
+/// The AND/OR popcount kernels come in several build-time-selected
+/// flavors (see bitset.cc): a portable word-at-a-time scalar loop that is
+/// ALWAYS compiled (the differential-test oracle), a 4x-unrolled variant,
+/// and AVX2 / NEON in-register popcounts compiled in only when the
+/// target supports them (`__AVX2__` / `__ARM_NEON`, e.g. via
+/// -march=native). Every flavor counts the same exact integers, so
+/// AndCount/OrCount/Jaccard are bit-identical across kernels — a property
+/// tests/bitset_kernel_test.cc enforces over ragged tails and random
+/// patterns. KernelName() reports which flavor this build dispatches to.
 
 #include <bit>
 #include <cstddef>
@@ -70,12 +80,35 @@ class DynamicBitset {
   }
 
   /// Number of positions set in both `a` and `b`. Sizes must match.
+  /// Dispatches to the fastest kernel this build compiled in.
   static std::size_t AndCount(const DynamicBitset& a, const DynamicBitset& b);
   /// Number of positions set in either `a` or `b`. Sizes must match.
   static std::size_t OrCount(const DynamicBitset& a, const DynamicBitset& b);
 
-  /// Jaccard coefficient |a AND b| / |a OR b|; returns 0 when both are empty.
+  /// Jaccard coefficient |a AND b| / |a OR b|; returns 0 when both are
+  /// empty. Computes both popcounts in one fused pass over the words.
   static double Jaccard(const DynamicBitset& a, const DynamicBitset& b);
+
+  /// Portable straight-loop reference kernels, always compiled regardless
+  /// of the dispatch target — the oracle the differential kernel tests
+  /// compare every vectorized flavor against.
+  static std::size_t AndCountScalar(const DynamicBitset& a,
+                                    const DynamicBitset& b);
+  static std::size_t OrCountScalar(const DynamicBitset& a,
+                                   const DynamicBitset& b);
+  static double JaccardScalar(const DynamicBitset& a, const DynamicBitset& b);
+
+  /// The portable 4x-unrolled word-at-a-time kernels, compiled in every
+  /// build (the dispatch target when no SIMD extension is available, and
+  /// a second differential subject when one is).
+  static std::size_t AndCountUnrolled(const DynamicBitset& a,
+                                      const DynamicBitset& b);
+  static std::size_t OrCountUnrolled(const DynamicBitset& a,
+                                     const DynamicBitset& b);
+
+  /// The kernel flavor AndCount/OrCount/Jaccard dispatch to in this build:
+  /// "avx2", "neon", or "unrolled".
+  static const char* KernelName();
 
   /// In-place AND with \p other. Sizes must match.
   DynamicBitset& operator&=(const DynamicBitset& other);
@@ -88,6 +121,12 @@ class DynamicBitset {
 
   /// Indices of all set bits, ascending.
   std::vector<std::size_t> SetBits() const;
+
+  /// Appends the indices of all set bits, ascending, to \p out without
+  /// clearing it. The zero-allocation flavor of SetBits(): a caller that
+  /// reuses \p out across queries allocates only until its capacity
+  /// reaches the high-water mark.
+  void AppendSetBits(std::vector<std::size_t>* out) const;
 
  private:
   /// Clears any bits in the final word beyond num_bits_.

@@ -56,6 +56,18 @@ class BoundedQueue {
     return item;
   }
 
+  /// Non-blocking Pop: returns the front item if one is queued, nullopt
+  /// otherwise (even while the queue is open). The batch-coalescing read
+  /// path uses this to drain already-queued work without ever waiting for
+  /// more to arrive.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   /// Closes the queue: subsequent TryPush calls fail, consumers drain the
   /// remaining items and then receive nullopt.
   void Close() {

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "core/integration_system.h"
 #include "integrate/query_engine.h"
 #include "synth/tuple_generator.h"
@@ -84,6 +89,81 @@ TEST_P(QueryEnginePropertyTest, ProbabilitiesBoundedAndSorted) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryEnginePropertyTest,
                          ::testing::Range(0, 5));
+
+/// Fuzz the classify read path by randomly routing queries through the
+/// batch API: random keyword queries (real vocabulary, junk terms, empty
+/// and mixed), chopped into random-size batches, must rank EXACTLY as the
+/// single-query path — same domains, bitwise-equal log posteriors. Every
+/// assertion carries the seed so a failure is reproducible verbatim.
+class BatchRoutingFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchRoutingFuzzTest, RandomBatchRoutingMatchesSingleBitwise) {
+  const unsigned seed = 9000 + static_cast<unsigned>(GetParam());
+  SCOPED_TRACE("fuzz seed " + std::to_string(seed) +
+               " (re-run: BatchRoutingFuzzTest param " +
+               std::to_string(GetParam()) + ")");
+  Rng rng(seed);
+
+  const SchemaCorpus dw = MakeDwCorpus();
+  auto built = IntegrationSystem::Build(dw);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const IntegrationSystem& sys = **built;
+
+  // Random query mix: attribute terms from random schemas, out-of-
+  // vocabulary junk, and the occasional empty query.
+  std::vector<std::string> queries;
+  const std::size_t num_queries = 40 + rng.NextBelow(60);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    std::string q;
+    const std::size_t terms = rng.NextBelow(6);  // 0 terms = empty query
+    for (std::size_t t = 0; t < terms; ++t) {
+      if (!q.empty()) q += ' ';
+      if (rng.NextBernoulli(0.15)) {
+        q += "zzjunk" + std::to_string(rng.NextBelow(1000));
+      } else {
+        const Schema& schema = dw.schema(rng.NextBelow(dw.size()));
+        q += schema.attributes[rng.NextBelow(schema.attributes.size())];
+      }
+    }
+    queries.push_back(std::move(q));
+  }
+
+  // Golden single-path rankings.
+  std::vector<std::vector<DomainScore>> golden;
+  golden.reserve(queries.size());
+  for (const std::string& q : queries) {
+    auto scores = sys.ClassifyKeywordQuery(q);
+    ASSERT_TRUE(scores.ok()) << scores.status();
+    golden.push_back(std::move(*scores));
+  }
+
+  // Random batch partition: each slice goes through the batch API (slices
+  // of size 1 included — the degenerate batch).
+  std::size_t start = 0;
+  while (start < queries.size()) {
+    const std::size_t len =
+        1 + rng.NextBelow(std::min<std::size_t>(17, queries.size() - start));
+    auto batched = sys.ClassifyKeywordQueryBatch(
+        std::span<const std::string>(queries.data() + start, len));
+    ASSERT_TRUE(batched.ok()) << batched.status();
+    ASSERT_EQ(batched->size(), len);
+    for (std::size_t b = 0; b < len; ++b) {
+      const std::vector<DomainScore>& got = (*batched)[b];
+      const std::vector<DomainScore>& want = golden[start + b];
+      ASSERT_EQ(got.size(), want.size())
+          << "query \"" << queries[start + b] << "\"";
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        ASSERT_EQ(got[k].domain, want[k].domain)
+            << "query \"" << queries[start + b] << "\" rank " << k;
+        ASSERT_EQ(got[k].log_posterior, want[k].log_posterior)
+            << "query \"" << queries[start + b] << "\" rank " << k;
+      }
+    }
+    start += len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchRoutingFuzzTest, ::testing::Range(0, 6));
 
 TEST(MediatorDeterminismTest, SameInputsSameMediation) {
   const SchemaCorpus dw = MakeDwCorpus();

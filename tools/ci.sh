@@ -77,6 +77,23 @@ echo "==> smoke: perf_write_path --smoke --check (O(delta) classifier refresh)"
   > "$SMOKE_DIR/write-path.json"
 echo "    delta write path within the O(delta) refresh budget"
 
+echo "==> smoke: perf_classifier --smoke --check (batch sweep >= 2x, p99 budget)"
+# The batch-classification regression gate: batch-64 single-thread
+# throughput must stay >= 2x batch-1 through the struct-of-arrays sweep,
+# and per-query p99 must stay under budget. Writes BENCH_classifier.json
+# (schema in bench/README.md).
+./build/bench/perf_classifier --smoke --check \
+  --json-out "$SMOKE_DIR/BENCH_classifier.json" \
+  > "$SMOKE_DIR/classifier.json"
+echo "    batch classify sweep within the speedup + p99 budget"
+
+echo "==> smoke: serve_throughput --check (coalesced classify, p99 + errors)"
+# A short coalesced-serving run: every steady-phase request must succeed
+# and client-observed p99 must stay under the (loose) budget.
+./build/bench/serve_throughput --seconds 0.5 --batch-max 8 --check \
+  --json-out "" > "$SMOKE_DIR/serve-check.json"
+echo "    coalesced serving within the p99 budget, zero errors"
+
 echo "==> smoke: domain-sharded fleet (2 shard primaries + replica + router)"
 # Three paygo_cli processes on ephemeral ports: two primaries each serving
 # their consistent-hash share of the corpus, plus a read replica of shard 0
@@ -182,7 +199,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target serve_test serve_concurrency_test trace_test \
     clone_aliasing_test admin_server_test thread_pool_test \
-    parallel_determinism_test shard_replication_test -j "$JOBS"
+    parallel_determinism_test shard_replication_test \
+    zero_alloc_test batch_classify_test bitset_kernel_test -j "$JOBS"
 
   echo "==> tsan: trace_test"
   ./build-tsan/tests/trace_test
@@ -196,6 +214,12 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/admin_server_test
   echo "==> tsan: shard_replication_test (replication + degraded scatter)"
   ./build-tsan/tests/shard_replication_test
+  echo "==> tsan: bitset_kernel_test (vectorized vs scalar differential)"
+  ./build-tsan/tests/bitset_kernel_test
+  echo "==> tsan: batch_classify_test (batch vs single, concurrent callers)"
+  ./build-tsan/tests/batch_classify_test
+  echo "==> tsan: zero_alloc_test (steady-state classify allocates nothing)"
+  ./build-tsan/tests/zero_alloc_test
   echo "==> tsan: thread_pool_test + parallel_determinism_test (ctest -j)"
   # Instrumented LCS scans are slow; the determinism harness honors
   # PAYGO_DETERMINISM_SMALL and shrinks its corpora under TSan.

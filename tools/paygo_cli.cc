@@ -82,6 +82,9 @@ commands:
                                          over a running fleet (one-shot)
 
 options (cluster/classify/snapshot):
+  --batch <n>     (classify) score the query n times through one batch
+                  sweep AND the single path, verify the rankings are
+                  identical, and report both per-query timings
   --tau <v>       clustering threshold tau_c_sim (default 0.25)
   --theta <v>     uncertainty threshold theta (default 0.02)
   --linkage <k>   avg | min | max | total (default avg)
@@ -136,6 +139,7 @@ struct CliOptions {
   bool newick = false;
   bool human = false;
   std::size_t queries_per_size = 50;
+  std::size_t classify_batch = 0;  // 0/1 = single path; N>1 = batch sweep
   std::size_t serve_threads = 4;
   double serve_seconds = 2.0;
   std::size_t serve_workers = 4;
@@ -257,6 +261,15 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       const char* v = next();
       if (!v) return false;
       out->shard_addrs.push_back(v);
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (!v) return false;
+      out->classify_batch = static_cast<std::size_t>(std::atoi(v));
+      if (out->classify_batch == 0) return false;
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      out->classify_batch =
+          static_cast<std::size_t>(std::atoi(arg.c_str() + 8));
+      if (out->classify_batch == 0) return false;
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (!v) return false;
@@ -426,7 +439,57 @@ int CmdClassify(const CliOptions& cli) {
   }
   std::vector<std::string> keywords(cli.positional.begin() + 1,
                                     cli.positional.end());
-  if (int rc = PrintRanking(**sys, Join(keywords, " ")); rc != 0) return rc;
+  const std::string query = Join(keywords, " ");
+  if (cli.classify_batch > 1) {
+    // --batch N: score the query N times through ONE batch sweep and N
+    // times through the single path, verify the rankings are identical
+    // (they are bitwise-equal by construction), and report both timings.
+    using Clock = std::chrono::steady_clock;
+    const std::vector<std::string> replicated(cli.classify_batch, query);
+
+    const Clock::time_point b0 = Clock::now();
+    auto batched = (*sys)->ClassifyKeywordQueryBatch(replicated);
+    const double batch_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - b0).count();
+    if (!batched.ok()) {
+      std::cerr << batched.status() << "\n";
+      return 1;
+    }
+
+    const Clock::time_point s0 = Clock::now();
+    Result<std::vector<DomainScore>> single = std::vector<DomainScore>{};
+    for (std::size_t i = 0; i < cli.classify_batch; ++i) {
+      single = (*sys)->ClassifyKeywordQuery(query);
+      if (!single.ok()) {
+        std::cerr << single.status() << "\n";
+        return 1;
+      }
+    }
+    const double single_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - s0).count();
+
+    for (const std::vector<DomainScore>& ranking : *batched) {
+      if (ranking.size() != single->size()) {
+        std::cerr << "batch/single ranking size mismatch\n";
+        return 1;
+      }
+      for (std::size_t k = 0; k < ranking.size(); ++k) {
+        if (ranking[k].domain != (*single)[k].domain ||
+            ranking[k].log_posterior != (*single)[k].log_posterior) {
+          std::cerr << "batch/single ranking DIVERGED at rank " << k
+                    << " (this is a bug: the paths are bitwise-equal by "
+                       "construction)\n";
+          return 1;
+        }
+      }
+    }
+    const double n = static_cast<double>(cli.classify_batch);
+    std::cout << "batch " << cli.classify_batch << ": "
+              << FormatDouble(batch_us / n, 2) << "us/query (one sweep), "
+              << "single path: " << FormatDouble(single_us / n, 2)
+              << "us/query; rankings identical\n";
+  }
+  if (int rc = PrintRanking(**sys, query); rc != 0) return rc;
   return WriteObservabilityOutputs(cli);
 }
 
