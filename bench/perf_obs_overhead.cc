@@ -1,6 +1,7 @@
 /// \file perf_obs_overhead.cc
 /// \brief Measures the cost of the tracing instrumentation on the
-/// clustering hot path and enforces the "<2% overhead when idle" budget.
+/// clustering hot path plus the wire-propagation lane, and enforces the
+/// "<2% overhead when idle" budget.
 ///
 /// Three states matter (see src/obs/trace.h's cost model):
 ///   off       compiled out via -DPAYGO_TRACING=OFF — not measurable from
@@ -23,12 +24,24 @@
 /// worst case for branch-prediction amortization), making the 2% gate
 /// conservative.
 ///
-/// Exit status: 0 when the idle overhead estimate is within budget,
+/// Wire-propagation lane: kPing round trips against an in-process
+/// ShardService, untraced (CallOnce — the idle production path, which
+/// sends no preamble) vs propagation-enabled (CallOnceTraced with a
+/// kTraceContext preamble frame). The traced delta prices what a sampled
+/// request pays for context propagation; the *idle* budget gate is again
+/// analytical — when tracing is off the only cost the propagation path
+/// adds to an untraced call is a null-context branch, bounded by the same
+/// tight-loop probe and compared against the measured untraced RTT.
+///
+/// Exit status: 0 when every idle overhead estimate is within budget,
 /// 1 otherwise. Flags: --n <schemas> (default 500), --reps <batches>
-/// (default 7).
+/// (default 7), --pings <count> (default 200), --check (explicit gate
+/// mode for CI; gating also runs by default), --json-out <file> (default
+/// BENCH_obs.json; empty string disables the file).
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,6 +50,9 @@
 #include "obs/trace.h"
 #include "schema/feature_vector.h"
 #include "schema/lexicon.h"
+#include "serve/paygo_server.h"
+#include "shard/shard_service.h"
+#include "shard/wire.h"
 #include "synth/ddh_generator.h"
 #include "text/tokenizer.h"
 #include "util/timer.h"
@@ -81,7 +97,9 @@ std::uint64_t Median(std::vector<std::uint64_t> v) {
   return v[v.size() / 2];
 }
 
-/// Cost of one compiled-in-but-idle span site, in nanoseconds.
+/// Cost of one compiled-in-but-idle span site, in nanoseconds. Also the
+/// conservative bound for the propagation path's idle null-context branch
+/// (same shape: one predictable branch on a cold flag/pointer).
 double MeasureIdleSpanNanos() {
   constexpr std::uint64_t kIters = 20'000'000;
   Tracer::Disable();
@@ -93,6 +111,74 @@ double MeasureIdleSpanNanos() {
   return static_cast<double>(us) * 1000.0 / static_cast<double>(kIters);
 }
 
+struct WireLane {
+  std::uint64_t untraced_med_us = 0;  ///< CallOnce kPing RTT (idle path)
+  std::uint64_t traced_med_us = 0;    ///< CallOnceTraced kPing RTT
+  double propagation_overhead = 0.0;  ///< traced vs untraced, fractional
+  double idle_overhead_est = 0.0;     ///< null-ctx branch vs untraced RTT
+};
+
+/// Loopback kPing round trips against an in-process ShardService, with
+/// and without the kTraceContext preamble. Tracer stays disabled so the
+/// delta prices propagation (extra frame + parse + guard), not recording.
+Result<WireLane> MeasureWireLane(int pings, double idle_branch_ns) {
+  Tracer::Disable();
+  PaygoServer server{ServeOptions{}};
+  Status started = server.Start();
+  if (!started.ok()) return started;
+  ShardService service(server);
+  Result<std::uint16_t> port = service.Start();
+  if (!port.ok()) return port.status();
+
+  WireTraceContext ctx;
+  ctx.trace_id = Tracer::NextTraceId();
+  ctx.parent_span_id = 1;
+  ctx.sampled = true;
+  ctx.deadline_us = 1'000'000;
+
+  auto ping = [&](const WireTraceContext* c) -> Result<std::uint64_t> {
+    const WallTimer timer;
+    Result<Frame> reply =
+        CallOnceTraced("127.0.0.1", *port, FrameType::kPing, "", 1000, c);
+    if (!reply.ok()) return reply.status();
+    return timer.ElapsedMicros();
+  };
+
+  // Warm both paths (connection setup, first-touch allocations).
+  for (int i = 0; i < 8; ++i) {
+    if (Result<std::uint64_t> r = ping(nullptr); !r.ok()) return r.status();
+    if (Result<std::uint64_t> r = ping(&ctx); !r.ok()) return r.status();
+  }
+
+  // Interleave so scheduler/frequency drift biases both lanes equally.
+  std::vector<std::uint64_t> untraced, traced;
+  untraced.reserve(pings);
+  traced.reserve(pings);
+  for (int i = 0; i < pings; ++i) {
+    Result<std::uint64_t> u = ping(nullptr);
+    if (!u.ok()) return u.status();
+    untraced.push_back(*u);
+    Result<std::uint64_t> t = ping(&ctx);
+    if (!t.ok()) return t.status();
+    traced.push_back(*t);
+  }
+  service.Stop();
+  server.Stop();
+
+  WireLane lane;
+  lane.untraced_med_us = Median(untraced);
+  lane.traced_med_us = Median(traced);
+  if (lane.untraced_med_us > 0) {
+    lane.propagation_overhead =
+        (static_cast<double>(lane.traced_med_us) -
+         static_cast<double>(lane.untraced_med_us)) /
+        static_cast<double>(lane.untraced_med_us);
+    lane.idle_overhead_est =
+        idle_branch_ns / (static_cast<double>(lane.untraced_med_us) * 1000.0);
+  }
+  return lane;
+}
+
 }  // namespace
 }  // namespace paygo
 
@@ -101,14 +187,24 @@ int main(int argc, char** argv) {
 
   std::size_t n = 500;
   int reps = 7;
+  int pings = 200;
+  bool check = false;
+  std::string json_out = "BENCH_obs.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--n" && i + 1 < argc) {
       n = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--reps" && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
+    } else if (arg == "--pings" && i + 1 < argc) {
+      pings = std::atoi(argv[++i]);
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
     } else {
-      std::cerr << "usage: perf_obs_overhead [--n <schemas>] [--reps <k>]\n";
+      std::cerr << "usage: perf_obs_overhead [--n <schemas>] [--reps <k>] "
+                   "[--pings <count>] [--check] [--json-out <file>]\n";
       return 2;
     }
   }
@@ -155,6 +251,12 @@ int main(int argc, char** argv) {
                     : (static_cast<double>(rec_med) - static_cast<double>(idle_med)) /
                           static_cast<double>(idle_med);
 
+  Result<WireLane> wire = MeasureWireLane(pings, idle_span_ns);
+  if (!wire.ok()) {
+    std::cerr << "wire lane failed: " << wire.status() << "\n";
+    return 1;
+  }
+
   std::cout << "workload: HAC fast engine, " << n << " schemas, " << reps
             << " interleaved batches\n"
             << "idle median:        " << idle_med << " us\n"
@@ -165,10 +267,49 @@ int main(int argc, char** argv) {
             << "idle span site:     " << idle_span_ns << " ns\n"
             << "idle overhead est:  " << idle_overhead * 100.0
             << "% of workload (budget " << kIdleBudgetFraction * 100.0
+            << "%)\n"
+            << "wire lane:          " << pings << " interleaved kPing pairs\n"
+            << "  untraced median:  " << wire->untraced_med_us << " us\n"
+            << "  traced median:    " << wire->traced_med_us << " us ("
+            << wire->propagation_overhead * 100.0 << "% propagation cost)\n"
+            << "  idle wire est:    " << wire->idle_overhead_est * 100.0
+            << "% of untraced RTT (budget " << kIdleBudgetFraction * 100.0
             << "%)\n";
 
-  if (idle_overhead > kIdleBudgetFraction) {
+  const bool idle_ok = idle_overhead <= kIdleBudgetFraction;
+  const bool wire_ok = wire->idle_overhead_est <= kIdleBudgetFraction;
+  const bool pass = idle_ok && wire_ok;
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
+    out << "{\"bench\": \"obs_overhead\", \"n\": " << n
+        << ", \"reps\": " << reps << ", \"idle_med_us\": " << idle_med
+        << ", \"recording_med_us\": " << rec_med
+        << ", \"recording_overhead\": " << recording_overhead
+        << ", \"spans_per_run\": " << spans_per_run
+        << ", \"idle_span_ns\": " << idle_span_ns
+        << ", \"idle_overhead_est\": " << idle_overhead
+        << ", \"wire\": {\"pings\": " << pings
+        << ", \"untraced_med_us\": " << wire->untraced_med_us
+        << ", \"traced_med_us\": " << wire->traced_med_us
+        << ", \"propagation_overhead\": " << wire->propagation_overhead
+        << ", \"idle_overhead_est\": " << wire->idle_overhead_est << "}"
+        << ", \"budget_fraction\": " << kIdleBudgetFraction
+        << ", \"check\": " << (check ? "true" : "false")
+        << ", \"pass\": " << (pass ? "true" : "false") << "}\n";
+    if (!out) {
+      std::cerr << "failed writing " << json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << json_out << "\n";
+  }
+
+  if (!idle_ok) {
     std::cout << "FAIL: idle tracing overhead exceeds budget\n";
+    return 1;
+  }
+  if (!wire_ok) {
+    std::cout << "FAIL: idle wire propagation overhead exceeds budget\n";
     return 1;
   }
   std::cout << "PASS\n";

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -335,10 +336,32 @@ void AdminServer::ServeConnection(int fd) {
     pos = eol + 2;
   }
 
+  // Pooled thread hygiene: whatever trace id a handler installs (e.g. a
+  // router endpoint running a traced scatter) is restored before this
+  // thread serves its next connection.
+  ScopedTraceContext trace_guard(0);
   const HttpResponse response = Dispatch(request);
   if (response.status >= 400) counters.errors->Increment();
   SendResponse(fd, response);
   counters.latency->Record(timer.ElapsedMicros());
+}
+
+// A "key=value&key=value" query-string lookup; returns 0 when \p key is
+// absent or non-numeric (0 is never a valid trace id, so it doubles as
+// "no filter").
+std::uint64_t QueryParamU64(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.compare(0, eq, key) == 0) {
+      return std::strtoull(pair.c_str() + eq + 1, nullptr, 10);
+    }
+    pos = amp + 1;
+  }
+  return 0;
 }
 
 // ------------------------------------------------ obs-level endpoints
@@ -359,10 +382,12 @@ void RegisterObsEndpoints(AdminServer& admin) {
     response.body = StatsRegistry::Global().ToJson() + "\n";
     return response;
   });
-  admin.Handle("/tracez", [](const HttpRequest&) {
+  admin.Handle("/tracez", [](const HttpRequest& request) {
     HttpResponse response;
     response.content_type = "application/json";
-    response.body = Tracer::ExportChromeTrace();
+    // /tracez?trace_id=N narrows the dump to one request's spans.
+    response.body =
+        Tracer::ExportChromeTrace(QueryParamU64(request.query, "trace_id"));
     return response;
   });
 }

@@ -138,8 +138,14 @@ class AdminServer {
 ///   /metrics  Prometheus exposition of the global StatsRegistry
 ///   /varz     the same registry as one JSON object
 ///   /healthz  liveness: always 200 "ok" while the process serves HTTP
-///   /tracez   drains the trace rings as Chrome trace-event JSON
+///   /tracez   drains the trace rings as Chrome trace-event JSON;
+///             ?trace_id=N keeps only that request's spans
 void RegisterObsEndpoints(AdminServer& admin);
+
+/// "key=value&key=value" query-string lookup returning the value of \p key
+/// as u64; 0 when absent or non-numeric (0 never names a real trace id, so
+/// it doubles as "no filter").
+std::uint64_t QueryParamU64(const std::string& query, const std::string& key);
 
 /// Minimal loopback HTTP GET for tests, smoke checks, and demos: connects
 /// to 127.0.0.1:\p port, sends `GET target HTTP/1.1`, and returns the raw

@@ -47,7 +47,17 @@ std::string HistogramSummaryJson(const LatencyHistogram& h) {
   std::ostringstream os;
   os << "{\"count\": " << s.count << ", \"sum_us\": " << s.sum_us
      << ", \"mean_us\": " << s.mean_us << ", \"p50_us\": " << s.p50_us
-     << ", \"p95_us\": " << s.p95_us << ", \"p99_us\": " << s.p99_us << "}";
+     << ", \"p95_us\": " << s.p95_us << ", \"p99_us\": " << s.p99_us
+     << ", \"exemplars\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const std::uint64_t id = h.ExemplarTraceId(i);
+    if (id == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << LatencyHistogram::BucketUpperMicros(i) << "\": " << id;
+  }
+  os << "}}";
   return os.str();
 }
 
@@ -81,6 +91,16 @@ void AppendPrometheusHistogram(std::ostream& os, const std::string& pname,
   os << pname << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
      << pname << "_sum " << h.SumMicros() << "\n"
      << pname << "_count " << cumulative << "\n";
+  // Exemplars ride as a sibling series (`name{label} value` grammar) rather
+  // than OpenMetrics `# {...}` suffixes, so every existing exposition
+  // parser — including the strict scrape in admin_server_test — keeps
+  // working unchanged. One sample per bucket whose exemplar is set.
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const std::uint64_t id = h.ExemplarTraceId(i);
+    if (id == 0) continue;
+    os << pname << "_exemplar_trace_id{le=\""
+       << LatencyHistogram::BucketUpperMicros(i) << "\"} " << id << "\n";
+  }
 }
 
 // -------------------------------------------------------- LatencyHistogram
@@ -88,6 +108,13 @@ void AppendPrometheusHistogram(std::ostream& os, const std::string& pname,
 void LatencyHistogram::Record(std::uint64_t micros) {
   buckets_[BucketIndexFor(micros)].fetch_add(1, std::memory_order_relaxed);
   sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Record(std::uint64_t micros, std::uint64_t trace_id) {
+  const std::size_t i = BucketIndexFor(micros);
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  if (trace_id != 0) exemplars_[i].store(trace_id, std::memory_order_relaxed);
 }
 
 std::uint64_t LatencyHistogram::Count() const {
@@ -123,6 +150,7 @@ std::uint64_t LatencyHistogram::PercentileMicros(double p) const {
 
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplars_) e.store(0, std::memory_order_relaxed);
   sum_micros_.store(0, std::memory_order_relaxed);
 }
 

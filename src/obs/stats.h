@@ -75,6 +75,17 @@ class LatencyHistogram {
                                                         << (kNumBuckets - 1);
 
   void Record(std::uint64_t micros);
+  /// Record() plus a last-seen exemplar: a nonzero \p trace_id overwrites
+  /// the landing bucket's exemplar slot, linking that latency bucket to the
+  /// most recent trace that hit it (so a p99 outlier resolves to a fetchable
+  /// trace). Hot paths without a trace id keep calling the plain overload —
+  /// the exemplar store is one extra relaxed atomic store, taken only here.
+  void Record(std::uint64_t micros, std::uint64_t trace_id);
+
+  /// Last-seen trace id for bucket \p i (0 = none recorded yet).
+  std::uint64_t ExemplarTraceId(std::size_t i) const {
+    return exemplars_[i].load(std::memory_order_relaxed);
+  }
 
   /// Total recorded samples.
   std::uint64_t Count() const;
@@ -105,6 +116,7 @@ class LatencyHistogram {
 
  private:
   std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> exemplars_[kNumBuckets] = {};
   std::atomic<std::uint64_t> sum_micros_{0};
 };
 
@@ -125,7 +137,9 @@ HistogramSummary SummarizeHistogram(const LatencyHistogram& h);
 /// The single histogram-JSON shape every dump uses — StatsRegistry::ToJson,
 /// ServerMetrics::ToJson, the JSONL exporter — so the formats cannot drift:
 /// `{"count": C, "sum_us": S, "mean_us": M, "p50_us": …, "p95_us": …,
-/// "p99_us": …}`.
+/// "p99_us": …, "exemplars": {"<bucket_le_us>": <trace_id>, …}}` where
+/// `exemplars` lists only buckets whose last-seen trace id is nonzero
+/// (empty object when the histogram never saw a traced sample).
 std::string HistogramSummaryJson(const LatencyHistogram& h);
 
 /// Human-readable one-liner: `count=N mean=Mus p50=…us p95=…us p99=…us`.

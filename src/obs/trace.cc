@@ -140,17 +140,24 @@ void Tracer::RecordComplete(const char* name, std::uint64_t start_us,
   }
 }
 
-std::string Tracer::ExportChromeTrace() {
+std::vector<TraceEvent> Tracer::SnapshotEvents(std::uint64_t trace_id_filter) {
   std::vector<TraceEvent> events;
   for (const auto& ring : RingRegistry::Get().All()) {
-    const std::vector<TraceEvent> part = ring->Snapshot();
-    events.insert(events.end(), part.begin(), part.end());
+    for (const TraceEvent& e : ring->Snapshot()) {
+      if (trace_id_filter != 0 && e.trace_id != trace_id_filter) continue;
+      events.push_back(e);
+    }
   }
   std::sort(events.begin(), events.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               if (a.start_us != b.start_us) return a.start_us < b.start_us;
               return a.tid < b.tid;
             });
+  return events;
+}
+
+std::string Tracer::ExportChromeTrace(std::uint64_t trace_id_filter) {
+  const std::vector<TraceEvent> events = SnapshotEvents(trace_id_filter);
   std::ostringstream os;
   os << "[";
   bool first = true;

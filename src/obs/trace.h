@@ -155,10 +155,18 @@ class Tracer {
 
   /// Chrome trace-event JSON: a single array of "ph":"X" events across all
   /// threads that ever recorded, sorted by start time. Valid input for
-  /// Perfetto and chrome://tracing.
-  static std::string ExportChromeTrace();
+  /// Perfetto and chrome://tracing. A nonzero \p trace_id_filter keeps only
+  /// events tagged with that request-correlation id.
+  static std::string ExportChromeTrace(std::uint64_t trace_id_filter = 0);
   /// ExportChromeTrace() to a file.
   static Status WriteChromeTrace(const std::string& path);
+
+  /// Raw snapshot of every retained event across all rings, sorted by
+  /// (start_us, tid). A nonzero \p trace_id_filter keeps only events tagged
+  /// with that id. This is the fetch surface the shard layer serializes over
+  /// the wire (`kTraceFetch`).
+  static std::vector<TraceEvent> SnapshotEvents(
+      std::uint64_t trace_id_filter = 0);
 
   /// Sum of events currently retained across all rings (test/bench aid).
   static std::uint64_t RetainedEventCount();
@@ -174,6 +182,30 @@ class Tracer {
   static ThreadState& Tls();
 
   static std::atomic<bool> enabled_;
+};
+
+/// \brief RAII adoption of a trace id on the calling thread.
+///
+/// Construction saves the thread's current trace id and installs \p
+/// trace_id; destruction restores the saved id. Pooled threads (admin
+/// handler pool, `ShardService` request threads) wrap each request in one
+/// of these so a stale id can never leak into the next request's spans or
+/// slow-log entries. Nests correctly: inner scopes restore what the outer
+/// scope installed.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t trace_id)
+      : previous_(Tracer::CurrentTraceId()) {
+    Tracer::SetCurrentTraceId(trace_id);
+  }
+  ~ScopedTraceContext() { Tracer::SetCurrentTraceId(previous_); }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  std::uint64_t previous() const { return previous_; }
+
+ private:
+  std::uint64_t previous_;
 };
 
 /// \brief RAII span. Prefer the PAYGO_TRACE_SPAN macro.

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/admin_server.h"
+#include "obs/build_info.h"
 #include "obs/stats.h"
 #include "serve/paygo_server.h"
 
@@ -73,7 +74,8 @@ void RegisterServerEndpoints(AdminServer& admin, const PaygoServer& server,
        << ", \"delta_rebuild_us\": "
        << HistogramSummaryJson(m.delta_update_latency)
        << ", \"full_rebuild_us\": "
-       << HistogramSummaryJson(m.rebuild_update_latency) << "}";
+       << HistogramSummaryJson(m.rebuild_update_latency) << "}"
+       << ", \"build_info\": " << BuildInfoJson();
     if (extra_status) {
       const std::string extra = extra_status();
       if (!extra.empty()) os << ", " << extra;

@@ -24,16 +24,16 @@ class RequestTraceScope {
       : tracing_(Tracer::enabled()) {
     if (!tracing_) return;
     collector_.emplace();
-    Tracer::SetCurrentTraceId(trace_id);
+    // ScopedTraceContext (not a bare Set) so a worker thread reused across
+    // requests restores whatever id it carried before this request.
+    context_.emplace(trace_id);
     root_.emplace("serve.request");
     const std::uint64_t now = Tracer::NowMicros();
     Tracer::RecordComplete("serve.queue_wait",
                            now >= queued_us ? now - queued_us : 0, queued_us);
   }
 
-  ~RequestTraceScope() {
-    if (tracing_) Tracer::SetCurrentTraceId(0);
-  }
+  ~RequestTraceScope() = default;
 
   RequestTraceScope(const RequestTraceScope&) = delete;
   RequestTraceScope& operator=(const RequestTraceScope&) = delete;
@@ -49,6 +49,7 @@ class RequestTraceScope {
  private:
   bool tracing_;
   std::optional<SpanCollector> collector_;
+  std::optional<ScopedTraceContext> context_;
   std::optional<ScopedSpan> root_;
 };
 
@@ -210,7 +211,7 @@ void PaygoServer::CompleteBatchItem(QueuedRequest request,
     metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
   }
   const std::uint64_t total_us = request.queued.ElapsedMicros();
-  metrics_.classify_latency.Record(total_us);
+  metrics_.classify_latency.Record(total_us, request.trace_id);
   if (total_us > options_.slow_query_threshold_us) {
     // Coalesced requests carry no per-request span breakdown (the sweep is
     // shared); the slow-query log still gets the identity and timing.
@@ -345,7 +346,12 @@ std::future<Result<T>> PaygoServer::SubmitRequest(
   auto done = std::make_shared<std::promise<Result<T>>>();
   std::future<Result<T>> result = done->get_future();
   QueuedRequest request;
-  request.trace_id = Tracer::NextTraceId();
+  // Inherit the submitting thread's trace id when it has one — a shard
+  // handler that adopted a wire-propagated kTraceContext, say — so the
+  // worker's spans carry the fleet-wide originating id; mint a fresh local
+  // id otherwise.
+  request.trace_id = Tracer::CurrentTraceId();
+  if (request.trace_id == 0) request.trace_id = Tracer::NextTraceId();
   if constexpr (std::is_same_v<T, std::vector<DomainScore>>) {
     if (batch != nullptr) {
       batch->done = done;
@@ -369,7 +375,7 @@ std::future<Result<T>> PaygoServer::SubmitRequest(
       metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
     }
     const std::uint64_t total_us = timer.ElapsedMicros();
-    latency.Record(total_us);
+    latency.Record(total_us, trace_id);
     if (total_us > options_.slow_query_threshold_us) {
       slow_log_->MaybeRecord(SlowQueryEntry{trace_id, kind,
                                             std::move(description), total_us,

@@ -1,11 +1,13 @@
 #include "shard/router.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
 
 #include "obs/stats.h"
+#include "obs/trace.h"
 #include "schema/corpus_io.h"
 #include "shard/wire.h"
 
@@ -17,6 +19,9 @@ struct RouterCounters {
   Counter* scatters;
   Counter* shard_failures;
   Counter* degraded_scatters;  ///< served with at least one shard down
+  Counter* fleet_trace_fetches;
+  Counter* fleet_trace_fetch_failures;
+  LatencyHistogram* scatter_latency;
 
   static RouterCounters& Get() {
     static RouterCounters counters = [] {
@@ -24,11 +29,91 @@ struct RouterCounters {
       return RouterCounters{
           reg.GetCounter("paygo.shard.router.scatters"),
           reg.GetCounter("paygo.shard.router.shard_failures"),
-          reg.GetCounter("paygo.shard.router.degraded_scatters")};
+          reg.GetCounter("paygo.shard.router.degraded_scatters"),
+          reg.GetCounter("paygo.shard.router.fleet_trace_fetches"),
+          reg.GetCounter("paygo.shard.router.fleet_trace_fetch_failures"),
+          reg.GetHistogram("paygo.shard.router.scatter_us")};
     }();
     return counters;
   }
 };
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One event of the merged fleet timeline: a TraceEvent plus the process
+/// it came from and its timestamp re-expressed on the router's clock.
+struct FleetEvent {
+  std::string name;
+  std::int64_t ts = 0;  ///< router-clock µs; may go negative for events
+                        ///< that predate the router's trace epoch
+  std::uint64_t dur = 0;
+  std::uint64_t trace_id = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Parses one kTraceEvents payload: "now <server_now_us> <n>\n" then n
+/// lines "<start_us> <dur_us> <trace_id> <tid> <depth> <name>".
+Status ParseTraceEvents(const std::string& payload,
+                        std::uint64_t* server_now_us,
+                        std::vector<FleetEvent>* out) {
+  std::istringstream is(payload);
+  std::string word;
+  std::size_t n = 0;
+  if (!(is >> word >> *server_now_us >> n) || word != "now") {
+    return Status::InvalidArgument("malformed trace events header");
+  }
+  std::string line;
+  std::getline(is, line);  // consume the header's newline
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("truncated trace events payload");
+    }
+    std::istringstream ls(line);
+    FleetEvent e;
+    std::uint64_t start = 0;
+    if (!(ls >> start >> e.dur >> e.trace_id >> e.tid >> e.depth)) {
+      return Status::InvalidArgument("malformed trace event line");
+    }
+    e.ts = static_cast<std::int64_t>(start);
+    std::getline(ls, e.name);
+    if (!e.name.empty() && e.name[0] == ' ') e.name.erase(0, 1);
+    if (e.name.empty()) {
+      return Status::InvalidArgument("trace event without a name");
+    }
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
 
 /// One shard's kClassifyResult payload:
 ///   "ok <gen> <n>\n" then n lines "<domain> <log_posterior> <attrs>",
@@ -127,11 +212,35 @@ Result<ScatterResult> ShardRouter::Classify(std::string_view query,
   if (k == 0) k = 1;
   RouterCounters::Get().scatters->Increment();
 
+  // Adopt the caller's trace id (a traced admin request, say) or mint a
+  // fresh fleet-wide one; propagate it to every shard as a kTraceContext
+  // preamble. With tracing disabled no preamble is sent at all — the wire
+  // bytes are identical to the untraced protocol.
+  const bool sampled = Tracer::enabled();
+  std::uint64_t trace_id = 0;
+  WireTraceContext ctx;
+  const WireTraceContext* ctx_ptr = nullptr;
+  if (sampled) {
+    trace_id = Tracer::CurrentTraceId();
+    if (trace_id == 0) trace_id = Tracer::NextTraceId();
+    ctx.trace_id = trace_id;
+    // The scatter acts as the remote spans' parent; we mint a span id for
+    // it from the same sequence so it is unique fleet-wide.
+    ctx.parent_span_id = Tracer::NextTraceId();
+    ctx.sampled = true;
+    ctx.deadline_us = options_.request_timeout_ms * 1000;
+    ctx_ptr = &ctx;
+  }
+  ScopedTraceContext trace_guard(trace_id);
+  const std::uint64_t scatter_start_us = Tracer::NowMicros();
+  PAYGO_TRACE_SPAN("router.scatter");
+
   const std::string payload =
       std::to_string(k) + "\n" + std::string(query);
   struct ShardReply {
     Status status = Status::OK();
     std::uint64_t generation = 0;
+    std::uint64_t latency_us = 0;
     std::vector<RoutedDomain> ranked;
   };
   std::vector<ShardReply> replies(shards_.size());
@@ -142,11 +251,15 @@ Result<ScatterResult> ShardRouter::Classify(std::string_view query,
   std::vector<std::thread> threads;
   threads.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    threads.emplace_back([this, s, &payload, &replies] {
+    threads.emplace_back([this, s, &payload, &replies, ctx_ptr, trace_id] {
+      ScopedTraceContext shard_guard(trace_id);
+      PAYGO_TRACE_SPAN("router.shard_call");
       ShardReply& reply = replies[s];
-      Result<Frame> frame =
-          CallOnce(shards_[s].host, shards_[s].port, FrameType::kClassify,
-                   payload, options_.request_timeout_ms);
+      const std::uint64_t t0 = Tracer::NowMicros();
+      Result<Frame> frame = CallOnceTraced(
+          shards_[s].host, shards_[s].port, FrameType::kClassify, payload,
+          options_.request_timeout_ms, ctx_ptr);
+      reply.latency_us = Tracer::NowMicros() - t0;
       if (!frame.ok()) {
         reply.status = frame.status();
         return;
@@ -166,12 +279,15 @@ Result<ScatterResult> ShardRouter::Classify(std::string_view query,
   for (std::thread& t : threads) t.join();
 
   ScatterResult result;
+  result.trace_id = trace_id;
   result.shards_total = shards_.size();
   result.shard_generations.assign(shards_.size(), 0);
+  result.shard_latency_us.assign(shards_.size(), 0);
   Status first_error = Status::OK();
   for (std::size_t s = 0; s < replies.size(); ++s) {
     const bool ok = replies[s].status.ok();
     RecordOutcome(s, ok, replies[s].generation);
+    result.shard_latency_us[s] = replies[s].latency_us;
     if (!ok) {
       RouterCounters::Get().shard_failures->Increment();
       if (first_error.ok()) first_error = replies[s].status;
@@ -183,6 +299,9 @@ Result<ScatterResult> ShardRouter::Classify(std::string_view query,
       result.ranked.push_back(std::move(d));
     }
   }
+  const std::uint64_t total_us = Tracer::NowMicros() - scatter_start_us;
+  RouterCounters::Get().scatter_latency->Record(total_us, trace_id);
+  MaybeRecordSlow(query, total_us, result);
   if (result.shards_ok == 0) {
     return Status::IoError("all " + std::to_string(shards_.size()) +
                            " shards failed; first error: " +
@@ -202,6 +321,140 @@ Result<ScatterResult> ShardRouter::Classify(std::string_view query,
             });
   if (result.ranked.size() > k) result.ranked.resize(k);
   return result;
+}
+
+void ShardRouter::MaybeRecordSlow(std::string_view query,
+                                  std::uint64_t total_us,
+                                  const ScatterResult& result) const {
+  if (total_us < options_.slow_query_threshold_us) return;
+  if (options_.slow_log_capacity == 0) return;
+  RouterSlowEntry entry;
+  entry.trace_id = result.trace_id;
+  entry.query = std::string(query);
+  entry.total_us = total_us;
+  entry.shards_ok = result.shards_ok;
+  entry.shards_total = result.shards_total;
+  entry.shard_latency_us = result.shard_latency_us;
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_log_.push_back(std::move(entry));
+  while (slow_log_.size() > options_.slow_log_capacity) {
+    slow_log_.pop_front();
+  }
+}
+
+std::vector<RouterSlowEntry> ShardRouter::SlowEntries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_log_.begin(), slow_log_.end()};
+}
+
+std::string ShardRouter::SlowLogJson() const {
+  const std::vector<RouterSlowEntry> entries = SlowEntries();
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const RouterSlowEntry& e = entries[i];
+    if (i > 0) os << ", ";
+    os << "{\"trace_id\": " << e.trace_id << ", \"query\": \""
+       << JsonEscape(e.query) << "\", \"total_us\": " << e.total_us
+       << ", \"shards_ok\": " << e.shards_ok
+       << ", \"shards_total\": " << e.shards_total
+       << ", \"shard_latency_us\": [";
+    for (std::size_t s = 0; s < e.shard_latency_us.size(); ++s) {
+      if (s > 0) os << ", ";
+      os << e.shard_latency_us[s];
+    }
+    os << "]}";
+  }
+  os << "]";
+  return os.str();
+}
+
+Result<std::string> ShardRouter::FleetTraceJson(
+    std::uint64_t trace_id) const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("router has no shards configured");
+  }
+  std::vector<FleetEvent> events;
+
+  // The router's own client-side spans, already on the reference clock.
+  for (const TraceEvent& e : Tracer::SnapshotEvents(trace_id)) {
+    FleetEvent f;
+    f.name = e.name;
+    f.ts = static_cast<std::int64_t>(e.start_us);
+    f.dur = e.dur_us;
+    f.trace_id = e.trace_id;
+    f.pid = 1;
+    f.tid = e.tid;
+    f.depth = e.depth;
+    events.push_back(std::move(f));
+  }
+
+  // Pull each shard's matching events; degrade on per-shard failure.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    RouterCounters::Get().fleet_trace_fetches->Increment();
+    const std::uint64_t t0 = Tracer::NowMicros();
+    Result<Frame> frame = CallOnce(shards_[s].host, shards_[s].port,
+                                   FrameType::kTraceFetch,
+                                   std::to_string(trace_id),
+                                   options_.request_timeout_ms);
+    const std::uint64_t t1 = Tracer::NowMicros();
+    if (!frame.ok() || frame->type != FrameType::kTraceEvents) {
+      RouterCounters::Get().fleet_trace_fetch_failures->Increment();
+      continue;
+    }
+    std::uint64_t server_now_us = 0;
+    std::vector<FleetEvent> remote;
+    Status parsed = ParseTraceEvents(frame->payload, &server_now_us, &remote);
+    if (!parsed.ok()) {
+      RouterCounters::Get().fleet_trace_fetch_failures->Increment();
+      continue;
+    }
+    // RTT-midpoint clock alignment: the fetch reply was stamped at
+    // server_now_us on the shard's trace clock, at approximately the
+    // midpoint (t0 + t1) / 2 of the round trip on ours. The difference is
+    // the offset estimate (error ≤ RTT / 2); subtracting it re-expresses
+    // the shard's timestamps on the router's clock.
+    const std::int64_t offset =
+        static_cast<std::int64_t>(server_now_us) -
+        static_cast<std::int64_t>((t0 + t1) / 2);
+    for (FleetEvent& e : remote) {
+      e.ts -= offset;
+      e.pid = static_cast<std::uint32_t>(s) + 2;
+      events.push_back(std::move(e));
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const FleetEvent& a, const FleetEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.pid != b.pid) return a.pid < b.pid;
+              return a.tid < b.tid;
+            });
+
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  // Process-name metadata events label the tracks in Perfetto.
+  os << "\n{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": \"router\"}}";
+  first = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    os << ",\n{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+       << (s + 2) << ", \"tid\": 0, \"args\": {\"name\": \"shard " << s
+       << " (" << JsonEscape(shards_[s].host) << ":" << shards_[s].port
+       << ")\"}}";
+  }
+  for (const FleetEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\": \"" << JsonEscape(e.name)
+       << "\", \"ph\": \"X\", \"pid\": " << e.pid << ", \"tid\": " << e.tid
+       << ", \"ts\": " << e.ts << ", \"dur\": " << e.dur
+       << ", \"args\": {\"trace_id\": " << e.trace_id
+       << ", \"depth\": " << e.depth << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
 }
 
 Result<std::uint64_t> ShardRouter::AddSchema(

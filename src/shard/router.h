@@ -19,8 +19,23 @@
 /// over the survivors (shards_ok / shards_total report the coverage); the
 /// call fails only when every shard is down. Writes (AddSchema) route to
 /// the single owner shard via the consistent-hash ring.
+///
+/// Distributed tracing: when the router's Tracer is enabled, every
+/// scatter adopts (or mints) a fleet-wide trace id and sends it ahead of
+/// each request as a kTraceContext preamble, so shard-side spans land in
+/// the remote TraceRings tagged with the same id as the router's
+/// client-side spans. FleetTraceJson() reassembles the distributed
+/// timeline: it pulls matching events from every shard via kTraceFetch,
+/// assigns one synthetic Chrome pid per process (router = 1, shard s =
+/// s + 2), and aligns each shard's trace clock to the router's using the
+/// RTT midpoint of the fetch itself — offset = server_now − (t0 + t1) / 2
+/// — the classic NTP-style estimate whose error is bounded by half the
+/// round trip. Scatters slower than the slow threshold are retained in a
+/// bounded slow log carrying the per-shard latency breakdown plus the
+/// trace id, so a p99 outlier resolves to its merged timeline.
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -46,6 +61,10 @@ struct RouterOptions {
   std::uint64_t request_timeout_ms = 2000;
   /// Ring geometry — must match the partitioner's (see hash_ring.h).
   std::size_t vnodes = 64;
+  /// Scatters at least this slow enter the router slow log (0 logs all).
+  std::uint64_t slow_query_threshold_us = 10000;
+  /// Bounded slow-log size; the oldest entry is evicted first.
+  std::size_t slow_log_capacity = 16;
 };
 
 /// One merged ranking entry, tagged with the shard that produced it.
@@ -64,6 +83,23 @@ struct ScatterResult {
   std::size_t shards_total = 0;
   /// Per shard, the generation its reply carried; 0 for failed shards.
   std::vector<std::uint64_t> shard_generations;
+  /// Fleet-wide trace id this scatter ran (and was propagated) under;
+  /// 0 when the router's Tracer was disabled.
+  std::uint64_t trace_id = 0;
+  /// Per-shard round-trip latency in µs (timeouts included for failed
+  /// shards — that IS their contribution to tail latency).
+  std::vector<std::uint64_t> shard_latency_us;
+};
+
+/// One retained slow scatter: where the time went, shard by shard, and
+/// the trace id to fetch the merged timeline with.
+struct RouterSlowEntry {
+  std::uint64_t trace_id = 0;
+  std::string query;
+  std::uint64_t total_us = 0;
+  std::size_t shards_ok = 0;
+  std::size_t shards_total = 0;
+  std::vector<std::uint64_t> shard_latency_us;
 };
 
 class ShardRouter {
@@ -96,12 +132,27 @@ class ShardRouter {
   /// The Health() view as a JSON array (the router's shardz section).
   std::string ShardzJson() const;
 
+  /// Pulls every shard's retained TraceEvents matching \p trace_id (0 =
+  /// all) via kTraceFetch and merges them with the router's own events
+  /// into one Chrome trace-event JSON: pid 1 = router, pid s + 2 = shard
+  /// s, remote timestamps shifted onto the router's trace clock by the
+  /// RTT-midpoint offset estimate. Unreachable shards degrade (their
+  /// events are simply absent); fails only with no shards configured.
+  Result<std::string> FleetTraceJson(std::uint64_t trace_id = 0) const;
+
+  /// Slow scatters, oldest first (bounded; see RouterOptions).
+  std::vector<RouterSlowEntry> SlowEntries() const;
+  /// SlowEntries() as a JSON array (the router's slowz section).
+  std::string SlowLogJson() const;
+
   const HashRing& ring() const { return ring_; }
   std::size_t num_shards() const { return shards_.size(); }
 
  private:
   void RecordOutcome(std::size_t shard, bool ok,
                      std::uint64_t generation) const;
+  void MaybeRecordSlow(std::string_view query, std::uint64_t total_us,
+                       const ScatterResult& result) const;
 
   std::vector<ShardAddress> shards_;
   RouterOptions options_;
@@ -114,6 +165,9 @@ class ShardRouter {
   };
   mutable std::mutex health_mu_;
   mutable std::vector<HealthSlot> health_;
+
+  mutable std::mutex slow_mu_;
+  mutable std::deque<RouterSlowEntry> slow_log_;
 };
 
 }  // namespace paygo

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include <sstream>
 
 #include "obs/stats.h"
+#include "obs/trace.h"
 #include "persist/model_io.h"
 #include "schema/corpus_io.h"
 
@@ -50,6 +52,8 @@ struct ShardServiceCounters {
   Counter* full_pulls;
   Counter* delta_pulls;
   Counter* uptodate_pulls;
+  Counter* traced_requests;
+  Counter* trace_fetches;
 
   static ShardServiceCounters& Get() {
     static ShardServiceCounters counters = [] {
@@ -60,7 +64,9 @@ struct ShardServiceCounters {
           reg.GetCounter("paygo.shard.service.sheds"),
           reg.GetCounter("paygo.shard.service.full_pulls"),
           reg.GetCounter("paygo.shard.service.delta_pulls"),
-          reg.GetCounter("paygo.shard.service.uptodate_pulls")};
+          reg.GetCounter("paygo.shard.service.uptodate_pulls"),
+          reg.GetCounter("paygo.shard.service.traced_requests"),
+          reg.GetCounter("paygo.shard.service.trace_fetches")};
     }();
     return counters;
   }
@@ -188,6 +194,43 @@ void ShardService::ServeConnection(int fd) {
     ShardServiceCounters::Get().errors->Increment();
     return;  // peer gone or garbage framing; nothing to answer
   }
+
+  // Optional kTraceContext preamble: adopt the originating trace id for
+  // the duration of this request, then read the actual request frame from
+  // the same connection.
+  WireTraceContext ctx;
+  bool sampled = false;
+  if (request->type == FrameType::kTraceContext) {
+    Result<WireTraceContext> parsed = ParseTraceContext(request->payload);
+    if (!parsed.ok()) {
+      ShardServiceCounters::Get().errors->Increment();
+      WriteFrame(fd, FrameType::kError,
+                 "trace context: " + parsed.status().message());
+      return;
+    }
+    ctx = *parsed;
+    sampled = ctx.sampled;
+    ShardServiceCounters::Get().traced_requests->Increment();
+    // The caller's remaining deadline budget bounds our IO too: no point
+    // writing a reply the router has already given up on.
+    if (ctx.deadline_us != 0) {
+      const std::uint64_t budget_ms =
+          std::max<std::uint64_t>(1, ctx.deadline_us / 1000);
+      SetSocketTimeouts(fd,
+                        std::min<std::uint64_t>(options_.io_timeout_ms,
+                                                budget_ms));
+    }
+    request = ReadFrame(fd);
+    if (!request.ok()) {
+      ShardServiceCounters::Get().errors->Increment();
+      return;
+    }
+  }
+
+  // RAII guard: a pooled thread must never leak this request's trace id
+  // into the next connection it serves.
+  ScopedTraceContext trace_guard(sampled ? ctx.trace_id : 0);
+  PAYGO_TRACE_SPAN("shard.handle");
   const Frame reply = Handle(*request);
   if (reply.type == FrameType::kError) {
     ShardServiceCounters::Get().errors->Increment();
@@ -209,6 +252,8 @@ Frame ShardService::Handle(const Frame& request) {
       return HandleSnapshotPull(request.payload);
     case FrameType::kAddSchema:
       return HandleAddSchema(request.payload);
+    case FrameType::kTraceFetch:
+      return HandleTraceFetch(request.payload);
     default:
       return ErrorFrame("unsupported frame type " +
                         std::to_string(static_cast<int>(request.type)));
@@ -311,6 +356,29 @@ Frame ShardService::HandleSnapshotPull(const std::string& payload) {
   Frame reply;
   reply.type = FrameType::kSnapshotFull;
   reply.payload = "gen " + std::to_string(gen) + "\n" + *text;
+  return reply;
+}
+
+Frame ShardService::HandleTraceFetch(const std::string& payload) const {
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(payload.c_str(), &end, 10);
+  if (end == payload.c_str() || *end != '\0') {
+    return ErrorFrame("bad trace fetch id '" + payload + "'");
+  }
+  ShardServiceCounters::Get().trace_fetches->Increment();
+  const std::vector<TraceEvent> events = Tracer::SnapshotEvents(id);
+  std::ostringstream os;
+  // The current trace-clock reading rides in the header: the fetching
+  // router timestamps the round trip and estimates this node's clock
+  // offset as now - (t0 + t1) / 2 (RTT midpoint).
+  os << "now " << Tracer::NowMicros() << " " << events.size() << "\n";
+  for (const TraceEvent& e : events) {
+    os << e.start_us << " " << e.dur_us << " " << e.trace_id << " " << e.tid
+       << " " << e.depth << " " << e.name << "\n";
+  }
+  Frame reply;
+  reply.type = FrameType::kTraceEvents;
+  reply.payload = os.str();
   return reply;
 }
 

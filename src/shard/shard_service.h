@@ -16,6 +16,16 @@
 /// one response frame, connection closed — no protocol state survives a
 /// connection.
 ///
+/// Distributed tracing: a connection may open with a kTraceContext
+/// preamble frame (see wire.h). The handler adopts the originating trace
+/// id under a ScopedTraceContext guard — restored before the pooled thread
+/// picks up its next connection — so every span this request produces
+/// (including PaygoServer worker spans, which inherit the submitting
+/// thread's id) lands in this node's TraceRing tagged with the fleet-wide
+/// id. kTraceFetch returns the retained events matching an id together
+/// with this node's current trace-clock reading, which the router uses for
+/// RTT-midpoint clock alignment when merging fleet timelines.
+///
 /// Snapshot-pull labeling reads the generation BEFORE the snapshot
 /// pointer: a mutation publishing in between makes the label conservative
 /// (the shipped snapshot is at least as new as its label), so a replica
@@ -76,6 +86,7 @@ class ShardService {
   Frame HandleClassify(const std::string& payload) const;
   Frame HandleSnapshotPull(const std::string& payload);
   Frame HandleAddSchema(const std::string& payload);
+  Frame HandleTraceFetch(const std::string& payload) const;
 
   PaygoServer& server_;
   ShardServiceOptions options_;

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -133,8 +134,55 @@ Result<int> ConnectWithRetry(const std::string& host, std::uint16_t port,
 Result<Frame> CallOnce(const std::string& host, std::uint16_t port,
                        FrameType type, std::string_view payload,
                        std::uint64_t timeout_ms) {
+  return CallOnceTraced(host, port, type, payload, timeout_ms, nullptr);
+}
+
+std::string EncodeTraceContext(const WireTraceContext& ctx) {
+  return std::to_string(ctx.trace_id) + " " +
+         std::to_string(ctx.parent_span_id) + " " +
+         (ctx.sampled ? "1" : "0") + " " + std::to_string(ctx.deadline_us);
+}
+
+Result<WireTraceContext> ParseTraceContext(std::string_view payload) {
+  const std::string text(payload);
+  WireTraceContext ctx;
+  char* cursor = nullptr;
+  ctx.trace_id = std::strtoull(text.c_str(), &cursor, 10);
+  if (cursor == text.c_str() || *cursor != ' ') {
+    return Status::InvalidArgument("bad trace context '" + text + "'");
+  }
+  char* next = nullptr;
+  ctx.parent_span_id = std::strtoull(cursor + 1, &next, 10);
+  if (next == cursor + 1 || *next != ' ') {
+    return Status::InvalidArgument("bad trace context '" + text + "'");
+  }
+  cursor = next;
+  const unsigned long long sampled = std::strtoull(cursor + 1, &next, 10);
+  if (next == cursor + 1 || *next != ' ' || sampled > 1) {
+    return Status::InvalidArgument("bad trace context '" + text + "'");
+  }
+  ctx.sampled = sampled == 1;
+  cursor = next;
+  ctx.deadline_us = std::strtoull(cursor + 1, &next, 10);
+  if (next == cursor + 1 || *next != '\0') {
+    return Status::InvalidArgument("bad trace context '" + text + "'");
+  }
+  if (ctx.trace_id == 0) {
+    return Status::InvalidArgument("trace context requires a nonzero id");
+  }
+  return ctx;
+}
+
+Result<Frame> CallOnceTraced(const std::string& host, std::uint16_t port,
+                             FrameType type, std::string_view payload,
+                             std::uint64_t timeout_ms,
+                             const WireTraceContext* ctx) {
   PAYGO_ASSIGN_OR_RETURN(const int fd, TcpConnect(host, port, timeout_ms));
-  Status sent = WriteFrame(fd, type, payload);
+  Status sent = Status::OK();
+  if (ctx != nullptr) {
+    sent = WriteFrame(fd, FrameType::kTraceContext, EncodeTraceContext(*ctx));
+  }
+  if (sent.ok()) sent = WriteFrame(fd, type, payload);
   if (!sent.ok()) {
     ::close(fd);
     return sent;

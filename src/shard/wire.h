@@ -40,6 +40,13 @@ enum class FrameType : std::uint8_t {
   kError = 9,          ///< payload: human-readable reason
   kAddSchema = 10,     ///< payload: one-schema corpus_io text
   kAck = 11,           ///< payload: decimal generation after the write
+  kTraceContext = 12,  ///< payload: "<trace_id> <parent_span_id> <sampled>
+                       ///< <deadline_us>"; optional preamble preceding the
+                       ///< request frame on the same connection
+  kTraceFetch = 13,    ///< payload: decimal trace id filter (0 = all)
+  kTraceEvents = 14,   ///< payload: "now <server_now_us> <n>\n" + n lines
+                       ///< "<start_us> <dur_us> <trace_id> <tid> <depth>
+                       ///< <name>"
 };
 
 struct Frame {
@@ -73,6 +80,34 @@ Result<int> ConnectWithRetry(const std::string& host, std::uint16_t port,
 Result<Frame> CallOnce(const std::string& host, std::uint16_t port,
                        FrameType type, std::string_view payload,
                        std::uint64_t timeout_ms);
+
+/// \brief Trace context carried across a hop as a kTraceContext preamble.
+///
+/// The preamble is a *separate frame* written before the request frame on
+/// the same connection, so the request payloads themselves stay
+/// byte-identical to the untraced protocol — an old server reading an
+/// unexpected kTraceContext frame fails one request loudly instead of
+/// misparsing every payload, and a router with tracing disabled emits no
+/// preamble at all (zero idle wire cost).
+struct WireTraceContext {
+  std::uint64_t trace_id = 0;        ///< Originating request id (nonzero).
+  std::uint64_t parent_span_id = 0;  ///< Caller-side span id; 0 = root.
+  bool sampled = false;              ///< Record spans server-side?
+  std::uint64_t deadline_us = 0;     ///< Remaining budget in µs; 0 = none.
+};
+
+/// Space-separated decimal encoding: "<trace_id> <parent_span_id>
+/// <sampled:0|1> <deadline_us>".
+std::string EncodeTraceContext(const WireTraceContext& ctx);
+Result<WireTraceContext> ParseTraceContext(std::string_view payload);
+
+/// CallOnce that, when \p ctx is non-null, writes a kTraceContext preamble
+/// frame before the request frame. A null \p ctx is exactly CallOnce — the
+/// idle cost of propagation is this one pointer test.
+Result<Frame> CallOnceTraced(const std::string& host, std::uint16_t port,
+                             FrameType type, std::string_view payload,
+                             std::uint64_t timeout_ms,
+                             const WireTraceContext* ctx);
 
 }  // namespace paygo
 

@@ -1,0 +1,389 @@
+// Fleet-wide distributed tracing: wire propagation of the trace context,
+// merged cross-shard Chrome timelines (pid-per-process, RTT-midpoint clock
+// alignment), /tracez?trace_id= filtering, histogram latency exemplars,
+// and the router slow log's trace linkage.
+//
+// In-process caveat: every fleet member in these tests shares ONE global
+// Tracer ring registry, so a kTraceFetch against any in-process shard
+// returns the whole process's events. Merged traces therefore duplicate
+// events across synthetic pids. The structural assertions below (every
+// pid present, one shared trace id, timestamps monotone after alignment,
+// depth nesting) hold regardless; separate-process merging is exercised by
+// the fleet smoke in tools/ci.sh.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/integration_system.h"
+#include "gtest/gtest.h"
+#include "obs/admin_server.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "serve/paygo_server.h"
+#include "shard/router.h"
+#include "shard/shard_service.h"
+#include "shard/wire.h"
+#include "strict_json.h"
+#include "synth/web_generator.h"
+
+namespace paygo {
+namespace {
+
+SystemOptions TestOptions() {
+  SystemOptions options;
+  options.hac.tau_c_sim = 0.25;
+  options.assignment.tau_c_sim = 0.25;
+  return options;
+}
+
+// --- Minimal extraction helpers for the one-event-per-line Chrome trace
+// emission (validated as real JSON separately via strict_json). ---
+
+struct FlatEvent {
+  std::string name;
+  std::string ph;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::int64_t ts = 0;
+  std::uint64_t dur = 0;
+  std::uint64_t trace_id = 0;
+  std::uint32_t depth = 0;
+};
+
+// Returns the text after `"key": ` up to the next ',' or '}' (values in
+// the emission are numbers or quoted strings with no embedded commas).
+std::string RawField(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = object.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  std::size_t end = start;
+  if (end < object.size() && object[end] == '"') {
+    end = object.find('"', end + 1);
+    return object.substr(start + 1, end - start - 1);
+  }
+  while (end < object.size() && object[end] != ',' && object[end] != '}') {
+    ++end;
+  }
+  return object.substr(start, end - start);
+}
+
+std::vector<FlatEvent> ParseTraceObjects(const std::string& json) {
+  std::vector<FlatEvent> events;
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    FlatEvent e;
+    e.name = RawField(line, "name");
+    e.ph = RawField(line, "ph");
+    e.pid = static_cast<std::uint32_t>(std::stoul(RawField(line, "pid")));
+    e.tid = static_cast<std::uint32_t>(std::stoul(RawField(line, "tid")));
+    if (e.ph == "X") {
+      e.ts = std::stoll(RawField(line, "ts"));
+      e.dur = std::stoull(RawField(line, "dur"));
+      e.trace_id = std::stoull(RawField(line, "trace_id"));
+      e.depth = static_cast<std::uint32_t>(std::stoul(RawField(line, "depth")));
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+TEST(WireTraceContextTest, EncodeParseRoundTrip) {
+  WireTraceContext ctx;
+  ctx.trace_id = 0xdeadbeefcafeULL;
+  ctx.parent_span_id = 77;
+  ctx.sampled = true;
+  ctx.deadline_us = 1500000;
+
+  Result<WireTraceContext> back = ParseTraceContext(EncodeTraceContext(ctx));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->trace_id, ctx.trace_id);
+  EXPECT_EQ(back->parent_span_id, ctx.parent_span_id);
+  EXPECT_TRUE(back->sampled);
+  EXPECT_EQ(back->deadline_us, ctx.deadline_us);
+
+  ctx.sampled = false;
+  EXPECT_FALSE(ParseTraceContext(EncodeTraceContext(ctx))->sampled);
+}
+
+TEST(WireTraceContextTest, ParseRejectsMalformedPreambles) {
+  EXPECT_FALSE(ParseTraceContext("").ok());
+  EXPECT_FALSE(ParseTraceContext("1 2 3").ok());          // missing field
+  EXPECT_FALSE(ParseTraceContext("0 2 1 4").ok());        // zero trace id
+  EXPECT_FALSE(ParseTraceContext("1 2 1 4 junk").ok());   // trailing junk
+  EXPECT_FALSE(ParseTraceContext("x 2 1 4").ok());        // non-numeric
+}
+
+TEST(ScopedTraceContextTest, RestoresPreviousIdOnExitAndNests) {
+  Tracer::SetCurrentTraceId(0);
+  {
+    ScopedTraceContext outer(11);
+    EXPECT_EQ(Tracer::CurrentTraceId(), 11u);
+    {
+      ScopedTraceContext inner(22);
+      EXPECT_EQ(Tracer::CurrentTraceId(), 22u);
+      EXPECT_EQ(inner.previous(), 11u);
+    }
+    EXPECT_EQ(Tracer::CurrentTraceId(), 11u);
+  }
+  EXPECT_EQ(Tracer::CurrentTraceId(), 0u);
+}
+
+TEST(ExemplarTest, RecordLinksBucketToLastSeenTraceId) {
+  LatencyHistogram h;
+  h.Record(5);  // untraced sample leaves no exemplar
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(h.ExemplarTraceId(i), 0u);
+  }
+  h.Record(5, 42);    // 5us lands in (4, 8]
+  h.Record(100, 77);  // 100us lands in (64, 128]
+  h.Record(5, 43);    // last-seen wins
+  EXPECT_EQ(h.ExemplarTraceId(3), 43u);
+  EXPECT_EQ(h.ExemplarTraceId(7), 77u);
+  EXPECT_EQ(h.Count(), 4u);
+
+  const std::string json = HistogramSummaryJson(h);
+  EXPECT_TRUE(strict_json::IsValid(json)) << strict_json::ErrorOf(json);
+  EXPECT_NE(json.find("\"exemplars\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"8\": 43"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"128\": 77"), std::string::npos) << json;
+
+  h.Reset();
+  EXPECT_EQ(h.ExemplarTraceId(3), 0u);
+  const std::string empty = HistogramSummaryJson(h);
+  EXPECT_TRUE(strict_json::IsValid(empty)) << strict_json::ErrorOf(empty);
+  EXPECT_NE(empty.find("\"exemplars\": {}"), std::string::npos) << empty;
+}
+
+TEST(ExemplarTest, PrometheusSiblingSeriesKeepsScrapeGrammar) {
+  LatencyHistogram h;
+  h.Record(5, 42);
+  std::ostringstream os;
+  AppendPrometheusHistogram(os, "test_hist", h);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("test_hist_exemplar_trace_id{le=\"8\"} 42"),
+            std::string::npos)
+      << text;
+
+  // Every line must fit the plain `name{labels} value` / `name value`
+  // scrape grammar (the admin-server test's parser depends on it): no
+  // OpenMetrics `# {...}` exemplar suffixes.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(" # "), std::string::npos) << line;
+    // The trailing token parses fully as a number.
+    std::size_t consumed = 0;
+    (void)std::stod(line.substr(space + 1), &consumed);
+    EXPECT_EQ(consumed, line.size() - space - 1) << line;
+  }
+}
+
+TEST(FleetTraceTest, MergedTraceSpansEveryProcessUnderOneTraceId) {
+  Tracer::Enable();
+  Tracer::ClearAll();
+
+  // Two in-process primaries holding different corpora.
+  auto system_a = IntegrationSystem::Build(MakeDwCorpus(), TestOptions());
+  ASSERT_TRUE(system_a.ok()) << system_a.status();
+  PaygoServer server_a{ServeOptions{}};
+  ASSERT_TRUE(server_a.Start().ok());
+  ASSERT_TRUE(server_a.InstallSystemAsync(std::move(*system_a)).get().ok());
+  ShardService service_a(server_a);
+  Result<std::uint16_t> port_a = service_a.Start();
+  ASSERT_TRUE(port_a.ok()) << port_a.status();
+
+  auto system_b = IntegrationSystem::Build(MakeDwSsCorpus(), TestOptions());
+  ASSERT_TRUE(system_b.ok()) << system_b.status();
+  PaygoServer server_b{ServeOptions{}};
+  ASSERT_TRUE(server_b.Start().ok());
+  ASSERT_TRUE(server_b.InstallSystemAsync(std::move(*system_b)).get().ok());
+  ShardService service_b(server_b);
+  Result<std::uint16_t> port_b = service_b.Start();
+  ASSERT_TRUE(port_b.ok()) << port_b.status();
+
+  RouterOptions options;
+  options.request_timeout_ms = 2000;
+  options.slow_query_threshold_us = 0;  // retain every scatter in the log
+  const ShardRouter router({ShardAddress{"127.0.0.1", *port_a},
+                            ShardAddress{"127.0.0.1", *port_b}},
+                           options);
+
+  Result<ScatterResult> scattered =
+      router.Classify("departure city arrival", 3);
+  ASSERT_TRUE(scattered.ok()) << scattered.status();
+  EXPECT_EQ(scattered->shards_ok, 2u);
+  ASSERT_NE(scattered->trace_id, 0u);
+  ASSERT_EQ(scattered->shard_latency_us.size(), 2u);
+  EXPECT_GT(scattered->shard_latency_us[0], 0u);
+  EXPECT_GT(scattered->shard_latency_us[1], 0u);
+  const std::uint64_t trace_id = scattered->trace_id;
+
+  Result<std::string> merged = router.FleetTraceJson(trace_id);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ASSERT_TRUE(strict_json::IsValid(*merged)) << strict_json::ErrorOf(*merged);
+
+  const std::vector<FlatEvent> events = ParseTraceObjects(*merged);
+  ASSERT_FALSE(events.empty());
+
+  // One process_name metadata track per process: router + both shards.
+  bool meta_pid[4] = {false, false, false, false};
+  for (const FlatEvent& e : events) {
+    if (e.ph == "M" && e.name == "process_name" && e.pid < 4) {
+      meta_pid[e.pid] = true;
+    }
+  }
+  EXPECT_TRUE(meta_pid[1]);
+  EXPECT_TRUE(meta_pid[2]);
+  EXPECT_TRUE(meta_pid[3]);
+
+  // Every complete event carries THE trace id; client- and server-side
+  // span names appear under every synthetic pid; timestamps are monotone
+  // after clock alignment (the merge sorts by aligned ts).
+  bool pid_has_client[4] = {false, false, false, false};
+  bool pid_has_server[4] = {false, false, false, false};
+  std::int64_t last_ts = INT64_MIN;
+  std::size_t x_events = 0;
+  for (const FlatEvent& e : events) {
+    if (e.ph != "X") continue;
+    ++x_events;
+    EXPECT_EQ(e.trace_id, trace_id) << e.name;
+    ASSERT_LT(e.pid, 4u);
+    EXPECT_GE(e.ts, last_ts) << "merge output not sorted by aligned ts";
+    last_ts = e.ts;
+    if (e.name == "router.scatter" || e.name == "router.shard_call") {
+      pid_has_client[e.pid] = true;
+    }
+    if (e.name == "shard.handle" || e.name == "serve.request") {
+      pid_has_server[e.pid] = true;
+    }
+  }
+  ASSERT_GT(x_events, 0u);
+  EXPECT_TRUE(pid_has_client[1]);
+  // In-process fleets share one ring registry, so every pid's fetch sees
+  // both sides; what matters is that server-side spans reached the merge
+  // under each shard's synthetic pid.
+  EXPECT_TRUE(pid_has_server[2]);
+  EXPECT_TRUE(pid_has_server[3]);
+
+  // Parent/child nesting survives the merge: on some (pid, tid) track a
+  // depth d+1 event is contained within a depth d event's window.
+  bool nested = false;
+  for (const FlatEvent& outer : events) {
+    if (outer.ph != "X") continue;
+    for (const FlatEvent& inner : events) {
+      if (inner.ph != "X" || inner.pid != outer.pid ||
+          inner.tid != outer.tid || inner.depth != outer.depth + 1) {
+        continue;
+      }
+      if (inner.ts >= outer.ts && inner.ts + static_cast<std::int64_t>(
+                                                 inner.dur) <=
+                                      outer.ts + static_cast<std::int64_t>(
+                                                     outer.dur)) {
+        nested = true;
+      }
+    }
+  }
+  EXPECT_TRUE(nested) << "no depth-nested span pair survived the merge";
+
+  // Exemplars: the traced classify landed in each primary's latency
+  // histogram with this trace id as the bucket's last-seen exemplar, so a
+  // latency outlier resolves to a fetchable fleet trace.
+  auto has_exemplar = [&](const LatencyHistogram& h) {
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      if (h.ExemplarTraceId(i) == trace_id) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_exemplar(server_a.metrics().classify_latency));
+  EXPECT_TRUE(has_exemplar(server_b.metrics().classify_latency));
+
+  // Router slow log: the scatter is retained with its per-shard latency
+  // breakdown and the trace id.
+  const std::vector<RouterSlowEntry> slow = router.SlowEntries();
+  ASSERT_FALSE(slow.empty());
+  const RouterSlowEntry& entry = slow.back();
+  EXPECT_EQ(entry.trace_id, trace_id);
+  EXPECT_EQ(entry.query, "departure city arrival");
+  EXPECT_EQ(entry.shards_total, 2u);
+  ASSERT_EQ(entry.shard_latency_us.size(), 2u);
+  const std::string slow_json = router.SlowLogJson();
+  EXPECT_TRUE(strict_json::IsValid(slow_json))
+      << strict_json::ErrorOf(slow_json);
+  EXPECT_NE(slow_json.find(std::to_string(trace_id)), std::string::npos);
+
+  // An unsampled preamble still reaches the shard but its spans must NOT
+  // adopt the trace id.
+  WireTraceContext unsampled;
+  unsampled.trace_id = Tracer::NextTraceId();
+  unsampled.parent_span_id = 1;
+  unsampled.sampled = false;
+  unsampled.deadline_us = 1000000;
+  Result<Frame> reply = CallOnceTraced("127.0.0.1", *port_a,
+                                       FrameType::kClassify, "city hotel 3",
+                                       1000, &unsampled);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(Tracer::SnapshotEvents(unsampled.trace_id).empty());
+
+  service_a.Stop();
+  service_b.Stop();
+  server_a.Stop();
+  server_b.Stop();
+  Tracer::Disable();
+}
+
+TEST(FleetTraceTest, TracezEndpointFiltersByTraceId) {
+  Tracer::Enable();
+  const std::uint64_t id_a = Tracer::NextTraceId();
+  const std::uint64_t id_b = Tracer::NextTraceId();
+  {
+    ScopedTraceContext scope(id_a);
+    ScopedSpan span("tracez.keep_me");
+  }
+  {
+    ScopedTraceContext scope(id_b);
+    ScopedSpan span("tracez.filter_me_out");
+  }
+
+  AdminServer admin{AdminServerOptions{}};
+  RegisterObsEndpoints(admin);
+  Result<std::uint16_t> port = admin.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  Result<std::string> filtered =
+      AdminHttpGet(*port, "/tracez?trace_id=" + std::to_string(id_a));
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  EXPECT_NE(filtered->find("tracez.keep_me"), std::string::npos);
+  EXPECT_EQ(filtered->find("tracez.filter_me_out"), std::string::npos);
+  const std::size_t body_at = filtered->find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = filtered->substr(body_at + 4);
+  EXPECT_TRUE(strict_json::IsValid(body)) << strict_json::ErrorOf(body);
+
+  // Unfiltered export keeps both; a bogus key is ignored (no filter).
+  Result<std::string> all = AdminHttpGet(*port, "/tracez?other=1");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_NE(all->find("tracez.keep_me"), std::string::npos);
+  EXPECT_NE(all->find("tracez.filter_me_out"), std::string::npos);
+
+  admin.Stop();
+  Tracer::Disable();
+}
+
+TEST(FleetTraceTest, QueryParamU64ParsesAndRejects) {
+  EXPECT_EQ(QueryParamU64("trace_id=42", "trace_id"), 42u);
+  EXPECT_EQ(QueryParamU64("a=1&trace_id=9&b=2", "trace_id"), 9u);
+  EXPECT_EQ(QueryParamU64("", "trace_id"), 0u);
+  EXPECT_EQ(QueryParamU64("trace_id=junk", "trace_id"), 0u);
+  EXPECT_EQ(QueryParamU64("other=5", "trace_id"), 0u);
+}
+
+}  // namespace
+}  // namespace paygo

@@ -94,6 +94,14 @@ echo "==> smoke: serve_throughput --check (coalesced classify, p99 + errors)"
   --json-out "" > "$SMOKE_DIR/serve-check.json"
 echo "    coalesced serving within the p99 budget, zero errors"
 
+echo "==> smoke: perf_obs_overhead --check (idle tracing + wire propagation)"
+# Both idle gates (span sites on the HAC workload, null-context branch on
+# the untraced wire path) must stay within the 2% budget. Writes
+# BENCH_obs.json (schema in bench/README.md).
+./build/bench/perf_obs_overhead --n 200 --reps 3 --pings 100 --check \
+  --json-out "$SMOKE_DIR/BENCH_obs.json" > "$SMOKE_DIR/obs-overhead.txt"
+echo "    tracing idle + propagation overhead within the 2% budget"
+
 echo "==> smoke: domain-sharded fleet (2 shard primaries + replica + router)"
 # Three paygo_cli processes on ephemeral ports: two primaries each serving
 # their consistent-hash share of the corpus, plus a read replica of shard 0
@@ -123,11 +131,15 @@ http_head() {  # <port> <path>  ->  first status line
 FLEET_PIDS=""
 stop_fleet() { [[ -n "$FLEET_PIDS" ]] && kill $FLEET_PIDS 2>/dev/null || true; }
 
+# --trace arms each node's Tracer so wire-propagated trace contexts tag
+# server-side spans (idle cost only until a traced request arrives).
 ./build/tools/paygo_cli shard-node "$SMOKE_DIR/fleet-corpus.txt" \
-  --shards 2 --shard-index 0 --admin-port 0 2> "$SMOKE_DIR/shard0.log" &
+  --shards 2 --shard-index 0 --admin-port 0 --trace \
+  2> "$SMOKE_DIR/shard0.log" &
 FLEET_PIDS="$!"
 ./build/tools/paygo_cli shard-node "$SMOKE_DIR/fleet-corpus.txt" \
-  --shards 2 --shard-index 1 --admin-port 0 2> "$SMOKE_DIR/shard1.log" &
+  --shards 2 --shard-index 1 --admin-port 0 --trace \
+  2> "$SMOKE_DIR/shard1.log" &
 FLEET_PIDS="$FLEET_PIDS $!"
 
 SHARD0_PORT=$(wait_for_port "$SMOKE_DIR/shard0.log" shard)
@@ -141,9 +153,10 @@ fi
 # The replica starts EMPTY and read-only; its /readyz must flip to 200
 # only once the first replicated snapshot has installed.
 ./build/tools/paygo_cli shard-node --primary "127.0.0.1:$SHARD0_PORT" \
-  --poll-ms 50 --admin-port 0 2> "$SMOKE_DIR/replica.log" &
+  --poll-ms 50 --admin-port 0 --trace 2> "$SMOKE_DIR/replica.log" &
 FLEET_PIDS="$FLEET_PIDS $!"
 REPLICA_ADMIN=$(wait_for_port "$SMOKE_DIR/replica.log" admin)
+REPLICA_PORT=$(wait_for_port "$SMOKE_DIR/replica.log" shard)
 
 for NODE in "shard0:$(port_from_log "$SMOKE_DIR/shard0.log" admin)" \
             "shard1:$(port_from_log "$SMOKE_DIR/shard1.log" admin)" \
@@ -182,6 +195,81 @@ if ! grep -q "(2/2 shards answered)" "$SMOKE_DIR/router.txt"; then
 fi
 echo "    router merged a cross-domain ranking over 2/2 shards"
 
+# Traced scatter over the whole fleet (2 primaries + the replica): one
+# trace id propagates to every process, and --fleet-trace-out merges the
+# per-process events into a single Chrome trace (pid 1 = router, pids
+# 2/3/4 = the shards in --shard order, clocks RTT-aligned).
+if [[ -z "$REPLICA_PORT" ]]; then
+  echo "FAIL: replica never reported its wire port" >&2
+  stop_fleet; exit 1
+fi
+if ! ./build/tools/paygo_cli shard-router used car price listing \
+    --shard "127.0.0.1:$SHARD0_PORT" --shard "127.0.0.1:$SHARD1_PORT" \
+    --shard "127.0.0.1:$REPLICA_PORT" \
+    --trace --fleet-trace-out "$SMOKE_DIR/fleet-trace.json" \
+    > "$SMOKE_DIR/router-traced.txt" 2> "$SMOKE_DIR/router-traced.log"; then
+  echo "FAIL: traced router scatter failed" >&2
+  cat "$SMOKE_DIR/router-traced.txt" "$SMOKE_DIR/router-traced.log" >&2
+  stop_fleet; exit 1
+fi
+if ! grep -q "(3/3 shards answered)" "$SMOKE_DIR/router-traced.txt" \
+    || ! grep -q "^trace id: [1-9]" "$SMOKE_DIR/router-traced.txt"; then
+  echo "FAIL: traced scatter did not cover the fleet under a trace id:" >&2
+  cat "$SMOKE_DIR/router-traced.txt" >&2
+  stop_fleet; exit 1
+fi
+# Every process contributed: client-side spans on pid 1, server-side
+# request spans under each shard's synthetic pid.
+for SPAN in '"name": "router.scatter", "ph": "X", "pid": 1' \
+            '"name": "serve.request", "ph": "X", "pid": 2' \
+            '"name": "serve.request", "ph": "X", "pid": 3' \
+            '"name": "serve.request", "ph": "X", "pid": 4'; do
+  if ! grep -qF "$SPAN" "$SMOKE_DIR/fleet-trace.json"; then
+    echo "FAIL: merged fleet trace is missing [$SPAN]" >&2
+    head -40 "$SMOKE_DIR/fleet-trace.json" >&2
+    stop_fleet; exit 1
+  fi
+done
+echo "    merged fleet trace spans router + 2 primaries + replica"
+
+# Persistent router: serve /fleet_tracez as the fleet's trace vantage
+# point; the merged timeline must carry spans from both primaries.
+http_get_body() {  # <port> <path>  ->  response body
+  exec 3<>"/dev/tcp/127.0.0.1/$1" \
+    && printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' "$2" >&3 \
+    && sed '1,/^\r$/d' <&3; exec 3>&- 2>/dev/null || true
+}
+./build/tools/paygo_cli shard-router used car price listing \
+  --shard "127.0.0.1:$SHARD0_PORT" --shard "127.0.0.1:$SHARD1_PORT" \
+  --trace --admin-port 0 \
+  > "$SMOKE_DIR/router-persistent.txt" 2> "$SMOKE_DIR/router-persistent.log" &
+ROUTER_PID=$!
+FLEET_PIDS="$FLEET_PIDS $ROUTER_PID"
+ROUTER_ADMIN=$(wait_for_port "$SMOKE_DIR/router-persistent.log" admin)
+if [[ -z "$ROUTER_ADMIN" ]]; then
+  echo "FAIL: persistent router never reported its admin port" >&2
+  cat "$SMOKE_DIR/router-persistent.log" >&2
+  stop_fleet; exit 1
+fi
+FLEET_TRACE_OK=0
+for _ in $(seq 1 100); do
+  http_get_body "$ROUTER_ADMIN" /fleet_tracez > "$SMOKE_DIR/fleet-tracez.json"
+  if grep -qF '"name": "serve.request", "ph": "X", "pid": 2' \
+        "$SMOKE_DIR/fleet-tracez.json" \
+      && grep -qF '"name": "serve.request", "ph": "X", "pid": 3' \
+        "$SMOKE_DIR/fleet-tracez.json"; then
+    FLEET_TRACE_OK=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$FLEET_TRACE_OK" != 1 ]]; then
+  echo "FAIL: /fleet_tracez never showed spans from both primaries" >&2
+  head -40 "$SMOKE_DIR/fleet-tracez.json" >&2
+  stop_fleet; exit 1
+fi
+echo "    /fleet_tracez on 127.0.0.1:$ROUTER_ADMIN merged both primaries"
+
 # Clean shutdown: SIGTERM each node and require exit code 0.
 FLEET_RC=0
 kill -TERM $FLEET_PIDS
@@ -199,7 +287,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DPAYGO_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target serve_test serve_concurrency_test trace_test \
     clone_aliasing_test admin_server_test thread_pool_test \
-    parallel_determinism_test shard_replication_test \
+    parallel_determinism_test shard_replication_test fleet_trace_test \
     zero_alloc_test batch_classify_test bitset_kernel_test -j "$JOBS"
 
   echo "==> tsan: trace_test"
@@ -214,6 +302,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/admin_server_test
   echo "==> tsan: shard_replication_test (replication + degraded scatter)"
   ./build-tsan/tests/shard_replication_test
+  echo "==> tsan: fleet_trace_test (wire-propagated contexts + trace merge)"
+  ./build-tsan/tests/fleet_trace_test
   echo "==> tsan: bitset_kernel_test (vectorized vs scalar differential)"
   ./build-tsan/tests/bitset_kernel_test
   echo "==> tsan: batch_classify_test (batch vs single, concurrent callers)"

@@ -34,6 +34,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +44,8 @@
 #include "core/integration_system.h"
 #include "eval/classification_metrics.h"
 #include "eval/clustering_metrics.h"
+#include "obs/admin_server.h"
+#include "obs/build_info.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "persist/model_io.h"
@@ -79,7 +82,10 @@ commands:
   shard-node <corpus-file>               serve one shard over the wire
                                          protocol until SIGINT/SIGTERM
   shard-router <keywords...> --shard a:p cross-domain scatter/gather query
-                                         over a running fleet (one-shot)
+                                         over a running fleet (one-shot, or
+                                         persistent with --admin-port)
+  --version                              print build provenance (bitset
+                                         kernel, cmake toggles, compiler)
 
 options (cluster/classify/snapshot):
   --batch <n>     (classify) score the query n times through one batch
@@ -124,6 +130,17 @@ options (shard-node/shard-router):
   --poll-ms <n>            replica poll cadence (default 200)
   --shard <host:port>      (shard-router; repeatable) fleet member to
                            scatter the query to
+  --trace                  (shard-node/shard-router) enable tracing without
+                           a trace file: shard nodes record spans for
+                           wire-propagated trace contexts, the router
+                           propagates a trace id with every scatter
+  --fleet-trace-out <file> (shard-router) after the query, pull matching
+                           spans from every shard (kTraceFetch), merge
+                           into one Chrome trace (pid per shard, clocks
+                           aligned by RTT midpoint), and write it here
+  --admin-port <p>         (shard-router) keep serving after the query:
+                           admin HTTP on 127.0.0.1:<p> with /shardz /slowz
+                           /fleet_tracez (+ obs endpoints) until SIGTERM
 
 observability (cluster/classify/serve-bench):
   --trace-out <file>  enable tracing; write Chrome trace-event JSON on
@@ -150,6 +167,8 @@ struct CliOptions {
   std::uint64_t export_interval_ms = 1000;
   std::string trace_out;
   std::string stats_json;
+  bool trace = false;
+  std::string fleet_trace_out;
   int shard_port = 0;
   std::string primary;
   std::size_t shards_total = 0;
@@ -274,6 +293,12 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       const char* v = next();
       if (!v) return false;
       out->trace_out = v;
+    } else if (arg == "--trace") {
+      out->trace = true;
+    } else if (arg == "--fleet-trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      out->fleet_trace_out = v;
     } else if (arg == "--stats-json") {
       const char* v = next();
       if (!v) return false;
@@ -727,7 +752,10 @@ int CmdShardNode(const CliOptions& cli) {
 }
 
 int CmdShardRouter(const CliOptions& cli) {
-  if (cli.shard_addrs.empty() || cli.positional.empty()) return Usage();
+  const bool persistent = cli.admin_port >= 0;
+  if (cli.shard_addrs.empty() || (cli.positional.empty() && !persistent)) {
+    return Usage();
+  }
   std::vector<ShardAddress> addresses;
   for (const std::string& a : cli.shard_addrs) {
     auto addr = ParseShardAddress(a);
@@ -737,32 +765,115 @@ int CmdShardRouter(const CliOptions& cli) {
     }
     addresses.push_back(*addr);
   }
-  const ShardRouter router(addresses);
-  const std::string query = Join(cli.positional, " ");
-  auto scattered = router.Classify(query, 5);
-  if (!scattered.ok()) {
-    std::cerr << scattered.status() << "\n";
-    return 1;
+  RouterOptions ropts;
+  if (cli.slow_us > 0) ropts.slow_query_threshold_us = cli.slow_us;
+  const ShardRouter router(addresses, ropts);
+
+  // Persistent mode: the router doubles as the fleet's trace/health
+  // vantage point, serving /fleet_tracez (merged cross-shard timelines),
+  // /shardz, and /slowz next to the obs endpoints.
+  std::unique_ptr<AdminServer> admin;
+  if (persistent) {
+    AdminServerOptions aopts;
+    aopts.port = cli.admin_port;
+    admin = std::make_unique<AdminServer>(aopts);
+    RegisterObsEndpoints(*admin);
+    const ShardRouter* rtr = &router;
+    admin->Handle("/shardz", [rtr](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = rtr->ShardzJson() + "\n";
+      return response;
+    });
+    admin->Handle("/slowz", [rtr](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = rtr->SlowLogJson() + "\n";
+      return response;
+    });
+    admin->Handle("/fleet_tracez", [rtr](const HttpRequest& request) {
+      auto merged =
+          rtr->FleetTraceJson(QueryParamU64(request.query, "trace_id"));
+      HttpResponse response;
+      if (!merged.ok()) {
+        response.status = 500;
+        response.body = merged.status().message() + "\n";
+        return response;
+      }
+      response.content_type = "application/json";
+      response.body = std::move(*merged);
+      return response;
+    });
+    auto port = admin->Start();
+    if (!port.ok()) {
+      std::cerr << port.status() << "\n";
+      return 1;
+    }
+    // Scripts (tools/ci.sh) parse this line to find the ephemeral port.
+    std::cerr << "admin server listening on 127.0.0.1:" << *port << "\n";
   }
-  std::cout << "query: \"" << query << "\" (" << scattered->shards_ok << "/"
-            << scattered->shards_total << " shards answered)\n";
-  for (std::size_t k = 0; k < scattered->ranked.size(); ++k) {
-    const RoutedDomain& d = scattered->ranked[k];
-    std::cout << k + 1 << ". shard " << d.shard << " domain " << d.domain
-              << " (score " << FormatDouble(d.log_posterior, 2) << ")";
-    std::size_t shown = 0;
-    for (const std::string& a : d.mediated_attributes) {
-      std::cout << (shown == 0 ? " :" : "") << " [" << a << "]";
-      if (++shown >= 8) {
-        std::cout << " ...";
-        break;
+
+  int rc = 0;
+  std::uint64_t trace_id = 0;
+  if (!cli.positional.empty()) {
+    const std::string query = Join(cli.positional, " ");
+    auto scattered = router.Classify(query, 5);
+    if (!scattered.ok()) {
+      std::cerr << scattered.status() << "\n";
+      return 1;
+    }
+    trace_id = scattered->trace_id;
+    std::cout << "query: \"" << query << "\" (" << scattered->shards_ok
+              << "/" << scattered->shards_total << " shards answered)\n";
+    if (trace_id != 0) std::cout << "trace id: " << trace_id << "\n";
+    for (std::size_t k = 0; k < scattered->ranked.size(); ++k) {
+      const RoutedDomain& d = scattered->ranked[k];
+      std::cout << k + 1 << ". shard " << d.shard << " domain " << d.domain
+                << " (score " << FormatDouble(d.log_posterior, 2) << ")";
+      std::size_t shown = 0;
+      for (const std::string& a : d.mediated_attributes) {
+        std::cout << (shown == 0 ? " :" : "") << " [" << a << "]";
+        if (++shown >= 8) {
+          std::cout << " ...";
+          break;
+        }
+      }
+      std::cout << "\n";
+    }
+    // A merged ranking is the smoke-test contract: no results means the
+    // fleet is not actually serving.
+    if (scattered->ranked.empty()) rc = 1;
+  }
+
+  if (!cli.fleet_trace_out.empty()) {
+    auto merged = router.FleetTraceJson(trace_id);
+    if (!merged.ok()) {
+      std::cerr << merged.status() << "\n";
+      rc = 1;
+    } else {
+      std::ofstream out(cli.fleet_trace_out, std::ios::trunc);
+      out << *merged;
+      out.flush();
+      if (!out) {
+        std::cerr << "failed writing fleet trace " << cli.fleet_trace_out
+                  << "\n";
+        rc = 1;
+      } else {
+        std::cerr << "wrote fleet trace to " << cli.fleet_trace_out << "\n";
       }
     }
-    std::cout << "\n";
   }
-  // A merged ranking is the smoke-test contract: no results means the
-  // fleet is not actually serving.
-  return scattered->ranked.empty() ? 1 : 0;
+
+  if (persistent) {
+    std::signal(SIGINT, HandleShutdownSignal);
+    std::signal(SIGTERM, HandleShutdownSignal);
+    while (!g_shutdown.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cerr << "shutting down\n";
+    admin->Stop();
+  }
+  return rc;
 }
 
 }  // namespace
@@ -770,9 +881,13 @@ int CmdShardRouter(const CliOptions& cli) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::cout << BuildInfoText();
+    return 0;
+  }
   CliOptions cli;
   if (!ParseCommon(argc, argv, 2, &cli)) return Usage();
-  if (!cli.trace_out.empty()) Tracer::Enable();
+  if (!cli.trace_out.empty() || cli.trace) Tracer::Enable();
   if (command == "generate") return CmdGenerate(cli.positional);
   if (command == "stats") return CmdStats(cli.positional);
   if (command == "cluster") return CmdCluster(cli);
