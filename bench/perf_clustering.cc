@@ -5,11 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "cluster/hac.h"
+#include "cluster/neighbor_graph.h"
 #include "cluster/probabilistic_assignment.h"
 #include "schema/feature_vector.h"
 #include "schema/lexicon.h"
@@ -221,6 +225,282 @@ void BM_AssignProbabilities(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignProbabilities)->Arg(100)->Arg(500)->Arg(2323);
 
+// --- the sparse-scaling lane (`--sparse-scaling`) ---
+//
+// Not a google-benchmark microbenchmark: one shot per corpus size, wall
+// clock, up to 100k schemas — sizes where the dense engines are not merely
+// slow but infeasible (the n^2 similarity matrix alone would be tens of
+// GB). Writes a {"mode": "sparse_scaling"} curve to the --json-out file
+// (schema documented in bench/README.md) and, under --check, gates on the
+// acceptance criteria: sparse >= 5x dense at the largest dense-feasible n
+// and bitwise-identical merges at small n across thread counts.
+
+/// True iff the two merge histories are identical, similarity compared
+/// bitwise (memcmp on the doubles), not within an epsilon.
+bool MergesBitwiseEqual(const HacResult& x, const HacResult& y) {
+  if (x.merges.size() != y.merges.size()) return false;
+  for (std::size_t i = 0; i < x.merges.size(); ++i) {
+    const HacMerge& a = x.merges[i];
+    const HacMerge& b = y.merges[i];
+    if (a.slot_a != b.slot_a || a.slot_b != b.slot_b) return false;
+    if (std::memcmp(&a.similarity, &b.similarity, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ScalePoint {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  double sparse_seconds = 0.0;  // exact graph build + sparse HAC
+  double graph_seconds = 0.0;   // exact graph build alone
+  std::uint64_t edges = 0;
+  std::uint64_t candidates = 0;
+  double lsh_seconds = 0.0;     // LSH graph build + sparse HAC
+  std::uint64_t lsh_edges = 0;
+  double dense_seconds = -1.0;  // dense matrix + fast HAC; -1 = not run
+  int merges_match_dense = -1;  // 1/0; -1 = dense not run
+};
+
+int RunSparseScalingLane(std::size_t max_n, std::size_t dense_max, bool check,
+                         const std::string& json_out) {
+  using Clock = std::chrono::steady_clock;
+  const auto secs = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  HacOptions hac;
+  hac.tau_c_sim = 0.25;
+
+  std::vector<std::size_t> ns = {1000, 2000, 5000, 10000, 20000, 50000};
+  ns.push_back(max_n);
+  if (dense_max > 0 && dense_max <= max_n) ns.push_back(dense_max);
+  std::sort(ns.begin(), ns.end());
+  ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
+  ns.erase(std::remove_if(ns.begin(), ns.end(),
+                          [&](std::size_t n) { return n > max_n; }),
+           ns.end());
+
+  std::vector<ScalePoint> points;
+  bool passed = true;
+  std::string failure;
+
+  for (std::size_t n : ns) {
+    ManyDomainFeatureOptions gen;
+    gen.num_schemas = n;
+    const auto features = MakeManyDomainFeatures(gen);
+    // Small corpora finish in milliseconds; take best-of-3 so the --check
+    // speedup ratio is not timer noise.
+    const int reps = n <= 4000 ? 3 : 1;
+
+    ScalePoint p;
+    p.n = n;
+    p.dim = features.empty() ? 0 : features[0].size();
+
+    Result<HacResult> sparse = HacResult{};
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      NeighborGraphOptions go;
+      go.mode = NeighborGraphMode::kExact;
+      go.recall_tau = hac.tau_c_sim;
+      auto graph = NeighborGraph::Build(features, go);
+      if (!graph.ok()) {
+        std::fprintf(stderr, "sparse-scaling: graph build failed at n=%zu: %s\n",
+                     n, graph.status().message().c_str());
+        return 1;
+      }
+      const auto t1 = Clock::now();
+      sparse = Hac::RunOnGraph(*graph, hac);
+      if (!sparse.ok()) {
+        std::fprintf(stderr, "sparse-scaling: sparse HAC failed at n=%zu: %s\n",
+                     n, sparse.status().message().c_str());
+        return 1;
+      }
+      const auto t2 = Clock::now();
+      const double total = secs(t0, t2);
+      if (r == 0 || total < p.sparse_seconds) {
+        p.sparse_seconds = total;
+        p.graph_seconds = secs(t0, t1);
+      }
+      p.edges = graph->num_edges();
+      p.candidates = graph->stats().candidates_generated;
+    }
+
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      NeighborGraphOptions go;
+      go.mode = NeighborGraphMode::kMinHashLsh;
+      go.recall_tau = hac.tau_c_sim;
+      auto graph = NeighborGraph::Build(features, go);
+      if (!graph.ok()) {
+        std::fprintf(stderr, "sparse-scaling: LSH build failed at n=%zu: %s\n",
+                     n, graph.status().message().c_str());
+        return 1;
+      }
+      const auto lsh = Hac::RunOnGraph(*graph, hac);
+      if (!lsh.ok()) {
+        std::fprintf(stderr, "sparse-scaling: LSH HAC failed at n=%zu: %s\n",
+                     n, lsh.status().message().c_str());
+        return 1;
+      }
+      const auto t1 = Clock::now();
+      const double total = secs(t0, t1);
+      if (r == 0 || total < p.lsh_seconds) p.lsh_seconds = total;
+      p.lsh_edges = graph->num_edges();
+    }
+
+    if (n <= dense_max) {
+      Result<HacResult> dense = HacResult{};
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        const SimilarityMatrix sims(features);
+        dense = Hac::Run(features, sims, hac);
+        const auto t1 = Clock::now();
+        if (!dense.ok()) {
+          std::fprintf(stderr, "sparse-scaling: dense HAC failed at n=%zu: %s\n",
+                       n, dense.status().message().c_str());
+          return 1;
+        }
+        const double total = secs(t0, t1);
+        if (r == 0 || total < p.dense_seconds || p.dense_seconds < 0) {
+          p.dense_seconds = total;
+        }
+      }
+      p.merges_match_dense = MergesBitwiseEqual(*sparse, *dense) ? 1 : 0;
+      if (p.merges_match_dense != 1) {
+        passed = false;
+        failure = "exact sparse merges differ from dense at n=" +
+                  std::to_string(n);
+      }
+    }
+
+    std::fprintf(stderr,
+                 "n=%-7zu dim=%-6zu sparse=%8.3fs (graph %7.3fs, %llu edges, "
+                 "%llu cands)  lsh=%8.3fs (%llu edges)  dense=%s\n",
+                 p.n, p.dim, p.sparse_seconds, p.graph_seconds,
+                 static_cast<unsigned long long>(p.edges),
+                 static_cast<unsigned long long>(p.candidates), p.lsh_seconds,
+                 static_cast<unsigned long long>(p.lsh_edges),
+                 p.dense_seconds < 0
+                     ? "-"
+                     : (std::to_string(p.dense_seconds) + "s").c_str());
+    points.push_back(p);
+  }
+
+  // The --check gates.
+  double speedup = -1.0;
+  std::size_t largest_dense_n = 0;
+  for (const ScalePoint& p : points) {
+    if (p.dense_seconds >= 0 && p.n > largest_dense_n) {
+      largest_dense_n = p.n;
+      speedup = p.sparse_seconds > 0 ? p.dense_seconds / p.sparse_seconds : 0;
+    }
+  }
+  constexpr double kRequiredSpeedup = 5.0;
+  if (check) {
+    if (largest_dense_n == 0) {
+      passed = false;
+      failure = "--check needs at least one dense-feasible n (--dense-max)";
+    } else if (speedup < kRequiredSpeedup) {
+      passed = false;
+      failure = "sparse speedup " + std::to_string(speedup) + "x at n=" +
+                std::to_string(largest_dense_n) + " is below the required " +
+                std::to_string(kRequiredSpeedup) + "x";
+    }
+  }
+
+  // Thread-count determinism at the smallest corpus: the sparse engine must
+  // reproduce the dense serial merges bitwise at every thread count.
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  bool threads_identical = true;
+  if (check && !ns.empty()) {
+    ManyDomainFeatureOptions gen;
+    gen.num_schemas = std::min<std::size_t>(ns.front(), 2000);
+    const auto features = MakeManyDomainFeatures(gen);
+    const SimilarityMatrix sims(features);
+    const auto dense = Hac::Run(features, sims, hac);
+    if (!dense.ok()) return 1;
+    for (std::size_t t : thread_counts) {
+      NeighborGraphOptions go;
+      go.mode = NeighborGraphMode::kExact;
+      go.num_threads = t;
+      auto graph = NeighborGraph::Build(features, go);
+      if (!graph.ok()) return 1;
+      HacOptions topt = hac;
+      topt.num_threads = t;
+      const auto sparse = Hac::RunOnGraph(*graph, topt);
+      if (!sparse.ok() || !MergesBitwiseEqual(*sparse, *dense)) {
+        threads_identical = false;
+        passed = false;
+        failure = "sparse merges at " + std::to_string(t) +
+                  " threads differ from the serial dense merges";
+      }
+    }
+  }
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "sparse-scaling: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"mode\": \"sparse_scaling\",\n");
+    std::fprintf(f, "  \"tau_c_sim\": %.3f,\n", hac.tau_c_sim);
+    std::fprintf(f,
+                 "  \"generator\": {\"schemas_per_domain\": 32, "
+                 "\"words_per_domain\": 24, \"seed\": 97},\n");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const ScalePoint& p = points[i];
+      std::fprintf(f,
+                   "    {\"n\": %zu, \"dim\": %zu, \"sparse_seconds\": %.6f, "
+                   "\"graph_seconds\": %.6f, \"edges\": %llu, "
+                   "\"candidates_generated\": %llu, \"lsh_seconds\": %.6f, "
+                   "\"lsh_edges\": %llu, ",
+                   p.n, p.dim, p.sparse_seconds, p.graph_seconds,
+                   static_cast<unsigned long long>(p.edges),
+                   static_cast<unsigned long long>(p.candidates),
+                   p.lsh_seconds, static_cast<unsigned long long>(p.lsh_edges));
+      if (p.dense_seconds >= 0) {
+        std::fprintf(f, "\"dense_seconds\": %.6f, \"speedup\": %.2f, ",
+                     p.dense_seconds,
+                     p.sparse_seconds > 0 ? p.dense_seconds / p.sparse_seconds
+                                          : 0.0);
+        std::fprintf(f, "\"merges_match_dense\": %s}",
+                     p.merges_match_dense == 1 ? "true" : "false");
+      } else {
+        std::fprintf(
+            f, "\"dense_seconds\": null, \"speedup\": null, "
+               "\"merges_match_dense\": null}");
+      }
+      std::fprintf(f, "%s\n", i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"check\": {\"enabled\": %s, ", check ? "true" : "false");
+    if (largest_dense_n > 0) {
+      std::fprintf(f,
+                   "\"largest_dense_n\": %zu, \"speedup\": %.2f, "
+                   "\"required_speedup\": %.1f, ",
+                   largest_dense_n, speedup, kRequiredSpeedup);
+    }
+    std::fprintf(f, "\"threads_bitwise_identical\": %s, \"passed\": %s}\n",
+                 threads_identical ? "true" : "false",
+                 passed ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "sparse-scaling: wrote %s\n", json_out.c_str());
+  }
+
+  if (check && !passed) {
+    std::fprintf(stderr, "sparse-scaling: CHECK FAILED: %s\n",
+                 failure.c_str());
+    return 1;
+  }
+  if (check) std::fprintf(stderr, "sparse-scaling: check passed\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace paygo
 
@@ -234,10 +514,26 @@ BENCHMARK(BM_AssignProbabilities)->Arg(100)->Arg(500)->Arg(2323);
 // `--json-out=FILE` (default BENCH_clustering.json; empty disables)
 // forwards to google-benchmark's JSON file reporter, giving CI a
 // machine-readable record without memorizing the two underlying flags.
+//
+// `--sparse-scaling` switches to the hand-rolled dense-matrix-free scaling
+// lane instead of google-benchmark (see RunSparseScalingLane above):
+//
+//   bench/perf_clustering --sparse-scaling --max-n=100000 --dense-max=8000
+//       --check
+//
+// `--max-n=N` caps the corpus sweep (default 100000), `--dense-max=N` is
+// the largest n the dense baseline runs at (default 8000; 0 disables the
+// baseline), and `--check` exits nonzero unless sparse is >= 5x faster
+// than dense at the largest dense-feasible n and the exact sparse merges
+// are bitwise-identical to the dense serial merges at 1/2/4 threads.
 int main(int argc, char** argv) {
   std::vector<std::size_t> sweep = {1, 2, 4, 8};
   std::string json_out = "BENCH_clustering.json";
   bool user_set_benchmark_out = false;
+  bool sparse_scaling = false;
+  bool sparse_check = false;
+  std::size_t sparse_max_n = 100000;
+  std::size_t sparse_dense_max = 8000;
   // Stable storage for flags we synthesize: google-benchmark keeps the
   // char* pointers it is given.
   std::vector<std::string> storage;
@@ -258,8 +554,30 @@ int main(int argc, char** argv) {
       json_out = arg.substr(json_prefix.size());
       continue;
     }
+    if (arg == "--sparse-scaling") {
+      sparse_scaling = true;
+      continue;
+    }
+    if (arg == "--check") {
+      sparse_check = true;
+      continue;
+    }
+    if (arg.rfind("--max-n=", 0) == 0) {
+      sparse_max_n = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + std::strlen("--max-n="), nullptr, 10));
+      continue;
+    }
+    if (arg.rfind("--dense-max=", 0) == 0) {
+      sparse_dense_max = static_cast<std::size_t>(std::strtoul(
+          arg.c_str() + std::strlen("--dense-max="), nullptr, 10));
+      continue;
+    }
     if (arg.rfind("--benchmark_out", 0) == 0) user_set_benchmark_out = true;
     args.push_back(argv[i]);
+  }
+  if (sparse_scaling) {
+    return paygo::RunSparseScalingLane(sparse_max_n, sparse_dense_max,
+                                       sparse_check, json_out);
   }
   if (!json_out.empty() && !user_set_benchmark_out) {
     storage.push_back("--benchmark_out=" + json_out);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cluster/neighbor_graph.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -541,60 +542,77 @@ Result<HacResult> RunFast(const std::vector<DynamicBitset>& features,
   return st.Finish(std::move(merges));
 }
 
-/// Sparse engine: cluster similarities as per-cluster hash rows; candidate
-/// pairs from an inverted feature index. Absent row entries mean
-/// similarity 0 — under kAverage an absent entry contributes 0 to the
-/// Lance-Williams combination, under kMin it forces 0 (some cross pair is
-/// disjoint), under kMax it is simply not a maximum candidate.
-Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
-                            const HacOptions& options) {
+/// Sparse engine: cluster similarities as sorted per-cluster rows fed by
+/// the NeighborGraph. Absent row entries mean similarity 0 — under
+/// kAverage an absent entry contributes 0 to the Lance-Williams
+/// combination, under kMin it forces 0 (some cross pair is disjoint),
+/// under kMax it is simply not a maximum candidate. Row seeding and the
+/// per-merge row-combine re-evaluation are parallel under the PR 3
+/// discipline: every row is owned by exactly one chunk, and heap pushes /
+/// row appends are buffered per chunk and flushed in ascending chunk
+/// order, so the engine is bit-identical at any thread count.
+Result<HacResult> RunSparseGraph(const NeighborGraph& graph,
+                                 const HacOptions& options) {
   PAYGO_TRACE_SPAN("hac.run");
   HacRunStats stats;
-  const std::size_t n = features.size();
+  const std::size_t n = graph.num_nodes();
   ClusterState st;
-  st.Init(n, features, /*need_bits=*/false);
+  st.Init(n, /*features=*/{}, /*need_bits=*/false);
   ConstraintState cs = BuildConstraintState(n, options);
+  ThreadPool pool(ThreadPool::ResolveThreadCount(options.num_threads));
 
-  // Inverted index -> pairwise intersection counts.
-  std::vector<std::size_t> popcount(n);
-  std::vector<std::vector<std::uint32_t>> postings;
-  if (n > 0) postings.resize(features[0].size());
-  for (std::uint32_t i = 0; i < n; ++i) {
-    popcount[i] = 0;
-    for (std::size_t j : features[i].SetBits()) {
-      postings[j].push_back(i);
-      ++popcount[i];
+  // Sparse symmetric similarity rows: sorted-by-id flat vectors, float
+  // values matching the dense engine's rounding so the two engines
+  // tie-break identically.
+  std::vector<std::vector<NeighborEdge>> row(n);
+  pool.ParallelFor(0, n, 64, [&](const ThreadPool::Chunk& chunk) {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      auto [begin, end] = graph.Row(static_cast<std::uint32_t>(i));
+      row[i].assign(begin, end);
     }
-  }
-  std::unordered_map<std::uint64_t, std::uint32_t> intersections;
-  for (const auto& plist : postings) {
-    for (std::size_t x = 0; x < plist.size(); ++x) {
-      for (std::size_t y = x + 1; y < plist.size(); ++y) {
-        ++intersections[PairKey(plist[x], plist[y])];
+  });
+
+  // Seed the heap with every edge at or above tau. Entries are buffered
+  // per chunk and flushed ascending; heap order itself only depends on
+  // (sim, a, b), never on push order.
+  std::priority_queue<HeapEntry> heap;
+  {
+    struct SeedOut {
+      std::vector<HeapEntry> entries;
+      std::uint64_t pairs = 0;
+    };
+    const std::size_t chunks = pool.NumChunks(n, 64);
+    std::vector<SeedOut> outs(chunks == 0 ? 1 : chunks);
+    pool.ParallelFor(0, n, 64, [&](const ThreadPool::Chunk& chunk) {
+      SeedOut& out = outs[chunk.index];
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        const std::uint32_t a = static_cast<std::uint32_t>(i);
+        for (const NeighborEdge& e : row[i]) {
+          if (e.id <= a) continue;
+          ++out.pairs;
+          if (e.sim >= options.tau_c_sim) {
+            out.entries.push_back({e.sim, a, e.id, 0, 0});
+          }
+        }
+      }
+    });
+    for (const SeedOut& out : outs) {
+      stats.pairs_evaluated += out.pairs;
+      for (const HeapEntry& e : out.entries) {
+        heap.push(e);
+        ++stats.heap_pushes;
       }
     }
   }
 
-  // Sparse symmetric similarity rows (float, matching the dense engine's
-  // rounding so the two engines tie-break identically).
-  std::vector<std::unordered_map<std::uint32_t, float>> row(n);
-  std::priority_queue<HeapEntry> heap;
-  for (const auto& [key, and_count] : intersections) {
-    const std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
-    const std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
-    const std::size_t uni = popcount[a] + popcount[b] - and_count;
-    const float s = uni == 0 ? 0.0f
-                             : static_cast<float>(
-                                   static_cast<double>(and_count) /
-                                   static_cast<double>(uni));
-    row[a].emplace(b, s);
-    row[b].emplace(a, s);
-    ++stats.pairs_evaluated;
-    if (s >= options.tau_c_sim) {
-      heap.push({s, std::min(a, b), std::max(a, b), 0, 0});
-      ++stats.heap_pushes;
-    }
-  }
+  // Reused per-merge scratch: the id-union of the two merged rows.
+  struct CombineItem {
+    std::uint32_t c;
+    float s_a, s_b;       // stored similarities to the merged slots
+    bool in_a, in_b;      // presence flags (absent means similarity 0)
+  };
+  std::vector<CombineItem> items;
+  std::vector<NeighborEdge> new_row;
 
   std::vector<HacMerge> merges;
   auto do_merge = [&](std::uint32_t a, std::uint32_t b, double sim) {
@@ -607,68 +625,141 @@ Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
     cs.MergeInto(a, b);
     merges.push_back({a, b, sim});
 
-    // Combine rows a and b into a new row for a.
-    std::unordered_map<std::uint32_t, float> combined;
-    combined.reserve(row[a].size() + row[b].size());
-    auto combine_from = [&](const std::unordered_map<std::uint32_t, float>& r,
-                            bool from_a) {
-      for (const auto& [c, s] : r) {
+    // Id-ascending union of rows a and b (linear two-pointer walk).
+    items.clear();
+    {
+      const auto& ra = row[a];
+      const auto& rb = row[b];
+      std::size_t x = 0, y = 0;
+      while (x < ra.size() || y < rb.size()) {
+        std::uint32_t c;
+        CombineItem item{0, 0.0f, 0.0f, false, false};
+        if (y >= rb.size() || (x < ra.size() && ra[x].id < rb[y].id)) {
+          c = ra[x].id;
+          item.s_a = ra[x].sim;
+          item.in_a = true;
+          ++x;
+        } else if (x >= ra.size() || rb[y].id < ra[x].id) {
+          c = rb[y].id;
+          item.s_b = rb[y].sim;
+          item.in_b = true;
+          ++y;
+        } else {
+          c = ra[x].id;
+          item.s_a = ra[x].sim;
+          item.s_b = rb[y].sim;
+          item.in_a = item.in_b = true;
+          ++x;
+          ++y;
+        }
         if (c == a || c == b || !st.active[c]) continue;
-        const auto it = combined.find(c);
-        double merged_value;
-        const auto other_it = (from_a ? row[b] : row[a]).find(c);
-        const double s_this = s;
-        const double s_other =
-            other_it == (from_a ? row[b] : row[a]).end()
-                ? 0.0
-                : static_cast<double>(other_it->second);
-        switch (options.linkage) {
-          case LinkageKind::kAverage:
-            merged_value = from_a ? (size_a * s_this + size_b * s_other) / total
-                                  : (size_b * s_this + size_a * s_other) / total;
-            break;
-          case LinkageKind::kMin:
-            // Absent partner entry means a fully disjoint cross pair.
-            merged_value =
-                (other_it == (from_a ? row[b] : row[a]).end())
-                    ? 0.0
-                    : std::min(s_this, s_other);
-            break;
-          case LinkageKind::kMax:
-            merged_value = std::max(s_this, s_other);
-            break;
-          default:
-            merged_value = 0.0;
-            assert(false);
-        }
-        if (it == combined.end()) {
-          if (merged_value > 0.0) {
-            combined.emplace(c, static_cast<float>(merged_value));
-            // Push with the unrounded double, matching the dense engine,
-            // which also compares heap keys before the float store.
-            if (merged_value >= options.tau_c_sim) {
-              const std::uint32_t lo = std::min(a, c);
-              const std::uint32_t hi = std::max(a, c);
-              heap.push({merged_value, lo, hi, st.version[lo],
-                         st.version[hi]});
-              ++stats.heap_pushes;
-            }
-          }
-        }
-        // (If already combined via the other row, the value is identical.)
+        item.c = c;
+        items.push_back(item);
+      }
+    }
+
+    // Lance-Williams re-evaluation per union id. Values are computed per
+    // slot from the same inputs the serial path reads (no cross-chunk FP
+    // reduction), so parallelizing the sweep cannot perturb them.
+    const std::size_t m = items.size();
+    auto evaluate = [&](std::size_t i) {
+      const CombineItem& it = items[i];
+      const double s_a = static_cast<double>(it.s_a);
+      const double s_b = static_cast<double>(it.s_b);
+      switch (options.linkage) {
+        case LinkageKind::kAverage:
+          return (size_a * s_a + size_b * s_b) / total;
+        case LinkageKind::kMin:
+          // Absent partner entry means a fully disjoint cross pair.
+          return (it.in_a && it.in_b) ? std::min(s_a, s_b) : 0.0;
+        case LinkageKind::kMax:
+          return std::max(s_a, s_b);
+        default:
+          assert(false);
+          return 0.0;
       }
     };
-    combine_from(row[a], true);
-    combine_from(row[b], false);
+    // Apply one union id: rewrite row[c] (erase the b entry, update or
+    // insert the a entry). Distinct ids touch distinct rows, so the
+    // parallel sweep below writes disjoint slots.
+    auto apply = [&](std::size_t i, double value) {
+      const std::uint32_t c = items[i].c;
+      auto& rc = row[c];
+      const auto pos_of = [&](std::uint32_t id) {
+        return std::lower_bound(
+            rc.begin(), rc.end(), id,
+            [](const NeighborEdge& e, std::uint32_t key) {
+              return e.id < key;
+            });
+      };
+      if (items[i].in_b) {
+        rc.erase(pos_of(b));
+      }
+      if (value > 0.0) {
+        const float fvalue = static_cast<float>(value);
+        auto it = pos_of(a);
+        if (it != rc.end() && it->id == a) {
+          it->sim = fvalue;
+        } else {
+          rc.insert(it, NeighborEdge{a, fvalue});
+        }
+      } else if (items[i].in_a) {
+        rc.erase(pos_of(a));
+      }
+    };
+    auto emit = [&](std::size_t i, double value,
+                    std::vector<NeighborEdge>* row_out,
+                    std::vector<HeapEntry>* heap_out) {
+      if (value <= 0.0) return;
+      row_out->push_back(NeighborEdge{items[i].c, static_cast<float>(value)});
+      // Push with the unrounded double, matching the dense engine, which
+      // also compares heap keys before the float store.
+      if (value >= options.tau_c_sim) {
+        const std::uint32_t lo = std::min(a, items[i].c);
+        const std::uint32_t hi = std::max(a, items[i].c);
+        heap_out->push_back({value, lo, hi, st.version[lo], st.version[hi]});
+      }
+    };
 
-    // Detach old rows from neighbors, attach the combined row.
-    for (const auto& [c, s] : row[a]) row[c].erase(a);
-    for (const auto& [c, s] : row[b]) row[c].erase(b);
-    row[a] = std::move(combined);
-    row[b].clear();
-    for (const auto& [c, s] : row[a]) {
-      row[c][a] = s;  // heap entries were already pushed at combine time
+    new_row.clear();
+    const std::size_t chunks = pool.NumChunks(m, 128);
+    if (chunks > 1) {
+      struct ChunkOut {
+        std::vector<NeighborEdge> row_entries;
+        std::vector<HeapEntry> heap_entries;
+      };
+      std::vector<ChunkOut> outs(chunks);
+      pool.ParallelFor(0, m, 128, [&](const ThreadPool::Chunk& chunk) {
+        ChunkOut& out = outs[chunk.index];
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const double value = evaluate(i);
+          apply(i, value);
+          emit(i, value, &out.row_entries, &out.heap_entries);
+        }
+      });
+      for (ChunkOut& out : outs) {
+        new_row.insert(new_row.end(), out.row_entries.begin(),
+                       out.row_entries.end());
+        for (const HeapEntry& e : out.heap_entries) {
+          heap.push(e);
+          ++stats.heap_pushes;
+        }
+      }
+    } else {
+      std::vector<HeapEntry> heap_entries;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double value = evaluate(i);
+        apply(i, value);
+        emit(i, value, &new_row, &heap_entries);
+      }
+      for (const HeapEntry& e : heap_entries) {
+        heap.push(e);
+        ++stats.heap_pushes;
+      }
     }
+    row[a] = new_row;  // union walk emits ids ascending, so this is sorted
+    row[b].clear();
+    row[b].shrink_to_fit();
   };
 
   // Must-link preprocessing.
@@ -702,6 +793,20 @@ Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
     do_merge(top.a, top.b, top.sim);
   }
   return st.Finish(std::move(merges));
+}
+
+/// Features-in sparse entry point: builds the exact all-nonzero neighbor
+/// graph (the bitwise-equality contract; see neighbor_graph.h) and runs
+/// the graph engine over it.
+Result<HacResult> RunSparse(const std::vector<DynamicBitset>& features,
+                            const HacOptions& options) {
+  NeighborGraphOptions graph_options;
+  graph_options.mode = NeighborGraphMode::kExact;
+  graph_options.edge_tau = 0.0;
+  graph_options.num_threads = options.num_threads;
+  PAYGO_ASSIGN_OR_RETURN(NeighborGraph graph,
+                         NeighborGraph::Build(features, graph_options));
+  return RunSparseGraph(graph, options);
 }
 
 }  // namespace
@@ -799,6 +904,31 @@ Result<HacResult> Hac::Run(const std::vector<DynamicBitset>& features,
   }
   SimilarityMatrix sims(features, options.num_threads);
   return Run(features, sims, options);
+}
+
+Result<HacResult> Hac::RunOnGraph(const NeighborGraph& graph,
+                           const HacOptions& options) {
+  if (graph.num_nodes() == 0) return HacResult{};
+  if (options.tau_c_sim < 0.0 || options.tau_c_sim > 1.0) {
+    return Status::InvalidArgument("tau_c_sim must be in [0, 1]");
+  }
+  PAYGO_RETURN_NOT_OK(ValidateConstraints(graph.num_nodes(), options));
+  if (options.linkage == LinkageKind::kTotal) {
+    return Status::InvalidArgument(
+        "the sparse engine does not support Total Jaccard (it needs "
+        "cluster feature summaries, not pair similarities)");
+  }
+  if (options.max_clusters > 0) {
+    return Status::InvalidArgument(
+        "the sparse engine cannot merge feature-disjoint clusters and so "
+        "does not support max_clusters count mode");
+  }
+  if (options.tau_c_sim <= 0.0) {
+    return Status::InvalidArgument(
+        "the sparse engine requires tau_c_sim > 0 (zero-similarity pairs "
+        "are not materialized)");
+  }
+  return RunSparseGraph(graph, options);
 }
 
 }  // namespace paygo

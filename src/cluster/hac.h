@@ -22,6 +22,8 @@
 
 namespace paygo {
 
+class NeighborGraph;
+
 /// \brief Options of Algorithm 2.
 struct HacOptions {
   /// Cluster-similarity measure (thesis default: Avg. Jaccard).
@@ -40,9 +42,14 @@ struct HacOptions {
   /// at tau > 0), and cluster similarities live in sparse per-cluster rows
   /// instead of the dense n x n matrix. Memory and initial-similarity work
   /// scale with the number of feature-sharing pairs rather than n^2 — the
-  /// web-scale regime of the thesis's motivation. Supports the
-  /// Lance-Williams-updatable linkages (Avg/Min/Max); Total Jaccard and
-  /// max_clusters count mode (which needs all pairs) are rejected.
+  /// web-scale regime of the thesis's motivation. Candidate generation,
+  /// row seeding, and per-merge row-combine re-evaluation all run on the
+  /// shared ThreadPool (see num_threads), and the candidate pairs come
+  /// from the NeighborGraph subsystem (exact mode), so the engine is
+  /// bit-identical to its serial run at any thread count and
+  /// merge-for-merge bitwise-identical to the dense fast engine. Supports
+  /// the Lance-Williams-updatable linkages (Avg/Min/Max); Total Jaccard
+  /// and max_clusters count mode (which needs all pairs) are rejected.
   bool use_sparse_engine = false;
   /// Worker threads for the O(n^2) phases of the fast engine (the initial
   /// pairwise candidate scan and per-merge candidate re-evaluation) and
@@ -101,6 +108,14 @@ class Hac {
 
   /// Convenience overload that computes the similarity matrix itself.
   static Result<HacResult> Run(const std::vector<DynamicBitset>& features,
+                               const HacOptions& options);
+
+  /// Sparse engine over a prebuilt NeighborGraph (use_sparse_engine is
+  /// implied; use_naive_engine is ignored). With an exact all-nonzero
+  /// graph this is merge-for-merge bitwise-identical to the dense fast
+  /// engine; with an LSH graph it is an approximation whose candidate
+  /// recall the graph's banding parameters bound.
+  static Result<HacResult> RunOnGraph(const NeighborGraph& graph,
                                const HacOptions& options);
 };
 

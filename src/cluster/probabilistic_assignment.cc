@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace paygo {
 
 double SchemaClusterSimilarity(const SimilarityMatrix& sims,
@@ -108,6 +110,89 @@ Result<DomainModel> AssignProbabilities(const SimilarityMatrix& sims,
       schema_domains[i].emplace_back(r, sc[r] / norm);
     }
   }
+  return DomainModel::Build(clusters, std::move(schema_domains));
+}
+
+Result<DomainModel> AssignProbabilities(const NeighborGraph& graph,
+                                        const HacResult& clustering,
+                                        const AssignmentOptions& options,
+                                        std::size_t num_threads) {
+  if (options.theta < 0.0 || options.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in [0, 1]");
+  }
+  if (options.tau_c_sim <= 0.0 || options.tau_c_sim > 1.0) {
+    return Status::InvalidArgument(
+        "the sparse assignment path requires tau_c_sim in (0, 1] "
+        "(zero-similarity memberships are not materialized)");
+  }
+  const auto& clusters = clustering.clusters;
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::uint32_t> cluster_of(n, 0);
+  for (std::uint32_t r = 0; r < clusters.size(); ++r) {
+    for (std::uint32_t j : clusters[r]) cluster_of[j] = r;
+  }
+
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> schema_domains(
+      n);
+  ThreadPool pool(ThreadPool::ResolveThreadCount(num_threads));
+  pool.ParallelFor(0, n, 64, [&](const ThreadPool::Chunk& chunk) {
+    // Per-chunk scratch: a dense scatter of schema i's row (cleared via
+    // the row entries after each schema) plus the candidate-domain list.
+    std::vector<double> simval(n, 0.0);
+    std::vector<std::uint32_t> cands;
+    std::vector<double> sc;
+    for (std::size_t ii = chunk.begin; ii < chunk.end; ++ii) {
+      const std::uint32_t i = static_cast<std::uint32_t>(ii);
+      auto [begin, end] = graph.Row(i);
+      cands.clear();
+      for (const NeighborEdge* e = begin; e != end; ++e) {
+        simval[e->id] = static_cast<double>(e->sim);
+        cands.push_back(cluster_of[e->id]);
+      }
+      cands.push_back(cluster_of[i]);
+      std::sort(cands.begin(), cands.end());
+      cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+      // Every non-candidate cluster has s_c_sim exactly 0 (< tau), so the
+      // max and the qualifying set computed over candidates alone match
+      // the dense sweep bit for bit: member sums walk the same ascending
+      // order, and skipping an absent (zero) entry leaves an IEEE sum of
+      // nonnegative terms unchanged.
+      double max_sim = 0.0;
+      sc.resize(cands.size());
+      for (std::size_t k = 0; k < cands.size(); ++k) {
+        const auto& cluster = clusters[cands[k]];
+        double total = 0.0;
+        for (std::uint32_t j : cluster) {
+          if (j == i) {
+            if (graph.NonEmpty(i)) total += 1.0;
+          } else if (simval[j] != 0.0) {
+            total += simval[j];
+          }
+        }
+        sc[k] = total / static_cast<double>(cluster.size());
+        max_sim = std::max(max_sim, sc[k]);
+      }
+      for (const NeighborEdge* e = begin; e != end; ++e) simval[e->id] = 0.0;
+
+      std::vector<std::uint32_t> qualifying;
+      double norm = 0.0;
+      for (std::size_t k = 0; k < cands.size(); ++k) {
+        if (sc[k] < options.tau_c_sim) continue;
+        if (max_sim > 0.0 && sc[k] / max_sim < 1.0 - options.theta) continue;
+        qualifying.push_back(static_cast<std::uint32_t>(k));
+        norm += sc[k];
+      }
+      if (qualifying.empty()) {
+        if (options.strict_thesis_semantics) continue;  // dropped schema
+        schema_domains[i].emplace_back(cluster_of[i], 1.0);
+        continue;
+      }
+      for (std::uint32_t k : qualifying) {
+        schema_domains[i].emplace_back(cands[k], sc[k] / norm);
+      }
+    }
+  });
   return DomainModel::Build(clusters, std::move(schema_domains));
 }
 

@@ -18,6 +18,7 @@
 
 #include "cluster/hac.h"
 #include "cluster/linkage.h"
+#include "cluster/neighbor_graph.h"
 #include "util/status.h"
 
 namespace paygo {
@@ -107,6 +108,24 @@ class DomainModel {
 Result<DomainModel> AssignProbabilities(const SimilarityMatrix& sims,
                                         const HacResult& clustering,
                                         const AssignmentOptions& options);
+
+/// \brief Algorithm 3 over the sparse neighbor graph — the dense-matrix-free
+/// build path.
+///
+/// Candidate domains for schema S_i are the clusters containing any of its
+/// graph neighbors plus its home cluster; every other cluster has
+/// s_c_sim = 0 < tau_c_sim and can never qualify. When \p graph is an exact
+/// all-nonzero graph (edge_tau == 0) the result is bitwise identical to the
+/// dense overload: per-cluster sums walk members in the same ascending order
+/// and absent entries contribute exactly 0.0. Requires tau_c_sim > 0 (with
+/// tau = 0 the dense semantics assign zero-similarity domains, which a
+/// sparse walk cannot see). Schemas are processed in parallel on
+/// \p num_threads (0 = hardware concurrency); each schema's output row is
+/// written by exactly one chunk, so the result is thread-count independent.
+Result<DomainModel> AssignProbabilities(const NeighborGraph& graph,
+                                        const HacResult& clustering,
+                                        const AssignmentOptions& options,
+                                        std::size_t num_threads = 1);
 
 /// s_c_sim(S_i, C_r): average similarity between schema \p schema_id and all
 /// schemas of \p cluster (including itself when it is a member, per the

@@ -37,22 +37,46 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Build(
         sys->vectorizer_->VectorizeCorpus());
   }
 
-  // Algorithm 2: clustering (with the memoized similarity matrix).
-  {
-    PAYGO_TRACE_SPAN("system.build.similarity");
-    sys->sims_ = std::make_shared<const SimilarityMatrix>(
-        *sys->features_, options.hac.num_threads);
-  }
-  PAYGO_ASSIGN_OR_RETURN(
-      sys->clustering_, Hac::Run(*sys->features_, *sys->sims_, options.hac));
-
-  // Algorithm 3: probabilistic schema-to-domain assignment.
-  {
-    PAYGO_TRACE_SPAN("system.build.assign");
+  if (options.sparse_build) {
+    // Algorithm 2/3, dense-matrix-free: the sparse neighbor graph stands
+    // in for the O(n^2) similarity matrix end to end.
+    {
+      PAYGO_TRACE_SPAN("system.build.similarity");
+      NeighborGraphOptions graph_options = options.neighbor_graph;
+      graph_options.num_threads = options.hac.num_threads;
+      PAYGO_ASSIGN_OR_RETURN(
+          NeighborGraph graph,
+          NeighborGraph::Build(*sys->features_, graph_options));
+      sys->graph_ = std::make_shared<const NeighborGraph>(std::move(graph));
+    }
+    PAYGO_ASSIGN_OR_RETURN(sys->clustering_,
+                           Hac::RunOnGraph(*sys->graph_, options.hac));
+    {
+      PAYGO_TRACE_SPAN("system.build.assign");
+      PAYGO_ASSIGN_OR_RETURN(
+          sys->domains_,
+          AssignProbabilities(*sys->graph_, sys->clustering_,
+                              options.assignment, options.hac.num_threads));
+    }
+  } else {
+    // Algorithm 2: clustering (with the memoized similarity matrix).
+    {
+      PAYGO_TRACE_SPAN("system.build.similarity");
+      sys->sims_ = std::make_shared<const SimilarityMatrix>(
+          *sys->features_, options.hac.num_threads);
+    }
     PAYGO_ASSIGN_OR_RETURN(
-        sys->domains_,
-        AssignProbabilities(*sys->sims_, sys->clustering_,
-                            options.assignment));
+        sys->clustering_,
+        Hac::Run(*sys->features_, *sys->sims_, options.hac));
+
+    // Algorithm 3: probabilistic schema-to-domain assignment.
+    {
+      PAYGO_TRACE_SPAN("system.build.assign");
+      PAYGO_ASSIGN_OR_RETURN(
+          sys->domains_,
+          AssignProbabilities(*sys->sims_, sys->clustering_,
+                              options.assignment));
+    }
   }
 
   // Section 4.4 mediation and the Chapter 5 classifier (all heavy
@@ -112,8 +136,17 @@ Result<std::unique_ptr<IntegrationSystem>> IntegrationSystem::Restore(
     sys->features_ = std::make_shared<const std::vector<DynamicBitset>>(
         sys->vectorizer_->VectorizeCorpus());
   }
-  sys->sims_ = std::make_shared<const SimilarityMatrix>(
-      *sys->features_, options.hac.num_threads);
+  if (options.sparse_build) {
+    NeighborGraphOptions graph_options = options.neighbor_graph;
+    graph_options.num_threads = options.hac.num_threads;
+    PAYGO_ASSIGN_OR_RETURN(NeighborGraph graph,
+                           NeighborGraph::Build(*sys->features_,
+                                                graph_options));
+    sys->graph_ = std::make_shared<const NeighborGraph>(std::move(graph));
+  } else {
+    sys->sims_ = std::make_shared<const SimilarityMatrix>(
+        *sys->features_, options.hac.num_threads);
+  }
 
   // The clustering result is reconstructed from the model (merge history
   // is not persisted — it only serves diagnostics).
@@ -184,6 +217,7 @@ std::unique_ptr<IntegrationSystem> IntegrationSystem::Clone() const {
   copy->vectorizer_ = vectorizer_;
   copy->features_ = features_;
   copy->sims_ = sims_;
+  copy->graph_ = graph_;
   copy->clustering_ = clustering_;
   copy->domains_ = domains_;
   copy->classifier_ = classifier_;
@@ -319,7 +353,20 @@ Result<IncrementalAddResult> IntegrationSystem::AddSchema(
   domains_ = inc.model();
   clustering_.clusters = domains_.clusters();
   clustering_.merges.clear();  // merge history no longer describes the model
-  if (options_.delta_mutations) {
+  if (options_.sparse_build) {
+    if (options_.delta_mutations) {
+      // One appended schema: extend the graph by its (exact) row instead
+      // of rebuilding candidate generation from scratch.
+      graph_ = std::make_shared<const NeighborGraph>(*graph_, *features_);
+    } else {
+      NeighborGraphOptions graph_options = options_.neighbor_graph;
+      graph_options.num_threads = options_.hac.num_threads;
+      PAYGO_ASSIGN_OR_RETURN(
+          NeighborGraph graph,
+          NeighborGraph::Build(*features_, graph_options));
+      graph_ = std::make_shared<const NeighborGraph>(std::move(graph));
+    }
+  } else if (options_.delta_mutations) {
     // One appended schema: extend the memoized matrix by its row/column
     // (O(n * dim)) instead of refilling all O(n^2) pairs.
     sims_ = std::make_shared<const SimilarityMatrix>(*sims_, *features_);
@@ -354,6 +401,12 @@ Status IntegrationSystem::RebuildFromScratch() {
 
 Status IntegrationSystem::ApplyFeedback(const FeedbackStore& store) {
   if (store.has_explicit_feedback()) {
+    if (options_.sparse_build) {
+      return Status::FailedPrecondition(
+          "explicit-feedback reclustering needs the dense similarity "
+          "matrix; rebuild the system without sparse_build to apply "
+          "corrections");
+    }
     PAYGO_ASSIGN_OR_RETURN(
         DomainModel refined,
         ReclusterWithFeedback(*features_, *sims_, options_.hac,

@@ -23,6 +23,7 @@
 #include "classify/query_featurizer.h"
 #include "cluster/hac.h"
 #include "cluster/incremental.h"
+#include "cluster/neighbor_graph.h"
 #include "cluster/probabilistic_assignment.h"
 #include "feedback/feedback.h"
 #include "integrate/data_source.h"
@@ -46,6 +47,21 @@ struct SystemOptions {
   AssignmentOptions assignment;
   ClassifierOptions classifier;
   MediatorOptions mediator;
+  /// Dense-matrix-free build: clustering and domain assignment run over
+  /// the sparse NeighborGraph (see neighbor_graph below) and the O(n^2)
+  /// SimilarityMatrix is never allocated — the web-scale path. The HAC
+  /// engine is forced sparse, so the hac options must satisfy its
+  /// contract (tau_c_sim > 0, no Total Jaccard, no max_clusters). With
+  /// the default exact graph the resulting clustering and domain model
+  /// are bitwise identical to the dense build; with an LSH graph they are
+  /// an approximation with bounded candidate recall. Explicit-feedback
+  /// reclustering (ApplyFeedback) still needs the dense matrix and is
+  /// rejected in this mode. Dense remains the default and the oracle.
+  bool sparse_build = false;
+  /// Neighbor-graph construction knobs for sparse_build (mode, LSH
+  /// banding, hot-posting handling). num_threads is taken from
+  /// hac.num_threads, not from here.
+  NeighborGraphOptions neighbor_graph;
   /// Skip mediation (clustering/classification-only deployments).
   bool build_mediation = true;
   /// Skip classifier construction.
@@ -201,7 +217,12 @@ class IntegrationSystem {
   const Lexicon& lexicon() const { return *lexicon_; }
   const FeatureVectorizer& vectorizer() const { return *vectorizer_; }
   const std::vector<DynamicBitset>& features() const { return *features_; }
+  /// Requires has_similarities() (absent in sparse_build mode).
   const SimilarityMatrix& similarities() const { return *sims_; }
+  bool has_similarities() const { return sims_ != nullptr; }
+  /// Requires has_neighbor_graph() (present in sparse_build mode).
+  const NeighborGraph& neighbor_graph() const { return *graph_; }
+  bool has_neighbor_graph() const { return graph_ != nullptr; }
   const HacResult& clustering() const { return clustering_; }
   const DomainModel& domains() const { return domains_; }
   /// Requires build_classifier.
@@ -263,7 +284,8 @@ class IntegrationSystem {
   std::shared_ptr<const Lexicon> lexicon_;
   std::shared_ptr<const FeatureVectorizer> vectorizer_;
   std::shared_ptr<const std::vector<DynamicBitset>> features_;
-  std::shared_ptr<const SimilarityMatrix> sims_;
+  std::shared_ptr<const SimilarityMatrix> sims_;  // null in sparse_build mode
+  std::shared_ptr<const NeighborGraph> graph_;    // non-null iff sparse_build
   HacResult clustering_;
   DomainModel domains_;
   std::shared_ptr<const NaiveBayesClassifier> classifier_;

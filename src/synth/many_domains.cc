@@ -61,4 +61,57 @@ SchemaCorpus MakeManyDomainCorpus(const ManyDomainOptions& options) {
   return corpus;
 }
 
+std::vector<DynamicBitset> MakeManyDomainFeatures(
+    const ManyDomainFeatureOptions& options) {
+  const std::size_t n = options.num_schemas;
+  const std::size_t per_domain = std::max<std::size_t>(1, options.schemas_per_domain);
+  const std::size_t num_domains = (n + per_domain - 1) / per_domain;
+  const std::size_t vocab =
+      std::max<std::size_t>(1, options.words_per_domain);
+  std::size_t dim = options.dim;
+  if (dim == 0) {
+    // ~4 domains reuse each feature id on average, so posting lists stay
+    // bounded as the corpus grows.
+    dim = std::max<std::size_t>(1024, num_domains * vocab / 4);
+    dim = (dim + 63) / 64 * 64;
+  }
+  const std::size_t min_f = std::min(std::max<std::size_t>(1, options.min_features), vocab);
+  const std::size_t max_f =
+      std::min(std::max(min_f, options.max_features), vocab);
+
+  Rng rng(options.seed);
+  std::vector<DynamicBitset> features;
+  features.reserve(n);
+  std::vector<std::size_t> words(vocab);
+  std::vector<std::size_t> idx(vocab);
+  for (std::size_t d = 0; d < num_domains && features.size() < n; ++d) {
+    // Private vocabulary: distinct ids sampled from the shared space.
+    for (std::size_t k = 0; k < vocab; ++k) {
+      std::size_t id;
+      bool fresh;
+      do {
+        id = static_cast<std::size_t>(rng.NextBelow(dim));
+        fresh = true;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (words[j] == id) {
+            fresh = false;
+            break;
+          }
+        }
+      } while (!fresh);
+      words[k] = id;
+    }
+    for (std::size_t s = 0; s < per_domain && features.size() < n; ++s) {
+      const std::size_t f = static_cast<std::size_t>(rng.NextInRange(
+          static_cast<std::int64_t>(min_f), static_cast<std::int64_t>(max_f)));
+      for (std::size_t k = 0; k < idx.size(); ++k) idx[k] = k;
+      rng.Shuffle(idx);
+      DynamicBitset bits(dim);
+      for (std::size_t a = 0; a < f; ++a) bits.Set(words[idx[a]]);
+      features.push_back(std::move(bits));
+    }
+  }
+  return features;
+}
+
 }  // namespace paygo

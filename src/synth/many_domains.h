@@ -14,8 +14,10 @@
 /// the dense engines stay quadratic.
 
 #include <cstdint>
+#include <vector>
 
 #include "schema/corpus.h"
+#include "util/bitset.h"
 
 namespace paygo {
 
@@ -35,6 +37,41 @@ struct ManyDomainOptions {
 
 /// Generates the corpus; each schema is labeled "domain<k>".
 SchemaCorpus MakeManyDomainCorpus(const ManyDomainOptions& options = {});
+
+/// \brief Options of the direct feature-vector generator (bench scale).
+///
+/// MakeManyDomainCorpus runs the full text pipeline (words -> tokenizer ->
+/// lexicon -> vectorizer), whose feature dimension grows linearly with the
+/// number of domains — at 100k schemas the bitsets alone would be O(n^2)
+/// bits. This variant emits feature vectors directly in a FIXED feature
+/// space: each pseudo-domain draws a private vocabulary of feature ids
+/// from the shared [0, dim) space, so bitset memory is n * dim bits and
+/// expected posting-list length is (n * features_per_schema) / dim —
+/// bounded, which keeps the sparse engine's candidate-pair count ~linear
+/// in n. Cross-domain vocabulary collisions are rare but possible, exactly
+/// like accidental term sharing on the web.
+struct ManyDomainFeatureOptions {
+  std::size_t num_schemas = 10000;
+  /// Average schemas per pseudo-domain (the web shape keeps this small
+  /// relative to the number of domains).
+  std::size_t schemas_per_domain = 32;
+  /// Domain vocabulary size (distinct feature ids per domain).
+  std::size_t words_per_domain = 24;
+  /// Features per schema, uniform in [min, max] (capped at the domain
+  /// vocabulary size).
+  std::size_t min_features = 4;
+  std::size_t max_features = 9;
+  /// Feature-space width. 0 = auto: sized so each feature id is reused by
+  /// ~4 domains on average (bounded postings at any corpus size), rounded
+  /// up to a multiple of 64, with a floor of 1024.
+  std::size_t dim = 0;
+  std::uint64_t seed = 97;
+};
+
+/// Generates feature vectors directly (no corpus / text pipeline). All
+/// vectors share the same dimension. Deterministic in the seed.
+std::vector<DynamicBitset> MakeManyDomainFeatures(
+    const ManyDomainFeatureOptions& options = {});
 
 }  // namespace paygo
 

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 #include "cluster/hac.h"
+#include "cluster/neighbor_graph.h"
 #include "schema/feature_vector.h"
 #include "schema/lexicon.h"
 #include "synth/ddh_generator.h"
+#include "synth/many_domains.h"
 #include "synth/web_generator.h"
 #include "util/random.h"
 
@@ -123,6 +127,196 @@ TEST(SparseHacTest, RejectsUnsupportedModes) {
   opts.max_clusters = 0;
   opts.tau_c_sim = 0.0;
   EXPECT_TRUE(Hac::Run(f, opts).status().IsInvalidArgument());
+}
+
+// --- randomized differential fuzz: sparse vs dense, merge-for-merge ---
+//
+// Each round draws a random corpus, a random tau, and a linkage, then
+// requires the exact sparse engine (fed by the NeighborGraph) to reproduce
+// the dense fast engine's dendrogram BITWISE — same merge slots, same
+// similarity doubles compared with == — at 1, 2, and 4 threads. On
+// failure the SCOPED_TRACE prints the round's seed so the exact corpus
+// can be replayed. PAYGO_DETERMINISM_SMALL=1 shrinks the round count
+// (TSan CI).
+
+bool SmallFuzzMode() {
+  const char* v = std::getenv("PAYGO_DETERMINISM_SMALL");
+  return v != nullptr && std::string(v) != "0";
+}
+
+std::vector<DynamicBitset> RandomFuzzCorpus(Rng& rng, std::size_t n,
+                                            std::size_t dim,
+                                            std::size_t groups) {
+  std::vector<DynamicBitset> features(n, DynamicBitset(dim));
+  const std::size_t width = dim / groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = rng.NextBelow(groups);
+    for (std::size_t b = g * width; b < (g + 1) * width; ++b) {
+      if (rng.NextBernoulli(0.4)) features[i].Set(b);
+    }
+    // Global noise bits: cross-group feature sharing, including features
+    // popular enough to trip the hot-posting / heavy-set path.
+    for (int k = 0; k < 2; ++k) {
+      if (rng.NextBernoulli(0.3)) features[i].Set(rng.NextBelow(dim));
+    }
+    // Some schemas stay empty (all-Bernoulli-miss is possible too, but
+    // force a few deterministically).
+    if (rng.NextBernoulli(0.05)) {
+      for (std::size_t b = 0; b < dim; ++b) features[i].Set(b, false);
+    }
+  }
+  return features;
+}
+
+void ExpectBitwiseMerges(const HacResult& want, const HacResult& got,
+                         const std::string& label) {
+  ASSERT_EQ(want.merges.size(), got.merges.size()) << label;
+  for (std::size_t m = 0; m < want.merges.size(); ++m) {
+    ASSERT_EQ(want.merges[m].slot_a, got.merges[m].slot_a)
+        << label << " merge " << m;
+    ASSERT_EQ(want.merges[m].slot_b, got.merges[m].slot_b)
+        << label << " merge " << m;
+    // Bitwise double equality: the sparse engine must perform the same FP
+    // operations in the same order as the dense engine.
+    ASSERT_EQ(want.merges[m].similarity, got.merges[m].similarity)
+        << label << " merge " << m;
+  }
+  EXPECT_EQ(want.clusters, got.clusters) << label;
+}
+
+TEST(SparseHacFuzzTest, RandomCorporaMatchDenseBitwise) {
+  const int rounds = SmallFuzzMode() ? 4 : 12;
+  const LinkageKind kinds[] = {LinkageKind::kAverage, LinkageKind::kMin,
+                               LinkageKind::kMax};
+  Rng meta(20260807);
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = meta.NextU64();
+    SCOPED_TRACE("fuzz round " + std::to_string(round) + " seed " +
+                 std::to_string(seed));
+    Rng rng(seed);
+    const std::size_t n = 30 + rng.NextBelow(70);
+    const std::size_t dim = 60 + rng.NextBelow(120);
+    const std::size_t groups = 3 + rng.NextBelow(5);
+    const auto features = RandomFuzzCorpus(rng, n, dim, groups);
+
+    HacOptions opts;
+    opts.linkage = kinds[round % 3];
+    opts.tau_c_sim = 0.15 + 0.4 * rng.NextDouble();
+    const SimilarityMatrix sims(features);
+    const auto dense = Hac::Run(features, sims, opts);
+    ASSERT_TRUE(dense.ok()) << dense.status();
+
+    for (std::size_t t : {1u, 2u, 4u}) {
+      NeighborGraphOptions go;
+      go.num_threads = t;
+      // Alternate between the auto hot limit and a forced tiny one so the
+      // heavy-set sweep is exercised on every corpus shape.
+      if (round % 2 == 1) go.hot_posting_limit = 1;
+      const auto graph = NeighborGraph::Build(features, go);
+      ASSERT_TRUE(graph.ok()) << graph.status();
+      HacOptions sopt = opts;
+      sopt.num_threads = t;
+      const auto sparse = Hac::RunOnGraph(*graph, sopt);
+      ASSERT_TRUE(sparse.ok()) << sparse.status();
+      ExpectBitwiseMerges(*dense, *sparse,
+                          std::string(LinkageKindName(opts.linkage)) +
+                              " tau=" + std::to_string(opts.tau_c_sim) +
+                              " threads=" + std::to_string(t));
+    }
+  }
+}
+
+// The features-overload sparse engine (use_sparse_engine = true) goes
+// through the same graph internally; fuzz it too at several thread counts.
+TEST(SparseHacFuzzTest, FeatureOverloadMatchesDenseBitwise) {
+  const int rounds = SmallFuzzMode() ? 2 : 6;
+  Rng meta(977);
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = meta.NextU64();
+    SCOPED_TRACE("fuzz round " + std::to_string(round) + " seed " +
+                 std::to_string(seed));
+    Rng rng(seed);
+    const auto features = RandomFuzzCorpus(rng, 40 + rng.NextBelow(40),
+                                           80 + rng.NextBelow(60), 4);
+    HacOptions opts;
+    opts.tau_c_sim = 0.2 + 0.3 * rng.NextDouble();
+    const auto dense = Hac::Run(features, opts);
+    ASSERT_TRUE(dense.ok());
+    for (std::size_t t : {1u, 4u}) {
+      HacOptions sopt = opts;
+      sopt.use_sparse_engine = true;
+      sopt.num_threads = t;
+      const auto sparse = Hac::Run(features, sopt);
+      ASSERT_TRUE(sparse.ok()) << sparse.status();
+      ExpectBitwiseMerges(*dense, *sparse, "threads=" + std::to_string(t));
+    }
+  }
+}
+
+// --- LSH mode: recall floor against the dense tau-edge oracle ---
+//
+// The LSH graph may miss edges (recall < 1) but every edge it keeps is
+// exactly verified. Against the oracle set {pairs with Jaccard >=
+// recall_tau} from the dense matrix, the banding chosen by ChooseBanding
+// must recover at least the configured recall floor. Seeds are fixed, so
+// the assertion is deterministic.
+TEST(SparseHacLshTest, RecallFloorAgainstDenseOracle) {
+  ManyDomainFeatureOptions gen;
+  gen.num_schemas = SmallFuzzMode() ? 300 : 1000;
+  const auto features = MakeManyDomainFeatures(gen);
+  const double tau = 0.25;
+
+  NeighborGraphOptions go;
+  go.mode = NeighborGraphMode::kMinHashLsh;
+  go.recall_tau = tau;
+  go.target_recall = 0.95;
+  const auto graph = NeighborGraph::Build(features, go);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  std::size_t oracle = 0, found = 0;
+  for (std::uint32_t a = 0; a < features.size(); ++a) {
+    for (std::uint32_t b = a + 1; b < features.size(); ++b) {
+      if (DynamicBitset::Jaccard(features[a], features[b]) < tau) continue;
+      ++oracle;
+      if (graph->Similarity(a, b) > 0.0f) ++found;
+    }
+  }
+  ASSERT_GT(oracle, 0u);
+  const double recall = static_cast<double>(found) / oracle;
+  // The banding guarantees >= 0.95 in expectation at exactly tau; pairs
+  // above tau collide with higher probability, so the realized recall
+  // should clear a 0.9 floor comfortably.
+  EXPECT_GE(recall, 0.9) << found << "/" << oracle;
+
+  // Seed-determinism across thread counts: identical edge sets.
+  NeighborGraphOptions go4 = go;
+  go4.num_threads = 4;
+  const auto graph4 = NeighborGraph::Build(features, go4);
+  ASSERT_TRUE(graph4.ok());
+  ASSERT_EQ(graph->num_edges(), graph4->num_edges());
+  for (std::uint32_t i = 0; i < features.size(); ++i) {
+    const auto [b1, e1] = graph->Row(i);
+    const auto [b4, e4] = graph4->Row(i);
+    ASSERT_EQ(e1 - b1, e4 - b4) << "row " << i;
+    for (std::ptrdiff_t k = 0; k < e1 - b1; ++k) {
+      ASSERT_EQ(b1[k].id, b4[k].id) << "row " << i;
+      ASSERT_EQ(b1[k].sim, b4[k].sim) << "row " << i;
+    }
+  }
+
+  // Clustering the LSH graph still recovers the many-domains structure:
+  // compare cluster count against the dense run loosely (recall misses can
+  // only fail to merge, never wrongly merge — every kept edge is exact).
+  HacOptions hopts;
+  hopts.tau_c_sim = tau;
+  const auto lsh_clusters = Hac::RunOnGraph(*graph, hopts);
+  ASSERT_TRUE(lsh_clusters.ok());
+  const auto dense_clusters = Hac::Run(features, hopts);
+  ASSERT_TRUE(dense_clusters.ok());
+  EXPECT_GE(lsh_clusters->clusters.size(), dense_clusters->clusters.size());
+  EXPECT_LE(lsh_clusters->clusters.size(),
+            dense_clusters->clusters.size() +
+                dense_clusters->clusters.size() / 5 + 5);
 }
 
 TEST(SparseHacTest, DisjointSchemasNeverMerge) {

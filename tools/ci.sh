@@ -36,6 +36,29 @@ if ! diff -q "$SMOKE_DIR/serial.txt" "$SMOKE_DIR/parallel.txt" >/dev/null; then
 fi
 echo "    serial and 4-thread cluster output identical"
 
+echo "==> smoke: paygo_cli cluster --sparse (dense-matrix-free vs dense)"
+# The exact-mode sparse build is merge-for-merge bitwise-identical to the
+# dense path, so the CLI output must diff clean — clusters, memberships,
+# every printed probability digit.
+./build/tools/paygo_cli cluster "$SMOKE_DIR/corpus.txt" > "$SMOKE_DIR/dense.txt"
+./build/tools/paygo_cli cluster "$SMOKE_DIR/corpus.txt" --sparse > "$SMOKE_DIR/sparse.txt"
+if ! diff -q "$SMOKE_DIR/dense.txt" "$SMOKE_DIR/sparse.txt" >/dev/null; then
+  echo "FAIL: --sparse clustering differs from the dense build" >&2
+  diff "$SMOKE_DIR/dense.txt" "$SMOKE_DIR/sparse.txt" | head -20 >&2
+  exit 1
+fi
+echo "    dense and sparse cluster output identical"
+
+echo "==> smoke: perf_clustering --sparse-scaling --check (scaled down)"
+# The dense-matrix-free scaling lane at CI size: sparse must beat dense by
+# >= 5x at the largest dense-feasible n and reproduce the dense merges
+# bitwise at 1/2/4 threads (full curve: --max-n=100000 --dense-max=8000;
+# schema in bench/README.md).
+./build/bench/perf_clustering --sparse-scaling --max-n=4000 --dense-max=2000 \
+  --check --json-out="$SMOKE_DIR/BENCH_clustering.json" \
+  2> "$SMOKE_DIR/sparse-scaling.log"
+echo "    sparse scaling check passed (speedup + bitwise merges)"
+
 echo "==> smoke: serve-bench admin endpoint (/healthz over loopback)"
 # A small corpus keeps the system build fast; --admin-port 0 binds an
 # ephemeral port that paygo_cli reports on stderr.
@@ -288,7 +311,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan --target serve_test serve_concurrency_test trace_test \
     clone_aliasing_test admin_server_test thread_pool_test \
     parallel_determinism_test shard_replication_test fleet_trace_test \
-    zero_alloc_test batch_classify_test bitset_kernel_test -j "$JOBS"
+    zero_alloc_test batch_classify_test bitset_kernel_test \
+    sparse_hac_test neighbor_graph_test -j "$JOBS"
 
   echo "==> tsan: trace_test"
   ./build-tsan/tests/trace_test
@@ -310,12 +334,15 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/batch_classify_test
   echo "==> tsan: zero_alloc_test (steady-state classify allocates nothing)"
   ./build-tsan/tests/zero_alloc_test
-  echo "==> tsan: thread_pool_test + parallel_determinism_test (ctest -j)"
-  # Instrumented LCS scans are slow; the determinism harness honors
-  # PAYGO_DETERMINISM_SMALL and shrinks its corpora under TSan.
+  echo "==> tsan: thread_pool_test + parallel_determinism_test + sparse suites (ctest -j)"
+  # Instrumented LCS scans are slow; the determinism harness and the
+  # sparse-vs-dense fuzz honor PAYGO_DETERMINISM_SMALL and shrink their
+  # corpora / round counts under TSan. sparse_hac_test and
+  # neighbor_graph_test exercise the multi-threaded NeighborGraph build
+  # and the parallel sparse row combines under the race detector.
   (cd build-tsan && PAYGO_DETERMINISM_SMALL=1 \
     ctest --output-on-failure -j "$JOBS" \
-      -R '^(thread_pool_test|parallel_determinism_test)$')
+      -R '^(thread_pool_test|parallel_determinism_test|sparse_hac_test|neighbor_graph_test)$')
 fi
 
 echo "==> ci: all green"

@@ -97,6 +97,12 @@ options (cluster/classify/snapshot):
   --threads <n>   worker threads for clustering + index builds
                   (0 = hardware concurrency, default 1 = serial;
                   results are bit-identical at any setting)
+  --sparse        (cluster) dense-matrix-free build: cluster over the
+                  sparse neighbor graph instead of the O(n^2) similarity
+                  matrix; output is bitwise identical to the dense build
+  --lsh           with --sparse: approximate candidate generation via
+                  MinHash/LSH banding (recall-bounded at tau; every
+                  surviving edge still exactly verified)
   --eval          also score clustering against corpus labels
 
 options (serve-bench):
@@ -215,6 +221,11 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       const std::size_t n = static_cast<std::size_t>(std::atoi(v));
       out->system.hac.num_threads = n;
       out->system.features.num_threads = n;
+    } else if (arg == "--sparse") {
+      out->system.sparse_build = true;
+    } else if (arg == "--lsh") {
+      out->system.sparse_build = true;
+      out->system.neighbor_graph.mode = NeighborGraphMode::kMinHashLsh;
     } else if (arg == "--eval") {
       out->eval = true;
     } else if (arg == "--newick") {
@@ -312,6 +323,10 @@ bool ParseCommon(int argc, char** argv, int first, CliOptions* out) {
       out->positional.push_back(arg);
     }
   }
+  // The LSH recall guarantee is evaluated at the clustering threshold,
+  // whatever order --tau and --lsh appeared in.
+  out->system.neighbor_graph.recall_tau = out->system.hac.tau_c_sim;
+  if (out->system.sparse_build) out->system.hac.use_sparse_engine = true;
   return true;
 }
 
